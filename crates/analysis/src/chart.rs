@@ -1,0 +1,166 @@
+//! ASCII line charts for regenerating the paper's figures in a terminal.
+
+/// A named series sharing the chart's x-axis.
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub name: &'a str,
+    /// Y values (same length as the x-axis).
+    pub values: &'a [f64],
+    /// Plot symbol.
+    pub symbol: char,
+}
+
+/// Renders one or more series as an ASCII chart with a y-axis scale and
+/// an x-axis spanning `x_min..x_max`.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::chart::{ascii_chart, Series};
+///
+/// let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (x / 8.0).sin()).collect();
+/// let chart = ascii_chart(&xs, &[Series { name: "sin", values: &ys, symbol: '*' }], 60, 12);
+/// assert!(chart.contains('*'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if a series length differs from the x-axis length, or if
+/// `width`/`height` are too small to draw.
+pub fn ascii_chart(xs: &[f64], series: &[Series<'_>], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    for s in series {
+        assert_eq!(s.values.len(), xs.len(), "series '{}' length mismatch", s.name);
+    }
+    if xs.is_empty() {
+        return String::from("(empty chart)\n");
+    }
+    let y_min = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (y_min, y_max) = if (y_max - y_min).abs() < f64::EPSILON {
+        (y_min - 0.5, y_max + 0.5)
+    } else {
+        (y_min, y_max)
+    };
+    let x_min = xs[0];
+    let x_max = *xs.last().expect("nonempty");
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for (&x, &y) in xs.iter().zip(s.values) {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let rowf = (y - y_min) / (y_max - y_min) * (height - 1) as f64;
+            let row = height - 1 - rowf.round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = s.symbol;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_label:>10.4} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {:<.4}{}{:>.4}\n",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(16)),
+        x_max
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.symbol, s.name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_flat_series_without_panicking() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [5.0, 5.0, 5.0];
+        let chart = ascii_chart(
+            &xs,
+            &[Series {
+                name: "flat",
+                values: &ys,
+                symbol: 'o',
+            }],
+            20,
+            5,
+        );
+        assert!(chart.contains('o'));
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    fn multiple_series_symbols_appear() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let up: Vec<f64> = xs.clone();
+        let down: Vec<f64> = xs.iter().map(|x| 19.0 - x).collect();
+        let chart = ascii_chart(
+            &xs,
+            &[
+                Series {
+                    name: "up",
+                    values: &up,
+                    symbol: '+',
+                },
+                Series {
+                    name: "down",
+                    values: &down,
+                    symbol: 'x',
+                },
+            ],
+            40,
+            10,
+        );
+        assert!(chart.contains('+') && chart.contains('x'));
+    }
+
+    #[test]
+    fn empty_axis_is_graceful() {
+        let chart = ascii_chart(
+            &[],
+            &[Series {
+                name: "none",
+                values: &[],
+                symbol: '*',
+            }],
+            20,
+            5,
+        );
+        assert!(chart.contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_is_rejected() {
+        ascii_chart(
+            &[0.0, 1.0],
+            &[Series {
+                name: "bad",
+                values: &[1.0],
+                symbol: '*',
+            }],
+            20,
+            5,
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # goc-analysis — experiment analysis toolkit
+//!
+//! Statistics, welfare/security metrics, ASCII tables and charts, and a
+//! parallel sweep runner shared by the `goc-experiments` binaries and the
+//! benchmark harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chart;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+pub mod welfare;
+
+pub use chart::{ascii_chart, Series};
+pub use stats::{gini, Histogram, Summary};
+pub use sweep::{default_threads, parallel_map};
+pub use table::{fmt_f64, Table};
+pub use welfare::{dominance_of, max_dominance, payoffs_f64, welfare_efficiency};

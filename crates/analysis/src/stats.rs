@@ -1,0 +1,259 @@
+//! Summary statistics for experiment outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; returns an all-zero summary for empty input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use goc_analysis::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.n, 4);
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                p05: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            p05: percentile(&sorted, 0.05),
+            median: percentile(&sorted, 0.5),
+            p95: percentile(&sorted, 0.95),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Summarizes integer observations.
+    pub fn of_usize(values: &[usize]) -> Self {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&as_f64)
+    }
+}
+
+/// Linear-interpolation percentile of a sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi]`, for step-count and share
+/// distributions in experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [1.0, 2.0, 2.5, 9.0, 42.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_counts()[0], 1); // 1.0
+/// assert_eq!(h.bin_counts()[1], 2); // 2.0, 2.5
+/// assert_eq!(h.bin_counts()[4], 2); // 9.0 and the clamped 42.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over
+    /// `[lo, hi]`; out-of-range samples clamp to the edge buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-degenerate");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        let n = self.bins.len();
+        let t = ((value - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = ((t * n as f64) as usize).min(n - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Per-bin counts, lowest bucket first.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Renders a compact one-line-per-bin bar chart.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let step = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((count as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!(
+                "[{:>10.3}, {:>10.3}) {:>8} |{}\n",
+                self.lo + step * i as f64,
+                self.lo + step * (i + 1) as f64,
+                count,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+/// Gini coefficient of a non-negative sample (payoff inequality metric
+/// for the attack experiment). Zero for empty or all-zero input.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * v)
+        .sum();
+    weighted / (n as f64 * total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&sorted, 0.0), 10.0);
+        assert_eq!(percentile(&sorted, 1.0), 40.0);
+        assert_eq!(percentile(&sorted, 0.5), 25.0);
+    }
+
+    #[test]
+    fn usize_bridge() {
+        let s = Summary::of_usize(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_clamping() {
+        let mut h = Histogram::new(0.0, 100.0, 4);
+        for v in [-5.0, 0.0, 24.9, 25.0, 99.9, 100.0, 1e9] {
+            h.add(v);
+        }
+        assert_eq!(h.bin_counts(), &[3, 1, 0, 3]);
+        assert_eq!(h.count(), 7);
+        let rendered = h.render(20);
+        assert_eq!(rendered.lines().count(), 4);
+        assert!(rendered.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn histogram_rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[5.0, 5.0, 5.0]).abs() < 1e-12); // perfect equality
+        let concentrated = gini(&[0.0, 0.0, 0.0, 100.0]);
+        assert!((concentrated - 0.75).abs() < 1e-12);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+}

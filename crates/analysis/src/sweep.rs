@@ -1,0 +1,79 @@
+//! A small parallel parameter-sweep runner on `std::thread::scope`.
+//!
+//! Experiments sweep seeds × schedulers × game sizes; this fans the work
+//! across cores while keeping outputs in input order (determinism of the
+//! overall experiment report).
+
+/// Runs `f` over `items` on up to `threads` worker threads, returning
+/// outputs in input order.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::sweep::parallel_map;
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock poisoned") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled by the sweep"))
+        .collect()
+}
+
+/// The number of worker threads to use by default: the available
+/// parallelism minus one (leave a core for the OS), at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = parallel_map(&[5], 4, |&x: &i32| x + 1);
+        assert_eq!(out, vec![6]);
+        let empty: Vec<i32> = parallel_map(&[], 4, |x: &i32| *x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Aligned ASCII tables and CSV rendering for experiment outputs.
+
+/// A simple table: headers plus string rows.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::Table;
+///
+/// let mut t = Table::new(vec!["scheduler", "steps"]);
+/// t.row(vec!["round-robin".into(), "12".into()]);
+/// t.row(vec!["min-gain".into(), "40".into()]);
+/// let text = t.render();
+/// assert!(text.contains("round-robin"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned ASCII table with a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ");
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first; naive quoting — cells containing
+    /// commas are wrapped in double quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &String| {
+            if c.contains(',') {
+                format!("\"{c}\"")
+            } else {
+                c.clone()
+            }
+        };
+        let mut out = self
+            .headers
+            .iter()
+            .map(quote)
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an `f64` compactly for tables (4 significant decimals, no
+/// trailing zeros).
+pub fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "blongheader"]);
+        t.row(vec!["xx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a   blongheader");
+        assert!(lines[1].starts_with("--"));
+        assert_eq!(lines[2], "xx  1");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        Table::new(vec!["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a,b".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "name,value\n\"a,b\",2\n");
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(1.0 / 3.0), "0.3333");
+        assert_eq!(fmt_f64(-2.5), "-2.5");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Welfare and security metrics over games and configurations.
+
+use goc_game::{CoinId, Configuration, Game, MinerId};
+
+/// The largest share of any coin's mass held by a single miner — the
+/// decentralization/security margin discussed in the paper's §6
+/// ("a particular miner will have a dominant position in a coin, killing
+/// … the basic guarantee of non-manipulation"). A value above 0.5 means
+/// some coin is 51%-attackable by one miner.
+pub fn max_dominance(game: &Game, s: &Configuration) -> f64 {
+    let system = game.system();
+    let masses = s.masses(system);
+    let mut worst: f64 = 0.0;
+    for p in system.miner_ids() {
+        let c = s.coin_of(p);
+        let total = masses.mass_of(c) as f64;
+        if total > 0.0 {
+            worst = worst.max(system.power_of(p) as f64 / total);
+        }
+    }
+    worst
+}
+
+/// The dominance (mass share) of one specific miner on one specific coin
+/// in `s` (0 if the miner is elsewhere).
+pub fn dominance_of(game: &Game, s: &Configuration, p: MinerId, c: CoinId) -> f64 {
+    if s.coin_of(p) != c {
+        return 0.0;
+    }
+    let masses = s.masses(game.system());
+    let total = masses.mass_of(c) as f64;
+    if total <= 0.0 {
+        0.0
+    } else {
+        game.system().power_of(p) as f64 / total
+    }
+}
+
+/// Welfare of `s` as a fraction of the total reward (1.0 when every coin
+/// is occupied — Observation 3's globally-optimal case).
+pub fn welfare_efficiency(game: &Game, s: &Configuration) -> f64 {
+    let total = game.rewards().total().to_f64();
+    if total <= 0.0 {
+        0.0
+    } else {
+        game.welfare(s).to_f64() / total
+    }
+}
+
+/// Per-miner payoffs as `f64`, for statistics.
+pub fn payoffs_f64(game: &Game, s: &Configuration) -> Vec<f64> {
+    game.payoffs(s).into_iter().map(|r| r.to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_game::Configuration;
+
+    #[test]
+    fn dominance_detects_majority_miner() {
+        let game = Game::build(&[6, 3, 1], &[5, 5]).unwrap();
+        // p0 (6) and p1 (3) share c0; p2 alone on c1.
+        let s = Configuration::new(
+            vec![CoinId(0), CoinId(0), CoinId(1)],
+            game.system(),
+        )
+        .unwrap();
+        assert_eq!(max_dominance(&game, &s), 1.0); // the lone miner
+        assert!((dominance_of(&game, &s, MinerId(0), CoinId(0)) - 6.0 / 9.0).abs() < 1e-12);
+        assert_eq!(dominance_of(&game, &s, MinerId(0), CoinId(1)), 0.0);
+    }
+
+    #[test]
+    fn welfare_efficiency_full_when_covered() {
+        let game = Game::build(&[2, 1], &[3, 2]).unwrap();
+        let covered =
+            Configuration::new(vec![CoinId(0), CoinId(1)], game.system()).unwrap();
+        let clumped = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        assert_eq!(welfare_efficiency(&game, &covered), 1.0);
+        assert!((welfare_efficiency(&game, &clumped) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payoffs_as_floats() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let s = Configuration::new(vec![CoinId(0), CoinId(1)], game.system()).unwrap();
+        assert_eq!(payoffs_f64(&game, &s), vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion benches for the proof-of-work substrate: block appends with
+//! each difficulty rule, and mining-race sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_chain::{mining, Blockchain, ChainParams, DifficultyRule, FeeParams, SubsidySchedule};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn params(rule: DifficultyRule) -> ChainParams {
+    ChainParams {
+        name: "BENCH".to_string(),
+        target_spacing: 600.0,
+        initial_difficulty: 1e6,
+        subsidy: SubsidySchedule::new(12_500_000, 210_000),
+        difficulty_rule: rule,
+        fees: FeeParams {
+            fee_rate: 10.0,
+            max_fees_per_block: 1_000_000,
+        },
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain/append_1000_blocks");
+    group.sample_size(20);
+    let rules = [
+        ("fixed", DifficultyRule::Fixed),
+        (
+            "epoch2016",
+            DifficultyRule::Epoch {
+                interval: 2016,
+                max_factor: 4.0,
+            },
+        ),
+        (
+            "ma144",
+            DifficultyRule::MovingAverage {
+                window: 144,
+                max_step: 2.0,
+            },
+        ),
+    ];
+    for (name, rule) in rules {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let mut chain = Blockchain::new(params(rule));
+                for i in 0..1000u64 {
+                    chain.append_block(600.0 * (i + 1) as f64, (i % 7) as usize);
+                }
+                chain.height()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining_race(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let hashrates: Vec<(usize, f64)> = (0..200).map(|i| (i, 1000.0 / (i + 1) as f64)).collect();
+    c.bench_function("chain/sample_block_interval", |b| {
+        b.iter(|| mining::sample_block_interval(&mut rng, 5e4, 3e7));
+    });
+    c.bench_function("chain/sample_winner_200", |b| {
+        b.iter(|| mining::sample_winner(&mut rng, &hashrates));
+    });
+}
+
+criterion_group!(benches, bench_append, bench_mining_race);
+criterion_main!(benches);

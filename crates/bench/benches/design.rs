@@ -1,0 +1,69 @@
+//! Criterion benches for Algorithm 2: full reward-design runs (with and
+//! without Ψ-invariant verification) across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_design::{design, DesignOptions, DesignProblem};
+use goc_game::equilibrium;
+use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+use goc_learning::RoundRobin;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn problem_of(n: usize) -> DesignProblem {
+    let spec = GameSpec {
+        miners: n,
+        coins: 3,
+        powers: PowerDist::DistinctUniform { lo: 1, hi: 100_000 },
+        rewards: RewardDist::Uniform { lo: 100, hi: 100_000 },
+    };
+    let mut rng = SmallRng::seed_from_u64(n as u64);
+    loop {
+        let game = spec.sample(&mut rng).expect("valid spec");
+        if let Ok((s0, sf)) = equilibrium::two_equilibria(&game) {
+            return DesignProblem::new(game, s0, sf).expect("stable endpoints");
+        }
+    }
+}
+
+fn bench_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design/algorithm2");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 12, 16] {
+        let problem = problem_of(n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &(), |b, ()| {
+            b.iter(|| {
+                design(&problem, &mut RoundRobin::new(), DesignOptions::default())
+                    .expect("design reaches the target")
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_verified")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    design(
+                        &problem,
+                        &mut RoundRobin::new(),
+                        DesignOptions {
+                            verify_invariants: true,
+                            ..DesignOptions::default()
+                        },
+                    )
+                    .expect("design reaches the target")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_designed_rewards(c: &mut Criterion) {
+    let problem = problem_of(12);
+    let start = problem.stage_config(1);
+    c.bench_function("design/h_i_schedule", |b| {
+        b.iter(|| goc_design::hi(&problem, 2, &start).expect("valid stage state"));
+    });
+}
+
+criterion_group!(benches, bench_design, bench_designed_rewards);
+criterion_main!(benches);

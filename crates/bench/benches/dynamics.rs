@@ -1,0 +1,65 @@
+//! Criterion benches for better-response learning: single-step
+//! primitives and full convergence under benign and adversarial
+//! schedulers (the engine behind the Theorem 1 / speed experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+use goc_game::{Configuration, Game};
+use goc_learning::{run, LearningOptions, SchedulerKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn setup(n: usize, k: usize) -> (Game, Configuration) {
+    let spec = GameSpec {
+        miners: n,
+        coins: k,
+        powers: PowerDist::Uniform { lo: 1, hi: 100_000 },
+        rewards: RewardDist::Uniform { lo: 1, hi: 100_000 },
+    };
+    let mut rng = SmallRng::seed_from_u64(11);
+    let game = spec.sample(&mut rng).expect("valid spec");
+    let start = goc_game::gen::random_config(&mut rng, game.system());
+    (game, start)
+}
+
+fn bench_improving_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics/improving_moves");
+    for &(n, k) in &[(16usize, 4usize), (128, 8), (1024, 16)] {
+        let (game, s) = setup(n, k);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
+            b.iter(|| game.improving_moves(&s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics/converge");
+    group.sample_size(20);
+    for &(n, k) in &[(16usize, 4usize), (64, 8), (256, 8)] {
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::MinGain] {
+            if kind == SchedulerKind::MinGain && n > 64 {
+                // Adversarially slow by design: a single n=256 run takes
+                // tens of seconds (see the `speed` experiment); measuring
+                // it here would dominate the whole bench suite.
+                continue;
+            }
+            let (game, start) = setup(n, k);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_k{k}_{kind}")),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        let mut sched = kind.build(5);
+                        run(&game, &start, sched.as_mut(), LearningOptions::default())
+                            .expect("legal scheduler")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_improving_moves, bench_convergence);
+criterion_main!(benches);

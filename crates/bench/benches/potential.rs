@@ -1,0 +1,61 @@
+//! Criterion benches for the ordinal potential machinery (Theorem 1):
+//! RPU-list construction, potential comparison, and the exhaustive
+//! potential table on small games.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+use goc_game::{potential, Game};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn game_of(n: usize, k: usize) -> Game {
+    let spec = GameSpec {
+        miners: n,
+        coins: k,
+        powers: PowerDist::Uniform { lo: 1, hi: 100_000 },
+        rewards: RewardDist::Uniform { lo: 1, hi: 100_000 },
+    };
+    spec.sample(&mut SmallRng::seed_from_u64(1)).expect("valid spec")
+}
+
+fn bench_rpu_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential/rpu_list");
+    for &(n, k) in &[(16usize, 4usize), (64, 8), (256, 16), (1024, 32)] {
+        let game = game_of(n, k);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = goc_game::gen::random_config(&mut rng, game.system());
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
+            b.iter(|| potential::rpu_list(&game, &s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential/compare");
+    for &(n, k) in &[(64usize, 8usize), (1024, 32)] {
+        let game = game_of(n, k);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = goc_game::gen::random_config(&mut rng, game.system());
+        let b_cfg = goc_game::gen::random_config(&mut rng, game.system());
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
+            b.iter(|| potential::compare(&game, &a, &b_cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential/table");
+    group.sample_size(10);
+    for &(n, k) in &[(8usize, 2usize), (10, 2), (8, 3)] {
+        let game = game_of(n, k);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
+            b.iter(|| potential::PotentialTable::new(&game, 1 << 20).expect("small game"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rpu_list, bench_compare, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benches for the discrete-event simulator: the Figure 1
+//! scenario at several population sizes (simulated days per wall
+//! second is the relevant throughput number).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_sim::scenario::{btc_bch, BtcBchParams};
+
+fn bench_btc_bch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/btc_bch_10_days");
+    group.sample_size(10);
+    for &n in &[20usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_miners")), &(), |b, ()| {
+            b.iter(|| {
+                let mut sim = btc_bch(BtcBchParams {
+                    num_miners: n,
+                    horizon_days: 10.0,
+                    shock_day: 4.0,
+                    revert_day: 7.0,
+                    ..BtcBchParams::default()
+                });
+                sim.run().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btc_bch);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! # goc-bench — Criterion performance benchmarks
+//!
+//! No library code: the benchmark targets live in `benches/` —
+//! `potential`, `dynamics`, `design`, `chain`, and `sim`. Run with
+//! `cargo bench -p goc-bench` (or `cargo bench --workspace`).

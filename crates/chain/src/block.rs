@@ -1,0 +1,115 @@
+//! Blocks and block-level reward accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a miner within a simulation (the simulator's own id space;
+/// distinct from `goc_game::MinerId`, which indexes a static game).
+pub type MinerIndex = usize;
+
+/// A mined block.
+///
+/// Timestamps are simulation seconds; amounts are integer base units
+/// ("satoshi").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Height in the chain (genesis is 0).
+    pub height: u64,
+    /// Simulation time at which the block was found.
+    pub timestamp: f64,
+    /// The miner who found it.
+    pub miner: MinerIndex,
+    /// Difficulty the block was mined at (expected hashes per block).
+    pub difficulty: f64,
+    /// Coinbase subsidy, in base units.
+    pub subsidy: u64,
+    /// Total transaction fees collected, in base units.
+    pub fees: u64,
+}
+
+impl Block {
+    /// Total miner revenue from this block.
+    pub fn reward(&self) -> u64 {
+        self.subsidy + self.fees
+    }
+}
+
+/// Fixed-interval halving schedule (Bitcoin: 50 BTC, halving every
+/// 210 000 blocks).
+///
+/// # Examples
+///
+/// ```
+/// use goc_chain::SubsidySchedule;
+///
+/// let s = SubsidySchedule::new(50_000, 10);
+/// assert_eq!(s.subsidy_at(0), 50_000);
+/// assert_eq!(s.subsidy_at(9), 50_000);
+/// assert_eq!(s.subsidy_at(10), 25_000);
+/// assert_eq!(s.subsidy_at(20), 12_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsidySchedule {
+    initial: u64,
+    halving_interval: u64,
+}
+
+impl SubsidySchedule {
+    /// Creates a halving schedule. A `halving_interval` of 0 disables
+    /// halving (constant subsidy).
+    pub fn new(initial: u64, halving_interval: u64) -> Self {
+        SubsidySchedule {
+            initial,
+            halving_interval,
+        }
+    }
+
+    /// Constant subsidy, never halving.
+    pub fn constant(amount: u64) -> Self {
+        Self::new(amount, 0)
+    }
+
+    /// The subsidy for a block at `height`.
+    pub fn subsidy_at(&self, height: u64) -> u64 {
+        if self.halving_interval == 0 {
+            return self.initial;
+        }
+        let halvings = height / self.halving_interval;
+        if halvings >= 64 {
+            0
+        } else {
+            self.initial >> halvings
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_sums_parts() {
+        let b = Block {
+            height: 1,
+            timestamp: 600.0,
+            miner: 0,
+            difficulty: 1e6,
+            subsidy: 100,
+            fees: 23,
+        };
+        assert_eq!(b.reward(), 123);
+    }
+
+    #[test]
+    fn constant_schedule_never_halves() {
+        let s = SubsidySchedule::constant(77);
+        assert_eq!(s.subsidy_at(0), 77);
+        assert_eq!(s.subsidy_at(1_000_000), 77);
+    }
+
+    #[test]
+    fn subsidy_exhausts_after_64_halvings() {
+        let s = SubsidySchedule::new(u64::MAX, 1);
+        assert_eq!(s.subsidy_at(64), 0);
+        assert_eq!(s.subsidy_at(1000), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The blockchain state machine: appends blocks, retargets difficulty,
+//! collects fees, and accounts per-miner revenue.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{Block, MinerIndex, SubsidySchedule};
+use crate::difficulty::{DifficultyRule, RetargetContext};
+use crate::mempool::{FeeParams, Mempool};
+
+/// Static parameters of a chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainParams {
+    /// Human-readable name ("BTC", "BCH", …).
+    pub name: String,
+    /// Target block spacing in seconds.
+    pub target_spacing: f64,
+    /// Initial difficulty (expected hashes per block).
+    pub initial_difficulty: f64,
+    /// Subsidy schedule.
+    pub subsidy: SubsidySchedule,
+    /// Difficulty adjustment rule.
+    pub difficulty_rule: DifficultyRule,
+    /// Fee market parameters.
+    pub fees: FeeParams,
+}
+
+impl ChainParams {
+    /// A Bitcoin-flavoured parameter set scaled for simulation: 600 s
+    /// spacing, 2016-block epoch retarget with 4x clamp.
+    pub fn bitcoin_like(name: &str, initial_difficulty: f64) -> Self {
+        ChainParams {
+            name: name.to_string(),
+            target_spacing: 600.0,
+            initial_difficulty,
+            subsidy: SubsidySchedule::constant(12_500_000),
+            difficulty_rule: DifficultyRule::Epoch {
+                interval: 2016,
+                max_factor: 4.0,
+            },
+            fees: FeeParams::default(),
+        }
+    }
+
+    /// A Bitcoin-Cash-flavoured parameter set: 600 s spacing, fast
+    /// 144-block moving-average retarget.
+    pub fn bch_like(name: &str, initial_difficulty: f64) -> Self {
+        ChainParams {
+            name: name.to_string(),
+            target_spacing: 600.0,
+            initial_difficulty,
+            subsidy: SubsidySchedule::constant(12_500_000),
+            difficulty_rule: DifficultyRule::MovingAverage {
+                window: 144,
+                max_step: 2.0,
+            },
+            fees: FeeParams::default(),
+        }
+    }
+
+    /// The historical August–November 2017 Bitcoin Cash rules: Bitcoin's
+    /// 2016-block epoch retarget plus the one-sided Emergency Difficulty
+    /// Adjustment (20% cut when 6 blocks take over 12 hours) — the
+    /// combination whose oscillations frame the paper's Figure 1 era.
+    pub fn bch_eda_like(name: &str, initial_difficulty: f64) -> Self {
+        ChainParams {
+            name: name.to_string(),
+            target_spacing: 600.0,
+            initial_difficulty,
+            subsidy: SubsidySchedule::constant(12_500_000),
+            difficulty_rule: DifficultyRule::Eda {
+                interval: 2016,
+                max_factor: 4.0,
+                trigger_blocks: 6,
+                trigger_time: 12.0 * 3600.0,
+                cut: 0.8,
+            },
+            fees: FeeParams::default(),
+        }
+    }
+}
+
+/// A proof-of-work blockchain under simulation.
+///
+/// # Examples
+///
+/// ```
+/// use goc_chain::{Blockchain, ChainParams};
+///
+/// let mut chain = Blockchain::new(ChainParams::bitcoin_like("BTC", 1e6));
+/// chain.append_block(600.0, 3);
+/// assert_eq!(chain.height(), 1);
+/// assert_eq!(chain.revenue_of(3), chain.blocks()[0].reward());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Blockchain {
+    params: ChainParams,
+    blocks: Vec<Block>,
+    /// Genesis timestamp followed by each block's timestamp (index =
+    /// height, with a synthetic 0.0 at genesis for retarget windows).
+    timestamps: Vec<f64>,
+    /// Difficulty history indexed like `timestamps`.
+    difficulties: Vec<f64>,
+    difficulty: f64,
+    mempool: Mempool,
+    /// Cumulative revenue per miner index.
+    revenue: Vec<u64>,
+}
+
+impl Blockchain {
+    /// Creates a chain at genesis.
+    pub fn new(params: ChainParams) -> Self {
+        let difficulty = params.initial_difficulty;
+        let mempool = Mempool::new(params.fees);
+        Blockchain {
+            params,
+            blocks: Vec::new(),
+            timestamps: vec![0.0],
+            difficulties: vec![difficulty],
+            difficulty,
+            mempool,
+            revenue: Vec::new(),
+        }
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// Current difficulty (expected hashes per block).
+    pub fn difficulty(&self) -> f64 {
+        self.difficulty
+    }
+
+    /// Current height (number of mined blocks).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// All mined blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to the mempool (fee accrual, whale injection).
+    pub fn mempool_mut(&mut self) -> &mut Mempool {
+        &mut self.mempool
+    }
+
+    /// The mempool.
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
+    }
+
+    /// Cumulative revenue of `miner`, in base units.
+    pub fn revenue_of(&self, miner: MinerIndex) -> u64 {
+        self.revenue.get(miner).copied().unwrap_or(0)
+    }
+
+    /// Total revenue paid out to all miners.
+    pub fn total_revenue(&self) -> u64 {
+        self.revenue.iter().sum()
+    }
+
+    /// The reward (subsidy + expected fees) of the next block if found at
+    /// `now` — the quantity profit-switching miners estimate.
+    pub fn next_block_reward(&self, now: f64) -> u64 {
+        self.params.subsidy.subsidy_at(self.height()) + self.mempool.next_block_fees(now)
+    }
+
+    /// Appends a block found by `miner` at `timestamp`, collecting fees
+    /// and retargeting difficulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timestamp` precedes the previous block (the simulator
+    /// always supplies monotone times).
+    pub fn append_block(&mut self, timestamp: f64, miner: MinerIndex) -> &Block {
+        let last = *self.timestamps.last().expect("timestamps never empty");
+        assert!(
+            timestamp >= last,
+            "non-monotone block time {timestamp} < {last}"
+        );
+        let height = self.height();
+        let subsidy = self.params.subsidy.subsidy_at(height);
+        let fees = self.mempool.collect(timestamp);
+        let block = Block {
+            height,
+            timestamp,
+            miner,
+            difficulty: self.difficulty,
+            subsidy,
+            fees,
+        };
+        if self.revenue.len() <= miner {
+            self.revenue.resize(miner + 1, 0);
+        }
+        self.revenue[miner] += block.reward();
+        self.blocks.push(block);
+        self.timestamps.push(timestamp);
+        self.difficulties.push(self.difficulty);
+        let appended_height = height + 1;
+        self.difficulty = self.params.difficulty_rule.next_difficulty(RetargetContext {
+            height: appended_height,
+            timestamps: &self.timestamps,
+            difficulties: &self.difficulties,
+            difficulty: self.difficulty,
+            target_spacing: self.params.target_spacing,
+        });
+        self.blocks.last().expect("just pushed")
+    }
+
+    /// Mean block spacing over the most recent `window` blocks (or fewer
+    /// near genesis); `None` before the second block.
+    pub fn recent_spacing(&self, window: usize) -> Option<f64> {
+        let n = self.timestamps.len();
+        if n < 2 {
+            return None;
+        }
+        let w = window.min(n - 1);
+        Some((self.timestamps[n - 1] - self.timestamps[n - 1 - w]) / w as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_params() -> ChainParams {
+        ChainParams {
+            name: "TEST".to_string(),
+            target_spacing: 600.0,
+            initial_difficulty: 1e6,
+            subsidy: SubsidySchedule::constant(100),
+            difficulty_rule: DifficultyRule::Fixed,
+            fees: FeeParams {
+                fee_rate: 1.0,
+                max_fees_per_block: 10_000,
+            },
+        }
+    }
+
+    #[test]
+    fn appends_and_accounts() {
+        let mut chain = Blockchain::new(fixed_params());
+        chain.append_block(600.0, 0);
+        chain.append_block(1200.0, 1);
+        chain.append_block(1800.0, 0);
+        assert_eq!(chain.height(), 3);
+        // Fees: 600 accrued per block at rate 1.0.
+        assert_eq!(chain.blocks()[0].fees, 600);
+        assert_eq!(chain.revenue_of(0), (100 + 600) * 2);
+        assert_eq!(chain.revenue_of(1), 100 + 600);
+        assert_eq!(chain.revenue_of(9), 0);
+    }
+
+    #[test]
+    fn conservation_of_reward() {
+        let mut chain = Blockchain::new(fixed_params());
+        for i in 0..50u64 {
+            chain.append_block(600.0 * (i + 1) as f64, (i % 3) as usize);
+        }
+        let minted: u64 = chain.blocks().iter().map(Block::reward).sum();
+        assert_eq!(minted, chain.total_revenue());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn rejects_time_travel() {
+        let mut chain = Blockchain::new(fixed_params());
+        chain.append_block(600.0, 0);
+        chain.append_block(10.0, 0);
+    }
+
+    #[test]
+    fn difficulty_rises_under_fast_blocks() {
+        let mut params = fixed_params();
+        params.difficulty_rule = DifficultyRule::MovingAverage {
+            window: 4,
+            max_step: 2.0,
+        };
+        let mut chain = Blockchain::new(params);
+        let d0 = chain.difficulty();
+        for i in 0..10u64 {
+            chain.append_block(60.0 * (i + 1) as f64, 0); // 10x too fast
+        }
+        assert!(chain.difficulty() > d0);
+    }
+
+    #[test]
+    fn recent_spacing_windows() {
+        let mut chain = Blockchain::new(fixed_params());
+        assert_eq!(chain.recent_spacing(4), None);
+        chain.append_block(100.0, 0);
+        chain.append_block(300.0, 0);
+        chain.append_block(600.0, 0);
+        // Window 2 covers the last two gaps: (600-100)/2 = 250.
+        assert_eq!(chain.recent_spacing(2), Some(250.0));
+        // Window larger than history uses what exists (incl. genesis 0).
+        assert_eq!(chain.recent_spacing(10), Some(200.0));
+    }
+
+    #[test]
+    fn presets_have_sane_parameters() {
+        for params in [
+            ChainParams::bitcoin_like("BTC", 1e9),
+            ChainParams::bch_like("BCH", 1e8),
+            ChainParams::bch_eda_like("BCH-2017", 1e8),
+        ] {
+            assert_eq!(params.target_spacing, 600.0);
+            assert!(params.initial_difficulty > 0.0);
+            assert!(params.subsidy.subsidy_at(0) > 0);
+            let chain = Blockchain::new(params);
+            assert_eq!(chain.height(), 0);
+        }
+    }
+
+    #[test]
+    fn next_block_reward_previews_subsidy_plus_fees() {
+        let chain = Blockchain::new(fixed_params());
+        // At t=1000 with rate 1.0: 100 subsidy + 1000 accrued fees.
+        assert_eq!(chain.next_block_reward(1000.0), 1100);
+    }
+}

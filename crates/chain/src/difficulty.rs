@@ -1,0 +1,357 @@
+//! Difficulty adjustment algorithms.
+//!
+//! Difficulty `D` is measured in expected hashes per block, so a chain
+//! with total hashrate `H` finds blocks at rate `H / D` per second. The
+//! Figure 1 reproduction pits Bitcoin's slow 2016-block epoch retarget
+//! against a fast per-block moving-average rule (in the spirit of Bitcoin
+//! Cash's post-EDA DAA): the adjustment *lag* is what makes hashrate
+//! migration profitable and visible.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs available to a difficulty adjustment rule when a block at
+/// `height` has just been appended.
+#[derive(Debug, Clone, Copy)]
+pub struct RetargetContext<'a> {
+    /// Height of the block just appended.
+    pub height: u64,
+    /// Timestamps (seconds) indexed by height, with `timestamps[0] = 0.0`
+    /// for genesis; entry `h` is the time of the block at height `h`.
+    pub timestamps: &'a [f64],
+    /// Difficulties indexed like `timestamps` (`difficulties[0]` is the
+    /// initial difficulty; entry `h` is the difficulty the height-`h`
+    /// block was mined at).
+    pub difficulties: &'a [f64],
+    /// Current difficulty.
+    pub difficulty: f64,
+    /// Target block spacing in seconds.
+    pub target_spacing: f64,
+}
+
+/// A difficulty adjustment rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DifficultyRule {
+    /// Difficulty never changes (useful for unit tests and calibration).
+    Fixed,
+    /// Bitcoin-style: every `interval` blocks, rescale by the ratio of
+    /// expected to actual epoch duration, clamped to `[1/max_factor,
+    /// max_factor]` per retarget.
+    Epoch {
+        /// Blocks per retarget epoch (Bitcoin: 2016).
+        interval: u64,
+        /// Per-retarget clamp (Bitcoin: 4.0).
+        max_factor: f64,
+    },
+    /// Fast work-based rule (BCH-DAA-like, cw-144): after every block, set
+    /// the next difficulty to `(average work over the last `window`
+    /// blocks) × target_spacing / (average spacing over the window)`,
+    /// clamped to `[1/max_step, max_step]` relative to the current value.
+    /// Unlike a naive spacing-only controller (the original BCH *EDA*,
+    /// which famously oscillated), this has the stationary point
+    /// `D = H × target_spacing` reached within about one window.
+    MovingAverage {
+        /// Averaging window in blocks (BCH: 144).
+        window: u64,
+        /// Per-block clamp.
+        max_step: f64,
+    },
+    /// The historical BCH **Emergency Difficulty Adjustment** layered on
+    /// Bitcoin's epoch rule: besides the epoch retarget, if the last
+    /// `trigger_blocks` blocks took longer than `trigger_time` seconds,
+    /// cut difficulty by `cut` (20% on mainnet). One-sided (it only ever
+    /// cuts between retargets), which is why it produced sawtooth
+    /// difficulty and hashrate oscillation in 2017 — reproduced by the
+    /// `fig1` oscillation supplement.
+    Eda {
+        /// Epoch length of the underlying retarget (Bitcoin: 2016).
+        interval: u64,
+        /// Per-retarget clamp of the underlying rule.
+        max_factor: f64,
+        /// Look-back window of the emergency trigger (BCH: 6 blocks).
+        trigger_blocks: u64,
+        /// Elapsed time that arms the trigger (BCH: 12 hours).
+        trigger_time: f64,
+        /// Multiplicative cut when triggered (BCH: 0.8).
+        cut: f64,
+    },
+}
+
+impl DifficultyRule {
+    /// Computes the difficulty for the *next* block.
+    pub fn next_difficulty(&self, ctx: RetargetContext<'_>) -> f64 {
+        match *self {
+            DifficultyRule::Fixed => ctx.difficulty,
+            DifficultyRule::Epoch {
+                interval,
+                max_factor,
+            } => {
+                debug_assert!(interval >= 1 && max_factor >= 1.0);
+                // Retarget when the appended height completes an epoch.
+                if ctx.height == 0 || !ctx.height.is_multiple_of(interval) {
+                    return ctx.difficulty;
+                }
+                let first = ctx.height - interval;
+                let actual =
+                    ctx.timestamps[ctx.height as usize] - ctx.timestamps[first as usize];
+                let expected = ctx.target_spacing * interval as f64;
+                let factor = clamp(expected / actual.max(f64::MIN_POSITIVE), max_factor);
+                ctx.difficulty * factor
+            }
+            DifficultyRule::MovingAverage { window, max_step } => {
+                debug_assert!(window >= 1 && max_step >= 1.0);
+                let h = ctx.height as usize;
+                if h == 0 {
+                    return ctx.difficulty;
+                }
+                let w = (window as usize).min(h);
+                let timespan =
+                    (ctx.timestamps[h] - ctx.timestamps[h - w]).max(f64::MIN_POSITIVE);
+                let work: f64 = ctx.difficulties[(h - w + 1)..=h].iter().sum();
+                let next = work * ctx.target_spacing / timespan;
+                let factor = clamp(next / ctx.difficulty, max_step);
+                ctx.difficulty * factor
+            }
+            DifficultyRule::Eda {
+                interval,
+                max_factor,
+                trigger_blocks,
+                trigger_time,
+                cut,
+            } => {
+                debug_assert!((0.0..1.0).contains(&cut) || cut == 1.0);
+                // Base epoch behaviour…
+                let base = DifficultyRule::Epoch {
+                    interval,
+                    max_factor,
+                }
+                .next_difficulty(ctx);
+                // …plus the one-sided emergency cut.
+                let h = ctx.height as usize;
+                let w = (trigger_blocks as usize).min(h);
+                if w > 0 {
+                    let elapsed = ctx.timestamps[h] - ctx.timestamps[h - w];
+                    if elapsed > trigger_time {
+                        return base * cut;
+                    }
+                }
+                base
+            }
+        }
+    }
+}
+
+fn clamp(factor: f64, max: f64) -> f64 {
+    factor.clamp(1.0 / max, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        height: u64,
+        timestamps: &'a [f64],
+        difficulties: &'a [f64],
+        difficulty: f64,
+    ) -> RetargetContext<'a> {
+        RetargetContext {
+            height,
+            timestamps,
+            difficulties,
+            difficulty,
+            target_spacing: 600.0,
+        }
+    }
+
+    /// Constant-difficulty history matching `timestamps`.
+    fn flat(difficulty: f64, len: usize) -> Vec<f64> {
+        vec![difficulty; len]
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let ts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ds = flat(5.0, ts.len());
+        assert_eq!(
+            DifficultyRule::Fixed.next_difficulty(ctx(9, &ts, &ds, 5.0)),
+            5.0
+        );
+    }
+
+    #[test]
+    fn epoch_retargets_only_on_boundary() {
+        let rule = DifficultyRule::Epoch {
+            interval: 4,
+            max_factor: 4.0,
+        };
+        // Blocks every 300 s: twice as fast as the 600 s target.
+        let ts: Vec<f64> = (0..=8).map(|i| i as f64 * 300.0).collect();
+        let ds = flat(100.0, ts.len());
+        assert_eq!(rule.next_difficulty(ctx(3, &ts, &ds, 100.0)), 100.0);
+        let d = rule.next_difficulty(ctx(4, &ts, &ds, 100.0));
+        assert!((d - 200.0).abs() < 1e-9, "expected doubling, got {d}");
+    }
+
+    #[test]
+    fn epoch_clamps_extreme_swings() {
+        let rule = DifficultyRule::Epoch {
+            interval: 4,
+            max_factor: 4.0,
+        };
+        // Blocks every 1 s: 600x too fast, but the clamp caps at 4x.
+        let ts: Vec<f64> = (0..=4).map(|i| i as f64).collect();
+        let ds = flat(100.0, ts.len());
+        let d = rule.next_difficulty(ctx(4, &ts, &ds, 100.0));
+        assert!((d - 400.0).abs() < 1e-9);
+        // Blocks every 60 000 s: 100x too slow, clamp caps at /4.
+        let ts: Vec<f64> = (0..=4).map(|i| i as f64 * 60_000.0).collect();
+        let d = rule.next_difficulty(ctx(4, &ts, &ds, 100.0));
+        assert!((d - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_adjusts_every_block() {
+        let rule = DifficultyRule::MovingAverage {
+            window: 3,
+            max_step: 2.0,
+        };
+        // 300 s spacing vs 600 s target at constant work: difficulty
+        // doubles (within clamp).
+        let ts: Vec<f64> = (0..=3).map(|i| i as f64 * 300.0).collect();
+        let ds = flat(100.0, ts.len());
+        let d = rule.next_difficulty(ctx(3, &ts, &ds, 100.0));
+        assert!((d - 200.0).abs() < 1e-9);
+        // Uses a shorter window near genesis.
+        let d = rule.next_difficulty(ctx(1, &ts, &ds, 100.0));
+        assert!((d - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_converges_to_stationary_difficulty() {
+        // Simulate constant hashrate H: each block interval is D/H
+        // deterministically; difficulty must converge so that the
+        // interval equals the target spacing, i.e. D -> H * 600.
+        let rule = DifficultyRule::MovingAverage {
+            window: 10,
+            max_step: 1.5,
+        };
+        let hashrate = 50.0;
+        let mut difficulty = 1_000.0; // far below stationary 30_000
+        let mut ts = vec![0.0];
+        let mut ds = vec![difficulty];
+        for height in 1..400u64 {
+            let interval = difficulty / hashrate;
+            ts.push(ts[ts.len() - 1] + interval);
+            ds.push(difficulty);
+            difficulty = rule.next_difficulty(RetargetContext {
+                height,
+                timestamps: &ts,
+                difficulties: &ds,
+                difficulty,
+                target_spacing: 600.0,
+            });
+        }
+        let stationary = hashrate * 600.0;
+        assert!(
+            (difficulty - stationary).abs() / stationary < 0.02,
+            "difficulty {difficulty} did not converge to {stationary}"
+        );
+    }
+
+    #[test]
+    fn eda_cuts_after_slow_stretch() {
+        let rule = DifficultyRule::Eda {
+            interval: 2016,
+            max_factor: 4.0,
+            trigger_blocks: 6,
+            trigger_time: 12.0 * 3600.0,
+            cut: 0.8,
+        };
+        // Six blocks over 13 hours: the emergency trigger arms.
+        let ts: Vec<f64> = (0..=6).map(|i| i as f64 * 13.0 * 600.0).collect();
+        let ds = flat(100.0, ts.len());
+        let d = rule.next_difficulty(ctx(6, &ts, &ds, 100.0));
+        assert!((d - 80.0).abs() < 1e-9, "expected 20% cut, got {d}");
+        // Six blocks at target spacing: no cut, no retarget.
+        let ts: Vec<f64> = (0..=6).map(|i| i as f64 * 600.0).collect();
+        let d = rule.next_difficulty(ctx(6, &ts, &ds, 100.0));
+        assert_eq!(d, 100.0);
+    }
+
+    #[test]
+    fn eda_unfreezes_a_stranded_chain_but_never_reaches_target() {
+        // The historical scenario: a chain that inherited a huge
+        // difficulty but only a sliver of hashrate. Bitcoin's epoch rule
+        // alone would leave it frozen for months (2016 blocks at 16+
+        // hours each); the EDA's emergency cuts bring difficulty down
+        // fast. At *fixed* hashrate, however, the one-sided rule stops
+        // cutting as soon as six blocks squeeze under the 12 h trigger —
+        // it parks the chain well above the true stationary difficulty
+        // (spacing ~2 h, not 600 s). The violent oscillations of 2017
+        // needed the second ingredient: profit-switching hashrate
+        // flooding in after each cut (see the fig1 oscillation
+        // supplement).
+        let rule = DifficultyRule::Eda {
+            interval: 2016,
+            max_factor: 4.0,
+            trigger_blocks: 6,
+            trigger_time: 12.0 * 3600.0,
+            cut: 0.8,
+        };
+        let hashrate = 5.0; // stationary difficulty would be 3 000
+        let mut difficulty = 300_000.0; // 100x too high
+        let mut ts = vec![0.0];
+        let mut ds = vec![difficulty];
+        for height in 1..600u64 {
+            let interval = difficulty / hashrate;
+            ts.push(ts[ts.len() - 1] + interval);
+            ds.push(difficulty);
+            difficulty = rule.next_difficulty(RetargetContext {
+                height,
+                timestamps: &ts,
+                difficulties: &ds,
+                difficulty,
+                target_spacing: 600.0,
+            });
+        }
+        // Trigger disarms once 6 blocks fit in 12 h: 6·D/H < 43 200
+        // ⟺ D < 36 000. The chain unfreezes into that band …
+        assert!(difficulty < 36_000.0, "no recovery: {difficulty}");
+        // … but stays far above the true stationary point.
+        assert!(
+            difficulty > 5.0 * 600.0 * 2.0,
+            "EDA should not reach the stationary difficulty: {difficulty}"
+        );
+    }
+
+    #[test]
+    fn moving_average_tracks_a_hashrate_jump() {
+        // Hashrate doubles mid-run; difficulty must re-converge to the
+        // new stationary point within a few windows.
+        let rule = DifficultyRule::MovingAverage {
+            window: 10,
+            max_step: 1.5,
+        };
+        let mut difficulty = 30_000.0; // stationary for H = 50
+        let mut ts = vec![0.0];
+        let mut ds = vec![difficulty];
+        for height in 1..300u64 {
+            let hashrate = if height < 100 { 50.0 } else { 100.0 };
+            let interval = difficulty / hashrate;
+            ts.push(ts[ts.len() - 1] + interval);
+            ds.push(difficulty);
+            difficulty = rule.next_difficulty(RetargetContext {
+                height,
+                timestamps: &ts,
+                difficulties: &ds,
+                difficulty,
+                target_spacing: 600.0,
+            });
+        }
+        let stationary = 100.0 * 600.0;
+        assert!(
+            (difficulty - stationary).abs() / stationary < 0.02,
+            "difficulty {difficulty} did not track the jump to {stationary}"
+        );
+    }
+}

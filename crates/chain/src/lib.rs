@@ -1,0 +1,44 @@
+//! # goc-chain — proof-of-work blockchain substrate
+//!
+//! A compact but mechanistically faithful PoW chain simulator: blocks,
+//! halving subsidy schedules, Bitcoin-style epoch and BCH-style
+//! moving-average difficulty adjustment, a fee market with whale
+//! transactions, and exponential mining races.
+//!
+//! This is the substrate beneath the paper's reward function `F(c)`: a
+//! coin's *weight* is its block reward (subsidy + fees) times its fiat
+//! price per unit time, which is exactly what profit-switching miners (and
+//! whattomine.com) compute. The `goc-sim` crate couples several of these
+//! chains to a market and a population of strategic miners to reproduce
+//! the paper's Figure 1.
+//!
+//! ```
+//! use goc_chain::{mining, Blockchain, ChainParams};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut chain = Blockchain::new(ChainParams::bch_like("BCH", 3e7));
+//! let hashrate = 50_000.0;
+//! let mut t = 0.0;
+//! for _ in 0..10 {
+//!     t += mining::sample_block_interval(&mut rng, hashrate, chain.difficulty());
+//!     let winner = mining::sample_winner(&mut rng, &[(0, hashrate)]).unwrap();
+//!     chain.append_block(t, winner);
+//! }
+//! assert_eq!(chain.height(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block;
+pub mod chain;
+pub mod difficulty;
+pub mod mempool;
+pub mod mining;
+
+pub use block::{Block, MinerIndex, SubsidySchedule};
+pub use chain::{Blockchain, ChainParams};
+pub use difficulty::{DifficultyRule, RetargetContext};
+pub use mempool::{FeeParams, Mempool};

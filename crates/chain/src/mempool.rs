@@ -1,0 +1,168 @@
+//! A stylized mempool and fee market.
+//!
+//! Ordinary fee demand accrues continuously at a configurable rate;
+//! *whale transactions* (Liao & Katz, cited in the paper as a reward
+//! manipulation channel) inject large one-off fees that temporarily raise
+//! a coin's effective weight. Each block drains the accrued fee pool up
+//! to a per-block cap (block space is finite).
+
+use serde::{Deserialize, Serialize};
+
+/// Fee market parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeeParams {
+    /// Organic fee inflow, base units per second.
+    pub fee_rate: f64,
+    /// Maximum total fees collectable by one block (block space cap).
+    pub max_fees_per_block: u64,
+}
+
+impl Default for FeeParams {
+    fn default() -> Self {
+        FeeParams {
+            fee_rate: 0.0,
+            max_fees_per_block: u64::MAX,
+        }
+    }
+}
+
+/// The accrued-fee pool of one chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mempool {
+    params: FeeParams,
+    /// Accrued but uncollected fees (fractional accrual kept exact).
+    pool: f64,
+    /// Portion of the pool injected by whale transactions.
+    whale_pool: f64,
+    /// Cumulative whale fees ever injected (manipulation spend).
+    whale_spent: u64,
+    /// Last accrual time.
+    last_time: f64,
+}
+
+impl Mempool {
+    /// Creates an empty mempool.
+    pub fn new(params: FeeParams) -> Self {
+        Mempool {
+            params,
+            pool: 0.0,
+            whale_pool: 0.0,
+            whale_spent: 0,
+            last_time: 0.0,
+        }
+    }
+
+    /// Advances organic fee accrual to `now` (idempotent for equal times).
+    pub fn accrue(&mut self, now: f64) {
+        if now > self.last_time {
+            self.pool += self.params.fee_rate * (now - self.last_time);
+            self.last_time = now;
+        }
+    }
+
+    /// Injects a whale transaction paying `fee` base units.
+    pub fn inject_whale(&mut self, now: f64, fee: u64) {
+        self.accrue(now);
+        self.pool += fee as f64;
+        self.whale_pool += fee as f64;
+        self.whale_spent += fee;
+    }
+
+    /// Collects fees for a block found at `now`; returns the total fee
+    /// amount awarded to the block.
+    pub fn collect(&mut self, now: f64) -> u64 {
+        self.accrue(now);
+        let take = self
+            .pool
+            .min(self.params.max_fees_per_block as f64)
+            .floor()
+            .max(0.0) as u64;
+        // Whale fees are drained proportionally with the rest.
+        if self.pool > 0.0 {
+            let frac = take as f64 / self.pool;
+            self.whale_pool -= self.whale_pool * frac;
+        }
+        self.pool -= take as f64;
+        take
+    }
+
+    /// Fees currently waiting in the pool (floored to base units).
+    pub fn pending(&self) -> u64 {
+        self.pool.max(0.0) as u64
+    }
+
+    /// Total whale fees ever injected.
+    pub fn whale_spent(&self) -> u64 {
+        self.whale_spent
+    }
+
+    /// The expected fee income of the next block if found right now.
+    pub fn next_block_fees(&self, now: f64) -> u64 {
+        let pool = self.pool + self.params.fee_rate * (now - self.last_time).max(0.0);
+        pool.min(self.params.max_fees_per_block as f64).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organic_accrual() {
+        let mut m = Mempool::new(FeeParams {
+            fee_rate: 2.0,
+            max_fees_per_block: 1000,
+        });
+        m.accrue(10.0);
+        assert_eq!(m.pending(), 20);
+        assert_eq!(m.collect(10.0), 20);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn block_cap_limits_collection() {
+        let mut m = Mempool::new(FeeParams {
+            fee_rate: 100.0,
+            max_fees_per_block: 50,
+        });
+        m.accrue(10.0); // 1000 accrued
+        assert_eq!(m.collect(10.0), 50);
+        assert_eq!(m.pending(), 950);
+        assert_eq!(m.collect(10.0), 50);
+    }
+
+    #[test]
+    fn whale_injection_tracked() {
+        let mut m = Mempool::new(FeeParams::default());
+        m.inject_whale(5.0, 500);
+        m.inject_whale(6.0, 250);
+        assert_eq!(m.whale_spent(), 750);
+        assert_eq!(m.pending(), 750);
+        let got = m.collect(7.0);
+        assert_eq!(got, 750);
+    }
+
+    #[test]
+    fn accrual_is_monotone_in_time() {
+        let mut m = Mempool::new(FeeParams {
+            fee_rate: 1.0,
+            max_fees_per_block: u64::MAX,
+        });
+        m.accrue(5.0);
+        m.accrue(3.0); // going back in time must not un-accrue
+        assert_eq!(m.pending(), 5);
+    }
+
+    #[test]
+    fn next_block_fees_previews_without_mutation() {
+        let mut m = Mempool::new(FeeParams {
+            fee_rate: 2.0,
+            max_fees_per_block: 100,
+        });
+        m.accrue(1.0);
+        let preview = m.next_block_fees(11.0);
+        assert_eq!(preview, 22);
+        // Pool unchanged by the preview.
+        assert_eq!(m.pending(), 2);
+    }
+}

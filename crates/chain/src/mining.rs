@@ -1,0 +1,126 @@
+//! Stochastic mining: exponential block races and winner selection.
+//!
+//! Proof-of-work mining is memoryless: with total hashrate `H` (hashes per
+//! second) against difficulty `D` (expected hashes per block), the time to
+//! the next block is `Exp(H/D)`. The winning miner is drawn proportionally
+//! to hashrate. Memorylessness also lets the simulator *resample* the next
+//! block time whenever hashrate or difficulty changes, which is how the
+//! discrete-event engine stays exact under miner migration.
+
+use rand::Rng;
+
+use crate::block::MinerIndex;
+
+/// Samples the time to the next block: `Exp(hashrate / difficulty)`.
+///
+/// Returns `f64::INFINITY` when `hashrate == 0` (no one is mining).
+///
+/// # Panics
+///
+/// Panics if `difficulty` is not strictly positive.
+pub fn sample_block_interval<R: Rng + ?Sized>(
+    rng: &mut R,
+    hashrate: f64,
+    difficulty: f64,
+) -> f64 {
+    assert!(difficulty > 0.0, "difficulty must be positive");
+    if hashrate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let rate = hashrate / difficulty;
+    // Inverse CDF with a (0,1] uniform to avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Draws the block winner proportionally to hashrate.
+///
+/// Returns `None` if the total hashrate is zero.
+pub fn sample_winner<R: Rng + ?Sized>(
+    rng: &mut R,
+    hashrates: &[(MinerIndex, f64)],
+) -> Option<MinerIndex> {
+    let total: f64 = hashrates.iter().map(|&(_, h)| h.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut point = rng.gen::<f64>() * total;
+    for &(miner, h) in hashrates {
+        let h = h.max(0.0);
+        if point < h {
+            return Some(miner);
+        }
+        point -= h;
+    }
+    // Floating-point edge: attribute to the last positive entry.
+    hashrates
+        .iter()
+        .rev()
+        .find(|&&(_, h)| h > 0.0)
+        .map(|&(m, _)| m)
+}
+
+/// Expected revenue per hash for the profitability oracle (the
+/// whattomine-style formula): `reward_per_block × price / difficulty`.
+pub fn revenue_per_hash(reward_per_block: u64, price: f64, difficulty: f64) -> f64 {
+    debug_assert!(difficulty > 0.0);
+    reward_per_block as f64 * price / difficulty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interval_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (hashrate, difficulty) = (50.0, 30_000.0); // rate = 1/600
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_block_interval(&mut rng, hashrate, difficulty))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 600.0).abs() < 15.0,
+            "sample mean {mean} far from 600"
+        );
+    }
+
+    #[test]
+    fn zero_hashrate_never_finds_a_block() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(sample_block_interval(&mut rng, 0.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn winner_distribution_is_proportional() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hashrates = [(0usize, 3.0), (1, 1.0)];
+        let n = 40_000;
+        let wins0 = (0..n)
+            .filter(|_| sample_winner(&mut rng, &hashrates) == Some(0))
+            .count();
+        let share = wins0 as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.02, "share {share} far from 0.75");
+    }
+
+    #[test]
+    fn winner_ignores_zero_entries() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hashrates = [(0usize, 0.0), (1, 5.0), (2, 0.0)];
+        for _ in 0..100 {
+            assert_eq!(sample_winner(&mut rng, &hashrates), Some(1));
+        }
+        assert_eq!(sample_winner(&mut rng, &[(0, 0.0)]), None);
+        assert_eq!(sample_winner(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn revenue_per_hash_formula() {
+        // 12.5 coin subsidy at price 2 per coin against difficulty 1e6.
+        let rph = revenue_per_hash(12_500_000, 2.0, 1e6);
+        assert!((rph - 25.0).abs() < 1e-12);
+    }
+}

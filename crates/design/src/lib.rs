@@ -1,0 +1,51 @@
+//! # goc-design — dynamic reward design (paper §5)
+//!
+//! Implements the paper's second major result: a manipulator who can
+//! temporarily raise coin rewards (whale transactions, price pumps) can
+//! steer **any** better-response learning from **any** initial equilibrium
+//! to **any** desired one, then stop paying — the destination is stable
+//! under the original rewards (Algorithms 1–2, Lemma 1, Theorem 2).
+//!
+//! * [`DesignProblem`] — validated `(game, s₀, s_f)` triple with the
+//!   power-ranked miner order, stage configurations `sⁱ`, reachable sets
+//!   `T_i`, movers/anchors, and the `Φ_i` progress rank.
+//! * [`rewards`] — the designed reward schedules `H₁` (Eq. 5) and `H_i`
+//!   (Eq. 4) plus the manipulation cost model.
+//! * [`design`] — the full Algorithm 2 loop over any
+//!   [`Scheduler`](goc_learning::Scheduler), with optional runtime
+//!   verification of Lemma 1's Ψ invariants ([`PsiChecker`]).
+//!
+//! ```
+//! use goc_design::{design, DesignOptions, DesignProblem};
+//! use goc_game::{equilibrium, Game};
+//! use goc_learning::UniformRandom;
+//!
+//! let game = Game::build(&[13, 11, 7, 5, 3, 2], &[17, 10])?;
+//! let (s0, sf) = equilibrium::two_equilibria(&game)?;
+//! let problem = DesignProblem::new(game.clone(), s0, sf.clone())?;
+//!
+//! // Miners learn in an arbitrary (here: random) order; the designed
+//! // rewards still funnel them to sf.
+//! let mut learners = UniformRandom::seeded(7);
+//! let outcome = design(&problem, &mut learners, DesignOptions::default())?;
+//! assert_eq!(outcome.final_config, sf);
+//! println!("total manipulation cost: {}", outcome.total_cost);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm;
+pub mod baseline;
+pub mod error;
+pub mod rewards;
+pub mod stage;
+pub mod verify;
+
+pub use algorithm::{design, DesignOptions, DesignOutcome, StageReport};
+pub use baseline::{naive_design, BaselineOutcome};
+pub use error::DesignError;
+pub use rewards::{h1, hi, iteration_cost, max_rpu};
+pub use stage::DesignProblem;
+pub use verify::PsiChecker;

@@ -1,0 +1,285 @@
+//! The reward design functions `H₁` (Eq. 5) and `H_i` (Eq. 4).
+//!
+//! Two deliberate deviations from the paper's equations, both documented
+//! in `DESIGN.md`:
+//!
+//! 1. **`H₁` strictness fix**: Eq. 5 sets the stage-1 target reward to
+//!    `max F · Σm`, which with integer powers admits a non-strict corner
+//!    (a unit-power miner alone on a max-reward coin is exactly
+//!    indifferent) and can stall stage 1 forever, because `H₁` does not
+//!    depend on the configuration. We add one unit: `max F · Σm + 1`,
+//!    restoring a strict better response to the target coin for every
+//!    miner outside it and making `s¹` the *unique* equilibrium of the
+//!    stage-1 game.
+//! 2. **Zero rewards**: Eq. 4 literally assigns `R(s)·M_c(s) = 0` to
+//!    unoccupied coins. This is essential for Lemma 1 (keeping the
+//!    organic reward of an empty coin would let small miners escape
+//!    `T_i`), so designed rewards are allowed to be zero, and `R(s)` is
+//!    taken over *occupied* coins (the paper's `max` is undefined on empty
+//!    ones).
+
+use goc_game::{CoinId, Configuration, Game, Ratio, Rewards};
+
+use crate::error::DesignError;
+use crate::stage::DesignProblem;
+
+/// `R(s) = max{ RPU_c(s) | c occupied }` under the **original** rewards.
+///
+/// # Panics
+///
+/// Panics if every coin is unoccupied (impossible: systems have miners).
+pub fn max_rpu(game: &Game, s: &Configuration) -> Ratio {
+    let masses = s.masses(game.system());
+    game.system()
+        .coin_ids()
+        .filter(|&c| !masses.is_empty_coin(c))
+        .map(|c| {
+            game.reward_of(c)
+                .checked_div_int(masses.mass_of(c) as i128)
+                .expect("mass fits i128")
+        })
+        .fold(None, |acc: Option<Ratio>, r| {
+            Some(acc.map_or(r, |a| a.max(r)))
+        })
+        .expect("at least one coin is occupied")
+}
+
+/// Stage-1 designed rewards (Eq. 5, with the `+1` strictness fix): the
+/// stage target `s_f.p_1` gets `max F · Σm + 1`; every other coin keeps
+/// its organic reward.
+pub fn h1(problem: &DesignProblem) -> Rewards {
+    let game = problem.game();
+    let target = problem.final_coin(1);
+    let boosted = game
+        .rewards()
+        .max()
+        .checked_mul_int(game.system().total_power() as i128)
+        .and_then(|r| r.checked_add(Ratio::ONE))
+        .expect("inputs bounded by 2^40 keep this in i128");
+    let values = game
+        .system()
+        .coin_ids()
+        .map(|c| if c == target { boosted } else { game.reward_of(c) })
+        .collect();
+    Rewards::from_ratios(values).expect("designed rewards are non-negative")
+}
+
+/// Stage-`i` designed rewards for `i ≥ 2` (Eq. 4): with
+/// `R = R(s)` and anchor `a = a_i(s)`,
+///
+/// * `H_i(s)(s_f.p_i) = R · (M_{s_f.p_i}(s) + m_{p_a})`,
+/// * `H_i(s)(c) = R · M_c(s)` for every other coin.
+///
+/// All occupied non-target coins then have RPU exactly `R`; the mover has
+/// a unique strict better response to the target; the anchor (and every
+/// stronger miner) is exactly indifferent or worse off moving.
+///
+/// # Errors
+///
+/// Returns [`DesignError::InvariantViolated`] if `s ∉ T_i` or `s = sⁱ`
+/// (no mover).
+pub fn hi(problem: &DesignProblem, i: usize, s: &Configuration) -> Result<Rewards, DesignError> {
+    let game = problem.game();
+    if !problem.in_t(i, s) {
+        return Err(DesignError::InvariantViolated {
+            stage: i,
+            iteration: 0,
+            what: format!("configuration {s} is outside T_{i}"),
+        });
+    }
+    let anchor = problem.anchor_rank(i, s).ok_or_else(|| DesignError::InvariantViolated {
+        stage: i,
+        iteration: 0,
+        what: "H_i requested at s = s^i (no mover)".to_string(),
+    })?;
+    let target = problem.final_coin(i);
+    let r = max_rpu(game, s);
+    let masses = s.masses(game.system());
+    let anchor_power = game.system().power_of(problem.ranked(anchor));
+    let values = game
+        .system()
+        .coin_ids()
+        .map(|c| {
+            let mass = masses.mass_of(c) as i128;
+            if c == target {
+                r.checked_mul_int(mass + anchor_power as i128)
+            } else {
+                r.checked_mul_int(mass)
+            }
+            .expect("inputs bounded by 2^40 keep this in i128")
+        })
+        .collect();
+    Ok(Rewards::from_ratios(values).expect("designed rewards are non-negative"))
+}
+
+/// The extra reward a manipulator pays for one posted schedule:
+/// `Σ_c max(0, H(c) − F(c))`.
+///
+/// Reward *reductions* (designed < organic, possible for the stage target
+/// under Eq. 4) cost nothing in this model — the manipulator cannot
+/// reclaim organic rewards, only add to them; see `DESIGN.md`.
+pub fn iteration_cost(original: &Rewards, designed: &Rewards) -> Ratio {
+    assert_eq!(original.len(), designed.len(), "reward vectors must align");
+    (0..original.len())
+        .map(CoinId)
+        .map(|c| {
+            let extra = designed.of(c) - original.of(c);
+            if extra.is_positive() {
+                extra
+            } else {
+                Ratio::ZERO
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_game::{equilibrium, Extended};
+
+    fn problem() -> DesignProblem {
+        let game = Game::build(&[13, 11, 7, 5, 3, 2], &[17, 10]).unwrap();
+        let (s0, sf) = equilibrium::two_equilibria(&game).unwrap();
+        DesignProblem::new(game, s0, sf).unwrap()
+    }
+
+    #[test]
+    fn max_rpu_ignores_empty_coins() {
+        let game = Game::build(&[2, 1], &[100, 3]).unwrap();
+        let s = Configuration::uniform(CoinId(1), game.system()).unwrap();
+        // c0 is empty; R(s) must be F(c1)/3 = 1, not infinite.
+        assert_eq!(max_rpu(&game, &s), Ratio::ONE);
+    }
+
+    #[test]
+    fn h1_boosts_only_the_target() {
+        let p = problem();
+        let h = h1(&p);
+        let target = p.final_coin(1);
+        let game = p.game();
+        for c in game.system().coin_ids() {
+            if c == target {
+                let expected = game
+                    .rewards()
+                    .max()
+                    .checked_mul_int(game.system().total_power() as i128)
+                    .unwrap()
+                    + Ratio::ONE;
+                assert_eq!(h.of(c), expected);
+            } else {
+                assert_eq!(h.of(c), game.reward_of(c));
+            }
+        }
+    }
+
+    #[test]
+    fn h1_makes_target_strictly_dominant() {
+        // Every miner outside the target must have a strict better
+        // response to it, from any configuration — including the
+        // unit-power corner that motivates the +1 fix.
+        let game = Game::build(&[2, 1], &[5, 5]).unwrap();
+        let sf = Configuration::new(vec![CoinId(0), CoinId(1)], game.system()).unwrap();
+        let s0 = Configuration::new(vec![CoinId(1), CoinId(0)], game.system()).unwrap();
+        let p = DesignProblem::new(game, s0, sf).unwrap();
+        let h = h1(&p);
+        let design_game = p.game().with_rewards(h).unwrap();
+        let target = p.final_coin(1);
+        for s in goc_game::ConfigurationIter::new(design_game.system()) {
+            let masses = s.masses(design_game.system());
+            for miner in design_game.system().miner_ids() {
+                if s.coin_of(miner) != target {
+                    assert!(
+                        design_game.is_better_response(miner, target, &s, &masses),
+                        "{miner} lacks a strict better response to {target} in {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hi_evens_out_non_target_rpus() {
+        let p = problem();
+        let n = p.num_stages();
+        for i in 2..=n {
+            let s = p.stage_config(i - 1);
+            if s == p.stage_config(i) {
+                continue;
+            }
+            let h = hi(&p, i, &s).unwrap();
+            let design_game = p.game().with_rewards(h).unwrap();
+            let masses = s.masses(design_game.system());
+            let r = max_rpu(p.game(), &s);
+            let target = p.final_coin(i);
+            for c in design_game.system().coin_ids() {
+                if c == target || masses.is_empty_coin(c) {
+                    continue;
+                }
+                assert_eq!(
+                    design_game.rpu(c, &masses),
+                    Extended::Finite(r),
+                    "stage {i}: coin {c} RPU not evened out"
+                );
+            }
+            // Target coin RPU strictly exceeds R when occupied.
+            if !masses.is_empty_coin(target) {
+                assert!(design_game.rpu(target, &masses) > Extended::Finite(r));
+            }
+        }
+    }
+
+    #[test]
+    fn hi_gives_the_mover_a_unique_better_response() {
+        let p = problem();
+        let n = p.num_stages();
+        for i in 2..=n {
+            let s = p.stage_config(i - 1);
+            if s == p.stage_config(i) {
+                continue;
+            }
+            let h = hi(&p, i, &s).unwrap();
+            let design_game = p.game().with_rewards(h).unwrap();
+            let moves = design_game.improving_moves(&s);
+            let mover = p.ranked(p.mover_rank(i, &s).unwrap());
+            assert_eq!(moves.len(), 1, "stage {i}: expected a unique step");
+            assert_eq!(moves[0].miner, mover);
+            assert_eq!(moves[0].to, p.final_coin(i));
+        }
+    }
+
+    #[test]
+    fn hi_rejects_configs_outside_t() {
+        let p = problem();
+        // Move the strongest miner somewhere illegal for T_2.
+        let mut bad = p.stage_config(1);
+        let p1 = p.ranked(1);
+        let other = if p.final_coin(1) == CoinId(0) {
+            CoinId(1)
+        } else {
+            CoinId(0)
+        };
+        bad.apply_move(p1, other);
+        if !p.in_t(2, &bad) {
+            assert!(matches!(
+                hi(&p, 2, &bad),
+                Err(DesignError::InvariantViolated { .. })
+            ));
+        }
+        // And at s = s^i there is no mover.
+        let n = p.num_stages();
+        assert!(matches!(
+            hi(&p, n, &p.stage_config(n)),
+            Err(DesignError::InvariantViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_cost_counts_only_increases() {
+        let f = Rewards::from_integers(&[10, 5]).unwrap();
+        let h = Rewards::from_ratios(vec![Ratio::from_int(25), Ratio::from_int(3)]).unwrap();
+        // +15 on c0; the 2-unit reduction on c1 costs nothing.
+        assert_eq!(iteration_cost(&f, &h), Ratio::from_int(15));
+        assert_eq!(iteration_cost(&f, &f), Ratio::ZERO);
+    }
+}

@@ -1,0 +1,312 @@
+//! Stage machinery of Algorithm 2: the intermediate configurations `sⁱ`
+//! (Eq. 3), the reachable sets `T_i`, the mover `m_i(s)` and anchor
+//! `a_i(s)`, and the stage progress rank `Φ_i`.
+//!
+//! Throughout, miners are indexed by *power rank*: `p_1` is the strongest
+//! miner and `p_n` the weakest, mirroring the paper's `m_{p_1} > … >
+//! m_{p_n}`. Stage numbers are 1-based as in the paper.
+
+use goc_game::{CoinId, Configuration, Game, MinerId};
+
+use crate::error::DesignError;
+
+/// A validated reward-design problem: move the system of `game` from the
+/// stable configuration `s0` to the stable configuration `sf`.
+///
+/// # Examples
+///
+/// ```
+/// use goc_design::DesignProblem;
+/// use goc_game::{equilibrium, Game};
+///
+/// let game = Game::build(&[13, 11, 7, 5, 3, 2], &[17, 10])?;
+/// let (s0, sf) = equilibrium::two_equilibria(&game)?;
+/// let problem = DesignProblem::new(game, s0, sf)?;
+/// assert_eq!(problem.num_stages(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignProblem {
+    game: Game,
+    s0: Configuration,
+    sf: Configuration,
+    /// Miner ids sorted by strictly decreasing power: `order[k-1] = p_k`.
+    order: Vec<MinerId>,
+}
+
+impl DesignProblem {
+    /// Validates and constructs a design problem.
+    ///
+    /// # Errors
+    ///
+    /// * [`DesignError::PowersNotDistinct`] — §5 requires `m_{p1} > … > m_{pn}`.
+    /// * [`DesignError::RestrictedGame`] — design assumes unrestricted moves.
+    /// * [`DesignError::InitialNotStable`] / [`DesignError::TargetNotStable`]
+    ///   — both endpoints must be pure equilibria of the original game.
+    /// * [`DesignError::Game`] — on malformed configurations.
+    pub fn new(
+        game: Game,
+        s0: Configuration,
+        sf: Configuration,
+    ) -> Result<Self, DesignError> {
+        if game.is_restricted() {
+            return Err(DesignError::RestrictedGame);
+        }
+        if !game.system().powers_distinct() {
+            return Err(DesignError::PowersNotDistinct);
+        }
+        // Shape validation via re-construction.
+        let s0 = Configuration::new(s0.as_slice().to_vec(), game.system())?;
+        let sf = Configuration::new(sf.as_slice().to_vec(), game.system())?;
+        if let Some(&witness) = game.unstable_miners(&s0).first() {
+            return Err(DesignError::InitialNotStable { witness });
+        }
+        if let Some(&witness) = game.unstable_miners(&sf).first() {
+            return Err(DesignError::TargetNotStable { witness });
+        }
+        let order = game.system().ids_by_power_desc();
+        Ok(DesignProblem { game, s0, sf, order })
+    }
+
+    /// The game with the original (organic) rewards.
+    pub fn game(&self) -> &Game {
+        &self.game
+    }
+
+    /// The initial equilibrium.
+    pub fn initial(&self) -> &Configuration {
+        &self.s0
+    }
+
+    /// The desired equilibrium.
+    pub fn target(&self) -> &Configuration {
+        &self.sf
+    }
+
+    /// Number of stages `n = |Π|`.
+    pub fn num_stages(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The miner of power rank `k` (1-based): `p_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `1..=n`.
+    pub fn ranked(&self, k: usize) -> MinerId {
+        self.order[k - 1]
+    }
+
+    /// The power rank (1-based) of a miner id.
+    pub fn rank_of(&self, p: MinerId) -> usize {
+        1 + self
+            .order
+            .iter()
+            .position(|&q| q == p)
+            .expect("miner belongs to the system")
+    }
+
+    /// The final coin of the rank-`k` miner: `s_f.p_k`.
+    pub fn final_coin(&self, k: usize) -> CoinId {
+        self.sf.coin_of(self.ranked(k))
+    }
+
+    /// The intermediate configuration `sⁱ` of Eq. 3: ranks `1..=i` at their
+    /// final coins, ranks `i+1..=n` at `s_f.p_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not in `1..=n`.
+    pub fn stage_config(&self, i: usize) -> Configuration {
+        assert!((1..=self.num_stages()).contains(&i), "stage out of range");
+        let mut assignment = self.sf.as_slice().to_vec();
+        let anchor_coin = self.final_coin(i);
+        for k in (i + 1)..=self.num_stages() {
+            assignment[self.ranked(k).index()] = anchor_coin;
+        }
+        Configuration::new(assignment, self.game.system())
+            .expect("stage assignment is valid by construction")
+    }
+
+    /// Whether `s ∈ T_i`: ranks `< i` at final coins, ranks `>= i` on
+    /// `{s_f.p_i, s_f.p_{i-1}}`. Defined for `i >= 2` (stage 1 places no
+    /// constraint on intermediate configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i < 2` or `i > n`.
+    pub fn in_t(&self, i: usize, s: &Configuration) -> bool {
+        assert!((2..=self.num_stages()).contains(&i), "T_i needs 2 <= i <= n");
+        let c_prev = self.final_coin(i - 1);
+        let c_new = self.final_coin(i);
+        for k in 1..i {
+            if s.coin_of(self.ranked(k)) != self.final_coin(k) {
+                return false;
+            }
+        }
+        for k in i..=self.num_stages() {
+            let c = s.coin_of(self.ranked(k));
+            if c != c_prev && c != c_new {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The mover rank `m_i(s) = min{ j | ∀ l > j : s.p_l = s_f.p_i }`,
+    /// defined for `s ∈ T_i \ {sⁱ}`. Returns `None` when `s == sⁱ`
+    /// (every rank from `i` on is already at the target coin).
+    pub fn mover_rank(&self, i: usize, s: &Configuration) -> Option<usize> {
+        let target = self.final_coin(i);
+        (i..=self.num_stages())
+            .rev()
+            .find(|&k| s.coin_of(self.ranked(k)) != target)
+    }
+
+    /// The anchor rank `a_i(s) = m_i(s) − 1`.
+    pub fn anchor_rank(&self, i: usize, s: &Configuration) -> Option<usize> {
+        self.mover_rank(i, s).map(|m| m - 1)
+    }
+
+    /// The stage progress rank `Φ_i(s)`: the binary vector
+    /// `vec(s)[j] = [p_{j+i−1} ∈ P_{s_f.p_i}(s)]` read as a big-endian
+    /// integer. Lemma 1 implies this strictly increases across the loop
+    /// iterations of stage `i` (Theorem 2).
+    pub fn phi(&self, i: usize, s: &Configuration) -> u128 {
+        let target = self.final_coin(i);
+        let mut value: u128 = 0;
+        for k in i..=self.num_stages() {
+            value <<= 1;
+            if s.coin_of(self.ranked(k)) == target {
+                value |= 1;
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_game::equilibrium;
+
+    fn problem() -> DesignProblem {
+        let game = Game::build(&[13, 11, 7, 5, 3, 2], &[17, 10]).unwrap();
+        let (s0, sf) = equilibrium::two_equilibria(&game).unwrap();
+        DesignProblem::new(game, s0, sf).unwrap()
+    }
+
+    #[test]
+    fn validates_distinct_powers() {
+        let game = Game::build(&[5, 5, 3], &[4, 4]).unwrap();
+        let s = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        assert!(matches!(
+            DesignProblem::new(game, s.clone(), s),
+            Err(DesignError::PowersNotDistinct)
+        ));
+    }
+
+    #[test]
+    fn validates_stability() {
+        let game = Game::build(&[5, 3, 2], &[4, 4]).unwrap();
+        let unstable = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let stable = equilibrium::greedy_equilibrium(&game);
+        assert!(matches!(
+            DesignProblem::new(game.clone(), unstable.clone(), stable.clone()),
+            Err(DesignError::InitialNotStable { .. })
+        ));
+        assert!(matches!(
+            DesignProblem::new(game, stable, unstable),
+            Err(DesignError::TargetNotStable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_restricted_games() {
+        let game = Game::build(&[5, 3], &[4, 4])
+            .unwrap()
+            .with_restrictions(vec![vec![true, true], vec![true, true]])
+            .unwrap();
+        let s = equilibrium::greedy_equilibrium(&game);
+        assert!(matches!(
+            DesignProblem::new(game, s.clone(), s),
+            Err(DesignError::RestrictedGame)
+        ));
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let p = problem();
+        for k in 1..p.num_stages() {
+            assert!(
+                p.game().system().power_of(p.ranked(k))
+                    > p.game().system().power_of(p.ranked(k + 1))
+            );
+        }
+        assert_eq!(p.rank_of(p.ranked(3)), 3);
+    }
+
+    #[test]
+    fn stage_configs_interpolate() {
+        let p = problem();
+        let n = p.num_stages();
+        // s^n == s_f.
+        assert_eq!(&p.stage_config(n), p.target());
+        // In s^i, ranks 1..=i match s_f and the rest sit on s_f.p_i.
+        for i in 1..=n {
+            let si = p.stage_config(i);
+            for k in 1..=i {
+                assert_eq!(si.coin_of(p.ranked(k)), p.final_coin(k));
+            }
+            for k in (i + 1)..=n {
+                assert_eq!(si.coin_of(p.ranked(k)), p.final_coin(i));
+            }
+        }
+    }
+
+    #[test]
+    fn t_membership() {
+        let p = problem();
+        for i in 2..=p.num_stages() {
+            assert!(p.in_t(i, &p.stage_config(i - 1)), "s^(i-1) must be in T_i");
+            assert!(p.in_t(i, &p.stage_config(i)), "s^i must be in T_i");
+        }
+    }
+
+    #[test]
+    fn mover_and_anchor() {
+        let p = problem();
+        let n = p.num_stages();
+        for i in 2..=n {
+            let prev = p.stage_config(i - 1);
+            if prev == p.stage_config(i) {
+                assert_eq!(p.mover_rank(i, &prev), None);
+                continue;
+            }
+            // At the stage start, the mover is p_n per the paper.
+            assert_eq!(p.mover_rank(i, &prev), Some(n));
+            assert_eq!(p.anchor_rank(i, &prev), Some(n - 1));
+            // At s^i there is no mover left.
+            assert_eq!(p.mover_rank(i, &p.stage_config(i)), None);
+        }
+    }
+
+    #[test]
+    fn phi_increases_as_miners_reach_target() {
+        let p = problem();
+        let n = p.num_stages();
+        for i in 2..=n {
+            let start = p.stage_config(i - 1);
+            let done = p.stage_config(i);
+            if start == done {
+                continue;
+            }
+            let mid = {
+                // Move p_n to the target coin manually.
+                start.with_move(p.ranked(n), p.final_coin(i))
+            };
+            assert!(p.phi(i, &mid) > p.phi(i, &start));
+            assert!(p.phi(i, &done) >= p.phi(i, &mid));
+        }
+    }
+}

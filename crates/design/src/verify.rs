@@ -1,0 +1,283 @@
+//! Runtime verification of Lemma 1's Ψ invariants.
+//!
+//! During a stage-`i` learning phase that starts at `s ∈ T_i \ {sⁱ}` with
+//! mover `p_m` moving `c = s_f.p_{i-1} → c' = s_f.p_i`, every reached
+//! configuration `s'` must satisfy (Appendix E):
+//!
+//! * **Ψ₁** — ranks `k < m` keep their coins: `s'.p_k = s.p_k`;
+//! * **Ψ₂** — the mover stays on the target: `s'.p_m = c'`;
+//! * **Ψ₃** — ranks `k > m` remain on `{c, c'}`;
+//! * **Ψ₄** — `M_c(s⁰) ≤ M_c(s') ≤ M_c(s)`;
+//! * **Ψ₅** — `M_{c'}(s) ≤ M_{c'}(s') ≤ M_{c'}(s⁰)`,
+//!
+//! where `s⁰ = (s₋p_m, c')`. The checker observes every applied move and
+//! records the first violation (if any) for the caller to surface.
+
+use std::sync::Arc;
+
+use goc_game::{CoinId, Configuration, MinerId, Move, System};
+
+use crate::error::DesignError;
+use crate::stage::DesignProblem;
+
+/// Observer verifying Ψ₁–Ψ₅ across one learning phase.
+#[derive(Debug)]
+pub struct PsiChecker {
+    system: Arc<System>,
+    /// `(miner, expected coin)` for every rank `k < m`.
+    prefix: Vec<(MinerId, CoinId)>,
+    /// Miners of rank `> m` (must stay on `{c, c'}`).
+    suffix: Vec<MinerId>,
+    mover: MinerId,
+    c_prev: CoinId,
+    c_new: CoinId,
+    /// Running masses of `c` and `c'`, updated per observed move.
+    mass_prev: u128,
+    mass_new: u128,
+    /// `[M_c(s⁰), M_c(s)]`.
+    c_prev_bounds: (u128, u128),
+    /// `[M_{c'}(s), M_{c'}(s⁰)]`.
+    c_new_bounds: (u128, u128),
+    violation: Option<String>,
+    steps_seen: usize,
+}
+
+impl PsiChecker {
+    /// Prepares a checker for the stage-`i` phase starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::InvariantViolated`] if `start ∉ T_i` or
+    /// `start = sⁱ` (no mover — the phase should not have been launched).
+    pub fn new(
+        problem: &DesignProblem,
+        stage: usize,
+        start: &Configuration,
+    ) -> Result<Self, DesignError> {
+        if !problem.in_t(stage, start) {
+            return Err(DesignError::InvariantViolated {
+                stage,
+                iteration: 0,
+                what: format!("phase start {start} is outside T_{stage}"),
+            });
+        }
+        let m = problem.mover_rank(stage, start).ok_or_else(|| {
+            DesignError::InvariantViolated {
+                stage,
+                iteration: 0,
+                what: "phase started at s^i (no mover)".to_string(),
+            }
+        })?;
+        let system = Arc::clone(problem.game().system());
+        let mover = problem.ranked(m);
+        let c_prev = problem.final_coin(stage - 1);
+        let c_new = problem.final_coin(stage);
+        let masses = start.masses(&system);
+        let mover_power = u128::from(system.power_of(mover));
+        let mc = masses.mass_of(c_prev);
+        let mcp = masses.mass_of(c_new);
+        Ok(PsiChecker {
+            prefix: (1..m)
+                .map(|k| {
+                    let p = problem.ranked(k);
+                    (p, start.coin_of(p))
+                })
+                .collect(),
+            suffix: ((m + 1)..=problem.num_stages())
+                .map(|k| problem.ranked(k))
+                .collect(),
+            mover,
+            c_prev,
+            c_new,
+            mass_prev: mc,
+            mass_new: mcp,
+            c_prev_bounds: (mc - mover_power, mc),
+            c_new_bounds: (mcp, mcp + mover_power),
+            system,
+            violation: None,
+            steps_seen: 0,
+        })
+    }
+
+    /// Observes one applied move; call with the configuration *after* the
+    /// move. Records the first violation and ignores the rest.
+    pub fn observe(&mut self, config: &Configuration, mv: Move) {
+        // Track the two interesting masses regardless of violation state so
+        // the bookkeeping stays consistent.
+        let power = u128::from(self.system.power_of(mv.miner));
+        if mv.from != mv.to {
+            if mv.from == self.c_prev {
+                self.mass_prev -= power;
+            } else if mv.from == self.c_new {
+                self.mass_new -= power;
+            }
+            if mv.to == self.c_prev {
+                self.mass_prev += power;
+            } else if mv.to == self.c_new {
+                self.mass_new += power;
+            }
+        }
+        self.steps_seen += 1;
+        if self.violation.is_some() {
+            return;
+        }
+        if self.steps_seen == 1 && (mv.miner != self.mover || mv.to != self.c_new) {
+            // The phase's first step must be the mover's unique better
+            // response c → c' (the paper's s⁰ construction).
+            self.violation = Some(format!(
+                "first step was {mv}, expected mover {} to join {}",
+                self.mover, self.c_new
+            ));
+            return;
+        }
+        if let Some(what) = self.check(config) {
+            self.violation = Some(what);
+        }
+    }
+
+    fn check(&self, config: &Configuration) -> Option<String> {
+        for &(p, coin) in &self.prefix {
+            if config.coin_of(p) != coin {
+                return Some(format!("Ψ1: {p} left its coin {coin}"));
+            }
+        }
+        if config.coin_of(self.mover) != self.c_new {
+            return Some(format!("Ψ2: mover {} left {}", self.mover, self.c_new));
+        }
+        for &p in &self.suffix {
+            let c = config.coin_of(p);
+            if c != self.c_prev && c != self.c_new {
+                return Some(format!("Ψ3: {p} escaped to {c}"));
+            }
+        }
+        let (lo, hi) = self.c_prev_bounds;
+        if self.mass_prev < lo || self.mass_prev > hi {
+            return Some(format!(
+                "Ψ4: M_{}(s') = {} outside [{lo}, {hi}]",
+                self.c_prev, self.mass_prev
+            ));
+        }
+        let (lo, hi) = self.c_new_bounds;
+        if self.mass_new < lo || self.mass_new > hi {
+            return Some(format!(
+                "Ψ5: M_{}(s') = {} outside [{lo}, {hi}]",
+                self.c_new, self.mass_new
+            ));
+        }
+        None
+    }
+
+    /// Consumes the checker, returning the first recorded violation.
+    pub fn into_violation(self) -> Option<String> {
+        self.violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_game::{equilibrium, Game};
+
+    fn problem() -> DesignProblem {
+        let game = Game::build(&[13, 11, 7, 5, 3, 2], &[17, 10]).unwrap();
+        let (s0, sf) = equilibrium::two_equilibria(&game).unwrap();
+        DesignProblem::new(game, s0, sf).unwrap()
+    }
+
+    /// Finds the first stage with a genuine phase to run and returns
+    /// `(stage, start_config)`.
+    fn first_active_stage(p: &DesignProblem) -> (usize, Configuration) {
+        for i in 2..=p.num_stages() {
+            let start = p.stage_config(i - 1);
+            if start != p.stage_config(i) {
+                return (i, start);
+            }
+        }
+        panic!("problem has no active stage >= 2");
+    }
+
+    #[test]
+    fn accepts_the_movers_step() {
+        let p = problem();
+        let (i, start) = first_active_stage(&p);
+        let mover = p.ranked(p.mover_rank(i, &start).unwrap());
+        let mut checker = PsiChecker::new(&p, i, &start).unwrap();
+        let mv = Move {
+            miner: mover,
+            from: start.coin_of(mover),
+            to: p.final_coin(i),
+        };
+        let after = start.with_move(mover, p.final_coin(i));
+        checker.observe(&after, mv);
+        assert_eq!(checker.into_violation(), None);
+    }
+
+    #[test]
+    fn rejects_a_wrong_first_step() {
+        let p = problem();
+        let (i, start) = first_active_stage(&p);
+        // The strongest miner moving first violates the unique-step claim.
+        let p1 = p.ranked(1);
+        let mv = Move {
+            miner: p1,
+            from: start.coin_of(p1),
+            to: p.final_coin(i),
+        };
+        let after = start.with_move(p1, p.final_coin(i));
+        let mut checker = PsiChecker::new(&p, i, &start).unwrap();
+        checker.observe(&after, mv);
+        let v = checker.into_violation().unwrap();
+        assert!(v.contains("first step"), "{v}");
+    }
+
+    #[test]
+    fn rejects_prefix_motion_later() {
+        let p = problem();
+        let (i, start) = first_active_stage(&p);
+        let mover = p.ranked(p.mover_rank(i, &start).unwrap());
+        let mut checker = PsiChecker::new(&p, i, &start).unwrap();
+        let mv1 = Move {
+            miner: mover,
+            from: start.coin_of(mover),
+            to: p.final_coin(i),
+        };
+        let s1 = start.with_move(mover, p.final_coin(i));
+        checker.observe(&s1, mv1);
+        // Now the top miner wanders off.
+        let p1 = p.ranked(1);
+        let elsewhere = p.final_coin(i);
+        if s1.coin_of(p1) != elsewhere {
+            let mv2 = Move {
+                miner: p1,
+                from: s1.coin_of(p1),
+                to: elsewhere,
+            };
+            let s2 = s1.with_move(p1, elsewhere);
+            checker.observe(&s2, mv2);
+            let v = checker.into_violation().unwrap();
+            assert!(v.contains("Ψ1"), "{v}");
+        }
+    }
+
+    #[test]
+    fn rejects_start_outside_t() {
+        let p = problem();
+        let (i, start) = first_active_stage(&p);
+        let p1 = p.ranked(1);
+        let other = (0..p.game().system().num_coins())
+            .map(CoinId)
+            .find(|&c| c != start.coin_of(p1))
+            .unwrap();
+        let bad = start.with_move(p1, other);
+        if !p.in_t(i, &bad) {
+            assert!(PsiChecker::new(&p, i, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_start_at_stage_target() {
+        let p = problem();
+        let (i, _) = first_active_stage(&p);
+        assert!(PsiChecker::new(&p, i, &p.stage_config(i)).is_err());
+    }
+}

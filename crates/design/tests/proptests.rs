@@ -1,0 +1,116 @@
+//! Property tests for the reward designer: Algorithm 2 reaches any
+//! target across generated games, schedules satisfy the paper's
+//! structural properties, and the cost model behaves.
+
+use goc_design::{design, h1, hi, DesignOptions, DesignProblem};
+use goc_game::{equilibrium, Extended, Game};
+use goc_learning::SchedulerKind;
+use proptest::prelude::*;
+
+/// Games with strictly distinct powers (a §5 requirement) that admit at
+/// least two equilibria via the Lemma 2 construction.
+fn arb_problem() -> impl Strategy<Value = DesignProblem> {
+    (3usize..7, 2usize..4, 0u64..10_000).prop_filter_map(
+        "needs distinct powers and two equilibria",
+        |(n, k, salt)| {
+            // Deterministic distinct powers seeded by the salt.
+            let powers: Vec<u64> = (0..n)
+                .map(|i| 1 + salt % 97 + (i as u64) * (7 + salt % 13))
+                .collect();
+            let rewards: Vec<u64> = (0..k).map(|i| 100 + ((salt / 7) % 89) * (i as u64 + 1)).collect();
+            let game = Game::build(&powers, &rewards).ok()?;
+            if !game.system().powers_distinct() {
+                return None;
+            }
+            let (s0, sf) = equilibrium::two_equilibria(&game).ok()?;
+            DesignProblem::new(game, s0, sf).ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full algorithm reaches the target with invariants verified,
+    /// for every bundled scheduler.
+    #[test]
+    fn design_always_reaches_target(problem in arb_problem(), kind_idx in 0usize..6, seed in 0u64..100) {
+        let kind = SchedulerKind::ALL[kind_idx];
+        let mut sched = kind.build(seed);
+        let outcome = design(
+            &problem,
+            sched.as_mut(),
+            DesignOptions { verify_invariants: true, ..DesignOptions::default() },
+        ).unwrap();
+        prop_assert_eq!(&outcome.final_config, problem.target());
+        prop_assert!(problem.game().is_stable(&outcome.final_config));
+        prop_assert!(outcome.total_cost >= 0.0);
+    }
+
+    /// H1 structural property: every miner outside the stage-1 target has
+    /// a strict better response to it in every configuration.
+    #[test]
+    fn h1_target_strictly_dominates(problem in arb_problem()) {
+        let game = problem.game();
+        let target = {
+            // final coin of the strongest miner
+            let strongest = game.system().ids_by_power_desc()[0];
+            problem.target().coin_of(strongest)
+        };
+        let designed = game.with_rewards(h1(&problem)).unwrap();
+        // Sample a handful of configurations rather than enumerate.
+        for salt in 0..5usize {
+            let assignment: Vec<goc_game::CoinId> = (0..game.system().num_miners())
+                .map(|i| goc_game::CoinId((i + salt) % game.system().num_coins()))
+                .collect();
+            let s = goc_game::Configuration::new(assignment, game.system()).unwrap();
+            let masses = s.masses(game.system());
+            for p in game.system().miner_ids() {
+                if s.coin_of(p) != target {
+                    prop_assert!(designed.is_better_response(p, target, &s, &masses));
+                }
+            }
+        }
+    }
+
+    /// H_i structural properties at each stage start: non-target occupied
+    /// coins are evened out to exactly R(s); the mover's step is unique.
+    #[test]
+    fn hi_schedule_structure(problem in arb_problem()) {
+        for i in 2..=problem.num_stages() {
+            let s = problem.stage_config(i - 1);
+            if s == problem.stage_config(i) {
+                continue;
+            }
+            let schedule = hi(&problem, i, &s).unwrap();
+            let designed = problem.game().with_rewards(schedule).unwrap();
+            let masses = s.masses(designed.system());
+            let r = goc_design::max_rpu(problem.game(), &s);
+            let target = problem.final_coin(i);
+            for c in designed.system().coin_ids() {
+                if c != target && !masses.is_empty_coin(c) {
+                    prop_assert_eq!(designed.rpu(c, &masses), Extended::Finite(r));
+                }
+            }
+            let moves = designed.improving_moves(&s);
+            prop_assert_eq!(moves.len(), 1, "stage {} must have a unique step", i);
+            let mover_rank = problem.mover_rank(i, &s).unwrap();
+            prop_assert_eq!(moves[0].miner, problem.ranked(mover_rank));
+            prop_assert_eq!(moves[0].to, target);
+        }
+    }
+
+    /// Determinism: two identical design runs agree completely.
+    #[test]
+    fn design_is_deterministic(problem in arb_problem(), seed in 0u64..50) {
+        let once = |seed: u64| {
+            let mut sched = SchedulerKind::UniformRandom.build(seed);
+            design(&problem, sched.as_mut(), DesignOptions::default()).unwrap()
+        };
+        let a = once(seed);
+        let b = once(seed);
+        prop_assert_eq!(a.final_config, b.final_config);
+        prop_assert_eq!(a.total_steps, b.total_steps);
+        prop_assert_eq!(a.total_cost, b.total_cost);
+    }
+}

@@ -1,0 +1,76 @@
+//! # goc-experiments — harness regenerating every figure and claim
+//!
+//! One binary per artifact of the paper's evaluation (see `DESIGN.md` §2
+//! for the index and `EXPERIMENTS.md` for paper-vs-measured records):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig1` | Figure 1(a)/(b): BTC→BCH price jump and hashrate migration |
+//! | `prop1` | Proposition 1: no exact potential |
+//! | `thm1` | Theorem 1: all better-response learning converges |
+//! | `appendix_a` | Appendix A: greedy equilibrium construction |
+//! | `appendix_b` | Appendix B: symmetric-case ordinal potential |
+//! | `prop2` | Proposition 2: a better equilibrium exists |
+//! | `alg2` | Algorithm 2 / Theorem 2: reward design reaches s_f |
+//! | `speed` | Discussion: convergence speed across market shapes |
+//! | `attack` | Discussion: steering into a 51%-dominated configuration |
+//! | `asym` | Discussion: the asymmetric (restricted coins) case |
+//! | `cross` | Static game vs mechanistic simulator cross-validation |
+//! | `ablation` | naive single-shot designer vs Algorithm 2; H₁ strictness fix |
+//! | `sync` | synchronous best response cycles (why the model is sequential) |
+//! | `poa` | equilibrium welfare spread, reachability, exact path lengths |
+//!
+//! Every binary prints its tables/charts to stdout and writes a CSV to
+//! `results/` (created on demand). Run them all with
+//! `for b in fig1 prop1 thm1 appendix_a appendix_b prop2 alg2 speed attack asym cross ablation sync poa; do cargo run --release -p goc-experiments --bin $b; done`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment CSVs are written (`results/` under the
+/// workspace root, or the current directory as a fallback).
+pub fn results_dir() -> PathBuf {
+    let candidates = [
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+        PathBuf::from("results"),
+    ];
+    for c in &candidates {
+        if std::fs::create_dir_all(c).is_ok() {
+            return c.clone();
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Writes `contents` to `results/<name>` and reports the path on stdout.
+pub fn write_results(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a boxed experiment header.
+pub fn banner(id: &str, title: &str) {
+    let line = format!("{id} — {title}");
+    println!("{}", "=".repeat(line.len() + 4));
+    println!("| {line} |");
+    println!("{}", "=".repeat(line.len() + 4));
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_writable() {
+        let dir = results_dir();
+        let probe = dir.join(".probe");
+        std::fs::write(&probe, "ok").unwrap();
+        std::fs::remove_file(&probe).unwrap();
+    }
+}

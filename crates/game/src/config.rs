@@ -1,0 +1,356 @@
+//! Configurations `s ∈ S = Cⁿ` and incremental coin-mass bookkeeping.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+use crate::ids::{CoinId, MinerId};
+use crate::system::System;
+
+/// A configuration: the coin chosen by each miner (`s.p` in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, MinerId, System};
+///
+/// let system = System::new(&[2, 1], 2)?;
+/// let s = Configuration::new(vec![CoinId(0), CoinId(1)], &system)?;
+/// assert_eq!(s.coin_of(MinerId(0)), CoinId(0));
+/// assert_eq!(s.miners_on(CoinId(1)).collect::<Vec<_>>(), vec![MinerId(1)]);
+/// # Ok::<(), goc_game::GameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    assignment: Vec<CoinId>,
+}
+
+impl Configuration {
+    /// Creates a configuration, validating shape against the system.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::ConfigLengthMismatch`] if the assignment length
+    ///   differs from the miner count.
+    /// * [`GameError::CoinOutOfRange`] if any entry references a
+    ///   nonexistent coin.
+    pub fn new(assignment: Vec<CoinId>, system: &System) -> Result<Self, GameError> {
+        if assignment.len() != system.num_miners() {
+            return Err(GameError::ConfigLengthMismatch {
+                config: assignment.len(),
+                miners: system.num_miners(),
+            });
+        }
+        for &c in &assignment {
+            if c.index() >= system.num_coins() {
+                return Err(GameError::CoinOutOfRange {
+                    coin: c,
+                    coins: system.num_coins(),
+                });
+            }
+        }
+        Ok(Configuration { assignment })
+    }
+
+    /// Creates a configuration with every miner on the same coin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::CoinOutOfRange`] if `coin` is not in the system.
+    pub fn uniform(coin: CoinId, system: &System) -> Result<Self, GameError> {
+        Self::new(vec![coin; system.num_miners()], system)
+    }
+
+    /// The coin mined by `p` (`s.p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn coin_of(&self, p: MinerId) -> CoinId {
+        self.assignment[p.index()]
+    }
+
+    /// Number of miners in the configuration.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the configuration is empty (never true for valid systems).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The raw assignment slice, indexed by miner.
+    pub fn as_slice(&self) -> &[CoinId] {
+        &self.assignment
+    }
+
+    /// The miners mining `c` (`P_c(s)`), in id order.
+    pub fn miners_on(&self, c: CoinId) -> impl Iterator<Item = MinerId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, &coin)| coin == c)
+            .map(|(i, _)| MinerId(i))
+    }
+
+    /// Number of miners on `c` (`|P_c(s)|`).
+    pub fn count_on(&self, c: CoinId) -> usize {
+        self.assignment.iter().filter(|&&coin| coin == c).count()
+    }
+
+    /// Returns `(s₋p, c)`: this configuration with `p` moved to `c`.
+    pub fn with_move(&self, p: MinerId, c: CoinId) -> Configuration {
+        let mut next = self.clone();
+        next.assignment[p.index()] = c;
+        next
+    }
+
+    /// Moves `p` to `c` in place.
+    pub fn apply_move(&mut self, p: MinerId, c: CoinId) {
+        self.assignment[p.index()] = c;
+    }
+
+    /// Computes the per-coin mass table `M_c(s)` for this configuration.
+    pub fn masses(&self, system: &System) -> Masses {
+        let mut mass = vec![0u128; system.num_coins()];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            mass[c.index()] += u128::from(system.power_of(MinerId(i)));
+        }
+        Masses { mass }
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("⟨")?;
+        for (i, c) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str("⟩")
+    }
+}
+
+/// Per-coin total mining power `M_c(s)`, maintained incrementally so a
+/// better-response step costs `O(1)` instead of `O(n)`.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, MinerId, System};
+///
+/// let system = System::new(&[2, 1], 2)?;
+/// let s = Configuration::new(vec![CoinId(0), CoinId(0)], &system)?;
+/// let mut masses = s.masses(&system);
+/// assert_eq!(masses.mass_of(CoinId(0)), 3);
+/// masses.apply_move(1, CoinId(0), CoinId(1)); // miner of power 1 moves
+/// assert_eq!(masses.mass_of(CoinId(0)), 2);
+/// assert_eq!(masses.mass_of(CoinId(1)), 1);
+/// # Ok::<(), goc_game::GameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Masses {
+    mass: Vec<u128>,
+}
+
+impl Masses {
+    /// An all-zero mass table over `num_coins` coins, for incremental
+    /// construction of configurations.
+    pub fn zero(num_coins: usize) -> Self {
+        Masses {
+            mass: vec![0; num_coins],
+        }
+    }
+
+    /// Adds `power` units onto `to` without a source coin (used when
+    /// placing miners one by one, as in the Appendix A construction).
+    pub fn add(&mut self, to: CoinId, power: u64) {
+        self.mass[to.index()] += u128::from(power);
+    }
+
+    /// Mass of coin `c` (`M_c(s)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn mass_of(&self, c: CoinId) -> u128 {
+        self.mass[c.index()]
+    }
+
+    /// Whether coin `c` is unoccupied.
+    pub fn is_empty_coin(&self, c: CoinId) -> bool {
+        self.mass[c.index()] == 0
+    }
+
+    /// Updates the table for a move of `power` units from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the move would underflow `from`'s mass,
+    /// which indicates the table is out of sync with the configuration.
+    pub fn apply_move(&mut self, power: u64, from: CoinId, to: CoinId) {
+        if from == to {
+            return;
+        }
+        debug_assert!(self.mass[from.index()] >= u128::from(power));
+        self.mass[from.index()] -= u128::from(power);
+        self.mass[to.index()] += u128::from(power);
+    }
+
+    /// Number of coins tracked.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Whether the table is empty (never for valid systems).
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Sum of all masses (total power of the system).
+    pub fn total(&self) -> u128 {
+        self.mass.iter().sum()
+    }
+}
+
+/// Iterator over all `|C|^n` configurations of a system, in lexicographic
+/// order of the assignment vector. Use only for small games; see
+/// [`crate::equilibrium::enumerate_equilibria`] for a guarded wrapper.
+#[derive(Debug, Clone)]
+pub struct ConfigurationIter {
+    current: Option<Vec<usize>>,
+    num_coins: usize,
+}
+
+impl ConfigurationIter {
+    /// Creates an iterator over all configurations of `system`.
+    pub fn new(system: &System) -> Self {
+        ConfigurationIter {
+            current: Some(vec![0; system.num_miners()]),
+            num_coins: system.num_coins(),
+        }
+    }
+}
+
+impl Iterator for ConfigurationIter {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Configuration> {
+        let current = self.current.as_mut()?;
+        let item = Configuration {
+            assignment: current.iter().map(|&c| CoinId(c)).collect(),
+        };
+        // Advance as a base-|C| counter.
+        let mut i = current.len();
+        loop {
+            if i == 0 {
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            current[i] += 1;
+            if current[i] < self.num_coins {
+                break;
+            }
+            current[i] = 0;
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system3x2() -> std::sync::Arc<System> {
+        System::new(&[4, 2, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn validates_shape() {
+        let s = system3x2();
+        assert!(matches!(
+            Configuration::new(vec![CoinId(0)], &s),
+            Err(GameError::ConfigLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Configuration::new(vec![CoinId(0), CoinId(2), CoinId(0)], &s),
+            Err(GameError::CoinOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_and_masses() {
+        let sys = system3x2();
+        let s = Configuration::new(vec![CoinId(0), CoinId(1), CoinId(0)], &sys).unwrap();
+        assert_eq!(s.count_on(CoinId(0)), 2);
+        assert_eq!(
+            s.miners_on(CoinId(0)).collect::<Vec<_>>(),
+            vec![MinerId(0), MinerId(2)]
+        );
+        let m = s.masses(&sys);
+        assert_eq!(m.mass_of(CoinId(0)), 5);
+        assert_eq!(m.mass_of(CoinId(1)), 2);
+        assert_eq!(m.total(), 7);
+        assert!(!m.is_empty_coin(CoinId(1)));
+    }
+
+    #[test]
+    fn incremental_masses_match_recompute() {
+        let sys = system3x2();
+        let mut s = Configuration::uniform(CoinId(0), &sys).unwrap();
+        let mut m = s.masses(&sys);
+        let moves = [
+            (MinerId(1), CoinId(1)),
+            (MinerId(0), CoinId(1)),
+            (MinerId(1), CoinId(0)),
+        ];
+        for (p, c) in moves {
+            m.apply_move(sys.power_of(p), s.coin_of(p), c);
+            s.apply_move(p, c);
+            assert_eq!(m, s.masses(&sys), "after moving {p} to {c}");
+        }
+    }
+
+    #[test]
+    fn with_move_is_pure() {
+        let sys = system3x2();
+        let s = Configuration::uniform(CoinId(0), &sys).unwrap();
+        let t = s.with_move(MinerId(2), CoinId(1));
+        assert_eq!(s.coin_of(MinerId(2)), CoinId(0));
+        assert_eq!(t.coin_of(MinerId(2)), CoinId(1));
+    }
+
+    #[test]
+    fn iterator_covers_all_configurations() {
+        let sys = system3x2();
+        let all: Vec<Configuration> = ConfigurationIter::new(&sys).collect();
+        assert_eq!(all.len(), 8); // 2^3
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(unique.len(), 8);
+        // First and last in lexicographic order.
+        assert_eq!(all[0], Configuration::uniform(CoinId(0), &sys).unwrap());
+        assert_eq!(all[7], Configuration::uniform(CoinId(1), &sys).unwrap());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let sys = system3x2();
+        let s = Configuration::new(vec![CoinId(0), CoinId(1), CoinId(0)], &sys).unwrap();
+        assert_eq!(s.to_string(), "⟨c0, c1, c0⟩");
+    }
+
+    #[test]
+    fn same_coin_move_is_noop_for_masses() {
+        let sys = system3x2();
+        let s = Configuration::uniform(CoinId(0), &sys).unwrap();
+        let mut m = s.masses(&sys);
+        let before = m.clone();
+        m.apply_move(4, CoinId(0), CoinId(0));
+        assert_eq!(m, before);
+    }
+}

@@ -1,0 +1,411 @@
+//! Stable configurations (pure equilibria): existence, construction, and
+//! enumeration (paper §4 and Appendices A/D).
+
+use crate::config::{Configuration, ConfigurationIter, Masses};
+use crate::error::GameError;
+use crate::game::Game;
+use crate::ids::{CoinId, MinerId};
+use crate::potential::check_enumeration_size;
+use crate::ratio::Ratio;
+
+/// Appendix A's greedy construction (Claim 6 / Proposition 3): place miners
+/// in descending power order, each on the coin maximizing its post-join
+/// RPU. For unrestricted games the result is always a pure equilibrium.
+///
+/// Ties in the argmax resolve to the smallest coin id (any choice preserves
+/// the proof).
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{equilibrium, Game};
+///
+/// let game = Game::build(&[7, 5, 3, 2, 1], &[10, 6, 3])?;
+/// let eq = equilibrium::greedy_equilibrium(&game);
+/// assert!(game.is_stable(&eq));
+/// # Ok::<(), goc_game::GameError>(())
+/// ```
+pub fn greedy_equilibrium(game: &Game) -> Configuration {
+    let system = game.system();
+    let order = system.ids_by_power_desc();
+    let mut assignment = vec![CoinId(0); system.num_miners()];
+    let mut masses = Masses::zero(system.num_coins());
+    for p in order {
+        let c = best_join(game, p, &masses).expect("at least one coin is permitted");
+        assignment[p.index()] = c;
+        masses.add(c, system.power_of(p));
+    }
+    Configuration::new(assignment, system).expect("constructed assignment is valid")
+}
+
+/// The coin maximizing `F(c)·m_p / (M_c + m_p)` over `p`'s permitted coins,
+/// ties towards the smallest coin id. `None` only if no coin is permitted
+/// (impossible for validated games).
+fn best_join(game: &Game, p: MinerId, masses: &Masses) -> Option<CoinId> {
+    let m_p = u128::from(game.system().power_of(p));
+    let mut best: Option<(Ratio, CoinId)> = None;
+    for c in game.system().coin_ids() {
+        if !game.allowed(p, c) {
+            continue;
+        }
+        let mass = masses.mass_of(c) + m_p;
+        let rpu = game
+            .reward_of(c)
+            .checked_div_int(mass as i128)
+            .expect("mass fits i128");
+        if best.is_none_or(|(b, _)| rpu > b) {
+            best = Some((rpu, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Enumerates all stable configurations of `game`, in lexicographic
+/// assignment order.
+///
+/// # Errors
+///
+/// Returns [`GameError::TooLarge`] if `|C|^n > limit`.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{equilibrium, Game};
+///
+/// // Proposition 1's game has exactly the two "split" equilibria.
+/// let game = Game::build(&[2, 1], &[1, 1])?;
+/// let eqs = equilibrium::enumerate_equilibria(&game, 1 << 16)?;
+/// assert_eq!(eqs.len(), 2);
+/// # Ok::<(), goc_game::GameError>(())
+/// ```
+pub fn enumerate_equilibria(game: &Game, limit: u128) -> Result<Vec<Configuration>, GameError> {
+    check_enumeration_size(game, limit)?;
+    Ok(ConfigurationIter::new(game.system())
+        .filter(|s| game.is_stable(s))
+        .collect())
+}
+
+/// Lemma 2's construction of **two distinct stable configurations** for
+/// games satisfying Assumptions 1–2: the two largest miners are split
+/// across the two heaviest coins in both possible ways, then the remaining
+/// miners are placed greedily in descending power order.
+///
+/// # Errors
+///
+/// * [`GameError::TooSmall`] if the game has fewer than two miners or
+///   two coins.
+/// * [`GameError::NotStable`] if either constructed configuration fails to
+///   be stable — a sign that Assumption 1 or 2 does not hold for `game`.
+pub fn two_equilibria(game: &Game) -> Result<(Configuration, Configuration), GameError> {
+    let system = game.system();
+    if system.num_miners() < 2 {
+        return Err(GameError::TooSmall {
+            need: "at least two miners",
+        });
+    }
+    if system.num_coins() < 2 {
+        return Err(GameError::TooSmall {
+            need: "at least two coins",
+        });
+    }
+    let order = system.ids_by_power_desc();
+    // Coins sorted by decreasing reward, ties by id.
+    let mut coins: Vec<CoinId> = system.coin_ids().collect();
+    coins.sort_by(|a, b| {
+        game.reward_of(*b)
+            .cmp(&game.reward_of(*a))
+            .then(a.index().cmp(&b.index()))
+    });
+    let (c1, c2) = (coins[0], coins[1]);
+    let (p1, p2) = (order[0], order[1]);
+
+    let build = |first: CoinId, second: CoinId| -> Configuration {
+        let mut assignment = vec![CoinId(0); system.num_miners()];
+        assignment[p1.index()] = first;
+        assignment[p2.index()] = second;
+        let mut masses = Masses::zero(system.num_coins());
+        masses.add(first, system.power_of(p1));
+        masses.add(second, system.power_of(p2));
+        for &p in order.iter().skip(2) {
+            let c = best_join(game, p, &masses).expect("at least one permitted coin");
+            assignment[p.index()] = c;
+            masses.add(c, system.power_of(p));
+        }
+        Configuration::new(assignment, system).expect("constructed assignment is valid")
+    };
+
+    let sa = build(c1, c2);
+    let sb = build(c2, c1);
+    for s in [&sa, &sb] {
+        if let Some(&witness) = game.unstable_miners(s).first() {
+            return Err(GameError::NotStable { witness });
+        }
+    }
+    Ok((sa, sb))
+}
+
+/// Claim 5/6 (Appendix A) as an operation: given a pure equilibrium of
+/// `game`, add one **new weakest** miner on the coin maximizing its
+/// post-join RPU. The paper proves the result is a pure equilibrium of
+/// the extended game — no re-solving needed.
+///
+/// Returns the extended game (same rewards, one more miner appended with
+/// the next [`MinerId`]) and the extended equilibrium.
+///
+/// # Errors
+///
+/// * [`GameError::NotStable`] if `eq` is not an equilibrium of `game`.
+/// * [`GameError::TooSmall`] if `new_power` exceeds the weakest existing
+///   miner (the claim's hypothesis `m_new ≤ min m_p`).
+/// * Validation errors for out-of-range powers.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{equilibrium, Game};
+///
+/// let game = Game::build(&[9, 7, 4], &[10, 5])?;
+/// let eq = equilibrium::greedy_equilibrium(&game);
+/// let (bigger, bigger_eq) = equilibrium::extend_equilibrium(&game, &eq, 2)?;
+/// assert_eq!(bigger.system().num_miners(), 4);
+/// assert!(bigger.is_stable(&bigger_eq));
+/// # Ok::<(), goc_game::GameError>(())
+/// ```
+pub fn extend_equilibrium(
+    game: &Game,
+    eq: &Configuration,
+    new_power: u64,
+) -> Result<(Game, Configuration), GameError> {
+    if let Some(&witness) = game.unstable_miners(eq).first() {
+        return Err(GameError::NotStable { witness });
+    }
+    if new_power > game.system().min_power() {
+        return Err(GameError::TooSmall {
+            need: "a new miner no stronger than the weakest existing miner",
+        });
+    }
+    let mut powers: Vec<u64> = game
+        .system()
+        .miners()
+        .iter()
+        .map(|m| m.power().get())
+        .collect();
+    powers.push(new_power);
+    let system = crate::system::System::new(&powers, game.system().num_coins())?;
+    let extended = Game::new(system, game.rewards().clone())?;
+
+    // Place the newcomer at argmax F(c)·m/(M_c(eq)+m), ties to lowest id.
+    let masses = eq.masses(game.system());
+    let best = extended
+        .system()
+        .coin_ids()
+        .map(|c| {
+            let mass = masses.mass_of(c) + u128::from(new_power);
+            let rpu = extended
+                .reward_of(c)
+                .checked_div_int(mass as i128)
+                .expect("mass fits i128");
+            (rpu, c)
+        })
+        .fold(None::<(Ratio, CoinId)>, |acc, (rpu, c)| match acc {
+            Some((b, _)) if b >= rpu => acc,
+            _ => Some((rpu, c)),
+        })
+        .map(|(_, c)| c)
+        .expect("at least one coin");
+    let mut assignment = eq.as_slice().to_vec();
+    assignment.push(best);
+    let config = Configuration::new(assignment, extended.system())?;
+    debug_assert!(
+        extended.is_stable(&config),
+        "Claim 5 guarantees stability of the extension"
+    );
+    Ok((extended, config))
+}
+
+/// For every stable configuration, Proposition 2 promises a miner that is
+/// strictly better off in some other stable configuration. This verifies
+/// that claim exhaustively and returns, per equilibrium, a witnessing
+/// `(miner, better_equilibrium_index)` pair.
+///
+/// # Errors
+///
+/// Returns [`GameError::TooLarge`] if enumeration exceeds `limit`, or
+/// [`GameError::TooSmall`] if the game has fewer than two equilibria
+/// (Prop. 2 presupposes more than one).
+pub fn better_equilibrium_witnesses(
+    game: &Game,
+    limit: u128,
+) -> Result<Vec<(MinerId, usize)>, GameError> {
+    let eqs = enumerate_equilibria(game, limit)?;
+    if eqs.len() < 2 {
+        return Err(GameError::TooSmall {
+            need: "more than one stable configuration",
+        });
+    }
+    let payoffs: Vec<Vec<Ratio>> = eqs.iter().map(|s| game.payoffs(s)).collect();
+    let mut witnesses = Vec::with_capacity(eqs.len());
+    'outer: for (i, _) in eqs.iter().enumerate() {
+        for (j, _) in eqs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for p in game.system().miner_ids() {
+                if payoffs[j][p.index()] > payoffs[i][p.index()] {
+                    witnesses.push((p, j));
+                    continue 'outer;
+                }
+            }
+        }
+        // No witness found for equilibrium i: Proposition 2 violated
+        // (its assumptions must not hold for this game).
+        return Err(GameError::NotStable {
+            witness: MinerId(usize::MAX),
+        });
+    }
+    Ok(witnesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn greedy_equilibrium_is_stable_small_cases() {
+        let games = [
+            Game::build(&[2, 1], &[1, 1]).unwrap(),
+            Game::build(&[5, 4, 3, 2, 1], &[7, 3]).unwrap(),
+            Game::build(&[10, 10, 10], &[1, 100]).unwrap(),
+            Game::build(&[1], &[3, 5, 2]).unwrap(),
+        ];
+        for g in &games {
+            let eq = greedy_equilibrium(g);
+            assert!(g.is_stable(&eq), "greedy result {eq} unstable");
+        }
+    }
+
+    #[test]
+    fn greedy_equilibrium_is_stable_randomized() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=12);
+            let k = rng.gen_range(1..=4);
+            let powers: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=1000)).collect();
+            let rewards: Vec<u64> = (0..k).map(|_| rng.gen_range(1..=1000)).collect();
+            let g = Game::build(&powers, &rewards).unwrap();
+            let eq = greedy_equilibrium(&g);
+            assert!(g.is_stable(&eq), "unstable for powers {powers:?} rewards {rewards:?}");
+        }
+    }
+
+    #[test]
+    fn single_miner_picks_heaviest_coin() {
+        let g = Game::build(&[42], &[3, 9, 6]).unwrap();
+        let eq = greedy_equilibrium(&g);
+        assert_eq!(eq.coin_of(MinerId(0)), CoinId(1));
+    }
+
+    #[test]
+    fn enumeration_finds_exactly_the_equilibria() {
+        let g = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let eqs = enumerate_equilibria(&g, 1 << 16).unwrap();
+        assert_eq!(eqs.len(), 2);
+        for s in &eqs {
+            assert!(g.is_stable(s));
+            // In both equilibria the miners split across the coins.
+            assert_ne!(s.coin_of(MinerId(0)), s.coin_of(MinerId(1)));
+        }
+    }
+
+    #[test]
+    fn enumeration_guard() {
+        let g = Game::build(&[1; 40], &[1, 1, 1]).unwrap();
+        assert!(matches!(
+            enumerate_equilibria(&g, 1 << 20),
+            Err(GameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn two_equilibria_distinct_and_stable() {
+        // n >= 2k with spread powers: Assumption 1 plausible; rewards and
+        // powers chosen generic.
+        let g = Game::build(&[13, 11, 7, 5, 3, 2], &[17, 10]).unwrap();
+        let (a, b) = two_equilibria(&g).unwrap();
+        assert_ne!(a, b);
+        assert!(g.is_stable(&a));
+        assert!(g.is_stable(&b));
+    }
+
+    #[test]
+    fn two_equilibria_requires_two_coins_and_miners() {
+        let g = Game::build(&[3, 2], &[5]).unwrap();
+        assert!(matches!(
+            two_equilibria(&g),
+            Err(GameError::TooSmall { .. })
+        ));
+        let g = Game::build(&[3], &[5, 4]).unwrap();
+        assert!(matches!(
+            two_equilibria(&g),
+            Err(GameError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_equilibrium_preserves_stability() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=6);
+            let k = rng.gen_range(1..=3);
+            let powers: Vec<u64> = (0..n).map(|_| rng.gen_range(10..=1000)).collect();
+            let rewards: Vec<u64> = (0..k).map(|_| rng.gen_range(1..=1000)).collect();
+            let mut game = Game::build(&powers, &rewards).unwrap();
+            let mut eq = greedy_equilibrium(&game);
+            // Grow the system miner by miner, checking stability at every
+            // step (the inductive proof of Proposition 3).
+            for _ in 0..4 {
+                let new_power = rng.gen_range(1..=game.system().min_power());
+                let (g2, eq2) = extend_equilibrium(&game, &eq, new_power).unwrap();
+                assert!(g2.is_stable(&eq2));
+                game = g2;
+                eq = eq2;
+            }
+        }
+    }
+
+    #[test]
+    fn extend_equilibrium_validates_inputs() {
+        let game = Game::build(&[5, 3], &[4, 4]).unwrap();
+        let eq = greedy_equilibrium(&game);
+        // Too-strong newcomer violates the claim's hypothesis.
+        assert!(matches!(
+            extend_equilibrium(&game, &eq, 4),
+            Err(GameError::TooSmall { .. })
+        ));
+        // Unstable base configuration is rejected.
+        let unstable = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        if !game.is_stable(&unstable) {
+            assert!(matches!(
+                extend_equilibrium(&game, &unstable, 1),
+                Err(GameError::NotStable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn better_equilibrium_witnesses_cover_prop1_game() {
+        let g = Game::build(&[2, 1], &[1, 1]).unwrap();
+        // Both equilibria give identical payoffs here (1, 1) — rewards are
+        // NOT generic, so the Prop 2 witness search must fail.
+        assert!(better_equilibrium_witnesses(&g, 1 << 16).is_err());
+        // A generic variant: rewards 3 and 2.
+        let g = Game::build(&[6, 5, 4, 3], &[3, 2]).unwrap();
+        let eqs = enumerate_equilibria(&g, 1 << 16).unwrap();
+        if eqs.len() >= 2 {
+            let w = better_equilibrium_witnesses(&g, 1 << 16).unwrap();
+            assert_eq!(w.len(), eqs.len());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Error types for model construction and analysis.
+
+use std::fmt;
+
+use crate::ids::{CoinId, MinerId};
+
+/// Errors arising when building or analyzing a game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// The system has no miners.
+    NoMiners,
+    /// The system has no coins.
+    NoCoins,
+    /// A mining power is outside the supported range `[1, 2^40]`.
+    PowerOutOfRange {
+        /// Offending miner.
+        miner: MinerId,
+        /// The rejected power value.
+        power: u64,
+    },
+    /// A coin reward is outside the supported range `[1, 2^40]`.
+    RewardOutOfRange {
+        /// Offending coin.
+        coin: CoinId,
+        /// The rejected reward value.
+        reward: u64,
+    },
+    /// A designed reward is negative (design games allow zero, not negative).
+    NegativeReward {
+        /// Offending coin.
+        coin: CoinId,
+    },
+    /// The reward vector length does not match the coin count.
+    RewardLengthMismatch {
+        /// Number of rewards supplied.
+        rewards: usize,
+        /// Number of coins in the system.
+        coins: usize,
+    },
+    /// A configuration's length does not match the miner count.
+    ConfigLengthMismatch {
+        /// Configuration length.
+        config: usize,
+        /// Number of miners in the system.
+        miners: usize,
+    },
+    /// A configuration references a coin outside the system.
+    CoinOutOfRange {
+        /// Offending coin index.
+        coin: CoinId,
+        /// Number of coins in the system.
+        coins: usize,
+    },
+    /// A restriction matrix leaves a miner with no permitted coin.
+    NoPermittedCoin {
+        /// Offending miner.
+        miner: MinerId,
+    },
+    /// The operation requires strictly distinct mining powers (paper §5).
+    PowersNotDistinct,
+    /// The operation requires a stable (equilibrium) configuration.
+    NotStable {
+        /// A miner with a better response, as witness.
+        witness: MinerId,
+    },
+    /// The operation needs a larger system than the one supplied (e.g. the
+    /// Lemma 2 construction needs at least two miners and two coins).
+    TooSmall {
+        /// What is missing, e.g. `"at least two coins"`.
+        need: &'static str,
+    },
+    /// An exhaustive analysis was requested on a game that is too large.
+    TooLarge {
+        /// Number of configurations the analysis would enumerate.
+        configurations: u128,
+        /// The enforced maximum.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::NoMiners => f.write_str("system has no miners"),
+            GameError::NoCoins => f.write_str("system has no coins"),
+            GameError::PowerOutOfRange { miner, power } => write!(
+                f,
+                "mining power {power} of {miner} outside supported range [1, 2^40]"
+            ),
+            GameError::RewardOutOfRange { coin, reward } => write!(
+                f,
+                "reward {reward} of {coin} outside supported range [1, 2^40]"
+            ),
+            GameError::NegativeReward { coin } => {
+                write!(f, "designed reward of {coin} is negative")
+            }
+            GameError::RewardLengthMismatch { rewards, coins } => write!(
+                f,
+                "reward vector has {rewards} entries but the system has {coins} coins"
+            ),
+            GameError::ConfigLengthMismatch { config, miners } => write!(
+                f,
+                "configuration has {config} entries but the system has {miners} miners"
+            ),
+            GameError::CoinOutOfRange { coin, coins } => {
+                write!(f, "{coin} out of range for a system with {coins} coins")
+            }
+            GameError::NoPermittedCoin { miner } => {
+                write!(f, "restrictions leave {miner} with no permitted coin")
+            }
+            GameError::PowersNotDistinct => {
+                f.write_str("operation requires strictly distinct mining powers")
+            }
+            GameError::NotStable { witness } => write!(
+                f,
+                "configuration is not stable ({witness} has a better response)"
+            ),
+            GameError::TooSmall { need } => {
+                write!(f, "operation requires {need}")
+            }
+            GameError::TooLarge {
+                configurations,
+                limit,
+            } => write!(
+                f,
+                "exhaustive analysis over {configurations} configurations exceeds limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<GameError> = vec![
+            GameError::NoMiners,
+            GameError::NoCoins,
+            GameError::PowerOutOfRange {
+                miner: MinerId(0),
+                power: 0,
+            },
+            GameError::RewardOutOfRange {
+                coin: CoinId(1),
+                reward: u64::MAX,
+            },
+            GameError::NegativeReward { coin: CoinId(0) },
+            GameError::RewardLengthMismatch {
+                rewards: 1,
+                coins: 2,
+            },
+            GameError::ConfigLengthMismatch {
+                config: 3,
+                miners: 4,
+            },
+            GameError::CoinOutOfRange {
+                coin: CoinId(9),
+                coins: 2,
+            },
+            GameError::NoPermittedCoin { miner: MinerId(2) },
+            GameError::PowersNotDistinct,
+            GameError::NotStable {
+                witness: MinerId(1),
+            },
+            GameError::TooLarge {
+                configurations: 1 << 70,
+                limit: 1 << 22,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

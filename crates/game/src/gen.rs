@@ -1,0 +1,307 @@
+//! Random game generation for experiments, benchmarks, and tests.
+//!
+//! Generation is deterministic given an RNG seed, which the experiment
+//! harness relies on for reproducibility.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::Configuration;
+use crate::error::GameError;
+use crate::game::{Game, Rewards};
+use crate::ids::CoinId;
+use crate::system::System;
+
+/// Distribution of mining powers across miners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerDist {
+    /// All miners share one power value.
+    Equal(u64),
+    /// Powers drawn uniformly from `[lo, hi]` (duplicates possible).
+    Uniform {
+        /// Smallest possible power.
+        lo: u64,
+        /// Largest possible power.
+        hi: u64,
+    },
+    /// Powers drawn uniformly from `[lo, hi]` **without replacement** —
+    /// strictly distinct, as §5's reward design requires.
+    DistinctUniform {
+        /// Smallest possible power.
+        lo: u64,
+        /// Largest possible power.
+        hi: u64,
+    },
+    /// Zipf-like skew: the `i`-th miner (0-based) gets
+    /// `max(1, base / (i+1)^exponent)`; models the heavy-tailed hashrate
+    /// distribution of real mining pools. The per-miner assignment is then
+    /// shuffled so ids do not encode rank.
+    Zipf {
+        /// Power of the top miner.
+        base: u64,
+        /// Skew exponent (1.0 is classic Zipf).
+        exponent: f64,
+    },
+}
+
+/// Distribution of coin rewards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewardDist {
+    /// All coins share one reward (the symmetric case of Appendix B).
+    Equal(u64),
+    /// Rewards drawn uniformly from `[lo, hi]`.
+    Uniform {
+        /// Smallest possible reward.
+        lo: u64,
+        /// Largest possible reward.
+        hi: u64,
+    },
+    /// Rewards drawn uniformly from `[lo, hi]` without replacement.
+    DistinctUniform {
+        /// Smallest possible reward.
+        lo: u64,
+        /// Largest possible reward.
+        hi: u64,
+    },
+}
+
+/// Specification of a random game.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let spec = GameSpec {
+///     miners: 8,
+///     coins: 3,
+///     powers: PowerDist::DistinctUniform { lo: 1, hi: 1000 },
+///     rewards: RewardDist::Uniform { lo: 10, hi: 100 },
+/// };
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let game = spec.sample(&mut rng)?;
+/// assert_eq!(game.system().num_miners(), 8);
+/// assert!(game.system().powers_distinct());
+/// # Ok::<(), goc_game::GameError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameSpec {
+    /// Number of miners `n`.
+    pub miners: usize,
+    /// Number of coins `|C|`.
+    pub coins: usize,
+    /// Power distribution.
+    pub powers: PowerDist,
+    /// Reward distribution.
+    pub rewards: RewardDist,
+}
+
+impl GameSpec {
+    /// Samples a game from the specification.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::TooSmall`] if a `DistinctUniform` range cannot supply
+    ///   enough distinct values.
+    /// * Validation errors from [`System`] / [`Rewards`] construction.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Game, GameError> {
+        let powers = sample_powers(rng, self.miners, self.powers)?;
+        let rewards = sample_values(rng, self.coins, reward_as_power(self.rewards))?;
+        let system = System::new(&powers, self.coins)?;
+        Game::new(system, Rewards::from_integers(&rewards)?)
+    }
+}
+
+fn reward_as_power(r: RewardDist) -> PowerDist {
+    match r {
+        RewardDist::Equal(v) => PowerDist::Equal(v),
+        RewardDist::Uniform { lo, hi } => PowerDist::Uniform { lo, hi },
+        RewardDist::DistinctUniform { lo, hi } => PowerDist::DistinctUniform { lo, hi },
+    }
+}
+
+fn sample_powers<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    dist: PowerDist,
+) -> Result<Vec<u64>, GameError> {
+    sample_values(rng, n, dist)
+}
+
+fn sample_values<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    dist: PowerDist,
+) -> Result<Vec<u64>, GameError> {
+    match dist {
+        PowerDist::Equal(v) => Ok(vec![v; n]),
+        PowerDist::Uniform { lo, hi } => {
+            Ok((0..n).map(|_| rng.gen_range(lo..=hi)).collect())
+        }
+        PowerDist::DistinctUniform { lo, hi } => {
+            let span = hi.saturating_sub(lo).saturating_add(1);
+            if (span as u128) < n as u128 {
+                return Err(GameError::TooSmall {
+                    need: "a distinct-uniform range at least as wide as the count",
+                });
+            }
+            let mut seen = std::collections::HashSet::with_capacity(n);
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let v = rng.gen_range(lo..=hi);
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            Ok(out)
+        }
+        PowerDist::Zipf { base, exponent } => {
+            let mut out: Vec<u64> = (0..n)
+                .map(|i| {
+                    let denom = ((i + 1) as f64).powf(exponent);
+                    ((base as f64 / denom).floor() as u64).max(1)
+                })
+                .collect();
+            out.shuffle(rng);
+            Ok(out)
+        }
+    }
+}
+
+/// Samples a uniformly random configuration of `system` (restrictions, if
+/// any, are **not** consulted; use [`random_config_restricted`] for that).
+pub fn random_config<R: Rng + ?Sized>(rng: &mut R, system: &System) -> Configuration {
+    let assignment = (0..system.num_miners())
+        .map(|_| CoinId(rng.gen_range(0..system.num_coins())))
+        .collect();
+    Configuration::new(assignment, system).expect("sampled assignment is valid")
+}
+
+/// Samples a random configuration respecting a game's coin restrictions.
+pub fn random_config_restricted<R: Rng + ?Sized>(rng: &mut R, game: &Game) -> Configuration {
+    let system = game.system();
+    let assignment = system
+        .miner_ids()
+        .map(|p| {
+            let permitted: Vec<CoinId> =
+                system.coin_ids().filter(|&c| game.allowed(p, c)).collect();
+            *permitted
+                .as_slice()
+                .choose(rng)
+                .expect("validated games permit at least one coin per miner")
+        })
+        .collect();
+    Configuration::new(assignment, system).expect("sampled assignment is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_and_uniform_sampling() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = GameSpec {
+            miners: 5,
+            coins: 2,
+            powers: PowerDist::Equal(7),
+            rewards: RewardDist::Uniform { lo: 1, hi: 9 },
+        };
+        let g = spec.sample(&mut rng).unwrap();
+        assert!(g.system().miners().iter().all(|m| m.power().get() == 7));
+        for c in g.system().coin_ids() {
+            let f = g.reward_of(c).to_f64();
+            assert!((1.0..=9.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn distinct_uniform_is_distinct() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = GameSpec {
+            miners: 50,
+            coins: 2,
+            powers: PowerDist::DistinctUniform { lo: 1, hi: 100 },
+            rewards: RewardDist::Equal(5),
+        };
+        let g = spec.sample(&mut rng).unwrap();
+        assert!(g.system().powers_distinct());
+    }
+
+    #[test]
+    fn distinct_uniform_range_too_narrow() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = GameSpec {
+            miners: 11,
+            coins: 1,
+            powers: PowerDist::DistinctUniform { lo: 1, hi: 10 },
+            rewards: RewardDist::Equal(5),
+        };
+        assert!(matches!(
+            spec.sample(&mut rng),
+            Err(GameError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_positive() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let spec = GameSpec {
+            miners: 20,
+            coins: 2,
+            powers: PowerDist::Zipf {
+                base: 1000,
+                exponent: 1.2,
+            },
+            rewards: RewardDist::Equal(5),
+        };
+        let g = spec.sample(&mut rng).unwrap();
+        let mut powers: Vec<u64> = g.system().miners().iter().map(|m| m.power().get()).collect();
+        assert!(powers.iter().all(|&p| p >= 1));
+        powers.sort_unstable();
+        assert!(powers[powers.len() - 1] == 1000);
+        assert!(powers[0] < 100);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = GameSpec {
+            miners: 6,
+            coins: 3,
+            powers: PowerDist::Uniform { lo: 1, hi: 100 },
+            rewards: RewardDist::Uniform { lo: 1, hi: 100 },
+        };
+        let a = spec.sample(&mut SmallRng::seed_from_u64(9)).unwrap();
+        let b = spec.sample(&mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.system(), b.system());
+        assert_eq!(a.rewards(), b.rewards());
+    }
+
+    #[test]
+    fn random_config_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let system = System::new(&[1, 2, 3], 4).unwrap();
+        for _ in 0..20 {
+            let s = random_config(&mut rng, &system);
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn restricted_config_respects_restrictions() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = Game::build(&[1, 2], &[1, 1])
+            .unwrap()
+            .with_restrictions(vec![vec![true, false], vec![false, true]])
+            .unwrap();
+        for _ in 0..10 {
+            let s = random_config_restricted(&mut rng, &g);
+            assert_eq!(s.coin_of(crate::ids::MinerId(0)), CoinId(0));
+            assert_eq!(s.coin_of(crate::ids::MinerId(1)), CoinId(1));
+        }
+    }
+}

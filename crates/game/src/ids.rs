@@ -1,0 +1,99 @@
+//! Typed identifiers for miners (players) and coins (resources).
+//!
+//! Both are dense indices into the owning [`System`](crate::system::System);
+//! the newtypes keep the two index spaces statically distinct.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a miner (player): index into the system's miner list.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::MinerId;
+/// let p = MinerId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MinerId(pub usize);
+
+impl MinerId {
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MinerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for MinerId {
+    fn from(i: usize) -> Self {
+        MinerId(i)
+    }
+}
+
+/// Identifier of a coin (resource): index into the system's coin list.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::CoinId;
+/// let c = CoinId(0);
+/// assert_eq!(c.index(), 0);
+/// assert_eq!(c.to_string(), "c0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CoinId(pub usize);
+
+impl CoinId {
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for CoinId {
+    fn from(i: usize) -> Self {
+        CoinId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(MinerId(1) < MinerId(2));
+        assert!(CoinId(0) < CoinId(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MinerId(7).to_string(), "p7");
+        assert_eq!(CoinId(2).to_string(), "c2");
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(MinerId::from(4), MinerId(4));
+        assert_eq!(CoinId::from(4), CoinId(4));
+    }
+}

@@ -1,0 +1,66 @@
+//! Canonical constructions taken verbatim from the paper, for use in
+//! tests, examples, and the experiment harness.
+
+use crate::config::Configuration;
+use crate::game::Game;
+use crate::ids::CoinId;
+
+/// The Proposition 1 counterexample game: `Π = {p₁, p₂}` with powers
+/// `(2, 1)`, `C = {c₁, c₂}` with rewards `(1, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::paper;
+///
+/// let game = paper::prop1_game();
+/// assert_eq!(game.system().num_miners(), 2);
+/// assert_eq!(game.system().total_power(), 3);
+/// ```
+pub fn prop1_game() -> Game {
+    Game::build(&[2, 1], &[1, 1]).expect("the paper's constants are valid")
+}
+
+/// The four configurations `s¹..s⁴` of the Proposition 1 cycle:
+/// `⟨c₁,c₁⟩, ⟨c₁,c₂⟩, ⟨c₂,c₂⟩, ⟨c₂,c₁⟩`.
+pub fn prop1_cycle(game: &Game) -> [Configuration; 4] {
+    let cfg = |a: usize, b: usize| {
+        Configuration::new(vec![CoinId(a), CoinId(b)], game.system())
+            .expect("indices 0/1 are valid for the 2-coin system")
+    };
+    [cfg(0, 0), cfg(0, 1), cfg(1, 1), cfg(1, 0)]
+}
+
+/// A small "BTC vs BCH"-flavoured example game used across the examples:
+/// six miners with distinct powers and two coins with a 10:3 reward split
+/// (think exchange-rate-weighted block rewards).
+pub fn btc_bch_toy() -> Game {
+    Game::build(&[34, 21, 13, 8, 5, 3], &[100, 30]).expect("constants are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+
+    #[test]
+    fn prop1_payoffs_match_paper() {
+        let g = prop1_game();
+        let [s1, s2, s3, s4] = prop1_cycle(&g);
+        let u = |p: usize, s: &Configuration| g.payoff(crate::ids::MinerId(p), s);
+        let r = |n, d| Ratio::new(n, d).unwrap();
+        assert_eq!(u(0, &s1), r(2, 3));
+        assert_eq!(u(1, &s1), r(1, 3));
+        assert_eq!(u(0, &s2), r(1, 1));
+        assert_eq!(u(1, &s2), r(1, 1));
+        assert_eq!(u(0, &s3), r(2, 3));
+        assert_eq!(u(1, &s3), r(1, 3));
+        assert_eq!(u(0, &s4), r(1, 1));
+        assert_eq!(u(1, &s4), r(1, 1));
+    }
+
+    #[test]
+    fn toy_game_has_distinct_powers() {
+        assert!(btc_bch_toy().system().powers_distinct());
+    }
+}

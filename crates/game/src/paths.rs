@@ -1,0 +1,274 @@
+//! The improving-move graph of a game.
+//!
+//! Theorem 1's ordinal potential makes the directed graph whose vertices
+//! are configurations and whose edges are better-response steps a **DAG**
+//! — every edge strictly increases the potential. For enumerable games
+//! this module materializes that DAG and answers exact questions the
+//! sampled experiments can only estimate:
+//!
+//! * which equilibria are *reachable* by some better-response learning
+//!   from a given start (the reward designer cares precisely because
+//!   this set usually has more than one element);
+//! * the shortest and longest improving paths to equilibrium (exact
+//!   best/worst cases for the convergence-speed experiment).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::{Configuration, ConfigurationIter};
+use crate::error::GameError;
+use crate::game::Game;
+use crate::potential::check_enumeration_size;
+
+/// The materialized improving-move DAG of a small game.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{paths::ImprovingDag, CoinId, Configuration, Game};
+///
+/// let game = Game::build(&[2, 1], &[1, 1])?;
+/// let dag = ImprovingDag::new(&game, 1 << 16)?;
+/// let start = Configuration::uniform(CoinId(0), game.system())?;
+/// // Both split equilibria are reachable from the clumped start.
+/// assert_eq!(dag.reachable_equilibria(&start)?.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImprovingDag {
+    configs: Vec<Configuration>,
+    index: HashMap<Configuration, usize>,
+    /// `edges[v]` = improving-move successors of configuration `v`.
+    edges: Vec<Vec<usize>>,
+}
+
+impl ImprovingDag {
+    /// Materializes the DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::TooLarge`] if `|C|^n > limit`.
+    pub fn new(game: &Game, limit: u128) -> Result<Self, GameError> {
+        check_enumeration_size(game, limit)?;
+        let configs: Vec<Configuration> = ConfigurationIter::new(game.system()).collect();
+        let index: HashMap<Configuration, usize> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        let edges = configs
+            .iter()
+            .map(|s| {
+                game.improving_moves(s)
+                    .into_iter()
+                    .map(|mv| index[&s.with_move(mv.miner, mv.to)])
+                    .collect()
+            })
+            .collect();
+        Ok(ImprovingDag {
+            configs,
+            index,
+            edges,
+        })
+    }
+
+    /// Number of configurations (vertices).
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the DAG is empty (never for valid games).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    fn index_of(&self, s: &Configuration) -> Result<usize, GameError> {
+        self.index
+            .get(s)
+            .copied()
+            .ok_or(GameError::ConfigLengthMismatch {
+                config: s.len(),
+                miners: self.configs.first().map_or(0, Configuration::len),
+            })
+    }
+
+    /// All equilibria (sinks) reachable from `start` by some improving
+    /// path — the exact set of outcomes arbitrary better-response
+    /// learning can produce.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `start` does not belong to the tabulated game.
+    pub fn reachable_equilibria(
+        &self,
+        start: &Configuration,
+    ) -> Result<Vec<Configuration>, GameError> {
+        let s = self.index_of(start)?;
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([s]);
+        seen[s] = true;
+        let mut sinks = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            if self.edges[v].is_empty() {
+                sinks.push(self.configs[v].clone());
+                continue;
+            }
+            for &w in &self.edges[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        Ok(sinks)
+    }
+
+    /// Length of the shortest improving path from `start` to *any*
+    /// equilibrium (0 if `start` is stable).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `start` does not belong to the tabulated game.
+    pub fn shortest_path_to_equilibrium(&self, start: &Configuration) -> Result<usize, GameError> {
+        let s = self.index_of(start)?;
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = VecDeque::from([s]);
+        dist[s] = 0;
+        while let Some(v) = queue.pop_front() {
+            if self.edges[v].is_empty() {
+                return Ok(dist[v]);
+            }
+            for &w in &self.edges[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        unreachable!("improving paths always end at a sink (Theorem 1)")
+    }
+
+    /// Length of the **longest** improving path from `start` — the exact
+    /// worst case over all better-response learnings (well-defined
+    /// because the graph is a DAG; memoized DFS).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `start` does not belong to the tabulated game.
+    pub fn longest_path(&self, start: &Configuration) -> Result<usize, GameError> {
+        let s = self.index_of(start)?;
+        let mut memo: Vec<Option<usize>> = vec![None; self.len()];
+        Ok(self.longest_from(s, &mut memo))
+    }
+
+    fn longest_from(&self, v: usize, memo: &mut Vec<Option<usize>>) -> usize {
+        if let Some(d) = memo[v] {
+            return d;
+        }
+        let mut best = 0;
+        // Iterative DFS would avoid recursion depth concerns, but path
+        // lengths are bounded by the potential-level count, which is far
+        // below any stack limit for enumerable games.
+        for &w in &self.edges[v] {
+            best = best.max(1 + self.longest_from(w, memo));
+        }
+        memo[v] = Some(best);
+        best
+    }
+
+    /// All equilibria (global sinks) of the game.
+    pub fn equilibria(&self) -> Vec<Configuration> {
+        self.configs
+            .iter()
+            .zip(&self.edges)
+            .filter(|(_, e)| e.is_empty())
+            .map(|(c, _)| c.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CoinId;
+
+    fn dag(game: &Game) -> ImprovingDag {
+        ImprovingDag::new(game, 1 << 16).unwrap()
+    }
+
+    #[test]
+    fn prop1_game_dag_shape() {
+        let game = crate::paper::prop1_game();
+        let d = dag(&game);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.equilibria().len(), 2);
+        let clumped = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        assert_eq!(d.reachable_equilibria(&clumped).unwrap().len(), 2);
+        assert_eq!(d.shortest_path_to_equilibrium(&clumped).unwrap(), 1);
+        // Worst case: p0 moves first (to c1), then p1 follows? After p0
+        // moves, ⟨c1,c0⟩ is stable — so the longest path is also 1…
+        // unless p1 moves first reaching ⟨c0,c1⟩ (also stable). Both
+        // paths have length 1.
+        assert_eq!(d.longest_path(&clumped).unwrap(), 1);
+    }
+
+    #[test]
+    fn longest_dominates_shortest() {
+        let game = Game::build(&[5, 3, 2, 1], &[7, 4]).unwrap();
+        let d = dag(&game);
+        for s in ConfigurationIter::new(game.system()) {
+            let short = d.shortest_path_to_equilibrium(&s).unwrap();
+            let long = d.longest_path(&s).unwrap();
+            assert!(long >= short, "{s}: longest {long} < shortest {short}");
+            if game.is_stable(&s) {
+                assert_eq!(short, 0);
+                assert_eq!(long, 0);
+            } else {
+                assert!(short >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn learning_outcomes_are_within_the_reachable_set() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let game = Game::build(&[5, 3, 2, 1], &[7, 4]).unwrap();
+        let d = dag(&game);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let start = crate::gen::random_config(&mut rng, game.system());
+        let reachable = d.reachable_equilibria(&start).unwrap();
+        // Run many random learnings; every outcome must be in the set.
+        for seed in 0..20 {
+            let mut config = start.clone();
+            let mut step_rng = SmallRng::seed_from_u64(seed);
+            loop {
+                let moves = game.improving_moves(&config);
+                if moves.is_empty() {
+                    break;
+                }
+                use rand::seq::SliceRandom;
+                let mv = moves.choose(&mut step_rng).unwrap();
+                config.apply_move(mv.miner, mv.to);
+            }
+            assert!(reachable.contains(&config));
+        }
+    }
+
+    #[test]
+    fn guards_large_games() {
+        let game = Game::build(&[1; 40], &[1, 1, 1]).unwrap();
+        assert!(matches!(
+            ImprovingDag::new(&game, 1 << 20),
+            Err(GameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_foreign_configurations() {
+        let game = crate::paper::prop1_game();
+        let other = Game::build(&[1, 1, 1], &[1, 1]).unwrap();
+        let d = dag(&game);
+        let foreign = Configuration::uniform(CoinId(0), other.system()).unwrap();
+        assert!(d.reachable_equilibria(&foreign).is_err());
+    }
+}

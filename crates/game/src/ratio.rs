@@ -1,0 +1,639 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The mining game's dynamics are driven entirely by *comparisons* of
+//! revenue-per-unit (RPU) values of the form `F(c) / M_c(s)`. Two parts of
+//! the paper make floating point unusable here:
+//!
+//! * **Theorem 1** (ordinal potential): the potential argument needs strict,
+//!   transitive comparisons of RPU lists; rounding can manufacture cycles.
+//! * **Algorithm 2** (reward design): the designed rewards place the
+//!   *anchor* miner at exact indifference (`RPU` exactly equal before and
+//!   after a hypothetical move). A one-ULP error turns indifference into a
+//!   spurious better response and breaks Lemma 1's invariants.
+//!
+//! [`Ratio`] is an always-reduced fraction with a positive denominator.
+//! Comparison first attempts a checked cross-multiplication and falls back
+//! to an overflow-free Euclidean (continued-fraction) comparison, so
+//! ordering is exact for *any* representable operands. Arithmetic uses
+//! cross-GCD reduction; inputs validated by
+//! [`System`](crate::system::System) (powers and rewards in `[1, 2^40]`)
+//! keep all intermediate products comfortably inside `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Error produced when constructing a [`Ratio`] with a zero denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroDenominatorError;
+
+impl fmt::Display for ZeroDenominatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("denominator must be non-zero")
+    }
+}
+
+impl std::error::Error for ZeroDenominatorError {}
+
+/// An exact rational number: reduced `num / den` with `den > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::ratio::Ratio;
+///
+/// let a = Ratio::new(2, 4)?; // stored as 1/2
+/// let b = Ratio::new(1, 3)?;
+/// assert_eq!(a + b, Ratio::new(5, 6)?);
+/// assert!(a > b);
+/// assert_eq!(a.to_f64(), 0.5);
+/// # Ok::<(), goc_game::ratio::ZeroDenominatorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a reduced ratio from a numerator and denominator.
+    ///
+    /// The sign is normalized onto the numerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroDenominatorError`] if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Result<Self, ZeroDenominatorError> {
+        if den == 0 {
+            return Err(ZeroDenominatorError);
+        }
+        Ok(Self::new_reduced(num, den))
+    }
+
+    /// Creates a ratio from an integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use goc_game::ratio::Ratio;
+    /// assert_eq!(Ratio::from_int(7), Ratio::new(14, 2).unwrap());
+    /// ```
+    pub const fn from_int(n: i128) -> Self {
+        Ratio { num: n, den: 1 }
+    }
+
+    fn new_reduced(num: i128, den: i128) -> Self {
+        debug_assert!(den != 0);
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
+        let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd_u128(num, den);
+        let num = (num / g) as i128 * sign;
+        let den = (den / g) as i128;
+        Ratio { num, den }
+    }
+
+    /// The (reduced) numerator, carrying the sign.
+    pub const fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// The (reduced, always positive) denominator.
+    pub const fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Converts to the nearest `f64` (for display and plotting only; all
+    /// game-relevant decisions use exact comparisons).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroDenominatorError`] if the value is zero.
+    pub fn recip(self) -> Result<Self, ZeroDenominatorError> {
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Checked addition; `None` on `i128` overflow.
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)), g = gcd(b, d).
+        let g = gcd_u128(self.den as u128, rhs.den as u128) as i128;
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Self::new_reduced(num, den))
+    }
+
+    /// Checked subtraction; `None` on `i128` overflow.
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        self.checked_add(Ratio {
+            num: rhs.num.checked_neg()?,
+            den: rhs.den,
+        })
+    }
+
+    /// Checked multiplication with cross-GCD reduction; `None` on overflow.
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        let g1 = gcd_u128(self.num.unsigned_abs(), rhs.den as u128) as i128;
+        let g2 = gcd_u128(rhs.num.unsigned_abs(), self.den as u128) as i128;
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Self::new_reduced(num, den))
+    }
+
+    /// Checked division; `None` on overflow or division by zero.
+    pub fn checked_div(self, rhs: Self) -> Option<Self> {
+        if rhs.is_zero() {
+            return None;
+        }
+        self.checked_mul(Ratio {
+            num: rhs.den * rhs.num.signum(),
+            den: rhs.num.abs(),
+        })
+    }
+
+    /// Multiplies by an integer (checked).
+    pub fn checked_mul_int(self, n: i128) -> Option<Self> {
+        self.checked_mul(Ratio::from_int(n))
+    }
+
+    /// Divides by a positive integer (checked).
+    pub fn checked_div_int(self, n: i128) -> Option<Self> {
+        if n == 0 {
+            return None;
+        }
+        self.checked_mul(Ratio { num: 1, den: n }.normalized())
+    }
+
+    fn normalized(self) -> Self {
+        Self::new_reduced(self.num, self.den)
+    }
+
+    /// Exact minimum of two ratios.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Exact maximum of two ratios.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(n: u64) -> Self {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Self {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl<'de> Deserialize<'de> for Ratio {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw {
+            num: i128,
+            den: i128,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Ratio::new(raw.num, raw.den).map_err(serde::de::Error::custom)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Fast path: checked cross multiplication.
+        if let (Some(l), Some(r)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            return l.cmp(&r);
+        }
+        // Exact fallback that cannot overflow.
+        match (self.num.signum(), other.num.signum()) {
+            (a, b) if a != b => a.cmp(&b),
+            (-1, -1) => cmp_nonneg_frac(
+                other.num.unsigned_abs(),
+                other.den as u128,
+                self.num.unsigned_abs(),
+                self.den as u128,
+            ),
+            _ => cmp_nonneg_frac(
+                self.num.unsigned_abs(),
+                self.den as u128,
+                other.num.unsigned_abs(),
+                other.den as u128,
+            ),
+        }
+    }
+}
+
+macro_rules! panicking_op {
+    ($trait:ident, $method:ident, $checked:ident, $sym:literal) => {
+        impl $trait for Ratio {
+            type Output = Ratio;
+
+            /// # Panics
+            ///
+            /// Panics on `i128` overflow. Inputs validated by
+            /// [`System`](crate::system::System) never overflow.
+            fn $method(self, rhs: Ratio) -> Ratio {
+                self.$checked(rhs).unwrap_or_else(|| {
+                    panic!(
+                        "ratio overflow: {} {} {}",
+                        self, $sym, rhs
+                    )
+                })
+            }
+        }
+    };
+}
+
+panicking_op!(Add, add, checked_add, "+");
+panicking_op!(Sub, sub, checked_sub, "-");
+panicking_op!(Mul, mul, checked_mul, "*");
+panicking_op!(Div, div, checked_div, "/");
+
+impl Neg for Ratio {
+    type Output = Ratio;
+
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl std::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, |acc, r| acc + r)
+    }
+}
+
+/// Compares `a_num/a_den` with `b_num/b_den` (all non-negative, dens > 0)
+/// without any multiplication, via continued-fraction descent. Runs in
+/// `O(log max)` like Euclid's algorithm.
+fn cmp_nonneg_frac(mut a_num: u128, mut a_den: u128, mut b_num: u128, mut b_den: u128) -> Ordering {
+    loop {
+        let qa = a_num / a_den;
+        let qb = b_num / b_den;
+        if qa != qb {
+            return qa.cmp(&qb);
+        }
+        let ra = a_num % a_den;
+        let rb = b_num % b_den;
+        match (ra == 0, rb == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                // a = q + ra/a_den, b = q + rb/b_den:
+                // compare ra/a_den vs rb/b_den  <=>  b_den/rb vs a_den/ra.
+                (a_num, a_den, b_num, b_den) = (b_den, rb, a_den, ra);
+            }
+        }
+    }
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b.max(1);
+    }
+    if b == 0 {
+        return a;
+    }
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// An extended non-negative rational: a finite [`Ratio`] or `+∞`.
+///
+/// Revenue-per-unit (RPU) of an *unoccupied* coin is `F(c)/0`, which the
+/// paper's list potential treats as larger than every finite RPU; this type
+/// makes that convention explicit and totally ordered.
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::ratio::{Extended, Ratio};
+///
+/// let fin = Extended::Finite(Ratio::new(3, 2).unwrap());
+/// assert!(fin < Extended::Infinite);
+/// assert_eq!(Extended::Infinite, Extended::Infinite);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Extended {
+    /// A finite rational value.
+    Finite(Ratio),
+    /// Positive infinity (RPU of an unoccupied coin).
+    Infinite,
+}
+
+impl Extended {
+    /// The finite zero.
+    pub const ZERO: Extended = Extended::Finite(Ratio::ZERO);
+
+    /// Returns the finite value, if any.
+    pub fn finite(self) -> Option<Ratio> {
+        match self {
+            Extended::Finite(r) => Some(r),
+            Extended::Infinite => None,
+        }
+    }
+
+    /// Whether the value is `+∞`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Extended::Infinite)
+    }
+
+    /// Converts to `f64` (`f64::INFINITY` for `+∞`).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Extended::Finite(r) => r.to_f64(),
+            Extended::Infinite => f64::INFINITY,
+        }
+    }
+
+    /// Addition absorbing infinity.
+    pub fn saturating_add(self, rhs: Extended) -> Extended {
+        match (self, rhs) {
+            (Extended::Finite(a), Extended::Finite(b)) => Extended::Finite(a + b),
+            _ => Extended::Infinite,
+        }
+    }
+}
+
+impl From<Ratio> for Extended {
+    fn from(r: Ratio) -> Self {
+        Extended::Finite(r)
+    }
+}
+
+impl fmt::Display for Extended {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Extended::Finite(r) => write!(f, "{r}"),
+            Extended::Infinite => f.write_str("inf"),
+        }
+    }
+}
+
+impl PartialOrd for Extended {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Extended {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Extended::Finite(a), Extended::Finite(b)) => a.cmp(b),
+            (Extended::Finite(_), Extended::Infinite) => Ordering::Less,
+            (Extended::Infinite, Extended::Finite(_)) => Ordering::Greater,
+            (Extended::Infinite, Extended::Infinite) => Ordering::Equal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5).numerator(), 0);
+        assert_eq!(r(0, 5).denominator(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(Ratio::new(1, 0), Err(ZeroDenominatorError));
+    }
+
+    #[test]
+    fn sign_normalization() {
+        assert_eq!(r(-1, -2), r(1, 2));
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert!(r(1, -2).is_negative());
+        assert!(r(-3, -4).is_positive());
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn int_helpers() {
+        assert_eq!(r(1, 3).checked_mul_int(6).unwrap(), r(2, 1));
+        assert_eq!(r(4, 1).checked_div_int(8).unwrap(), r(1, 2));
+        assert_eq!(r(4, 1).checked_div_int(0), None);
+    }
+
+    #[test]
+    fn comparison_fast_path() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == r(1, 1));
+        assert!(r(5, 4) > r(1, 1));
+    }
+
+    #[test]
+    fn comparison_overflow_path() {
+        // Denominators chosen so cross multiplication overflows i128.
+        let big = i128::MAX / 2;
+        let a = Ratio { num: big, den: big - 1 }; // slightly > 1
+        let b = Ratio { num: big - 1, den: big }; // slightly < 1
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+
+        let na = Ratio { num: -big, den: big - 1 };
+        let nb = Ratio { num: -(big - 1), den: big };
+        assert!(na < nb);
+    }
+
+    #[test]
+    fn euclidean_compare_agrees_with_f64_on_moderate_values() {
+        // Cross-check the slow path against direct comparison on values
+        // where both are exact.
+        let cases = [
+            (3u128, 7u128, 2u128, 5u128),
+            (22, 7, 355, 113),
+            (1, 1, 1, 1),
+            (0, 1, 1, 100),
+            (100, 1, 99, 1),
+        ];
+        for (an, ad, bn, bd) in cases {
+            let expect = (an * bd).cmp(&(bn * ad));
+            assert_eq!(cmp_nonneg_frac(an, ad, bn, bd), expect);
+        }
+    }
+
+    #[test]
+    fn recip_and_abs() {
+        assert_eq!(r(2, 3).recip().unwrap(), r(3, 2));
+        assert_eq!(r(-2, 3).recip().unwrap(), r(-3, 2));
+        assert!(Ratio::ZERO.recip().is_err());
+        assert_eq!(r(-5, 2).abs(), r(5, 2));
+    }
+
+    #[test]
+    fn min_max_sum() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+        let total: Ratio = [r(1, 2), r(1, 3), r(1, 6)].into_iter().sum();
+        assert_eq!(total, Ratio::ONE);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(3, 2).to_string(), "3/2");
+        assert_eq!(r(-3, 2).to_string(), "-3/2");
+    }
+
+    #[test]
+    fn extended_ordering() {
+        let vals = [
+            Extended::ZERO,
+            Extended::Finite(r(1, 2)),
+            Extended::Finite(r(2, 1)),
+            Extended::Infinite,
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(Extended::Infinite.to_f64(), f64::INFINITY);
+        assert_eq!(
+            Extended::Infinite.saturating_add(Extended::ZERO),
+            Extended::Infinite
+        );
+        assert_eq!(
+            Extended::Finite(r(1, 2)).saturating_add(Extended::Finite(r(1, 2))),
+            Extended::Finite(Ratio::ONE)
+        );
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert_eq!(r(1, 4).to_f64(), 0.25);
+        assert_eq!(r(-1, 4).to_f64(), -0.25);
+    }
+
+    #[test]
+    fn overflow_panics_with_message() {
+        let big = Ratio::from_int(i128::MAX / 2);
+        let res = std::panic::catch_unwind(|| big * big);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn checked_ops_report_overflow() {
+        let big = Ratio::from_int(i128::MAX / 2);
+        assert!(big.checked_mul(big).is_none());
+        assert!(big.checked_add(big).is_some()); // i128::MAX/2*2 fits
+        assert!(Ratio::from_int(i128::MAX)
+            .checked_add(Ratio::ONE)
+            .is_none());
+    }
+
+    #[test]
+    fn cross_reduction_avoids_spurious_overflow() {
+        // (2^100 / 3) * (3 / 2^100) = 1 must succeed via cross reduction.
+        let p = Ratio::new(1i128 << 100, 3).unwrap();
+        let q = Ratio::new(3, 1i128 << 100).unwrap();
+        assert_eq!(p.checked_mul(q).unwrap(), Ratio::ONE);
+    }
+}

@@ -1,0 +1,364 @@
+//! The better-response learning engine.
+//!
+//! A *better-response learning* from `s` (paper §2) is a sequence of
+//! individual improvement steps that either is infinite or ends in a
+//! stable configuration. Theorem 1 shows the infinite case cannot happen;
+//! [`run`] executes the sequence for any [`Scheduler`] and reports the
+//! convergence point, step count, and (optionally) the full improving path
+//! with a potential-monotonicity audit.
+
+use std::fmt;
+
+use goc_game::potential;
+use goc_game::{Configuration, Game, Move};
+
+use crate::scheduler::Scheduler;
+
+/// Options controlling a learning run.
+#[derive(Debug, Clone, Copy)]
+pub struct LearningOptions {
+    /// Hard cap on steps. Theorem 1 guarantees termination, so hitting the
+    /// cap signals either an enormous game or a bug; the outcome then has
+    /// `converged == false`.
+    pub max_steps: usize,
+    /// Record the full improving path in the outcome.
+    pub record_path: bool,
+    /// After every step, assert that the ordinal potential strictly
+    /// increased (expensive: `O(|C| log |C|)` per step). Intended for
+    /// tests and the Theorem 1 experiment.
+    pub audit_potential: bool,
+}
+
+impl Default for LearningOptions {
+    fn default() -> Self {
+        LearningOptions {
+            max_steps: 1_000_000,
+            record_path: false,
+            audit_potential: false,
+        }
+    }
+}
+
+/// Result of a learning run.
+#[derive(Debug, Clone)]
+pub struct LearningOutcome {
+    /// The final configuration (stable iff `converged`).
+    pub final_config: Configuration,
+    /// Number of better-response steps taken.
+    pub steps: usize,
+    /// Whether a stable configuration was reached within `max_steps`.
+    pub converged: bool,
+    /// The improving path, if requested.
+    pub path: Vec<Move>,
+    /// `Some(true)` if auditing was enabled and every step strictly
+    /// increased the ordinal potential (`Some(false)` is impossible —
+    /// a violation aborts the run with an error).
+    pub potential_audit: Option<bool>,
+}
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LearningError {
+    /// The scheduler returned a move that is not a legal better response —
+    /// failure injection for buggy schedulers.
+    NotABetterResponse {
+        /// The offending move.
+        mv: Move,
+    },
+    /// Potential auditing found a step that did not increase the ordinal
+    /// potential (would falsify Theorem 1; indicates an engine bug).
+    PotentialViolation {
+        /// The offending move.
+        mv: Move,
+        /// Step index at which the violation occurred.
+        step: usize,
+    },
+}
+
+impl fmt::Display for LearningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearningError::NotABetterResponse { mv } => {
+                write!(f, "scheduler returned a non-improving move ({mv})")
+            }
+            LearningError::PotentialViolation { mv, step } => write!(
+                f,
+                "ordinal potential failed to increase at step {step} ({mv})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LearningError {}
+
+/// Runs better-response learning from `start` under `scheduler`.
+///
+/// # Errors
+///
+/// * [`LearningError::NotABetterResponse`] if the scheduler misbehaves.
+/// * [`LearningError::PotentialViolation`] if auditing detects a
+///   non-increasing step (engine bug).
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, Game};
+/// use goc_learning::{run, LearningOptions, RoundRobin};
+///
+/// let game = Game::build(&[2, 1], &[1, 1])?;
+/// let start = Configuration::uniform(CoinId(0), game.system())?;
+/// let outcome = run(&game, &start, &mut RoundRobin::new(), LearningOptions::default())?;
+/// assert!(outcome.converged);
+/// assert!(game.is_stable(&outcome.final_config));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(
+    game: &Game,
+    start: &Configuration,
+    scheduler: &mut dyn Scheduler,
+    options: LearningOptions,
+) -> Result<LearningOutcome, LearningError> {
+    run_with_observer(game, start, scheduler, options, |_, _| {})
+}
+
+/// [`run`] with a per-step observer called *after* each applied move with
+/// the new configuration. Used by experiments that trace potential values
+/// or hashrate series.
+pub fn run_with_observer(
+    game: &Game,
+    start: &Configuration,
+    scheduler: &mut dyn Scheduler,
+    options: LearningOptions,
+    mut observer: impl FnMut(&Configuration, Move),
+) -> Result<LearningOutcome, LearningError> {
+    let system = game.system();
+    let mut config = start.clone();
+    let mut masses = config.masses(system);
+    let mut path = Vec::new();
+    let mut steps = 0usize;
+
+    while steps < options.max_steps {
+        let moves = game.improving_moves(&config);
+        if moves.is_empty() {
+            return Ok(LearningOutcome {
+                final_config: config,
+                steps,
+                converged: true,
+                path,
+                potential_audit: options.audit_potential.then_some(true),
+            });
+        }
+        let mv = scheduler.pick(game, &config, &moves);
+        if !moves.contains(&mv) {
+            return Err(LearningError::NotABetterResponse { mv });
+        }
+        let before = options.audit_potential.then(|| config.clone());
+        masses.apply_move(system.power_of(mv.miner), config.coin_of(mv.miner), mv.to);
+        config.apply_move(mv.miner, mv.to);
+        if let Some(before) = before {
+            if !potential::strictly_increases(game, &before, &config) {
+                return Err(LearningError::PotentialViolation { mv, step: steps });
+            }
+        }
+        if options.record_path {
+            path.push(mv);
+        }
+        observer(&config, mv);
+        steps += 1;
+    }
+
+    Ok(LearningOutcome {
+        final_config: config,
+        steps,
+        converged: false,
+        path,
+        potential_audit: options.audit_potential.then_some(true),
+    })
+}
+
+/// Convenience: run to convergence with defaults and return only the final
+/// stable configuration and step count.
+///
+/// # Panics
+///
+/// Panics if the scheduler misbehaves (cannot happen for the bundled
+/// schedulers) or the step cap is hit.
+pub fn converge(game: &Game, start: &Configuration, scheduler: &mut dyn Scheduler) -> (Configuration, usize) {
+    let outcome = run(game, start, scheduler, LearningOptions::default())
+        .expect("bundled schedulers only return legal moves");
+    assert!(
+        outcome.converged,
+        "better-response learning did not converge within the step cap"
+    );
+    (outcome.final_config, outcome.steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{MinGain, RoundRobin, SchedulerKind, UniformRandom};
+    use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+    use goc_game::{CoinId, Configuration, Game};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_prop1_game() {
+        let game = goc_game::paper::prop1_game();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let (final_config, steps) = converge(&game, &start, &mut RoundRobin::new());
+        assert!(game.is_stable(&final_config));
+        assert!(steps >= 1);
+    }
+
+    #[test]
+    fn all_schedulers_converge_on_random_games_with_audit() {
+        let spec = GameSpec {
+            miners: 8,
+            coins: 3,
+            powers: PowerDist::Uniform { lo: 1, hi: 500 },
+            rewards: RewardDist::Uniform { lo: 1, hi: 500 },
+        };
+        let mut rng = SmallRng::seed_from_u64(21);
+        for trial in 0..10 {
+            let game = spec.sample(&mut rng).unwrap();
+            let start = goc_game::gen::random_config(&mut rng, game.system());
+            for kind in SchedulerKind::ALL {
+                let mut sched = kind.build(trial);
+                let outcome = run(
+                    &game,
+                    &start,
+                    sched.as_mut(),
+                    LearningOptions {
+                        audit_potential: true,
+                        record_path: true,
+                        ..LearningOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(outcome.converged, "{kind} failed to converge");
+                assert!(game.is_stable(&outcome.final_config));
+                assert_eq!(outcome.path.len(), outcome.steps);
+                assert_eq!(outcome.potential_audit, Some(true));
+            }
+        }
+    }
+
+    #[test]
+    fn path_replay_reaches_final_config() {
+        let game = goc_game::paper::btc_bch_toy();
+        let start = Configuration::uniform(CoinId(1), game.system()).unwrap();
+        let outcome = run(
+            &game,
+            &start,
+            &mut UniformRandom::seeded(5),
+            LearningOptions {
+                record_path: true,
+                ..LearningOptions::default()
+            },
+        )
+        .unwrap();
+        let mut replay = start.clone();
+        for mv in &outcome.path {
+            assert_eq!(replay.coin_of(mv.miner), mv.from);
+            replay.apply_move(mv.miner, mv.to);
+        }
+        assert_eq!(replay, outcome.final_config);
+    }
+
+    #[test]
+    fn step_cap_reports_non_convergence() {
+        let game = goc_game::paper::btc_bch_toy();
+        let start = Configuration::uniform(CoinId(1), game.system()).unwrap();
+        let outcome = run(
+            &game,
+            &start,
+            &mut MinGain,
+            LearningOptions {
+                max_steps: 1,
+                ..LearningOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.steps, 1);
+    }
+
+    #[test]
+    fn rogue_scheduler_is_rejected() {
+        struct Rogue;
+        impl Scheduler for Rogue {
+            fn pick(&mut self, _game: &Game, s: &Configuration, _: &[Move]) -> Move {
+                // Propose a no-op "move" that is never a better response.
+                let p = goc_game::MinerId(0);
+                Move {
+                    miner: p,
+                    from: s.coin_of(p),
+                    to: s.coin_of(p),
+                }
+            }
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+        }
+        let game = goc_game::paper::prop1_game();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let err = run(&game, &start, &mut Rogue, LearningOptions::default()).unwrap_err();
+        assert!(matches!(err, LearningError::NotABetterResponse { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let game = goc_game::paper::btc_bch_toy();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut observed = 0usize;
+        let outcome = run_with_observer(
+            &game,
+            &start,
+            &mut RoundRobin::new(),
+            LearningOptions::default(),
+            |_, _| observed += 1,
+        )
+        .unwrap();
+        assert_eq!(observed, outcome.steps);
+    }
+
+    #[test]
+    fn stable_start_is_zero_steps() {
+        let game = goc_game::paper::prop1_game();
+        let eq = goc_game::equilibrium::greedy_equilibrium(&game);
+        let outcome = run(&game, &eq, &mut RoundRobin::new(), LearningOptions::default()).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.steps, 0);
+        assert_eq!(outcome.final_config, eq);
+    }
+
+    #[test]
+    fn restricted_games_converge_empirically() {
+        // The theorem is stated for unrestricted games; the asymmetric
+        // variant is exercised empirically (Discussion §6).
+        let game = Game::build(&[5, 3, 2, 1], &[4, 4, 4])
+            .unwrap()
+            .with_restrictions(vec![
+                vec![true, true, false],
+                vec![true, true, true],
+                vec![false, true, true],
+                vec![true, false, true],
+            ])
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for seed in 0..10 {
+            let start = goc_game::gen::random_config_restricted(&mut rng, &game);
+            let outcome = run(
+                &game,
+                &start,
+                &mut UniformRandom::seeded(seed),
+                LearningOptions::default(),
+            )
+            .unwrap();
+            assert!(outcome.converged);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Schedulers: *which* better-response step is taken next.
+//!
+//! Theorem 1 quantifies over **arbitrary** better-response learning — any
+//! rule that picks any improving step in any order converges. The engine
+//! therefore exposes scheduling as a trait and ships a spectrum of
+//! implementations, from the benign (round-robin best response) to the
+//! adversarially slow (smallest positive gain), which the experiments
+//! sweep to exercise the theorem's "for all" claim.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use goc_game::{Configuration, Game, Move, Ratio};
+
+/// Picks the next better-response step.
+///
+/// The engine calls [`Scheduler::pick`] with the complete list of legal
+/// improving moves in the current configuration (never empty) and applies
+/// the returned move after validating it is one of them — a scheduler that
+/// fabricates a non-improving move is reported as
+/// [`LearningError::NotABetterResponse`](crate::dynamics::LearningError).
+pub trait Scheduler {
+    /// Chooses one of `moves` (all legal better-response steps in `s`).
+    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move;
+
+    /// Short human-readable name, used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin over miners; the selected miner plays its **best** response
+/// (maximal post-move RPU, ties to the lowest coin id).
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting from miner `p0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
+        let n = game.system().num_miners();
+        let masses = s.masses(game.system());
+        for offset in 0..n {
+            let p = goc_game::MinerId((self.cursor + offset) % n);
+            if let Some(c) = game.best_response(p, s, &masses) {
+                self.cursor = (p.index() + 1) % n;
+                return Move {
+                    miner: p,
+                    from: s.coin_of(p),
+                    to: c,
+                };
+            }
+        }
+        // Unreachable when `moves` is nonempty; fall back defensively.
+        moves[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniformly random choice among all improving moves (the "arbitrary
+/// improving path" of the paper, in distribution).
+pub struct UniformRandom {
+    rng: SmallRng,
+}
+
+impl UniformRandom {
+    /// Creates a scheduler with a fixed seed (deterministic runs).
+    pub fn seeded(seed: u64) -> Self {
+        UniformRandom {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl fmt::Debug for UniformRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UniformRandom").finish_non_exhaustive()
+    }
+}
+
+impl Scheduler for UniformRandom {
+    fn pick(&mut self, _game: &Game, _s: &Configuration, moves: &[Move]) -> Move {
+        *moves
+            .choose(&mut self.rng)
+            .expect("engine guarantees a nonempty move list")
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+/// Always takes the improving move with the **largest** payoff gain
+/// (ties to the lowest miner id, then lowest coin id).
+#[derive(Debug, Default)]
+pub struct MaxGain;
+
+impl Scheduler for MaxGain {
+    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
+        extremal_by_gain(game, s, moves, true)
+    }
+
+    fn name(&self) -> &'static str {
+        "max-gain"
+    }
+}
+
+/// Always takes the improving move with the **smallest** positive gain —
+/// an adversarially slow learner that stresses convergence bounds.
+#[derive(Debug, Default)]
+pub struct MinGain;
+
+impl Scheduler for MinGain {
+    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
+        extremal_by_gain(game, s, moves, false)
+    }
+
+    fn name(&self) -> &'static str {
+        "min-gain"
+    }
+}
+
+fn extremal_by_gain(game: &Game, s: &Configuration, moves: &[Move], max: bool) -> Move {
+    let masses = s.masses(game.system());
+    let mut best: Option<(Ratio, Move)> = None;
+    for &mv in moves {
+        let gain = game.gain(mv.miner, mv.to, s, &masses);
+        let better = match &best {
+            None => true,
+            Some((g, _)) => {
+                if max {
+                    gain > *g
+                } else {
+                    gain < *g
+                }
+            }
+        };
+        if better {
+            best = Some((gain, mv));
+        }
+    }
+    best.expect("engine guarantees a nonempty move list").1
+}
+
+/// The largest-power unstable miner moves first (models big pools reacting
+/// fastest to profitability signals), playing its best response.
+#[derive(Debug, Default)]
+pub struct LargestMinerFirst;
+
+impl Scheduler for LargestMinerFirst {
+    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
+        let masses = s.masses(game.system());
+        let p = moves
+            .iter()
+            .map(|m| m.miner)
+            .max_by_key(|p| (game.system().power_of(*p), std::cmp::Reverse(p.index())))
+            .expect("engine guarantees a nonempty move list");
+        let c = game
+            .best_response(p, s, &masses)
+            .expect("miner appears in the move list, so it has a better response");
+        Move {
+            miner: p,
+            from: s.coin_of(p),
+            to: c,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "largest-miner-first"
+    }
+}
+
+/// The smallest-power unstable miner moves first (nimble hobby miners
+/// chase profitability, as on whattomine.com), playing its best response.
+#[derive(Debug, Default)]
+pub struct SmallestMinerFirst;
+
+impl Scheduler for SmallestMinerFirst {
+    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
+        let masses = s.masses(game.system());
+        let p = moves
+            .iter()
+            .map(|m| m.miner)
+            .min_by_key(|p| (game.system().power_of(*p), p.index()))
+            .expect("engine guarantees a nonempty move list");
+        let c = game
+            .best_response(p, s, &masses)
+            .expect("miner appears in the move list, so it has a better response");
+        Move {
+            miner: p,
+            from: s.coin_of(p),
+            to: c,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "smallest-miner-first"
+    }
+}
+
+/// Enumeration of the bundled schedulers, for parameter sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`UniformRandom`] (takes a seed).
+    UniformRandom,
+    /// [`MaxGain`].
+    MaxGain,
+    /// [`MinGain`].
+    MinGain,
+    /// [`LargestMinerFirst`].
+    LargestMinerFirst,
+    /// [`SmallestMinerFirst`].
+    SmallestMinerFirst,
+}
+
+impl SchedulerKind {
+    /// All bundled kinds, in a stable order for sweep tables.
+    pub const ALL: [SchedulerKind; 6] = [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::UniformRandom,
+        SchedulerKind::MaxGain,
+        SchedulerKind::MinGain,
+        SchedulerKind::LargestMinerFirst,
+        SchedulerKind::SmallestMinerFirst,
+    ];
+
+    /// Instantiates the scheduler; `seed` is used by stochastic kinds.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::RoundRobin => Box::new(RoundRobin::new()),
+            SchedulerKind::UniformRandom => Box::new(UniformRandom::seeded(seed)),
+            SchedulerKind::MaxGain => Box::new(MaxGain),
+            SchedulerKind::MinGain => Box::new(MinGain),
+            SchedulerKind::LargestMinerFirst => Box::new(LargestMinerFirst),
+            SchedulerKind::SmallestMinerFirst => Box::new(SmallestMinerFirst),
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::UniformRandom => "uniform-random",
+            SchedulerKind::MaxGain => "max-gain",
+            SchedulerKind::MinGain => "min-gain",
+            SchedulerKind::LargestMinerFirst => "largest-miner-first",
+            SchedulerKind::SmallestMinerFirst => "smallest-miner-first",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_game::CoinId;
+
+    fn setup() -> (Game, Configuration, Vec<Move>) {
+        let game = Game::build(&[4, 2, 1], &[6, 3]).unwrap();
+        let s = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let moves = game.improving_moves(&s);
+        assert!(!moves.is_empty());
+        (game, s, moves)
+    }
+
+    #[test]
+    fn all_schedulers_return_listed_moves() {
+        let (game, s, moves) = setup();
+        for kind in SchedulerKind::ALL {
+            let mut sched = kind.build(11);
+            let mv = sched.pick(&game, &s, &moves);
+            assert!(moves.contains(&mv), "{kind} returned unlisted move {mv}");
+        }
+    }
+
+    #[test]
+    fn max_gain_beats_min_gain() {
+        let (game, s, moves) = setup();
+        let masses = s.masses(game.system());
+        let hi = MaxGain.pick(&game, &s, &moves);
+        let lo = MinGain.pick(&game, &s, &moves);
+        let g_hi = game.gain(hi.miner, hi.to, &s, &masses);
+        let g_lo = game.gain(lo.miner, lo.to, &s, &masses);
+        assert!(g_hi >= g_lo);
+        for &mv in &moves {
+            let g = game.gain(mv.miner, mv.to, &s, &masses);
+            assert!(g <= g_hi && g >= g_lo);
+        }
+    }
+
+    #[test]
+    fn miner_order_schedulers_pick_extremal_powers() {
+        let (game, s, moves) = setup();
+        let big = LargestMinerFirst.pick(&game, &s, &moves);
+        let small = SmallestMinerFirst.pick(&game, &s, &moves);
+        let unstable_powers: Vec<u64> = moves
+            .iter()
+            .map(|m| game.system().power_of(m.miner))
+            .collect();
+        assert_eq!(
+            game.system().power_of(big.miner),
+            *unstable_powers.iter().max().unwrap()
+        );
+        assert_eq!(
+            game.system().power_of(small.miner),
+            *unstable_powers.iter().min().unwrap()
+        );
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_per_seed() {
+        let (game, s, moves) = setup();
+        let a = UniformRandom::seeded(3).pick(&game, &s, &moves);
+        let b = UniformRandom::seeded(3).pick(&game, &s, &moves);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_miners() {
+        let game = Game::build(&[4, 2, 1], &[6, 3]).unwrap();
+        let mut s = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut sched = RoundRobin::new();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let moves = game.improving_moves(&s);
+            if moves.is_empty() {
+                break;
+            }
+            let mv = sched.pick(&game, &s, &moves);
+            seen.push(mv.miner);
+            s.apply_move(mv.miner, mv.to);
+        }
+        // The cursor advances: the same miner is not picked twice in a row
+        // while others are unstable.
+        for w in seen.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.build(0).name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Simultaneous (synchronous) best-response dynamics — the contrast
+//! class that motivates the paper's sequential model.
+//!
+//! Theorem 1 is about *individual* improvement steps taken one at a
+//! time. If instead every unstable miner best-responds **at once**, the
+//! dynamics can cycle forever: two symmetric miners endlessly swap coins
+//! chasing each other. This module implements the synchronous update
+//! with cycle detection, so experiments can quantify how often the
+//! sequential assumption matters.
+
+use std::collections::HashMap;
+
+use goc_game::{Configuration, Game};
+
+/// Result of a synchronous-dynamics run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncOutcome {
+    /// The last configuration (a fixed point iff `converged`).
+    pub final_config: Configuration,
+    /// Rounds executed (one round = all unstable miners move together).
+    pub rounds: usize,
+    /// Reached a configuration where no miner wants to move.
+    pub converged: bool,
+    /// A revisited configuration was detected (a limit cycle; implies
+    /// `!converged`). Contains the cycle length.
+    pub cycle: Option<usize>,
+}
+
+/// Runs synchronous best-response dynamics from `start` for at most
+/// `max_rounds` rounds, detecting limit cycles exactly (every visited
+/// configuration is remembered).
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, Game};
+/// use goc_learning::simultaneous::run_simultaneous;
+///
+/// // Two identical miners, two identical coins: both flee the shared
+/// // coin together, collide, and flee again — a 2-cycle.
+/// let game = Game::build(&[1, 1], &[10, 10])?;
+/// let start = Configuration::uniform(CoinId(0), game.system())?;
+/// let outcome = run_simultaneous(&game, &start, 100);
+/// assert!(!outcome.converged);
+/// assert_eq!(outcome.cycle, Some(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_simultaneous(game: &Game, start: &Configuration, max_rounds: usize) -> SyncOutcome {
+    let mut config = start.clone();
+    let mut seen: HashMap<Configuration, usize> = HashMap::new();
+    seen.insert(config.clone(), 0);
+    for round in 1..=max_rounds {
+        let masses = config.masses(game.system());
+        let moves: Vec<_> = game
+            .system()
+            .miner_ids()
+            .filter_map(|p| game.best_response(p, &config, &masses).map(|c| (p, c)))
+            .collect();
+        if moves.is_empty() {
+            return SyncOutcome {
+                final_config: config,
+                rounds: round - 1,
+                converged: true,
+                cycle: None,
+            };
+        }
+        for (p, c) in moves {
+            config.apply_move(p, c);
+        }
+        if let Some(&first) = seen.get(&config) {
+            return SyncOutcome {
+                final_config: config,
+                rounds: round,
+                converged: false,
+                cycle: Some(round - first),
+            };
+        }
+        seen.insert(config.clone(), round);
+    }
+    SyncOutcome {
+        final_config: config,
+        rounds: max_rounds,
+        converged: false,
+        cycle: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_game::CoinId;
+
+    #[test]
+    fn symmetric_pair_cycles() {
+        let game = Game::build(&[1, 1], &[10, 10]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let outcome = run_simultaneous(&game, &start, 50);
+        assert!(!outcome.converged);
+        assert_eq!(outcome.cycle, Some(2));
+    }
+
+    #[test]
+    fn stable_start_converges_immediately() {
+        let game = goc_game::paper::prop1_game();
+        let eq = goc_game::equilibrium::greedy_equilibrium(&game);
+        let outcome = run_simultaneous(&game, &eq, 50);
+        assert!(outcome.converged);
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(outcome.final_config, eq);
+    }
+
+    #[test]
+    fn some_unstable_starts_converge_synchronously() {
+        // Synchronous updates are not *always* divergent: when only one
+        // miner is unstable, a round coincides with a sequential step.
+        // (Amusingly, in many games — e.g. powers (8,4,2,1), rewards
+        // (9,5) — EVERY unstable configuration has ≥2 unstable miners
+        // and every synchronous run cycles; this 2-miner instance has a
+        // genuine single-mover start.)
+        let game = Game::build(&[3, 1], &[9, 5]).unwrap();
+        let converged = goc_game::ConfigurationIter::new(game.system())
+            .filter(|s| !game.is_stable(s))
+            .map(|s| run_simultaneous(&game, &s, 200))
+            .find(|o| o.converged)
+            .expect("some unstable start settles under synchronous updates");
+        assert!(converged.rounds >= 1);
+        assert!(game.is_stable(&converged.final_config));
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let game = Game::build(&[1, 1], &[10, 10]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        // One round is not enough to revisit a configuration.
+        let outcome = run_simultaneous(&game, &start, 1);
+        assert_eq!(outcome.rounds, 1);
+        assert!(!outcome.converged);
+        assert_eq!(outcome.cycle, None);
+    }
+}

@@ -1,0 +1,34 @@
+//! # goc-market — exchange rates, shocks, and whale budgets
+//!
+//! Market substrate for the "Game of Coins" reproduction: per-coin price
+//! processes (constant / GBM / jump-diffusion), deterministic scheduled
+//! shocks (the Nov 2017 BCH pump of the paper's Figure 1), and
+//! whale-transaction budgets (the fee-based manipulation channel of §1).
+//!
+//! ```
+//! use goc_market::{Gbm, Market, Price, PriceProcess, ScheduledShock};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // BTC-like and BCH-like prices; BCH triples on day 2.
+//! let mut market = Market::new(vec![
+//!     Price::Gbm(Gbm::new(6000.0, 0.0, 0.04)),
+//!     Price::Gbm(Gbm::new(600.0, 0.0, 0.08)),
+//! ]);
+//! market.schedule_shock(ScheduledShock { at: 2.0 * 86_400.0, coin: 1, factor: 3.0 });
+//!
+//! let mut rng = SmallRng::seed_from_u64(17);
+//! market.advance_to(&mut rng, 3.0 * 86_400.0);
+//! assert!(market.price_of(1) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod market;
+pub mod price;
+pub mod whale;
+
+pub use market::{Market, Price, ScheduledShock};
+pub use price::{ConstantPrice, Gbm, JumpDiffusion, MeanReverting, PriceProcess, SECONDS_PER_DAY};
+pub use whale::{WhaleBudget, WhaleInjection, WhalePlan};

@@ -1,0 +1,231 @@
+//! The multi-coin market: one price process per coin plus scheduled
+//! shocks, stepped jointly by the simulator.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::price::{ConstantPrice, Gbm, JumpDiffusion, MeanReverting, PriceProcess};
+
+/// A price process variant (enum so markets are plain data and `Clone`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Price {
+    /// Constant price.
+    Constant(ConstantPrice),
+    /// Geometric Brownian motion.
+    Gbm(Gbm),
+    /// GBM with Poisson jumps.
+    JumpDiffusion(JumpDiffusion),
+    /// Mean-reverting log-price.
+    MeanReverting(MeanReverting),
+}
+
+impl Price {
+    /// Current price.
+    pub fn price(&self) -> f64 {
+        match self {
+            Price::Constant(p) => p.price(),
+            Price::Gbm(p) => p.price(),
+            Price::JumpDiffusion(p) => p.price(),
+            Price::MeanReverting(p) => p.price(),
+        }
+    }
+
+    /// Advances by `dt` seconds.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
+        match self {
+            Price::Constant(p) => p.step(rng, dt),
+            Price::Gbm(p) => p.step(rng, dt),
+            Price::JumpDiffusion(p) => p.step(rng, dt),
+            Price::MeanReverting(p) => p.step(rng, dt),
+        }
+    }
+
+    /// Applies a multiplicative shock.
+    pub fn shock(&mut self, factor: f64) {
+        match self {
+            Price::Constant(p) => p.shock(factor),
+            Price::Gbm(p) => p.shock(factor),
+            Price::JumpDiffusion(p) => p.shock(factor),
+            Price::MeanReverting(p) => p.shock(factor),
+        }
+    }
+}
+
+/// A scheduled multiplicative price shock on one coin — the model of the
+/// Nov 12 2017 BCH event driving Figure 1, and of deliberate pump
+/// manipulation (§1's reward-design channels).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledShock {
+    /// Simulation time at which the shock fires.
+    pub at: f64,
+    /// Index of the affected coin.
+    pub coin: usize,
+    /// Multiplicative price factor (2.0 = pump to double, 0.5 = dump).
+    pub factor: f64,
+}
+
+/// The market: per-coin prices, a shock schedule, and the last-step time.
+///
+/// # Examples
+///
+/// ```
+/// use goc_market::{Market, Price, ConstantPrice, ScheduledShock};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut market = Market::new(vec![
+///     Price::Constant(ConstantPrice(6000.0)),
+///     Price::Constant(ConstantPrice(600.0)),
+/// ]);
+/// market.schedule_shock(ScheduledShock { at: 100.0, coin: 1, factor: 3.0 });
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// market.advance_to(&mut rng, 200.0);
+/// assert_eq!(market.price_of(1), 1800.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Market {
+    prices: Vec<Price>,
+    shocks: Vec<ScheduledShock>,
+    now: f64,
+}
+
+impl Market {
+    /// Creates a market at time 0 with the given per-coin processes.
+    pub fn new(prices: Vec<Price>) -> Self {
+        Market {
+            prices,
+            shocks: Vec::new(),
+            now: 0.0,
+        }
+    }
+
+    /// Number of coins priced.
+    pub fn num_coins(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Current price of coin `coin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coin` is out of range.
+    pub fn price_of(&self, coin: usize) -> f64 {
+        self.prices[coin].price()
+    }
+
+    /// All current prices.
+    pub fn prices(&self) -> Vec<f64> {
+        self.prices.iter().map(Price::price).collect()
+    }
+
+    /// Current market time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Registers a future shock. Shocks fire in time order during
+    /// [`Market::advance_to`].
+    pub fn schedule_shock(&mut self, shock: ScheduledShock) {
+        self.shocks.push(shock);
+        self.shocks
+            .sort_by(|a, b| a.at.partial_cmp(&b.at).expect("shock times are finite"));
+    }
+
+    /// Advances all price processes to absolute time `to`, applying any
+    /// scheduled shocks that fall in `(now, to]` at their exact times.
+    pub fn advance_to<R: Rng + ?Sized>(&mut self, rng: &mut R, to: f64) {
+        while let Some(&shock) = self.shocks.first() {
+            if shock.at > to {
+                break;
+            }
+            let dt = shock.at - self.now;
+            if dt > 0.0 {
+                for p in &mut self.prices {
+                    p.step(rng, dt);
+                }
+                self.now = shock.at;
+            }
+            self.prices[shock.coin].shock(shock.factor);
+            self.shocks.remove(0);
+        }
+        if to > self.now {
+            let dt = to - self.now;
+            for p in &mut self.prices {
+                p.step(rng, dt);
+            }
+            self.now = to;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn flat_market() -> Market {
+        Market::new(vec![
+            Price::Constant(ConstantPrice(100.0)),
+            Price::Constant(ConstantPrice(10.0)),
+        ])
+    }
+
+    #[test]
+    fn shocks_fire_in_order_and_once() {
+        let mut m = flat_market();
+        m.schedule_shock(ScheduledShock {
+            at: 50.0,
+            coin: 1,
+            factor: 2.0,
+        });
+        m.schedule_shock(ScheduledShock {
+            at: 20.0,
+            coin: 1,
+            factor: 3.0,
+        });
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.advance_to(&mut rng, 30.0);
+        assert_eq!(m.price_of(1), 30.0);
+        m.advance_to(&mut rng, 100.0);
+        assert_eq!(m.price_of(1), 60.0);
+        // No shock fires twice.
+        m.advance_to(&mut rng, 1000.0);
+        assert_eq!(m.price_of(1), 60.0);
+        assert_eq!(m.price_of(0), 100.0);
+    }
+
+    #[test]
+    fn shock_exactly_at_target_time_fires() {
+        let mut m = flat_market();
+        m.schedule_shock(ScheduledShock {
+            at: 10.0,
+            coin: 0,
+            factor: 0.5,
+        });
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.advance_to(&mut rng, 10.0);
+        assert_eq!(m.price_of(0), 50.0);
+        assert_eq!(m.now(), 10.0);
+    }
+
+    #[test]
+    fn gbm_market_advances_stochastically_but_deterministically_per_seed() {
+        let mk = |seed| {
+            let mut m = Market::new(vec![Price::Gbm(Gbm::new(100.0, 0.0, 0.2))]);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            m.advance_to(&mut rng, 86_400.0);
+            m.price_of(0)
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn prices_snapshot() {
+        let m = flat_market();
+        assert_eq!(m.prices(), vec![100.0, 10.0]);
+        assert_eq!(m.num_coins(), 2);
+    }
+}

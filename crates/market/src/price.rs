@@ -1,0 +1,351 @@
+//! Exchange-rate processes.
+//!
+//! The paper's reward weights are "coupled with coin fiat exchange rates"
+//! (§4), and its Figure 1 is driven by a real exchange-rate jump. We model
+//! prices as geometric Brownian motion with optional Poisson jumps — the
+//! standard reduced-form model for crypto prices — plus deterministic
+//! scheduled shocks (see [`crate::market::ScheduledShock`]) for event
+//! studies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use self::rand_distr_free::normal_sample;
+
+/// A stochastic price process stepped in continuous time.
+pub trait PriceProcess {
+    /// Current price.
+    fn price(&self) -> f64;
+
+    /// Advances the process by `dt` seconds.
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64);
+
+    /// Applies a multiplicative shock (e.g. a pump of `factor = 2.0`).
+    fn shock(&mut self, factor: f64);
+}
+
+/// A constant price (for calibration and unit tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantPrice(pub f64);
+
+impl PriceProcess for ConstantPrice {
+    fn price(&self) -> f64 {
+        self.0
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, _rng: &mut R, _dt: f64) {}
+
+    fn shock(&mut self, factor: f64) {
+        self.0 *= factor;
+    }
+}
+
+/// Geometric Brownian motion:
+/// `dS/S = μ dt + σ dW`, stepped exactly via the log-normal solution.
+///
+/// # Examples
+///
+/// ```
+/// use goc_market::{Gbm, PriceProcess};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut p = Gbm::new(100.0, 0.0, 0.05);
+/// p.step(&mut rng, 86_400.0);
+/// assert!(p.price() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gbm {
+    price: f64,
+    /// Drift per day.
+    drift: f64,
+    /// Volatility per sqrt(day).
+    volatility: f64,
+}
+
+/// Seconds per day, the natural unit for crypto drift/vol parameters.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+impl Gbm {
+    /// Creates a GBM with `drift` per day and `volatility` per √day.
+    pub fn new(price: f64, drift: f64, volatility: f64) -> Self {
+        assert!(price > 0.0, "price must be positive");
+        Gbm {
+            price,
+            drift,
+            volatility,
+        }
+    }
+}
+
+impl PriceProcess for Gbm {
+    fn price(&self) -> f64 {
+        self.price
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let dt_days = dt / SECONDS_PER_DAY;
+        let z = normal_sample(rng);
+        let exponent = (self.drift - 0.5 * self.volatility * self.volatility) * dt_days
+            + self.volatility * dt_days.sqrt() * z;
+        self.price *= exponent.exp();
+    }
+
+    fn shock(&mut self, factor: f64) {
+        self.price *= factor;
+    }
+}
+
+/// GBM plus compound-Poisson jumps: at rate `jump_rate` per day, the price
+/// multiplies by `exp(N(jump_mean, jump_sd))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JumpDiffusion {
+    /// The diffusive part.
+    pub gbm: Gbm,
+    /// Expected jumps per day.
+    pub jump_rate: f64,
+    /// Mean of the log jump size.
+    pub jump_mean: f64,
+    /// Standard deviation of the log jump size.
+    pub jump_sd: f64,
+}
+
+impl JumpDiffusion {
+    /// Creates a jump-diffusion process.
+    pub fn new(gbm: Gbm, jump_rate: f64, jump_mean: f64, jump_sd: f64) -> Self {
+        JumpDiffusion {
+            gbm,
+            jump_rate,
+            jump_mean,
+            jump_sd,
+        }
+    }
+}
+
+impl PriceProcess for JumpDiffusion {
+    fn price(&self) -> f64 {
+        self.gbm.price()
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
+        self.gbm.step(rng, dt);
+        if dt <= 0.0 || self.jump_rate <= 0.0 {
+            return;
+        }
+        let expected = self.jump_rate * dt / SECONDS_PER_DAY;
+        // Sample the Poisson count by inversion (expected counts are tiny
+        // per step in practice).
+        let mut k = 0u32;
+        let mut acc = (-expected).exp();
+        let mut cdf = acc;
+        let u: f64 = rng.gen();
+        while u > cdf && k < 64 {
+            k += 1;
+            acc *= expected / k as f64;
+            cdf += acc;
+        }
+        for _ in 0..k {
+            let z = normal_sample(rng);
+            self.gbm.shock((self.jump_mean + self.jump_sd * z).exp());
+        }
+    }
+
+    fn shock(&mut self, factor: f64) {
+        self.gbm.shock(factor);
+    }
+}
+
+/// Mean-reverting log-price (Ornstein–Uhlenbeck on `ln S`): captures the
+/// tendency of altcoin/BTC ratios to revert to a long-run level after
+/// pump events, used by ratio-driven scenarios.
+///
+/// `d ln S = θ (ln μ − ln S) dt + σ dW`, stepped with the exact OU
+/// transition (per-day parameters like [`Gbm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanReverting {
+    price: f64,
+    /// Long-run price level `μ`.
+    pub mean: f64,
+    /// Reversion speed per day `θ`.
+    pub speed: f64,
+    /// Volatility per √day `σ`.
+    pub volatility: f64,
+}
+
+impl MeanReverting {
+    /// Creates a mean-reverting process around `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `price` or `mean` are not positive, or `speed` is
+    /// negative.
+    pub fn new(price: f64, mean: f64, speed: f64, volatility: f64) -> Self {
+        assert!(price > 0.0 && mean > 0.0, "prices must be positive");
+        assert!(speed >= 0.0, "reversion speed must be non-negative");
+        MeanReverting {
+            price,
+            mean,
+            speed,
+            volatility,
+        }
+    }
+}
+
+impl PriceProcess for MeanReverting {
+    fn price(&self) -> f64 {
+        self.price
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let dt_days = dt / SECONDS_PER_DAY;
+        let x = self.price.ln();
+        let mu = self.mean.ln();
+        let decay = (-self.speed * dt_days).exp();
+        let mean_x = mu + (x - mu) * decay;
+        let var = if self.speed > 0.0 {
+            self.volatility * self.volatility * (1.0 - decay * decay) / (2.0 * self.speed)
+        } else {
+            self.volatility * self.volatility * dt_days
+        };
+        let z = normal_sample(rng);
+        self.price = (mean_x + var.sqrt() * z).exp();
+    }
+
+    fn shock(&mut self, factor: f64) {
+        self.price *= factor;
+    }
+}
+
+/// Minimal normal sampling (Box–Muller) so the workspace does not need a
+/// distributions crate.
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// One standard-normal sample via Box–Muller.
+    pub fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_price_only_moves_on_shock() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut p = ConstantPrice(10.0);
+        p.step(&mut rng, 1e6);
+        assert_eq!(p.price(), 10.0);
+        p.shock(1.5);
+        assert_eq!(p.price(), 15.0);
+    }
+
+    #[test]
+    fn gbm_stays_positive_and_has_near_zero_drift_mean() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            let mut p = Gbm::new(100.0, 0.0, 0.1);
+            for _ in 0..30 {
+                p.step(&mut rng, SECONDS_PER_DAY);
+            }
+            assert!(p.price() > 0.0);
+            sum += p.price().ln();
+        }
+        // E[ln S_30] = ln 100 − 30·σ²/2 = ln 100 − 0.15.
+        let mean_log = sum / n as f64;
+        let expected = 100.0f64.ln() - 0.15;
+        assert!(
+            (mean_log - expected).abs() < 0.05,
+            "mean log price {mean_log} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut p = Gbm::new(50.0, 0.1, 0.3);
+        p.step(&mut rng, 0.0);
+        assert_eq!(p.price(), 50.0);
+    }
+
+    #[test]
+    fn jumps_occur_at_the_configured_rate() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Pure jump process: no diffusion, deterministic jump size e^0.01
+        // (small enough to stay in f64 range over the horizon).
+        let mut p = JumpDiffusion::new(Gbm::new(1.0, 0.0, 0.0), 2.0, 0.01, 0.0);
+        let days = 500;
+        for _ in 0..days {
+            p.step(&mut rng, SECONDS_PER_DAY);
+        }
+        // ln price / 0.01 counts the jumps; expect ~2 per day.
+        let rate = p.price().ln() / 0.01 / days as f64;
+        assert!((rate - 2.0).abs() < 0.2, "observed jump rate {rate}");
+    }
+
+    #[test]
+    fn mean_reversion_pulls_back_after_shock() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut p = MeanReverting::new(100.0, 100.0, 0.3, 0.0); // no noise
+        p.shock(3.0);
+        assert_eq!(p.price(), 300.0);
+        for _ in 0..60 {
+            p.step(&mut rng, SECONDS_PER_DAY);
+        }
+        assert!(
+            (p.price() - 100.0).abs() < 1.0,
+            "price {} did not revert",
+            p.price()
+        );
+    }
+
+    #[test]
+    fn mean_reversion_stationary_spread() {
+        // With θ=0.5/day, σ=0.1/√day, stationary var of ln S is
+        // σ²/(2θ) = 0.01; sample long-run values and check the spread.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut p = MeanReverting::new(100.0, 100.0, 0.5, 0.1);
+        let mut logs = Vec::new();
+        for _ in 0..4000 {
+            p.step(&mut rng, SECONDS_PER_DAY);
+            logs.push(p.price().ln());
+        }
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        assert!((mean - 100.0f64.ln()).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.01).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn mean_reversion_zero_speed_is_gbm_like() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut p = MeanReverting::new(50.0, 100.0, 0.0, 0.2);
+        p.step(&mut rng, SECONDS_PER_DAY);
+        assert!(p.price() > 0.0);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Whale-transaction budgets and injection plans.
+//!
+//! The paper (§1, citing Liao & Katz) names *whale transactions* — large
+//! fees posted to a coin — as the second channel by which an interested
+//! party can temporarily raise a coin's weight. This module models a
+//! manipulator's budget and a schedule of planned injections; `goc-sim`
+//! executes the plan against chain mempools, and the reward-design
+//! experiments use the budget to account manipulation spend.
+
+use serde::{Deserialize, Serialize};
+
+/// A planned whale-fee injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhaleInjection {
+    /// Simulation time (seconds) at which the fee is posted. Stored in
+    /// milliseconds internally? No — seconds as an integer for `Eq`.
+    pub at_secs: u64,
+    /// Target coin index.
+    pub coin: usize,
+    /// Fee amount in base units.
+    pub fee: u64,
+}
+
+/// A manipulator's whale budget: total allowance and cumulative spend.
+///
+/// # Examples
+///
+/// ```
+/// use goc_market::WhaleBudget;
+///
+/// let mut budget = WhaleBudget::new(1_000);
+/// assert!(budget.try_spend(400));
+/// assert!(budget.try_spend(600));
+/// assert!(!budget.try_spend(1)); // exhausted
+/// assert_eq!(budget.spent(), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhaleBudget {
+    total: u64,
+    spent: u64,
+}
+
+impl WhaleBudget {
+    /// Creates a budget with the given total allowance.
+    pub fn new(total: u64) -> Self {
+        WhaleBudget { total, spent: 0 }
+    }
+
+    /// Attempts to spend `amount`; returns `false` (and spends nothing)
+    /// if it would exceed the allowance.
+    pub fn try_spend(&mut self, amount: u64) -> bool {
+        match self.spent.checked_add(amount) {
+            Some(next) if next <= self.total => {
+                self.spent = next;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cumulative spend.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Remaining allowance.
+    pub fn remaining(&self) -> u64 {
+        self.total - self.spent
+    }
+
+    /// The total allowance.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A time-sorted plan of whale injections constrained by a budget.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhalePlan {
+    injections: Vec<WhaleInjection>,
+    budget: WhaleBudget,
+}
+
+impl WhalePlan {
+    /// Creates an empty plan over `budget`.
+    pub fn new(budget: WhaleBudget) -> Self {
+        WhalePlan {
+            injections: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Adds an injection if the budget allows it; returns whether it was
+    /// accepted.
+    pub fn add(&mut self, injection: WhaleInjection) -> bool {
+        if !self.budget.try_spend(injection.fee) {
+            return false;
+        }
+        let pos = self
+            .injections
+            .partition_point(|i| i.at_secs <= injection.at_secs);
+        self.injections.insert(pos, injection);
+        true
+    }
+
+    /// Pops all injections due at or before `now_secs`, in time order.
+    pub fn due(&mut self, now_secs: u64) -> Vec<WhaleInjection> {
+        let split = self.injections.partition_point(|i| i.at_secs <= now_secs);
+        self.injections.drain(..split).collect()
+    }
+
+    /// Remaining scheduled injections.
+    pub fn pending(&self) -> &[WhaleInjection] {
+        &self.injections
+    }
+
+    /// The underlying budget (with spend applied at scheduling time).
+    pub fn budget(&self) -> WhaleBudget {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_respects_budget() {
+        let mut plan = WhalePlan::new(WhaleBudget::new(100));
+        assert!(plan.add(WhaleInjection {
+            at_secs: 10,
+            coin: 0,
+            fee: 60
+        }));
+        assert!(!plan.add(WhaleInjection {
+            at_secs: 20,
+            coin: 0,
+            fee: 50
+        }));
+        assert!(plan.add(WhaleInjection {
+            at_secs: 20,
+            coin: 0,
+            fee: 40
+        }));
+        assert_eq!(plan.budget().remaining(), 0);
+    }
+
+    #[test]
+    fn due_pops_in_time_order() {
+        let mut plan = WhalePlan::new(WhaleBudget::new(1000));
+        for (t, fee) in [(30, 1), (10, 2), (20, 3)] {
+            assert!(plan.add(WhaleInjection {
+                at_secs: t,
+                coin: 0,
+                fee
+            }));
+        }
+        let due = plan.due(25);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].at_secs, 10);
+        assert_eq!(due[1].at_secs, 20);
+        assert_eq!(plan.pending().len(), 1);
+        assert!(plan.due(5).is_empty());
+        assert_eq!(plan.due(1000).len(), 1);
+    }
+
+    #[test]
+    fn budget_arithmetic() {
+        let mut b = WhaleBudget::new(10);
+        assert_eq!(b.remaining(), 10);
+        assert!(b.try_spend(0));
+        assert!(!b.try_spend(11));
+        assert!(b.try_spend(10));
+        assert_eq!(b.total(), 10);
+        assert_eq!(b.spent(), 10);
+    }
+}

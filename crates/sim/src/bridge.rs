@@ -1,0 +1,106 @@
+//! Bridge between the mechanistic simulator and the static game.
+//!
+//! The paper's reward function `F(c)` abstracts "transaction rate,
+//! transaction fees, and fiat exchange rate" (§1). For a simulated chain
+//! those quantities are concrete: at difficulty-adjusted steady state a
+//! chain pays `reward_per_block × price / target_spacing` fiat per
+//! second, *independent of hashrate* — exactly a coin weight. This module
+//! snapshots a running simulation into a `goc_game::Game`, letting the
+//! cross-validation experiment compare mechanistic steady states with
+//! game-theoretic equilibria.
+
+use goc_game::{CoinId, Configuration, Game, GameError, Rewards, System};
+
+use crate::engine::Simulation;
+
+/// Fiat value per second each chain pays at steady state, given current
+/// prices and next-block rewards.
+pub fn coin_weights(sim: &Simulation, at: f64) -> Vec<f64> {
+    sim.chains()
+        .iter()
+        .enumerate()
+        .map(|(c, chain)| {
+            let price = sim.market().price_of(c);
+            chain.next_block_reward(at) as f64 * price / chain.params().target_spacing
+        })
+        .collect()
+}
+
+/// Snapshots the simulation into a static game plus the current
+/// configuration of agents.
+///
+/// Hashrates and fiat weights are quantized to integers with `resolution`
+/// relative precision (e.g. `1e-4` keeps four significant digits), as the
+/// exact game requires integer units.
+///
+/// # Errors
+///
+/// Propagates validation errors if quantization degenerates (e.g. a zero
+/// hashrate agent).
+pub fn snapshot_game(
+    sim: &Simulation,
+    at: f64,
+    resolution: f64,
+) -> Result<(Game, Configuration), GameError> {
+    let weights = coin_weights(sim, at);
+    let max_weight = weights.iter().cloned().fold(f64::MIN, f64::max);
+    let reward_scale = 1.0 / (max_weight * resolution);
+    let rewards: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w * reward_scale).round() as u64).max(1))
+        .collect();
+
+    let max_hash = sim
+        .agents()
+        .iter()
+        .map(|a| a.hashrate)
+        .fold(f64::MIN, f64::max);
+    let power_scale = 1.0 / (max_hash * resolution);
+    let powers: Vec<u64> = sim
+        .agents()
+        .iter()
+        .map(|a| ((a.hashrate * power_scale).round() as u64).max(1))
+        .collect();
+
+    let system = System::new(&powers, rewards.len())?;
+    let game = Game::new(system, Rewards::from_integers(&rewards)?)?;
+    let assignment = sim.agents().iter().map(|a| CoinId(a.coin)).collect();
+    let config = Configuration::new(assignment, game.system())?;
+    Ok((game, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{btc_bch, BtcBchParams};
+
+    #[test]
+    fn weights_reflect_price_ratio() {
+        let sim = btc_bch(BtcBchParams {
+            num_miners: 20,
+            ..BtcBchParams::default()
+        });
+        let w = coin_weights(&sim, 0.0);
+        // Equal subsidies, prices 6000 vs 600: weight ratio 10:1.
+        let ratio = w[0] / w[1];
+        assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn snapshot_matches_agent_configuration() {
+        let sim = btc_bch(BtcBchParams {
+            num_miners: 25,
+            ..BtcBchParams::default()
+        });
+        let (game, config) = snapshot_game(&sim, 0.0, 1e-4).unwrap();
+        assert_eq!(game.system().num_miners(), 25);
+        assert_eq!(game.system().num_coins(), 2);
+        for (i, a) in sim.agents().iter().enumerate() {
+            assert_eq!(config.coin_of(goc_game::MinerId(i)).index(), a.coin);
+        }
+        // Quantization preserves the 10:1 weight ratio.
+        let f0 = game.reward_of(CoinId(0)).to_f64();
+        let f1 = game.reward_of(CoinId(1)).to_f64();
+        assert!((f0 / f1 - 10.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Discrete-event queue primitives.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A block candidate for `coin`, valid only if `generation` still
+    /// matches the coin's current generation (memoryless resampling: any
+    /// hashrate or difficulty change bumps the generation and schedules a
+    /// fresh candidate).
+    BlockCandidate {
+        /// Coin index.
+        coin: usize,
+        /// Generation stamp at scheduling time.
+        generation: u64,
+    },
+    /// Miner `miner` re-evaluates coin profitability.
+    Evaluate {
+        /// Miner index.
+        miner: usize,
+    },
+    /// Record a metrics snapshot.
+    Snapshot,
+    /// Execute any due whale-fee injections.
+    Whale,
+}
+
+/// A scheduled event; ordered by `(time, seq)` so ties resolve in
+/// scheduling order and runs are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Absolute simulation time (seconds).
+    pub time: f64,
+    /// Monotone sequence number breaking time ties.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN. Events at `f64::INFINITY` are accepted
+    /// and simply never fire within a finite horizon.
+    pub fn schedule(&mut self, time: f64, kind: EventKind) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Peeks at the earliest event time.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, EventKind::Snapshot);
+        q.schedule(1.0, EventKind::Evaluate { miner: 0 });
+        q.schedule(3.0, EventKind::Whale);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_resolve_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, EventKind::Evaluate { miner: 7 });
+        q.schedule(2.0, EventKind::Evaluate { miner: 9 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Evaluate { miner: 7 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Evaluate { miner: 9 });
+    }
+
+    #[test]
+    fn infinite_times_sort_last() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::INFINITY, EventKind::Snapshot);
+        q.schedule(10.0, EventKind::Whale);
+        assert_eq!(q.pop().unwrap().time, 10.0);
+        assert_eq!(q.next_time(), Some(f64::INFINITY));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_times_rejected() {
+        EventQueue::new().schedule(f64::NAN, EventKind::Snapshot);
+    }
+}

@@ -1,0 +1,172 @@
+//! Time-series metrics collected during a simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-snapshot, per-coin time series of the quantities Figure 1 plots
+/// (prices and hashrates) plus difficulty and block counts for diagnosis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Snapshot times (seconds).
+    pub times: Vec<f64>,
+    /// `prices[c][t]`: price of coin `c` at snapshot `t`.
+    pub prices: Vec<Vec<f64>>,
+    /// `hashrates[c][t]`: total hashrate mining coin `c`.
+    pub hashrates: Vec<Vec<f64>>,
+    /// `difficulties[c][t]`: difficulty of chain `c`.
+    pub difficulties: Vec<Vec<f64>>,
+    /// `blocks[c][t]`: cumulative block count of chain `c`.
+    pub blocks: Vec<Vec<u64>>,
+    /// `miners[c][t]`: number of agents mining coin `c`.
+    pub miners: Vec<Vec<usize>>,
+    /// Total better-response switches agents have performed.
+    pub total_switches: usize,
+}
+
+impl SimMetrics {
+    /// Creates an empty metrics store for `num_coins` coins.
+    pub fn new(num_coins: usize) -> Self {
+        SimMetrics {
+            times: Vec::new(),
+            prices: vec![Vec::new(); num_coins],
+            hashrates: vec![Vec::new(); num_coins],
+            difficulties: vec![Vec::new(); num_coins],
+            blocks: vec![Vec::new(); num_coins],
+            miners: vec![Vec::new(); num_coins],
+            total_switches: 0,
+        }
+    }
+
+    /// Number of coins tracked.
+    pub fn num_coins(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Number of snapshots recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether any snapshot has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Appends one snapshot row; slices must have one entry per coin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the coin count.
+    pub fn record(
+        &mut self,
+        time: f64,
+        prices: &[f64],
+        hashrates: &[f64],
+        difficulties: &[f64],
+        blocks: &[u64],
+        miners: &[usize],
+    ) {
+        let k = self.num_coins();
+        assert!(
+            prices.len() == k
+                && hashrates.len() == k
+                && difficulties.len() == k
+                && blocks.len() == k
+                && miners.len() == k,
+            "snapshot row width mismatch"
+        );
+        self.times.push(time);
+        for c in 0..k {
+            self.prices[c].push(prices[c]);
+            self.hashrates[c].push(hashrates[c]);
+            self.difficulties[c].push(difficulties[c]);
+            self.blocks[c].push(blocks[c]);
+            self.miners[c].push(miners[c]);
+        }
+    }
+
+    /// Hashrate share of `coin` at snapshot index `t` (0 if no hashrate).
+    pub fn hashrate_share(&self, coin: usize, t: usize) -> f64 {
+        let total: f64 = (0..self.num_coins()).map(|c| self.hashrates[c][t]).sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.hashrates[coin][t] / total
+        }
+    }
+
+    /// Renders the metrics as CSV with a header row
+    /// (`time, price_0.., hashrate_0.., difficulty_0.., blocks_0.., miners_0..`).
+    pub fn to_csv(&self, coin_names: &[&str]) -> String {
+        let k = self.num_coins();
+        assert_eq!(coin_names.len(), k, "one name per coin required");
+        let mut out = String::from("time");
+        for kind in ["price", "hashrate", "difficulty", "blocks", "miners"] {
+            for name in coin_names {
+                out.push_str(&format!(",{kind}_{name}"));
+            }
+        }
+        out.push('\n');
+        for t in 0..self.len() {
+            out.push_str(&format!("{}", self.times[t]));
+            for c in 0..k {
+                out.push_str(&format!(",{}", self.prices[c][t]));
+            }
+            for c in 0..k {
+                out.push_str(&format!(",{}", self.hashrates[c][t]));
+            }
+            for c in 0..k {
+                out.push_str(&format!(",{}", self.difficulties[c][t]));
+            }
+            for c in 0..k {
+                out.push_str(&format!(",{}", self.blocks[c][t]));
+            }
+            for c in 0..k {
+                out.push_str(&format!(",{}", self.miners[c][t]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_shares() {
+        let mut m = SimMetrics::new(2);
+        m.record(0.0, &[100.0, 10.0], &[75.0, 25.0], &[1e6, 1e5], &[0, 0], &[3, 1]);
+        m.record(60.0, &[100.0, 20.0], &[50.0, 50.0], &[1e6, 2e5], &[1, 2], &[2, 2]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.hashrate_share(0, 0), 0.75);
+        assert_eq!(m.hashrate_share(1, 1), 0.5);
+    }
+
+    #[test]
+    fn empty_total_hashrate_is_zero_share() {
+        let mut m = SimMetrics::new(1);
+        m.record(0.0, &[1.0], &[0.0], &[1.0], &[0], &[0]);
+        assert_eq!(m.hashrate_share(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut m = SimMetrics::new(2);
+        m.record(0.0, &[1.0], &[1.0, 2.0], &[1.0, 2.0], &[0, 0], &[1, 1]);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let mut m = SimMetrics::new(2);
+        m.record(0.0, &[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7, 8], &[9, 10]);
+        let csv = m.to_csv(&["BTC", "BCH"]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("time,price_BTC,price_BCH"));
+        let row = lines.next().unwrap();
+        assert_eq!(row, "0,1,2,3,4,5,6,7,8,9,10");
+        assert_eq!(lines.next(), None);
+    }
+}

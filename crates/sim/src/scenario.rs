@@ -1,0 +1,229 @@
+//! Prebuilt scenarios, headlined by the Figure 1 reproduction.
+
+use goc_chain::{Blockchain, ChainParams, FeeParams, SubsidySchedule};
+use goc_market::{Gbm, Market, Price, ScheduledShock};
+
+use crate::agent::{MinerAgent, OracleKind};
+use crate::engine::{SimConfig, Simulation};
+
+/// Parameters of the BTC/BCH migration scenario (paper Figure 1).
+///
+/// Defaults are calibrated to the November 2017 event the paper cites:
+/// BCH trading near 0.1 BTC, pumping to ≈ 0.32 BTC on Nov 12, then
+/// retracing about half the move. Both chains share total block value
+/// proportionally to price (equal subsidies), so the static game predicts
+/// hashrate shares `F_c / Σ F`.
+#[derive(Debug, Clone, Copy)]
+pub struct BtcBchParams {
+    /// Number of miner agents.
+    pub num_miners: usize,
+    /// Zipf skew of agent hashrates (1.0 = classic).
+    pub zipf_exponent: f64,
+    /// Total horizon in days.
+    pub horizon_days: f64,
+    /// Day of the pump.
+    pub shock_day: f64,
+    /// Multiplicative BCH price factor at the pump.
+    pub shock_factor: f64,
+    /// Day of the partial retrace.
+    pub revert_day: f64,
+    /// Multiplicative BCH price factor at the retrace.
+    pub revert_factor: f64,
+    /// Per-agent evaluation interval in hours.
+    pub eval_hours: f64,
+    /// Switching inertia (relative gain needed to move).
+    pub inertia: f64,
+    /// Daily price volatility of each coin.
+    pub volatility: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BtcBchParams {
+    fn default() -> Self {
+        BtcBchParams {
+            num_miners: 200,
+            zipf_exponent: 0.8,
+            horizon_days: 100.0,
+            shock_day: 40.0,
+            shock_factor: 3.2,
+            revert_day: 55.0,
+            revert_factor: 0.55,
+            eval_hours: 6.0,
+            inertia: 0.03,
+            volatility: 0.02,
+            seed: 2017,
+        }
+    }
+}
+
+/// Day length in seconds.
+pub const DAY: f64 = 86_400.0;
+
+/// Builds the BTC/BCH Figure 1 scenario.
+///
+/// BTC uses Bitcoin's slow 2016-block epoch retarget; BCH uses the fast
+/// 144-block moving-average rule — the difficulty-response asymmetry that
+/// shaped the real 2017 oscillations. Initial difficulties and the agent
+/// split are placed at the pre-shock stationary point (≈ 10:1 by value).
+///
+/// # Examples
+///
+/// ```
+/// use goc_sim::scenario::{btc_bch, BtcBchParams};
+///
+/// let mut sim = btc_bch(BtcBchParams { num_miners: 30, horizon_days: 2.0,
+///     shock_day: 1.0, revert_day: 1.5, ..BtcBchParams::default() });
+/// let metrics = sim.run();
+/// assert_eq!(metrics.num_coins(), 2);
+/// ```
+pub fn btc_bch(params: BtcBchParams) -> Simulation {
+    let subsidy = 12_500_000u64; // 12.5 coins of 1e6 base units
+    let btc_price = 6000.0;
+    let bch_price = 600.0;
+
+    // Agent hashrates: Zipf-skewed, echoing real pool concentration.
+    let hashrates: Vec<f64> = (0..params.num_miners)
+        .map(|i| 1000.0 / ((i + 1) as f64).powf(params.zipf_exponent))
+        .collect();
+    let total: f64 = hashrates.iter().sum();
+
+    // Pre-shock stationary split by value: BTC carries 10/11 of reward.
+    let bch_share = bch_price / (btc_price + bch_price);
+    // Assign agents to BCH until its share is met (small agents first, so
+    // the composition is diverse).
+    let mut on_bch = vec![false; params.num_miners];
+    let mut acc = 0.0;
+    for i in (0..params.num_miners).rev() {
+        if acc + hashrates[i] <= bch_share * total * 1.05 {
+            acc += hashrates[i];
+            on_bch[i] = true;
+        }
+    }
+    let h_bch: f64 = acc;
+    let h_btc = total - h_bch;
+
+    let fee = FeeParams {
+        fee_rate: 0.0,
+        max_fees_per_block: u64::MAX,
+    };
+    let btc = ChainParams {
+        fees: fee,
+        subsidy: SubsidySchedule::constant(subsidy),
+        ..ChainParams::bitcoin_like("BTC", h_btc.max(1.0) * 600.0)
+    };
+    let bch = ChainParams {
+        fees: fee,
+        subsidy: SubsidySchedule::constant(subsidy),
+        ..ChainParams::bch_like("BCH", h_bch.max(1.0) * 600.0)
+    };
+
+    let mut market = Market::new(vec![
+        Price::Gbm(Gbm::new(btc_price, 0.0, params.volatility)),
+        Price::Gbm(Gbm::new(bch_price, 0.0, params.volatility)),
+    ]);
+    market.schedule_shock(ScheduledShock {
+        at: params.shock_day * DAY,
+        coin: 1,
+        factor: params.shock_factor,
+    });
+    market.schedule_shock(ScheduledShock {
+        at: params.revert_day * DAY,
+        coin: 1,
+        factor: params.revert_factor,
+    });
+
+    // Heterogeneous frictions: inertia spread over [0.5x, 2x] of the base
+    // and evaluation cadence over [0.5x, 1.5x], both deterministic in the
+    // agent index. Identical agents herd (they all see the same signal
+    // and move together — the EDA-oscillation pathology demonstrated by
+    // the `fig1_oscillation` experiment); heterogeneity produces the
+    // marginal-miner response of the real market.
+    let n = params.num_miners as f64;
+    let agents: Vec<MinerAgent> = hashrates
+        .iter()
+        .zip(&on_bch)
+        .enumerate()
+        .map(|(i, (&hashrate, &bch))| {
+            let spread = i as f64 / n.max(1.0);
+            MinerAgent {
+                hashrate,
+                coin: usize::from(bch),
+                eval_interval: params.eval_hours * 3600.0 * (0.5 + spread),
+                inertia: params.inertia * (0.5 + 1.5 * spread),
+                ..MinerAgent::default()
+            }
+        })
+        .collect();
+
+    Simulation::new(
+        vec![Blockchain::new(btc), Blockchain::new(bch)],
+        market,
+        agents,
+        SimConfig {
+            horizon: params.horizon_days * DAY,
+            snapshot_interval: 0.5 * DAY,
+            seed: params.seed,
+            // Agents play the static game's better response (destination
+            // congestion priced with their own mass included): stable
+            // marginal-miner migration, the shape of Figure 1. Swap to
+            // `Difficulty` to reproduce the EDA-style oscillations the
+            // real 2017 chart also shows.
+            oracle: OracleKind::Hashrate,
+        },
+    )
+}
+
+/// The same scenario but with the naive whattomine oracle
+/// (`OracleKind::Difficulty`): agents chase the *lagging* difficulty
+/// signal, which herds them and produces the violent hashrate
+/// oscillations the real post-fork BCH chart (and its EDA post-mortems)
+/// exhibit.
+pub fn btc_bch_oscillating(params: BtcBchParams) -> Simulation {
+    let mut sim = btc_bch(params);
+    sim.set_oracle(OracleKind::Difficulty);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_starts_near_the_value_split() {
+        let sim = btc_bch(BtcBchParams {
+            num_miners: 100,
+            ..BtcBchParams::default()
+        });
+        let share = sim.hashrate_of(1) / (sim.hashrate_of(0) + sim.hashrate_of(1));
+        assert!(
+            (share - 1.0 / 11.0).abs() < 0.04,
+            "initial BCH share {share} far from 1/11"
+        );
+    }
+
+    #[test]
+    fn migration_shape_matches_figure_1() {
+        let mut sim = btc_bch(BtcBchParams {
+            num_miners: 80,
+            seed: 42,
+            ..BtcBchParams::default()
+        });
+        let m = sim.run().clone();
+        let idx_at = |day: f64| {
+            m.times
+                .iter()
+                .position(|&t| t >= day * DAY)
+                .unwrap_or(m.len() - 1)
+        };
+        let before = m.hashrate_share(1, idx_at(39.0));
+        let peak = (idx_at(41.0)..=idx_at(54.0))
+            .map(|t| m.hashrate_share(1, t))
+            .fold(0.0, f64::max);
+        let after = m.hashrate_share(1, m.len() - 1);
+        // Pump pulls hashrate in; retrace pushes part of it back.
+        assert!(peak > before + 0.08, "no inflow: {before} -> peak {peak}");
+        assert!(after < peak, "no outflow after retrace: peak {peak} -> {after}");
+        assert!(after > before, "net effect should remain positive");
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's opening example, end to end: the November 2017 BTC → BCH
+//! miner migration (Figure 1), simulated mechanistically — two PoW chains
+//! with different difficulty-adjustment rules, a jump in the BCH/BTC
+//! exchange rate, and profit-switching miners.
+//!
+//! Run with `cargo run --release --example btc_bch_migration`.
+
+use gameofcoins::analysis::chart::{ascii_chart, Series};
+use gameofcoins::sim::scenario::{btc_bch, BtcBchParams, DAY};
+
+fn main() {
+    let params = BtcBchParams {
+        num_miners: 120,
+        horizon_days: 80.0,
+        shock_day: 30.0,
+        shock_factor: 3.2,
+        revert_day: 45.0,
+        revert_factor: 0.55,
+        ..BtcBchParams::default()
+    };
+    println!(
+        "simulating {} miners over {} days; BCH pumps x{} on day {} and retraces x{} on day {}",
+        params.num_miners,
+        params.horizon_days,
+        params.shock_factor,
+        params.shock_day,
+        params.revert_factor,
+        params.revert_day
+    );
+
+    let mut sim = btc_bch(params);
+    let metrics = sim.run().clone();
+    let days: Vec<f64> = metrics.times.iter().map(|t| t / DAY).collect();
+
+    let ratio: Vec<f64> = (0..metrics.len())
+        .map(|t| metrics.prices[1][t] / metrics.prices[0][t])
+        .collect();
+    println!("\nFigure 1(a): BCH/BTC exchange rate");
+    println!(
+        "{}",
+        ascii_chart(
+            &days,
+            &[Series {
+                name: "BCH/BTC",
+                values: &ratio,
+                symbol: '*'
+            }],
+            70,
+            12
+        )
+    );
+
+    let bch_share: Vec<f64> = (0..metrics.len())
+        .map(|t| metrics.hashrate_share(1, t))
+        .collect();
+    println!("Figure 1(b): BCH hashrate share (miners follow the price)");
+    println!(
+        "{}",
+        ascii_chart(
+            &days,
+            &[Series {
+                name: "BCH hashrate share",
+                values: &bch_share,
+                symbol: '#'
+            }],
+            70,
+            12
+        )
+    );
+
+    // Where did the big pools end up?
+    let (btc_blocks, bch_blocks) = (sim.chains()[0].height(), sim.chains()[1].height());
+    println!(
+        "blocks mined: BTC {btc_blocks}, BCH {bch_blocks}; total miner switches: {}",
+        metrics.total_switches
+    );
+    let top = sim
+        .agents()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.hashrate.total_cmp(&b.1.hashrate))
+        .expect("agents exist");
+    println!(
+        "largest pool (agent {} at {:.0} H/s) finished on {}",
+        top.0,
+        top.1.hashrate,
+        sim.chains()[top.1.coin].params().name
+    );
+}

@@ -1,0 +1,74 @@
+//! A complete manipulation story (paper §5 + §6): a whale wants a miner
+//! to dominate a victim coin, computes the reward design that herds the
+//! other miners there, executes it against adversarially-ordered
+//! learners, and walks away once the market is self-sustaining.
+//!
+//! Run with `cargo run --example reward_design_attack`.
+
+use gameofcoins::analysis::{dominance_of, fmt_f64, Table};
+use gameofcoins::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Seven miners, two coins. Strictly distinct powers (a §5 requirement).
+    let game = Game::build(&[900, 700, 500, 300, 200, 150, 100], &[8000, 5000])?;
+    let eqs = equilibrium::enumerate_equilibria(&game, 1 << 16)?;
+    println!("the market has {} pure equilibria", eqs.len());
+
+    // The attacker is the strongest miner; find the equilibria minimizing
+    // and maximizing its share of whatever coin it mines.
+    let attacker = game.system().ids_by_power_desc()[0];
+    let share = |s: &Configuration| dominance_of(&game, s, attacker, s.coin_of(attacker));
+    let s0 = eqs
+        .iter()
+        .min_by(|a, b| share(a).total_cmp(&share(b)))
+        .expect("at least one equilibrium")
+        .clone();
+    let sf = eqs
+        .iter()
+        .max_by(|a, b| share(a).total_cmp(&share(b)))
+        .expect("at least one equilibrium")
+        .clone();
+    println!(
+        "attacker {attacker}: share {} at the start vs {} at the designed target",
+        fmt_f64(share(&s0)),
+        fmt_f64(share(&sf))
+    );
+
+    let problem = DesignProblem::new(game.clone(), s0.clone(), sf.clone())?;
+    let mut learners = SchedulerKind::MinGain.build(1); // worst-case ordering
+    let outcome = design(
+        &problem,
+        learners.as_mut(),
+        DesignOptions {
+            verify_invariants: true,
+            ..DesignOptions::default()
+        },
+    )?;
+
+    let mut table = Table::new(vec!["stage", "iterations", "learning steps", "cost"]);
+    for stage in &outcome.stages {
+        table.row(vec![
+            stage.stage.to_string(),
+            stage.iterations.to_string(),
+            stage.steps.to_string(),
+            fmt_f64(stage.cost),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "total: {} reward postings, {} learning steps, cost {} (≈ {}x the market's total reward)",
+        outcome.total_iterations,
+        outcome.total_steps,
+        fmt_f64(outcome.total_cost),
+        fmt_f64(outcome.total_cost / game.rewards().total().to_f64()),
+    );
+    assert_eq!(outcome.final_config, sf);
+
+    // The punchline: the designed state persists for free.
+    assert!(game.is_stable(&sf));
+    println!(
+        "done: the market now sits at {sf}, a pure equilibrium of the ORIGINAL rewards —\n\
+         the attacker's dominance persists with no further spending."
+    );
+    Ok(())
+}

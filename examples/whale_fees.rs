@@ -1,0 +1,127 @@
+//! Whale transactions as a reward-manipulation channel (paper §1, citing
+//! Liao & Katz): a manipulator with a fee budget posts large transactions
+//! on a minority chain, temporarily raising its weight and pulling
+//! hashrate in; when the budget runs out, miners drift back.
+//!
+//! Run with `cargo run --release --example whale_fees`.
+
+use gameofcoins::analysis::chart::{ascii_chart, Series};
+use gameofcoins::chain::{Blockchain, ChainParams, FeeParams, SubsidySchedule};
+use gameofcoins::market::{ConstantPrice, Market, Price, WhaleBudget, WhaleInjection, WhalePlan};
+use gameofcoins::sim::{MinerAgent, OracleKind, SimConfig, Simulation};
+
+const DAY: f64 = 86_400.0;
+
+fn main() {
+    // Two equal-priced chains; chain B starts with 20% of the value via a
+    // smaller subsidy, so it holds ~1/6 of the hashrate.
+    let total_hash = 6_000.0;
+    let fees = FeeParams {
+        fee_rate: 0.0,
+        max_fees_per_block: u64::MAX,
+    };
+    let chain_a = ChainParams {
+        subsidy: SubsidySchedule::constant(10_000_000),
+        fees,
+        ..ChainParams::bch_like("A", total_hash * (5.0 / 6.0) * 600.0)
+    };
+    let chain_b = ChainParams {
+        subsidy: SubsidySchedule::constant(2_000_000),
+        fees,
+        ..ChainParams::bch_like("B", total_hash * (1.0 / 6.0) * 600.0)
+    };
+    let market = Market::new(vec![
+        Price::Constant(ConstantPrice(1.0)),
+        Price::Constant(ConstantPrice(1.0)),
+    ]);
+
+    // 60 equal miners, split 50/10 to match the value split.
+    let agents: Vec<MinerAgent> = (0..60)
+        .map(|i| MinerAgent {
+            hashrate: 100.0,
+            coin: usize::from(i >= 50),
+            eval_interval: 3.0 * 3600.0 + 60.0 * i as f64,
+            inertia: 0.02 + 0.001 * i as f64,
+            ..MinerAgent::default()
+        })
+        .collect();
+
+    // The whale: 2M base units of fees, posted on chain B every two hours
+    // across days 10–20 (fees keep each block's reward pumped).
+    let mut plan = WhalePlan::new(WhaleBudget::new(2_000_000_000));
+    let mut t = 10.0 * DAY;
+    while t < 20.0 * DAY {
+        let injection = WhaleInjection {
+            at_secs: t as u64,
+            coin: 1,
+            fee: 4_000_000, // triples B's per-block reward while active
+        };
+        if !plan.add(injection) {
+            break;
+        }
+        t += 2.0 * 3600.0;
+    }
+    println!(
+        "whale budget: {} units, {} scheduled injections on chain B (days 10-20)",
+        plan.budget().total(),
+        plan.pending().len()
+    );
+
+    let mut sim = Simulation::new(
+        vec![Blockchain::new(chain_a), Blockchain::new(chain_b)],
+        market,
+        agents,
+        SimConfig {
+            horizon: 30.0 * DAY,
+            snapshot_interval: 0.25 * DAY,
+            seed: 99,
+            oracle: OracleKind::Hashrate,
+        },
+    )
+    .with_whale_plan(plan);
+
+    let metrics = sim.run().clone();
+    let days: Vec<f64> = metrics.times.iter().map(|t| t / DAY).collect();
+    let share_b: Vec<f64> = (0..metrics.len())
+        .map(|t| metrics.hashrate_share(1, t))
+        .collect();
+    println!("hashrate share of chain B (whale active days 10-20):");
+    println!(
+        "{}",
+        ascii_chart(
+            &days,
+            &[Series {
+                name: "B share",
+                values: &share_b,
+                symbol: '#'
+            }],
+            70,
+            12
+        )
+    );
+
+    let whale_fees: u64 = sim.chains()[1].blocks().iter().map(|b| b.fees).sum();
+    println!(
+        "fees paid out on B: {whale_fees}; miner switches: {}",
+        metrics.total_switches
+    );
+    // Fee pumps are short-lived (each lasts until the next block collects
+    // it), so compare the campaign window's PEAK against quiet baselines.
+    let idx = |day: f64| {
+        metrics
+            .times
+            .iter()
+            .position(|&t| t >= day * DAY)
+            .unwrap_or(metrics.len() - 1)
+    };
+    let window = |lo: f64, hi: f64| &share_b[idx(lo)..idx(hi)];
+    let mean = |w: &[f64]| w.iter().sum::<f64>() / w.len().max(1) as f64;
+    let peak = |w: &[f64]| w.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "B's share: baseline {:.3} | campaign mean {:.3}, peak {:.3} | after {:.3}",
+        mean(window(0.0, 10.0)),
+        mean(window(10.0, 20.0)),
+        peak(window(10.0, 20.0)),
+        mean(window(25.0, 30.0)),
+    );
+}

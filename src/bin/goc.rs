@@ -1,0 +1,267 @@
+//! `goc` — command-line interface to the Game of Coins library.
+//!
+//! ```text
+//! goc learn    --powers 13,11,7,5,3,2 --rewards 17,10 [--scheduler round-robin] [--seed 0]
+//! goc enumerate --powers 13,11,7,5,3,2 --rewards 17,10
+//! goc design   --powers 13,11,7,5,3,2 --rewards 17,10 [--scheduler min-gain] [--seed 0]
+//! goc simulate [--miners 120] [--days 80] [--shock-day 30] [--seed 2017]
+//! ```
+//!
+//! `learn` runs better-response learning from the all-on-c0 configuration;
+//! `enumerate` lists all pure equilibria (small games); `design` picks the
+//! two Lemma-2 equilibria and runs Algorithm 2 between them; `simulate`
+//! runs the Figure 1 BTC/BCH market and prints the hashrate chart.
+
+use std::process::ExitCode;
+
+use gameofcoins::analysis::chart::{ascii_chart, Series};
+use gameofcoins::analysis::{fmt_f64, Table};
+use gameofcoins::design::{design, DesignOptions, DesignProblem};
+use gameofcoins::game::{equilibrium, CoinId, Configuration, Game};
+use gameofcoins::learning::{run, LearningOptions, SchedulerKind};
+use gameofcoins::sim::scenario::{btc_bch, BtcBchParams, DAY};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "learn" => cmd_learn(&opts),
+        "enumerate" => cmd_enumerate(&opts),
+        "design" => cmd_design(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "goc — Game of Coins (Spiegelman, Keidar, Tennenholtz; ICDCS 2021)
+
+USAGE:
+  goc learn     --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
+  goc enumerate --powers P1,P2,.. --rewards F1,F2,..
+  goc design    --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
+  goc simulate  [--miners N] [--days D] [--shock-day D] [--seed N]
+
+SCHEDULERS: round-robin | uniform-random | max-gain | min-gain |
+            largest-miner-first | smallest-miner-first";
+
+/// Parsed command-line options (manual parsing; no CLI dependency).
+#[derive(Debug, Default)]
+struct Options {
+    powers: Option<Vec<u64>>,
+    rewards: Option<Vec<u64>>,
+    scheduler: Option<String>,
+    seed: u64,
+    miners: usize,
+    days: f64,
+    shock_day: f64,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options {
+            seed: 0,
+            miners: 120,
+            days: 80.0,
+            shock_day: 30.0,
+            ..Options::default()
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--powers" => o.powers = Some(parse_list(value()?)?),
+                "--rewards" => o.rewards = Some(parse_list(value()?)?),
+                "--scheduler" => o.scheduler = Some(value()?.to_string()),
+                "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--miners" => {
+                    o.miners = value()?.parse().map_err(|e| format!("--miners: {e}"))?
+                }
+                "--days" => o.days = value()?.parse().map_err(|e| format!("--days: {e}"))?,
+                "--shock-day" => {
+                    o.shock_day = value()?.parse().map_err(|e| format!("--shock-day: {e}"))?
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn game(&self) -> Result<Game, String> {
+        let powers = self
+            .powers
+            .as_ref()
+            .ok_or("missing --powers (e.g. --powers 13,11,7)")?;
+        let rewards = self
+            .rewards
+            .as_ref()
+            .ok_or("missing --rewards (e.g. --rewards 17,10)")?;
+        Game::build(powers, rewards).map_err(|e| e.to_string())
+    }
+
+    fn scheduler_kind(&self) -> Result<SchedulerKind, String> {
+        let name = self.scheduler.as_deref().unwrap_or("round-robin");
+        SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| format!("unknown scheduler `{name}`"))
+    }
+}
+
+fn parse_list(s: &str) -> Result<Vec<u64>, String> {
+    s.split(',')
+        .map(|part| part.trim().parse::<u64>().map_err(|e| format!("`{part}`: {e}")))
+        .collect()
+}
+
+fn cmd_learn(opts: &Options) -> Result<(), String> {
+    let game = opts.game()?;
+    let kind = opts.scheduler_kind()?;
+    let start =
+        Configuration::uniform(CoinId(0), game.system()).map_err(|e| e.to_string())?;
+    let mut sched = kind.build(opts.seed);
+    let outcome = run(
+        &game,
+        &start,
+        sched.as_mut(),
+        LearningOptions {
+            record_path: true,
+            ..LearningOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("start: {start}");
+    for mv in &outcome.path {
+        println!("  {mv}");
+    }
+    println!(
+        "converged after {} steps at {} (scheduler: {})",
+        outcome.steps, outcome.final_config, kind
+    );
+    let mut table = Table::new(vec!["miner", "power", "coin", "payoff"]);
+    for m in game.system().miners() {
+        table.row(vec![
+            m.id().to_string(),
+            m.power().to_string(),
+            outcome.final_config.coin_of(m.id()).to_string(),
+            game.payoff(m.id(), &outcome.final_config).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_enumerate(opts: &Options) -> Result<(), String> {
+    let game = opts.game()?;
+    let eqs = equilibrium::enumerate_equilibria(&game, 1 << 22).map_err(|e| e.to_string())?;
+    println!("{} pure equilibria:", eqs.len());
+    let mut table = Table::new(vec!["#", "configuration", "welfare", "payoffs"]);
+    for (i, s) in eqs.iter().enumerate() {
+        let payoffs: Vec<String> = game.payoffs(s).iter().map(|p| fmt_f64(p.to_f64())).collect();
+        table.row(vec![
+            i.to_string(),
+            s.to_string(),
+            fmt_f64(game.welfare(s).to_f64()),
+            payoffs.join(" "),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_design(opts: &Options) -> Result<(), String> {
+    let game = opts.game()?;
+    let kind = opts.scheduler_kind()?;
+    let (s0, sf) = equilibrium::two_equilibria(&game).map_err(|e| e.to_string())?;
+    println!("steering the market from {s0} to {sf} …");
+    let problem = DesignProblem::new(game, s0, sf).map_err(|e| e.to_string())?;
+    let mut sched = kind.build(opts.seed);
+    let outcome = design(
+        &problem,
+        sched.as_mut(),
+        DesignOptions {
+            verify_invariants: true,
+            ..DesignOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut table = Table::new(vec!["stage", "iterations", "steps", "cost"]);
+    for s in &outcome.stages {
+        table.row(vec![
+            s.stage.to_string(),
+            s.iterations.to_string(),
+            s.steps.to_string(),
+            fmt_f64(s.cost),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reached {} — total {} postings, {} steps, cost {}",
+        outcome.final_config,
+        outcome.total_iterations,
+        outcome.total_steps,
+        fmt_f64(outcome.total_cost)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let mut sim = btc_bch(BtcBchParams {
+        num_miners: opts.miners,
+        horizon_days: opts.days,
+        shock_day: opts.shock_day,
+        revert_day: opts.shock_day + 15.0,
+        seed: opts.seed.max(1),
+        ..BtcBchParams::default()
+    });
+    let metrics = sim.run().clone();
+    let days: Vec<f64> = metrics.times.iter().map(|t| t / DAY).collect();
+    let share: Vec<f64> = (0..metrics.len())
+        .map(|t| metrics.hashrate_share(1, t))
+        .collect();
+    println!("BCH hashrate share over {} days ({} miners):", opts.days, opts.miners);
+    println!(
+        "{}",
+        ascii_chart(
+            &days,
+            &[Series {
+                name: "BCH share",
+                values: &share,
+                symbol: '#'
+            }],
+            72,
+            12
+        )
+    );
+    println!(
+        "blocks: BTC {}, BCH {}; switches: {}",
+        sim.chains()[0].height(),
+        sim.chains()[1].height(),
+        metrics.total_switches
+    );
+    Ok(())
+}

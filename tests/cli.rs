@@ -1,0 +1,105 @@
+//! Integration tests for the `goc` command-line interface.
+
+use std::process::Command;
+
+fn goc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_goc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn learn_prints_convergence_and_payoffs() {
+    let out = goc(&[
+        "learn",
+        "--powers",
+        "13,11,7,5,3,2",
+        "--rewards",
+        "17,10",
+        "--scheduler",
+        "max-gain",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("converged after"));
+    assert!(stdout.contains("payoff"));
+}
+
+#[test]
+fn enumerate_lists_equilibria() {
+    let out = goc(&["enumerate", "--powers", "2,1", "--rewards", "1,1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 pure equilibria"));
+}
+
+#[test]
+fn design_reaches_a_target() {
+    let out = goc(&[
+        "design",
+        "--powers",
+        "13,11,7,5,3,2",
+        "--rewards",
+        "17,10",
+        "--scheduler",
+        "min-gain",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("reached"));
+    assert!(stdout.contains("postings"));
+}
+
+#[test]
+fn simulate_draws_a_chart() {
+    let out = goc(&[
+        "simulate",
+        "--miners",
+        "20",
+        "--days",
+        "3",
+        "--shock-day",
+        "1",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("BCH share"));
+    assert!(stdout.contains("blocks:"));
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    for args in [
+        vec!["learn"],                                        // missing flags
+        vec!["learn", "--powers", "abc", "--rewards", "1"],   // parse error
+        vec!["learn", "--powers", "2,1", "--bogus", "x"],     // unknown flag
+        vec!["frobnicate"],                                   // unknown command
+        vec![],                                               // no command
+    ] {
+        let out = goc(&args);
+        assert!(!out.status.success(), "args {args:?} unexpectedly succeeded");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("error") || stderr.contains("USAGE"));
+    }
+}
+
+#[test]
+fn help_succeeds() {
+    let out = goc(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn equal_powers_design_is_rejected_cleanly() {
+    // §5 requires strictly distinct powers; the CLI must surface the
+    // library's validation error rather than panic.
+    let out = goc(&["design", "--powers", "5,5,3", "--rewards", "7,4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("distinct"), "stderr: {stderr}");
+}
