@@ -32,7 +32,12 @@ pub struct Series<'a> {
 pub fn ascii_chart(xs: &[f64], series: &[Series<'_>], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
     for s in series {
-        assert_eq!(s.values.len(), xs.len(), "series '{}' length mismatch", s.name);
+        assert_eq!(
+            s.values.len(),
+            xs.len(),
+            "series '{}' length mismatch",
+            s.name
+        );
     }
     if xs.is_empty() {
         return String::from("(empty chart)\n");

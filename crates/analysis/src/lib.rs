@@ -8,12 +8,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chart;
+pub mod report;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 pub mod welfare;
 
 pub use chart::{ascii_chart, Series};
+pub use report::{Artifact, ChartData, Check, ReportItem, RunReport, SeriesData, TableData};
 pub use stats::{gini, Histogram, Summary};
 pub use sweep::{default_threads, parallel_map};
 pub use table::{fmt_f64, Table};

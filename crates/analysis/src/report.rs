@@ -1,0 +1,410 @@
+//! Structured experiment run reports.
+//!
+//! Every registered experiment (see `goc-experiments`) returns a
+//! [`RunReport`]: an ordered list of notes, tables, and charts, plus
+//! pass/fail [`Check`]s replacing ad-hoc `assert!`s and named CSV
+//! [`Artifact`]s. A report renders either as the traditional ASCII
+//! output ([`RunReport::render_ascii`]) or as machine-readable JSON
+//! ([`RunReport::to_json`]), which is what `goc run <exp> --json` emits
+//! and `goc sweep` aggregates.
+//!
+//! ```
+//! use goc_analysis::report::RunReport;
+//!
+//! let mut report = RunReport::new("demo", "a demonstration report");
+//! report.param("miners", "200");
+//! report.note("everything nominal");
+//! report.check("sanity", 1 + 1 == 2, "arithmetic still works");
+//! assert!(report.passed());
+//! assert!(report.render_ascii().contains("demo"));
+//! assert!(report.to_json().contains("\"checks\""));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::chart::{ascii_chart, Series};
+use crate::table::Table;
+
+/// An owned, serializable named series (the report-side mirror of the
+/// borrowing [`Series`] used for rendering).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesData {
+    /// Legend label.
+    pub name: String,
+    /// Y values (same length as the owning chart's x-axis).
+    pub values: Vec<f64>,
+    /// Plot symbol used in ASCII rendering.
+    pub symbol: char,
+}
+
+/// An owned, serializable chart: one x-axis shared by several series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartData {
+    /// Chart caption.
+    pub title: String,
+    /// Shared x-axis values.
+    pub xs: Vec<f64>,
+    /// The plotted series.
+    pub series: Vec<SeriesData>,
+}
+
+impl ChartData {
+    /// Creates a chart; every series must match the x-axis length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a series length differs from `xs.len()`.
+    pub fn new<S: Into<String>>(title: S, xs: Vec<f64>, series: Vec<SeriesData>) -> Self {
+        for s in &series {
+            assert_eq!(
+                s.values.len(),
+                xs.len(),
+                "series '{}' length mismatch",
+                s.name
+            );
+        }
+        ChartData {
+            title: title.into(),
+            xs,
+            series,
+        }
+    }
+
+    /// Renders via [`ascii_chart`] at the standard report size.
+    pub fn render_ascii(&self) -> String {
+        let series: Vec<Series<'_>> = self
+            .series
+            .iter()
+            .map(|s| Series {
+                name: &s.name,
+                values: &s.values,
+                symbol: s.symbol,
+            })
+            .collect();
+        format!("{}\n{}", self.title, ascii_chart(&self.xs, &series, 72, 12))
+    }
+}
+
+/// An owned, serializable table (headers plus string rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    /// Table caption (may be empty).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row matches the header width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Captures an analysis [`Table`] with a caption.
+    pub fn from_table<S: Into<String>>(title: S, table: &Table) -> Self {
+        TableData {
+            title: title.into(),
+            headers: table.headers().to_vec(),
+            rows: table.rows().to_vec(),
+        }
+    }
+
+    /// Rebuilds a renderable [`Table`].
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(self.headers.clone());
+        for row in &self.rows {
+            t.row(row.clone());
+        }
+        t
+    }
+
+    /// Renders the caption (if any) plus the aligned ASCII table.
+    pub fn render_ascii(&self) -> String {
+        let body = self.to_table().render();
+        if self.title.is_empty() {
+            body
+        } else {
+            format!("{}\n{}", self.title, body)
+        }
+    }
+}
+
+/// One verified claim: an assertion turned into data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Check {
+    /// Short identifier of the claim.
+    pub name: String,
+    /// Whether the claim held on this run.
+    pub passed: bool,
+    /// Human-readable evidence (measured values, context).
+    pub detail: String,
+}
+
+/// A named CSV payload the experiment would traditionally write to
+/// `results/`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// File name (e.g. `fig1.csv`).
+    pub name: String,
+    /// File contents.
+    pub contents: String,
+}
+
+/// An ordered report content block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReportItem {
+    /// Free-form prose.
+    Note(String),
+    /// A captioned table.
+    Table(TableData),
+    /// A captioned chart.
+    Chart(ChartData),
+}
+
+/// The structured result of one experiment run.
+///
+/// Built incrementally by experiment code, then rendered once at the
+/// edge (binary, CLI, or sweep aggregation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Registry name of the experiment (e.g. `fig1`).
+    pub experiment: String,
+    /// One-line human title.
+    pub title: String,
+    /// Run parameters, as displayed key/value pairs.
+    pub params: Vec<(String, String)>,
+    /// Ordered content blocks.
+    pub items: Vec<ReportItem>,
+    /// Pass/fail claims verified during the run.
+    pub checks: Vec<Check>,
+    /// CSV artifacts produced by the run.
+    pub artifacts: Vec<Artifact>,
+}
+
+impl RunReport {
+    /// Creates an empty report.
+    pub fn new<S: Into<String>, T: Into<String>>(experiment: S, title: T) -> Self {
+        RunReport {
+            experiment: experiment.into(),
+            title: title.into(),
+            params: Vec::new(),
+            items: Vec::new(),
+            checks: Vec::new(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Records a run parameter.
+    pub fn param<K: Into<String>, V: Into<String>>(&mut self, key: K, value: V) -> &mut Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// Appends a prose note.
+    pub fn note<S: Into<String>>(&mut self, text: S) -> &mut Self {
+        self.items.push(ReportItem::Note(text.into()));
+        self
+    }
+
+    /// Appends a captioned table.
+    pub fn table<S: Into<String>>(&mut self, title: S, table: &Table) -> &mut Self {
+        self.items
+            .push(ReportItem::Table(TableData::from_table(title, table)));
+        self
+    }
+
+    /// Appends a chart.
+    pub fn chart(&mut self, chart: ChartData) -> &mut Self {
+        self.items.push(ReportItem::Chart(chart));
+        self
+    }
+
+    /// Records a checked claim.
+    pub fn check<N: Into<String>, D: Into<String>>(
+        &mut self,
+        name: N,
+        passed: bool,
+        detail: D,
+    ) -> &mut Self {
+        self.checks.push(Check {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        });
+        self
+    }
+
+    /// Records a CSV artifact.
+    pub fn artifact<N: Into<String>, C: Into<String>>(
+        &mut self,
+        name: N,
+        contents: C,
+    ) -> &mut Self {
+        self.artifacts.push(Artifact {
+            name: name.into(),
+            contents: contents.into(),
+        });
+        self
+    }
+
+    /// Whether every check passed (vacuously true with no checks).
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// `passed/total` check counts.
+    pub fn check_counts(&self) -> (usize, usize) {
+        (
+            self.checks.iter().filter(|c| c.passed).count(),
+            self.checks.len(),
+        )
+    }
+
+    /// One-line summary (used by `goc list` style overviews and sweep
+    /// progress).
+    pub fn summary_line(&self) -> String {
+        let (ok, total) = self.check_counts();
+        format!(
+            "{:<12} {} — checks {ok}/{total}{}",
+            self.experiment,
+            if self.passed() { "PASS" } else { "FAIL" },
+            if self.artifacts.is_empty() {
+                String::new()
+            } else {
+                format!(", {} artifact(s)", self.artifacts.len())
+            }
+        )
+    }
+
+    /// Renders the traditional terminal output: banner, parameters,
+    /// content blocks in order, then the check summary.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let line = format!("{} — {}", self.experiment, self.title);
+        out.push_str(&"=".repeat(line.len() + 4));
+        out.push('\n');
+        out.push_str(&format!("| {line} |\n"));
+        out.push_str(&"=".repeat(line.len() + 4));
+        out.push_str("\n\n");
+        if !self.params.is_empty() {
+            let kv: Vec<String> = self
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!("parameters: {}\n\n", kv.join(", ")));
+        }
+        for item in &self.items {
+            match item {
+                ReportItem::Note(text) => out.push_str(&format!("{text}\n\n")),
+                ReportItem::Table(t) => out.push_str(&format!("{}\n", t.render_ascii())),
+                ReportItem::Chart(c) => out.push_str(&format!("{}\n", c.render_ascii())),
+            }
+        }
+        if !self.checks.is_empty() {
+            out.push_str("checks:\n");
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "  [{}] {} — {}\n",
+                    if c.passed { "PASS" } else { "FAIL" },
+                    c.name,
+                    c.detail
+                ));
+            }
+            let (ok, total) = self.check_counts();
+            out.push_str(&format!("{ok}/{total} checks passed\n"));
+        }
+        out
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error message on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut report = RunReport::new("fig1", "BTC to BCH migration");
+        report.param("miners", "200").param("days", "100");
+        report.note("market calibrated to Nov 2017");
+        let mut t = Table::new(vec!["coin", "share"]);
+        t.row(vec!["BTC".into(), "0.89".into()]);
+        t.row(vec!["BCH".into(), "0.11".into()]);
+        report.table("hashrate shares", &t);
+        report.chart(ChartData::new(
+            "BCH share",
+            vec![0.0, 1.0, 2.0],
+            vec![SeriesData {
+                name: "share".into(),
+                values: vec![0.1, 0.3, 0.2],
+                symbol: '#',
+            }],
+        ));
+        report.check("inflow", true, "peak 0.30 > pre 0.10");
+        report.check("outflow", true, "end 0.20 < peak 0.30");
+        report.artifact("fig1.csv", "time,share\n0,0.1\n");
+        report
+    }
+
+    #[test]
+    fn ascii_rendering_includes_everything() {
+        let r = sample_report();
+        let text = r.render_ascii();
+        assert!(text.contains("fig1 — BTC to BCH migration"));
+        assert!(text.contains("miners=200"));
+        assert!(text.contains("hashrate shares"));
+        assert!(text.contains("BCH"));
+        assert!(text.contains("[PASS] inflow"));
+        assert!(text.contains("2/2 checks passed"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).expect("valid JSON");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn failed_checks_flip_passed() {
+        let mut r = sample_report();
+        assert!(r.passed());
+        r.check("broken", false, "1 > 2 does not hold");
+        assert!(!r.passed());
+        assert_eq!(r.check_counts(), (2, 3));
+        assert!(r.summary_line().contains("FAIL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chart_length_mismatch_panics() {
+        ChartData::new(
+            "bad",
+            vec![0.0, 1.0],
+            vec![SeriesData {
+                name: "s".into(),
+                values: vec![1.0],
+                symbol: '*',
+            }],
+        );
+    }
+
+    #[test]
+    fn table_round_trips_through_data() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let data = TableData::from_table("cap", &t);
+        assert_eq!(data.to_table().render(), t.render());
+    }
+}

@@ -44,6 +44,16 @@ impl Table {
         self
     }
 
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -100,12 +110,7 @@ impl Table {
                 c.clone()
             }
         };
-        let mut out = self
-            .headers
-            .iter()
-            .map(quote)
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = self.headers.iter().map(quote).collect::<Vec<_>>().join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));

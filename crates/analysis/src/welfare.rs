@@ -61,11 +61,7 @@ mod tests {
     fn dominance_detects_majority_miner() {
         let game = Game::build(&[6, 3, 1], &[5, 5]).unwrap();
         // p0 (6) and p1 (3) share c0; p2 alone on c1.
-        let s = Configuration::new(
-            vec![CoinId(0), CoinId(0), CoinId(1)],
-            game.system(),
-        )
-        .unwrap();
+        let s = Configuration::new(vec![CoinId(0), CoinId(0), CoinId(1)], game.system()).unwrap();
         assert_eq!(max_dominance(&game, &s), 1.0); // the lone miner
         assert!((dominance_of(&game, &s, MinerId(0), CoinId(0)) - 6.0 / 9.0).abs() < 1e-12);
         assert_eq!(dominance_of(&game, &s, MinerId(0), CoinId(1)), 0.0);
@@ -74,8 +70,7 @@ mod tests {
     #[test]
     fn welfare_efficiency_full_when_covered() {
         let game = Game::build(&[2, 1], &[3, 2]).unwrap();
-        let covered =
-            Configuration::new(vec![CoinId(0), CoinId(1)], game.system()).unwrap();
+        let covered = Configuration::new(vec![CoinId(0), CoinId(1)], game.system()).unwrap();
         let clumped = Configuration::uniform(CoinId(0), game.system()).unwrap();
         assert_eq!(welfare_efficiency(&game, &covered), 1.0);
         assert!((welfare_efficiency(&game, &clumped) - 0.6).abs() < 1e-12);

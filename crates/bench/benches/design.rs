@@ -14,7 +14,10 @@ fn problem_of(n: usize) -> DesignProblem {
         miners: n,
         coins: 3,
         powers: PowerDist::DistinctUniform { lo: 1, hi: 100_000 },
-        rewards: RewardDist::Uniform { lo: 100, hi: 100_000 },
+        rewards: RewardDist::Uniform {
+            lo: 100,
+            hi: 100_000,
+        },
     };
     let mut rng = SmallRng::seed_from_u64(n as u64);
     loop {
@@ -30,12 +33,16 @@ fn bench_design(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[4usize, 8, 12, 16] {
         let problem = problem_of(n);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &(), |b, ()| {
-            b.iter(|| {
-                design(&problem, &mut RoundRobin::new(), DesignOptions::default())
-                    .expect("design reaches the target")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    design(&problem, &mut RoundRobin::new(), DesignOptions::default())
+                        .expect("design reaches the target")
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_verified")),
             &(),

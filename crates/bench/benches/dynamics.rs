@@ -26,9 +26,13 @@ fn bench_improving_moves(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamics/improving_moves");
     for &(n, k) in &[(16usize, 4usize), (128, 8), (1024, 16)] {
         let (game, s) = setup(n, k);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
-            b.iter(|| game.improving_moves(&s));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| game.improving_moves(&s));
+            },
+        );
     }
     group.finish();
 }

@@ -15,7 +15,8 @@ fn game_of(n: usize, k: usize) -> Game {
         powers: PowerDist::Uniform { lo: 1, hi: 100_000 },
         rewards: RewardDist::Uniform { lo: 1, hi: 100_000 },
     };
-    spec.sample(&mut SmallRng::seed_from_u64(1)).expect("valid spec")
+    spec.sample(&mut SmallRng::seed_from_u64(1))
+        .expect("valid spec")
 }
 
 fn bench_rpu_list(c: &mut Criterion) {
@@ -24,9 +25,13 @@ fn bench_rpu_list(c: &mut Criterion) {
         let game = game_of(n, k);
         let mut rng = SmallRng::seed_from_u64(2);
         let s = goc_game::gen::random_config(&mut rng, game.system());
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
-            b.iter(|| potential::rpu_list(&game, &s));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| potential::rpu_list(&game, &s));
+            },
+        );
     }
     group.finish();
 }
@@ -38,9 +43,13 @@ fn bench_compare(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(3);
         let a = goc_game::gen::random_config(&mut rng, game.system());
         let b_cfg = goc_game::gen::random_config(&mut rng, game.system());
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
-            b.iter(|| potential::compare(&game, &a, &b_cfg));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| potential::compare(&game, &a, &b_cfg));
+            },
+        );
     }
     group.finish();
 }
@@ -50,9 +59,13 @@ fn bench_table(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, k) in &[(8usize, 2usize), (10, 2), (8, 3)] {
         let game = game_of(n, k);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(), |b, ()| {
-            b.iter(|| potential::PotentialTable::new(&game, 1 << 20).expect("small game"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| potential::PotentialTable::new(&game, 1 << 20).expect("small game"));
+            },
+        );
     }
     group.finish();
 }

@@ -9,18 +9,22 @@ fn bench_btc_bch(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/btc_bch_10_days");
     group.sample_size(10);
     for &n in &[20usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_miners")), &(), |b, ()| {
-            b.iter(|| {
-                let mut sim = btc_bch(BtcBchParams {
-                    num_miners: n,
-                    horizon_days: 10.0,
-                    shock_day: 4.0,
-                    revert_day: 7.0,
-                    ..BtcBchParams::default()
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_miners")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut sim = btc_bch(BtcBchParams {
+                        num_miners: n,
+                        horizon_days: 10.0,
+                        shock_day: 4.0,
+                        revert_day: 7.0,
+                        ..BtcBchParams::default()
+                    });
+                    sim.run().len()
                 });
-                sim.run().len()
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,51 @@
+//! Criterion benches for the scenario-API hot paths: spec construction,
+//! spec→simulation builds, JSON round trips, and registry dispatch —
+//! the per-run overhead `goc sweep` pays before any simulation work, so
+//! later PRs can track regressions here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_experiments::{find, registry};
+use goc_sim::ScenarioSpec;
+
+fn bench_spec_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec/build");
+    group.sample_size(20);
+    for spec in ScenarioSpec::presets() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name.clone()),
+            &spec,
+            |b, spec| {
+                b.iter(|| spec.build().expect("preset builds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spec_json_round_trip(c: &mut Criterion) {
+    let spec = ScenarioSpec::btc_bch();
+    c.bench_function("spec/json_round_trip", |b| {
+        b.iter(|| {
+            let json = serde_json::to_string(&spec).expect("serializes");
+            let back: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+            back
+        });
+    });
+}
+
+fn bench_registry_dispatch(c: &mut Criterion) {
+    c.bench_function("registry/build", |b| {
+        b.iter(registry);
+    });
+    c.bench_function("registry/find", |b| {
+        b.iter(|| find("poa").expect("registered"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spec_build,
+    bench_spec_json_round_trip,
+    bench_registry_dispatch
+);
+criterion_main!(benches);

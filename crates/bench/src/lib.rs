@@ -1,5 +1,7 @@
 //! # goc-bench — Criterion performance benchmarks
 //!
 //! No library code: the benchmark targets live in `benches/` —
-//! `potential`, `dynamics`, `design`, `chain`, and `sim`. Run with
-//! `cargo bench -p goc-bench` (or `cargo bench --workspace`).
+//! `potential`, `dynamics`, `design`, `chain`, `sim`, and `spec` (the
+//! scenario-API hot paths: spec builds, JSON round trips, registry
+//! dispatch). Run with `cargo bench -p goc-bench` (or
+//! `cargo bench --workspace`).

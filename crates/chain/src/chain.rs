@@ -200,13 +200,16 @@ impl Blockchain {
         self.timestamps.push(timestamp);
         self.difficulties.push(self.difficulty);
         let appended_height = height + 1;
-        self.difficulty = self.params.difficulty_rule.next_difficulty(RetargetContext {
-            height: appended_height,
-            timestamps: &self.timestamps,
-            difficulties: &self.difficulties,
-            difficulty: self.difficulty,
-            target_spacing: self.params.target_spacing,
-        });
+        self.difficulty = self
+            .params
+            .difficulty_rule
+            .next_difficulty(RetargetContext {
+                height: appended_height,
+                timestamps: &self.timestamps,
+                difficulties: &self.difficulties,
+                difficulty: self.difficulty,
+                target_spacing: self.params.target_spacing,
+            });
         self.blocks.last().expect("just pushed")
     }
 

@@ -91,8 +91,7 @@ impl DifficultyRule {
                     return ctx.difficulty;
                 }
                 let first = ctx.height - interval;
-                let actual =
-                    ctx.timestamps[ctx.height as usize] - ctx.timestamps[first as usize];
+                let actual = ctx.timestamps[ctx.height as usize] - ctx.timestamps[first as usize];
                 let expected = ctx.target_spacing * interval as f64;
                 let factor = clamp(expected / actual.max(f64::MIN_POSITIVE), max_factor);
                 ctx.difficulty * factor
@@ -104,8 +103,7 @@ impl DifficultyRule {
                     return ctx.difficulty;
                 }
                 let w = (window as usize).min(h);
-                let timespan =
-                    (ctx.timestamps[h] - ctx.timestamps[h - w]).max(f64::MIN_POSITIVE);
+                let timespan = (ctx.timestamps[h] - ctx.timestamps[h - w]).max(f64::MIN_POSITIVE);
                 let work: f64 = ctx.difficulties[(h - w + 1)..=h].iter().sum();
                 let next = work * ctx.target_spacing / timespan;
                 let factor = clamp(next / ctx.difficulty, max_step);

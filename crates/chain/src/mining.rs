@@ -18,11 +18,7 @@ use crate::block::MinerIndex;
 /// # Panics
 ///
 /// Panics if `difficulty` is not strictly positive.
-pub fn sample_block_interval<R: Rng + ?Sized>(
-    rng: &mut R,
-    hashrate: f64,
-    difficulty: f64,
-) -> f64 {
+pub fn sample_block_interval<R: Rng + ?Sized>(rng: &mut R, hashrate: f64, difficulty: f64) -> f64 {
     assert!(difficulty > 0.0, "difficulty must be positive");
     if hashrate <= 0.0 {
         return f64::INFINITY;

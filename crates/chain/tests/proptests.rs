@@ -2,9 +2,7 @@
 //! sane under arbitrary block patterns, and the mining race matches its
 //! analytic distribution.
 
-use goc_chain::{
-    mining, Blockchain, ChainParams, DifficultyRule, FeeParams, SubsidySchedule,
-};
+use goc_chain::{mining, Blockchain, ChainParams, DifficultyRule, FeeParams, SubsidySchedule};
 use proptest::prelude::*;
 
 fn arb_rule() -> impl Strategy<Value = DifficultyRule> {
@@ -14,10 +12,8 @@ fn arb_rule() -> impl Strategy<Value = DifficultyRule> {
             interval,
             max_factor
         }),
-        (2u64..50, 1.1f64..4.0).prop_map(|(window, max_step)| DifficultyRule::MovingAverage {
-            window,
-            max_step
-        }),
+        (2u64..50, 1.1f64..4.0)
+            .prop_map(|(window, max_step)| DifficultyRule::MovingAverage { window, max_step }),
         (2u64..50, 1.5f64..8.0, 2u64..8, 1.0f64..24.0, 0.5f64..0.95).prop_map(
             |(interval, max_factor, trigger_blocks, hours, cut)| DifficultyRule::Eda {
                 interval,
@@ -76,7 +72,7 @@ proptest! {
         for dt in intervals {
             t += dt;
             chain.append_block(t, 0);
-            if chain.height() % interval != 0 {
+            if !chain.height().is_multiple_of(interval) {
                 prop_assert_eq!(chain.difficulty(), last);
             }
             last = chain.difficulty();

@@ -143,12 +143,24 @@ pub fn design(
             report.iterations += 1;
             let phi_before = (i >= 2).then(|| problem.phi(i, &s));
 
-            let designed = if i == 1 { h1(problem) } else { hi(problem, i, &s)? };
+            let designed = if i == 1 {
+                h1(problem)
+            } else {
+                hi(problem, i, &s)?
+            };
             report.cost += iteration_cost(game.rewards(), &designed).to_f64();
             let design_game: Game = game.with_rewards(designed)?;
 
             let outcome = if options.verify_invariants && i >= 2 {
-                run_verified(problem, i, report.iterations, &design_game, &s, scheduler, options)?
+                run_verified(
+                    problem,
+                    i,
+                    report.iterations,
+                    &design_game,
+                    &s,
+                    scheduler,
+                    options,
+                )?
             } else {
                 run(&design_game, &s, scheduler, options.learning)?
             };
@@ -217,7 +229,10 @@ fn run_verified(
             return Err(DesignError::InvariantViolated {
                 stage,
                 iteration,
-                what: format!("converged configuration {} left T_{stage}", outcome.final_config),
+                what: format!(
+                    "converged configuration {} left T_{stage}",
+                    outcome.final_config
+                ),
             });
         }
         if let Some(m) = problem.mover_rank(stage, start) {

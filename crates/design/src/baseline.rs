@@ -137,8 +137,7 @@ mod tests {
             };
             let p = DesignProblem::new(game, s0, sf).unwrap();
             let mut sched = SchedulerKind::UniformRandom.build(trials);
-            let outcome =
-                naive_design(&p, sched.as_mut(), 10, LearningOptions::default()).unwrap();
+            let outcome = naive_design(&p, sched.as_mut(), 10, LearningOptions::default()).unwrap();
             failures += usize::from(!outcome.reached_target);
             trials += 1;
         }

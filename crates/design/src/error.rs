@@ -62,10 +62,16 @@ impl fmt::Display for DesignError {
                 f.write_str("reward design is defined for unrestricted games only")
             }
             DesignError::InitialNotStable { witness } => {
-                write!(f, "initial configuration is not stable ({witness} can improve)")
+                write!(
+                    f,
+                    "initial configuration is not stable ({witness} can improve)"
+                )
             }
             DesignError::TargetNotStable { witness } => {
-                write!(f, "target configuration is not stable ({witness} can improve)")
+                write!(
+                    f,
+                    "target configuration is not stable ({witness} can improve)"
+                )
             }
             DesignError::LearningDidNotConverge { stage, iteration } => write!(
                 f,

@@ -59,7 +59,13 @@ pub fn h1(problem: &DesignProblem) -> Rewards {
     let values = game
         .system()
         .coin_ids()
-        .map(|c| if c == target { boosted } else { game.reward_of(c) })
+        .map(|c| {
+            if c == target {
+                boosted
+            } else {
+                game.reward_of(c)
+            }
+        })
         .collect();
     Rewards::from_ratios(values).expect("designed rewards are non-negative")
 }
@@ -87,11 +93,13 @@ pub fn hi(problem: &DesignProblem, i: usize, s: &Configuration) -> Result<Reward
             what: format!("configuration {s} is outside T_{i}"),
         });
     }
-    let anchor = problem.anchor_rank(i, s).ok_or_else(|| DesignError::InvariantViolated {
-        stage: i,
-        iteration: 0,
-        what: "H_i requested at s = s^i (no mover)".to_string(),
-    })?;
+    let anchor = problem
+        .anchor_rank(i, s)
+        .ok_or_else(|| DesignError::InvariantViolated {
+            stage: i,
+            iteration: 0,
+            what: "H_i requested at s = s^i (no mover)".to_string(),
+        })?;
     let target = problem.final_coin(i);
     let r = max_rpu(game, s);
     let masses = s.masses(game.system());

@@ -44,11 +44,7 @@ impl DesignProblem {
     /// * [`DesignError::InitialNotStable`] / [`DesignError::TargetNotStable`]
     ///   — both endpoints must be pure equilibria of the original game.
     /// * [`DesignError::Game`] — on malformed configurations.
-    pub fn new(
-        game: Game,
-        s0: Configuration,
-        sf: Configuration,
-    ) -> Result<Self, DesignError> {
+    pub fn new(game: Game, s0: Configuration, sf: Configuration) -> Result<Self, DesignError> {
         if game.is_restricted() {
             return Err(DesignError::RestrictedGame);
         }
@@ -65,7 +61,12 @@ impl DesignProblem {
             return Err(DesignError::TargetNotStable { witness });
         }
         let order = game.system().ids_by_power_desc();
-        Ok(DesignProblem { game, s0, sf, order })
+        Ok(DesignProblem {
+            game,
+            s0,
+            sf,
+            order,
+        })
     }
 
     /// The game with the original (organic) rewards.
@@ -136,7 +137,10 @@ impl DesignProblem {
     ///
     /// Panics if `i < 2` or `i > n`.
     pub fn in_t(&self, i: usize, s: &Configuration) -> bool {
-        assert!((2..=self.num_stages()).contains(&i), "T_i needs 2 <= i <= n");
+        assert!(
+            (2..=self.num_stages()).contains(&i),
+            "T_i needs 2 <= i <= n"
+        );
         let c_prev = self.final_coin(i - 1);
         let c_new = self.final_coin(i);
         for k in 1..i {

@@ -61,13 +61,13 @@ impl PsiChecker {
                 what: format!("phase start {start} is outside T_{stage}"),
             });
         }
-        let m = problem.mover_rank(stage, start).ok_or_else(|| {
-            DesignError::InvariantViolated {
+        let m = problem
+            .mover_rank(stage, start)
+            .ok_or_else(|| DesignError::InvariantViolated {
                 stage,
                 iteration: 0,
                 what: "phase started at s^i (no mover)".to_string(),
-            }
-        })?;
+            })?;
         let system = Arc::clone(problem.game().system());
         let mover = problem.ranked(m);
         let c_prev = problem.final_coin(stage - 1);

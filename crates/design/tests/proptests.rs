@@ -17,7 +17,9 @@ fn arb_problem() -> impl Strategy<Value = DesignProblem> {
             let powers: Vec<u64> = (0..n)
                 .map(|i| 1 + salt % 97 + (i as u64) * (7 + salt % 13))
                 .collect();
-            let rewards: Vec<u64> = (0..k).map(|i| 100 + ((salt / 7) % 89) * (i as u64 + 1)).collect();
+            let rewards: Vec<u64> = (0..k)
+                .map(|i| 100 + ((salt / 7) % 89) * (i as u64 + 1))
+                .collect();
             let game = Game::build(&powers, &rewards).ok()?;
             if !game.system().powers_distinct() {
                 return None;

@@ -1,110 +1,9 @@
-//! **alg2** — Algorithm 2 / Theorem 2: dynamic reward design moves any
-//! better-response learners from any equilibrium to any other.
-//!
-//! Sweeps system sizes and schedulers; every run executes the staged
-//! design with full Ψ-invariant verification, reporting stages executed,
-//! loop iterations (Theorem 2 bounds each stage `i` by `2^(n−i+1)`; in
-//! practice they are tiny), better-response steps, and the manipulation
-//! cost in units of the game's total organic reward.
+//! Thin wrapper: runs the registered `alg2` experiment (see
+//! `goc_experiments::experiments::alg2`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, parallel_map, Table};
-use goc_design::{design, DesignOptions, DesignProblem};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::equilibrium;
-use goc_learning::SchedulerKind;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
-    banner(
-        "alg2",
-        "dynamic reward design between equilibria (paper §5, Alg. 2 + Thm. 2)",
-    );
-
-    let sizes = [4usize, 6, 8, 10, 12];
-    let schedulers = [
-        SchedulerKind::RoundRobin,
-        SchedulerKind::UniformRandom,
-        SchedulerKind::MinGain,
-        SchedulerKind::LargestMinerFirst,
-    ];
-    let mut cases = Vec::new();
-    for &n in &sizes {
-        for &kind in &schedulers {
-            cases.push((n, kind));
-        }
-    }
-
-    let rows = parallel_map(&cases, goc_analysis::default_threads(), |&(n, kind)| {
-        let spec = GameSpec {
-            miners: n,
-            coins: 3,
-            powers: PowerDist::DistinctUniform { lo: 1, hi: 4000 },
-            rewards: RewardDist::Uniform { lo: 100, hi: 4000 },
-        };
-        let mut rng = SmallRng::seed_from_u64(n as u64 * 31 + 7);
-        let mut done = 0usize;
-        let (mut iters, mut steps, mut costs) = (Vec::new(), Vec::new(), Vec::new());
-        while done < 10 {
-            let game = spec.sample(&mut rng).expect("valid spec");
-            let Ok((s0, sf)) = equilibrium::two_equilibria(&game) else {
-                continue;
-            };
-            let problem = DesignProblem::new(game.clone(), s0, sf.clone())
-                .expect("endpoints are stable by construction");
-            let mut sched = kind.build(done as u64);
-            let outcome = design(
-                &problem,
-                sched.as_mut(),
-                DesignOptions {
-                    verify_invariants: true,
-                    ..DesignOptions::default()
-                },
-            )
-            .expect("Algorithm 2 must reach the target");
-            assert_eq!(outcome.final_config, sf);
-            assert!(game.is_stable(&outcome.final_config));
-            iters.push(outcome.total_iterations as f64);
-            steps.push(outcome.total_steps as f64);
-            costs.push(outcome.total_cost / game.rewards().total().to_f64());
-            done += 1;
-        }
-        (
-            n,
-            kind,
-            goc_analysis::Summary::of(&iters),
-            goc_analysis::Summary::of(&steps),
-            goc_analysis::Summary::of(&costs),
-        )
-    });
-
-    let mut table = Table::new(vec![
-        "n",
-        "scheduler",
-        "runs",
-        "iterations_mean",
-        "iterations_max",
-        "steps_mean",
-        "cost/totalF_mean",
-        "cost/totalF_max",
-    ]);
-    for (n, kind, iters, steps, costs) in rows {
-        table.row(vec![
-            n.to_string(),
-            kind.to_string(),
-            iters.n.to_string(),
-            fmt_f64(iters.mean),
-            fmt_f64(iters.max),
-            fmt_f64(steps.mean),
-            fmt_f64(costs.mean),
-            fmt_f64(costs.max),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Every run reached s_f with Ψ1–Ψ5 and T_i verified on every learning step, and s_f is\n\
-         stable under the original rewards — the manipulator pays a finite cost for a permanent move."
-    );
-    write_results("alg2.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("alg2")
 }

@@ -1,83 +1,9 @@
-//! **appendix_a** — Appendix A: an equilibrium always exists and the
-//! greedy descending-power construction finds one.
-//!
-//! Verifies Proposition 3 empirically at scale (the construction yields a
-//! stable configuration for every sampled game) and, for small games,
-//! compares the construction's welfare and potential rank against the
-//! full set of enumerated equilibria.
+//! Thin wrapper: runs the registered `appendix_a` experiment (see
+//! `goc_experiments::experiments::appendix_a`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, welfare_efficiency, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::{equilibrium, potential};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
-    banner("appendix_a", "greedy equilibrium construction (paper Appendix A, Prop. 3)");
-
-    // Large-scale stability check.
-    let mut table = Table::new(vec!["n", "coins", "games", "all stable", "welfare_eff_mean"]);
-    for &(n, k) in &[(5usize, 2usize), (10, 3), (20, 4), (50, 6), (200, 10)] {
-        let spec = GameSpec {
-            miners: n,
-            coins: k,
-            powers: PowerDist::Uniform { lo: 1, hi: 10_000 },
-            rewards: RewardDist::Uniform { lo: 1, hi: 10_000 },
-        };
-        let games = 50;
-        let mut all_stable = true;
-        let mut eff = Vec::new();
-        for seed in 0..games {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let game = spec.sample(&mut rng).expect("valid spec");
-            let eq = equilibrium::greedy_equilibrium(&game);
-            all_stable &= game.is_stable(&eq);
-            eff.push(welfare_efficiency(&game, &eq));
-        }
-        let eff_mean = eff.iter().sum::<f64>() / eff.len() as f64;
-        table.row(vec![
-            n.to_string(),
-            k.to_string(),
-            games.to_string(),
-            all_stable.to_string(),
-            fmt_f64(eff_mean),
-        ]);
-        assert!(all_stable, "Proposition 3 violated at n={n}, k={k}");
-    }
-    println!("{}", table.render());
-    write_results("appendix_a.csv", &table.to_csv());
-
-    // Small games: rank the construction among all equilibria.
-    println!("small-game placement of the construction among all equilibria:");
-    let mut detail = Table::new(vec![
-        "seed", "equilibria", "greedy_welfare", "best_welfare", "greedy_pot_rank", "pot_levels",
-    ]);
-    let spec = GameSpec {
-        miners: 7,
-        coins: 3,
-        powers: PowerDist::Uniform { lo: 1, hi: 100 },
-        rewards: RewardDist::Uniform { lo: 1, hi: 100 },
-    };
-    for seed in 0..8u64 {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let game = spec.sample(&mut rng).expect("valid spec");
-        let eqs = equilibrium::enumerate_equilibria(&game, 1 << 16).expect("small game");
-        let greedy = equilibrium::greedy_equilibrium(&game);
-        let table_pot = potential::PotentialTable::new(&game, 1 << 16).expect("small game");
-        let best_welfare = eqs
-            .iter()
-            .map(|s| game.welfare(s).to_f64())
-            .fold(f64::MIN, f64::max);
-        detail.row(vec![
-            seed.to_string(),
-            eqs.len().to_string(),
-            fmt_f64(game.welfare(&greedy).to_f64()),
-            fmt_f64(best_welfare),
-            table_pot.rank(&game, &greedy).to_string(),
-            table_pot.levels().to_string(),
-        ]);
-    }
-    println!("{}", detail.render());
-    write_results("appendix_a_detail.csv", &detail.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("appendix_a")
 }

@@ -1,98 +1,9 @@
-//! **appendix_b** — Appendix B: in the symmetric case (all rewards
-//! equal), `H(s) = Σ_c 1/M_c(s)` is an ordinal potential (strictly
-//! decreasing along better responses).
-//!
-//! Runs full better-response paths on symmetric games and audits the
-//! decrease at every step, for every scheduler; also spot-checks that the
-//! claim *fails* for asymmetric rewards (why Theorem 1 needs the rank
-//! potential).
+//! Thin wrapper: runs the registered `appendix_b` experiment (see
+//! `goc_experiments::experiments::appendix_b`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::Table;
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::{potential, Extended};
-use goc_learning::{run_with_observer, LearningOptions, SchedulerKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
-    banner("appendix_b", "symmetric-case potential Σ 1/M_c (paper Appendix B, Prop. 4)");
-
-    let mut table = Table::new(vec!["n", "coins", "scheduler", "paths", "steps", "monotone"]);
-    for &(n, k) in &[(6usize, 2usize), (10, 3), (20, 4)] {
-        let spec = GameSpec {
-            miners: n,
-            coins: k,
-            powers: PowerDist::Uniform { lo: 1, hi: 500 },
-            rewards: RewardDist::Equal(1000),
-        };
-        for kind in SchedulerKind::ALL {
-            let mut steps = 0usize;
-            let mut monotone = true;
-            let paths = 20;
-            for seed in 0..paths {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let game = spec.sample(&mut rng).expect("valid spec");
-                let start = goc_game::gen::random_config(&mut rng, game.system());
-                let mut last = potential::symmetric_potential(&game, &start);
-                let mut sched = kind.build(seed);
-                let outcome = run_with_observer(
-                    &game,
-                    &start,
-                    sched.as_mut(),
-                    LearningOptions::default(),
-                    |config, _| {
-                        let now = potential::symmetric_potential(&game, config);
-                        monotone &= decreased(last, now);
-                        last = now;
-                    },
-                )
-                .expect("bundled schedulers are legal");
-                assert!(outcome.converged);
-                steps += outcome.steps;
-            }
-            assert!(monotone, "symmetric potential failed to decrease");
-            table.row(vec![
-                n.to_string(),
-                k.to_string(),
-                kind.to_string(),
-                paths.to_string(),
-                steps.to_string(),
-                monotone.to_string(),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    write_results("appendix_b.csv", &table.to_csv());
-
-    // Counterpoint: with unequal rewards Σ 1/M_c is NOT a potential.
-    let game = goc_game::Game::build(&[5, 4, 3, 2], &[1000, 10]).expect("valid");
-    let mut violated = false;
-    for s in goc_game::ConfigurationIter::new(game.system()) {
-        for mv in game.improving_moves(&s) {
-            let next = s.with_move(mv.miner, mv.to);
-            if !decreased(
-                potential::symmetric_potential(&game, &s),
-                potential::symmetric_potential(&game, &next),
-            ) {
-                violated = true;
-            }
-        }
-    }
-    println!(
-        "asymmetric control game (rewards 1000 vs 10): Σ 1/M_c monotone? {} (expected: false)",
-        !violated
-    );
-    assert!(violated, "the symmetric potential should fail for asymmetric rewards");
-}
-
-/// Whether the symmetric potential strictly decreased. Appendix B's
-/// argument lives on the all-coins-occupied region (H finite); while some
-/// coin is still empty H is +∞ on both sides and carries no information,
-/// so ∞ → ∞ steps are vacuously accepted. A finite → ∞ step (emptying a
-/// coin) would be a genuine violation — and indeed cannot be a better
-/// response in a symmetric game (a lone miner owns its coin's whole
-/// reward and never gains by leaving).
-fn decreased(before: Extended, after: Extended) -> bool {
-    after < before || (before.is_infinite() && after.is_infinite())
+fn main() -> ExitCode {
+    goc_experiments::run_bin("appendix_b")
 }

@@ -1,101 +1,9 @@
-//! **asym** — Discussion §6, follow-up 3: the asymmetric case where some
-//! coins can be mined only by a subset of the miners.
-//!
-//! The paper leaves this case open. We extend the model with per-miner
-//! permitted-coin sets (ASIC vs GPU hardware classes) and measure, across
-//! restriction densities, whether arbitrary better-response learning
-//! still converges empirically — evidence for (or against) extending
-//! Theorem 1.
+//! Thin wrapper: runs the registered `asym` experiment (see
+//! `goc_experiments::experiments::asym`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, parallel_map, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_learning::{run, LearningOptions, SchedulerKind};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-const TRIALS: usize = 60;
-
-fn main() {
-    banner(
-        "asym",
-        "restricted (asymmetric) games: does learning still converge? (paper §6)",
-    );
-
-    let densities = [1.0f64, 0.9, 0.75, 0.6, 0.5];
-    let mut cases = Vec::new();
-    for &d in &densities {
-        for kind in [SchedulerKind::UniformRandom, SchedulerKind::MinGain] {
-            cases.push((d, kind));
-        }
-    }
-
-    let rows = parallel_map(&cases, goc_analysis::default_threads(), |&(density, kind)| {
-        let spec = GameSpec {
-            miners: 12,
-            coins: 4,
-            powers: PowerDist::Uniform { lo: 1, hi: 1000 },
-            rewards: RewardDist::Uniform { lo: 100, hi: 5000 },
-        };
-        let mut rng = SmallRng::seed_from_u64((density * 1000.0) as u64 * 31 + 1);
-        let mut converged = 0usize;
-        let mut steps = Vec::new();
-        for trial in 0..TRIALS {
-            let base = spec.sample(&mut rng).expect("valid spec");
-            // Random permitted-coin mask at the given density; every miner
-            // keeps at least one coin.
-            let restrictions: Vec<Vec<bool>> = (0..12)
-                .map(|_| {
-                    let mut row: Vec<bool> =
-                        (0..4).map(|_| rng.gen::<f64>() < density).collect();
-                    if !row.iter().any(|&b| b) {
-                        row[rng.gen_range(0..4)] = true;
-                    }
-                    row
-                })
-                .collect();
-            let game = base.with_restrictions(restrictions).expect("validated mask");
-            let start = goc_game::gen::random_config_restricted(&mut rng, &game);
-            let mut sched = kind.build(trial as u64);
-            let outcome = run(
-                &game,
-                &start,
-                sched.as_mut(),
-                LearningOptions {
-                    max_steps: 100_000,
-                    ..LearningOptions::default()
-                },
-            )
-            .expect("bundled schedulers are legal");
-            if outcome.converged {
-                converged += 1;
-                steps.push(outcome.steps as f64);
-            }
-        }
-        (density, kind, converged, goc_analysis::Summary::of(&steps))
-    });
-
-    let mut table = Table::new(vec![
-        "density", "scheduler", "converged", "rate", "steps_mean", "steps_max",
-    ]);
-    let mut all_converged = true;
-    for (density, kind, converged, s) in rows {
-        all_converged &= converged == TRIALS;
-        table.row(vec![
-            fmt_f64(density),
-            kind.to_string(),
-            format!("{converged}/{TRIALS}"),
-            fmt_f64(converged as f64 / TRIALS as f64),
-            fmt_f64(s.mean),
-            fmt_f64(s.max),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "empirical answer: {} — better-response learning converged in every restricted trial,\n\
-         consistent with the restricted game being a player-specific (ID) congestion game on a\n\
-         sub-action space; a formal extension of Theorem 1 remains open.",
-        if all_converged { "yes" } else { "NO (counterexample found!)" }
-    );
-    write_results("asym.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("asym")
 }

@@ -1,101 +1,9 @@
-//! **fig1** — Figure 1: miners move from Bitcoin to Bitcoin Cash.
-//!
-//! Reproduces both panels on the synthetic market calibrated to the
-//! November 2017 event (see `DESIGN.md` — substitutions):
-//!
-//! * **(a)** BCH/BTC exchange-rate ratio over time (pump ×3.2, partial
-//!   retrace);
-//! * **(b)** hashrate share of each chain, which tracks the value share
-//!   with difficulty-response lag — the migration the paper opens with.
-//!
-//! A second run with the naive lagging-difficulty oracle shows the
-//! EDA-style all-in/all-out oscillation the real chart also exhibits.
+//! Thin wrapper: runs the registered `fig1` experiment (see
+//! `goc_experiments::experiments::fig1`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::chart::{ascii_chart, Series};
-use goc_experiments::{banner, write_results};
-use goc_sim::scenario::{btc_bch, btc_bch_oscillating, BtcBchParams, DAY};
+use std::process::ExitCode;
 
-fn main() {
-    banner("fig1", "BTC -> BCH migration (paper Figure 1a/1b)");
-    let params = BtcBchParams::default();
-    println!(
-        "market: BTC $6000, BCH $600 (ratio 0.10); pump x{} on day {}, retrace x{} on day {}; {} Zipf miners\n",
-        params.shock_factor, params.shock_day, params.revert_factor, params.revert_day, params.num_miners
-    );
-
-    let mut sim = btc_bch(params);
-    let metrics = sim.run().clone();
-    let days: Vec<f64> = metrics.times.iter().map(|t| t / DAY).collect();
-
-    // Panel (a): exchange-rate ratio.
-    let ratio: Vec<f64> = (0..metrics.len())
-        .map(|t| metrics.prices[1][t] / metrics.prices[0][t])
-        .collect();
-    println!("(a) BCH/BTC exchange-rate ratio");
-    println!(
-        "{}",
-        ascii_chart(
-            &days,
-            &[Series { name: "BCH/BTC", values: &ratio, symbol: '*' }],
-            72,
-            14,
-        )
-    );
-
-    // Panel (b): hashrate shares.
-    let share_btc: Vec<f64> = (0..metrics.len()).map(|t| metrics.hashrate_share(0, t)).collect();
-    let share_bch: Vec<f64> = (0..metrics.len()).map(|t| metrics.hashrate_share(1, t)).collect();
-    println!("(b) hashrate share per chain (hashrate corresponds to the number of miners)");
-    println!(
-        "{}",
-        ascii_chart(
-            &days,
-            &[
-                Series { name: "BTC share", values: &share_btc, symbol: 'o' },
-                Series { name: "BCH share", values: &share_bch, symbol: '#' },
-            ],
-            72,
-            14,
-        )
-    );
-
-    // Quantitative checkpoints for EXPERIMENTS.md.
-    let idx_at = |day: f64| days.iter().position(|&d| d >= day).unwrap_or(days.len() - 1);
-    let before = share_bch[idx_at(params.shock_day - 1.0)];
-    let peak = share_bch[idx_at(params.shock_day)..idx_at(params.revert_day)]
-        .iter()
-        .cloned()
-        .fold(0.0, f64::max);
-    let end = *share_bch.last().expect("nonempty");
-    println!("BCH hashrate share: pre-shock {before:.3}, post-pump peak {peak:.3}, end {end:.3}");
-    println!("total miner switches: {}\n", metrics.total_switches);
-    write_results("fig1.csv", &metrics.to_csv(&["BTC", "BCH"]));
-
-    // The lagging-difficulty (whattomine) oracle: EDA-style herding.
-    let mut osc = btc_bch_oscillating(BtcBchParams {
-        num_miners: 80,
-        horizon_days: 30.0,
-        shock_day: 10.0,
-        revert_day: 20.0,
-        ..BtcBchParams::default()
-    });
-    let om = osc.run().clone();
-    let odays: Vec<f64> = om.times.iter().map(|t| t / DAY).collect();
-    let oshare: Vec<f64> = (0..om.len()).map(|t| om.hashrate_share(1, t)).collect();
-    println!("supplement: same market, naive lagging-difficulty oracle (EDA-style herding)");
-    println!(
-        "{}",
-        ascii_chart(
-            &odays,
-            &[Series { name: "BCH share (naive oracle)", values: &oshare, symbol: '#' }],
-            72,
-            10,
-        )
-    );
-    let o_sum = goc_analysis::Summary::of(&oshare);
-    println!(
-        "share swings min {:.2} / max {:.2} with {} switches (vs {} under the game-theoretic oracle)",
-        o_sum.min, o_sum.max, om.total_switches, metrics.total_switches
-    );
-    write_results("fig1_oscillation.csv", &om.to_csv(&["BTC", "BCH"]));
+fn main() -> ExitCode {
+    goc_experiments::run_bin("fig1")
 }

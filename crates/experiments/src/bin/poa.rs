@@ -1,81 +1,9 @@
-//! **poa** — the equilibrium landscape, exactly: welfare spread
-//! (price of anarchy/stability), reachability, and exact best/worst
-//! improving-path lengths on enumerable games.
-//!
-//! Context for §4–5: Proposition 2 says someone always prefers another
-//! equilibrium; this experiment shows how much the equilibria differ in
-//! aggregate (welfare) and which of them arbitrary learning can actually
-//! reach from a clumped start — the gap reward design exists to close.
+//! Thin wrapper: runs the registered `poa` experiment (see
+//! `goc_experiments::experiments::poa`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::paths::ImprovingDag;
-use goc_game::CoinId;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
-    banner(
-        "poa",
-        "equilibrium welfare spread and reachability (context for §4–5)",
-    );
-
-    let spec = GameSpec {
-        miners: 8,
-        coins: 3,
-        powers: PowerDist::Uniform { lo: 1, hi: 500 },
-        rewards: RewardDist::Uniform { lo: 100, hi: 1000 },
-    };
-
-    let mut table = Table::new(vec![
-        "seed",
-        "equilibria",
-        "welfare worst/opt",
-        "reachable from clump",
-        "shortest path",
-        "longest path",
-    ]);
-    let mut rng = SmallRng::seed_from_u64(3);
-    let mut poa_worst: f64 = 1.0;
-    for seed in 0..10u64 {
-        let _ = seed;
-        let game = spec.sample(&mut rng).expect("valid spec");
-        let dag = ImprovingDag::new(&game, 1 << 16).expect("small game");
-        let eqs = dag.equilibria();
-        let opt = game.rewards().total().to_f64();
-        let worst = eqs
-            .iter()
-            .map(|s| game.welfare(s).to_f64())
-            .fold(f64::INFINITY, f64::min);
-        let ratio = worst / opt;
-        poa_worst = poa_worst.min(ratio);
-
-        let clump =
-            goc_game::Configuration::uniform(CoinId(0), game.system()).expect("coin exists");
-        let reachable = dag.reachable_equilibria(&clump).expect("same game");
-        let shortest = dag
-            .shortest_path_to_equilibrium(&clump)
-            .expect("same game");
-        let longest = dag.longest_path(&clump).expect("same game");
-        table.row(vec![
-            seed.to_string(),
-            eqs.len().to_string(),
-            fmt_f64(ratio),
-            format!("{}/{}", reachable.len(), eqs.len()),
-            shortest.to_string(),
-            longest.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "observations: (1) equilibrium welfare is near-optimal whenever miners cover all\n\
-         coins (Observation 3), so the price of anarchy is mild (worst seen: {});\n\
-         (2) arbitrary learning can usually reach MANY equilibria from the same start —\n\
-         which one it lands in is up to move order, exactly the nondeterminism the\n\
-         paper's reward design (§5) takes control of; (3) exact worst-case improving\n\
-         paths (longest-path column) stay short, matching the speed experiment.",
-        fmt_f64(poa_worst)
-    );
-    write_results("poa.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("poa")
 }

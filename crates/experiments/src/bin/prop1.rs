@@ -1,50 +1,9 @@
-//! **prop1** — Proposition 1: the mining game has no exact potential.
-//!
-//! Regenerates the paper's worked counterexample (powers (2,1), unit
-//! rewards): the four-configuration cycle whose deviator-payoff changes
-//! sum to 2/3 ≠ 0, plus an exhaustive Monderer–Shapley check over all
-//! 4-cycles, and — in contrast — a verification that the *ordinal*
-//! potential of Theorem 1 strictly increases on every better response.
+//! Thin wrapper: runs the registered `prop1` experiment (see
+//! `goc_experiments::experiments::prop1`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::Table;
-use goc_experiments::{banner, write_results};
-use goc_game::{paper, potential, CoinId, MinerId};
+use std::process::ExitCode;
 
-fn main() {
-    banner("prop1", "no exact potential (paper §3, Proposition 1)");
-    let game = paper::prop1_game();
-    let [s1, s2, s3, s4] = paper::prop1_cycle(&game);
-
-    let mut table = Table::new(vec!["config", "u_p1", "u_p2", "stable?"]);
-    for (name, s) in [("s1=(c1,c1)", &s1), ("s2=(c1,c2)", &s2), ("s3=(c2,c2)", &s3), ("s4=(c2,c1)", &s4)] {
-        table.row(vec![
-            name.to_string(),
-            game.payoff(MinerId(0), s).to_string(),
-            game.payoff(MinerId(1), s).to_string(),
-            game.is_stable(s).to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // The cycle of the proof: deviators alternate p2, p1, p2, p1.
-    let defect = potential::four_cycle_defect(&game, &s1, MinerId(1), MinerId(0), CoinId(1), CoinId(1));
-    println!("4-cycle deviator-payoff sum (paper: 2/3 ≠ 0): {defect}");
-    let has_exact = potential::has_exact_potential(&game, 1 << 16).expect("tiny game");
-    println!("exhaustive Monderer–Shapley check → exact potential exists: {has_exact}");
-    assert!(!has_exact, "Proposition 1 must hold");
-    assert_eq!(defect, goc_game::Ratio::new(2, 3).unwrap());
-
-    // Contrast: the ordinal potential strictly increases on every better
-    // response of every configuration.
-    let mut checked = 0;
-    for s in goc_game::ConfigurationIter::new(game.system()) {
-        for mv in game.improving_moves(&s) {
-            let next = s.with_move(mv.miner, mv.to);
-            assert!(potential::strictly_increases(&game, &s, &next));
-            checked += 1;
-        }
-    }
-    println!("ordinal potential strictly increased on all {checked} better-response steps");
-
-    write_results("prop1.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("prop1")
 }

@@ -1,95 +1,9 @@
-//! **prop2** — Proposition 2: under Assumptions 1–2, every equilibrium is
-//! dominated for some miner by another equilibrium.
-//!
-//! For random games verified to satisfy the assumptions (exhaustively),
-//! enumerates all pure equilibria and finds, for each one, a witnessing
-//! miner strictly better off elsewhere; also exercises the Lemma 2
-//! two-equilibria construction.
+//! Thin wrapper: runs the registered `prop2` experiment (see
+//! `goc_experiments::experiments::prop2`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::{assumptions, equilibrium};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
-    banner(
-        "prop2",
-        "every equilibrium is dominated for someone (paper §4, Prop. 2)",
-    );
-
-    let spec = GameSpec {
-        miners: 8,
-        coins: 2,
-        powers: PowerDist::DistinctUniform { lo: 50, hi: 200 },
-        rewards: RewardDist::DistinctUniform { lo: 500, hi: 2000 },
-    };
-
-    let mut table = Table::new(vec![
-        "seed",
-        "A1 (never alone)",
-        "A2 (generic)",
-        "equilibria",
-        "all dominated",
-        "lemma2 distinct eqs",
-        "max payoff gain",
-    ]);
-    let mut rng = SmallRng::seed_from_u64(1);
-    let mut seed = 0u64;
-    let mut assumption_holders = 0;
-    while assumption_holders < 10 && seed < 400 {
-        seed += 1;
-        let game = match spec.sample(&mut rng) {
-            Ok(g) => g,
-            Err(_) => continue,
-        };
-        let a1 = assumptions::never_alone_exhaustive(&game, 1 << 16).expect("small game");
-        let a2 = assumptions::generic_exhaustive(&game, 1 << 20).expect("small game");
-        if !(a1 && a2) {
-            continue;
-        }
-        assumption_holders += 1;
-        let eqs = equilibrium::enumerate_equilibria(&game, 1 << 16).expect("small game");
-        let witnesses = equilibrium::better_equilibrium_witnesses(&game, 1 << 16);
-        let all_dominated = witnesses.is_ok();
-        assert!(
-            all_dominated,
-            "Proposition 2 violated for seed {seed} despite A1+A2"
-        );
-        // Largest payoff improvement available to any witness.
-        let payoffs: Vec<Vec<f64>> = eqs
-            .iter()
-            .map(|s| goc_analysis::payoffs_f64(&game, s))
-            .collect();
-        let mut best_gain: f64 = 0.0;
-        for (i, pi) in payoffs.iter().enumerate() {
-            for (j, pj) in payoffs.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                for p in 0..pi.len() {
-                    best_gain = best_gain.max(pj[p] - pi[p]);
-                }
-            }
-        }
-        let lemma2 = equilibrium::two_equilibria(&game)
-            .map(|(a, b)| a != b)
-            .unwrap_or(false);
-        table.row(vec![
-            seed.to_string(),
-            a1.to_string(),
-            a2.to_string(),
-            eqs.len().to_string(),
-            all_dominated.to_string(),
-            lemma2.to_string(),
-            fmt_f64(best_gain),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "checked {assumption_holders} games satisfying A1+A2 (screened {seed} candidates); \
-         every equilibrium had a strictly-better alternative for some miner."
-    );
-    write_results("prop2.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("prop2")
 }

@@ -1,85 +1,9 @@
-//! **speed** — Discussion §6, follow-up 1: convergence speed under
-//! specific markets.
-//!
-//! The paper proves convergence but leaves its speed open. This sweep
-//! measures better-response steps to equilibrium as a function of miner
-//! count, coin count, power skew, and scheduler, from uniformly random
-//! starting configurations.
+//! Thin wrapper: runs the registered `speed` experiment (see
+//! `goc_experiments::experiments::speed`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, parallel_map, Summary, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_learning::{convergence_trials, LearningOptions, SchedulerKind};
+use std::process::ExitCode;
 
-const TRIALS: usize = 60;
-
-fn main() {
-    banner("speed", "convergence speed across market shapes (paper §6, follow-up)");
-
-    let ns = [8usize, 16, 32, 64, 128];
-    let ks = [2usize, 4, 8];
-    type DistCtor = fn() -> PowerDist;
-    let dists: [(&str, DistCtor); 2] = [
-        ("uniform", || PowerDist::Uniform { lo: 1, hi: 1000 }),
-        ("zipf", || PowerDist::Zipf { base: 100_000, exponent: 1.1 }),
-    ];
-    let schedulers = [
-        SchedulerKind::RoundRobin,
-        SchedulerKind::UniformRandom,
-        SchedulerKind::MinGain,
-    ];
-
-    let mut cases = Vec::new();
-    for &n in &ns {
-        for &k in &ks {
-            for &(dname, dist) in &dists {
-                for &kind in &schedulers {
-                    cases.push((n, k, dname, dist(), kind));
-                }
-            }
-        }
-    }
-
-    let rows = parallel_map(&cases, goc_analysis::default_threads(), |&(n, k, dname, dist, kind)| {
-        let spec = GameSpec {
-            miners: n,
-            coins: k,
-            powers: dist,
-            rewards: RewardDist::Uniform { lo: 100, hi: 10_000 },
-        };
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(n as u64 * 131 + k as u64);
-        use rand::SeedableRng;
-        let game = spec.sample(&mut rng).expect("valid spec");
-        let summary = convergence_trials(&game, kind, TRIALS, 17, LearningOptions::default());
-        (n, k, dname, kind, summary)
-    });
-
-    let mut table = Table::new(vec![
-        "n", "coins", "powers", "scheduler", "rate", "median", "p95", "max", "steps/n",
-    ]);
-    for (n, k, dname, kind, s) in rows {
-        table.row(vec![
-            n.to_string(),
-            k.to_string(),
-            dname.to_string(),
-            kind.to_string(),
-            fmt_f64(s.convergence_rate()),
-            fmt_f64(s.median_steps),
-            s.p95_steps.to_string(),
-            s.max_steps.to_string(),
-            fmt_f64(s.mean_steps / n as f64),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // Headline observation for EXPERIMENTS.md.
-    let _ = Summary::of(&[]);
-    println!(
-        "observation: under best-response-style schedulers, steps-to-equilibrium stays\n\
-         below ~1.5n across all shapes; the adversarial min-gain scheduler degrades\n\
-         super-linearly with both n and the coin count (tiny-gain shuffling), e.g.\n\
-         ~50x-150x more steps at n=128, k=8 — convergence speed, unlike convergence\n\
-         itself, depends heavily on the learning rule."
-    );
-    write_results("speed.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("speed")
 }

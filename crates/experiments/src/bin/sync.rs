@@ -1,96 +1,9 @@
-//! **sync** — why the paper's model uses *individual* improvement steps:
-//! synchronous best-response dynamics can cycle forever.
-//!
-//! Theorem 1 holds for any sequential better-response learning. If all
-//! unstable miners instead move simultaneously (a natural model of
-//! miners reacting to the same profitability dashboard), the dynamics
-//! can enter limit cycles — two symmetric miners endlessly swapping
-//! coins. This experiment measures cycling rates across game shapes,
-//! separating symmetric games (worst case) from generic ones.
+//! Thin wrapper: runs the registered `sync` experiment (see
+//! `goc_experiments::experiments::sync`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_learning::run_simultaneous;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-const TRIALS: usize = 100;
-
-fn main() {
-    banner(
-        "sync",
-        "synchronous best response cycles; sequential never does (paper §2–3)",
-    );
-
-    let shapes: [(&str, PowerDist, RewardDist); 4] = [
-        (
-            "symmetric (equal powers, equal rewards)",
-            PowerDist::Equal(100),
-            RewardDist::Equal(1000),
-        ),
-        (
-            "equal powers, generic rewards",
-            PowerDist::Equal(100),
-            RewardDist::Uniform { lo: 500, hi: 2000 },
-        ),
-        (
-            "generic powers, equal rewards",
-            PowerDist::Uniform { lo: 1, hi: 1000 },
-            RewardDist::Equal(1000),
-        ),
-        (
-            "fully generic",
-            PowerDist::Uniform { lo: 1, hi: 1000 },
-            RewardDist::Uniform { lo: 500, hi: 2000 },
-        ),
-    ];
-
-    let mut table = Table::new(vec![
-        "game shape",
-        "n",
-        "coins",
-        "cycles",
-        "cycle rate",
-        "median cycle len",
-    ]);
-    for &(name, powers, rewards) in &shapes {
-        for &(n, k) in &[(6usize, 2usize), (10, 3)] {
-            let spec = GameSpec {
-                miners: n,
-                coins: k,
-                powers,
-                rewards,
-            };
-            let mut cycles = 0usize;
-            let mut lens = Vec::new();
-            let mut rng = SmallRng::seed_from_u64((n * k) as u64);
-            for _ in 0..TRIALS {
-                let game = spec.sample(&mut rng).expect("valid spec");
-                let start = goc_game::gen::random_config(&mut rng, game.system());
-                let outcome = run_simultaneous(&game, &start, 500);
-                if let Some(len) = outcome.cycle {
-                    cycles += 1;
-                    lens.push(len as f64);
-                }
-            }
-            lens.sort_by(f64::total_cmp);
-            let median = lens.get(lens.len() / 2).copied().unwrap_or(0.0);
-            table.row(vec![
-                name.to_string(),
-                n.to_string(),
-                k.to_string(),
-                format!("{cycles}/{TRIALS}"),
-                fmt_f64(cycles as f64 / TRIALS as f64),
-                fmt_f64(median),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!(
-        "sequential better-response learning converged in 100% of the Theorem 1 experiment's\n\
-         3600 audited runs; synchronous updates cycle at the rates above. The paper's\n\
-         one-miner-at-a-time improvement model is essential, not cosmetic."
-    );
-    write_results("sync.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("sync")
 }

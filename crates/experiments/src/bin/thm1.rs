@@ -1,104 +1,9 @@
-//! **thm1** — Theorem 1: every better-response learning converges.
-//!
-//! Sweeps system sizes × power distributions × all six bundled schedulers
-//! (including the adversarially slow min-gain rule), running many seeded
-//! trials each with the ordinal-potential audit enabled: every single
-//! step must strictly increase the potential, and every run must reach a
-//! pure equilibrium. The table reports step-count statistics.
+//! Thin wrapper: runs the registered `thm1` experiment (see
+//! `goc_experiments::experiments::thm1`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
 
-use goc_analysis::{fmt_f64, parallel_map, Table};
-use goc_experiments::{banner, write_results};
-use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_learning::{run, LearningOptions, SchedulerKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::process::ExitCode;
 
-const TRIALS: usize = 40;
-
-fn main() {
-    banner("thm1", "better-response learning always converges (paper §3, Theorem 1)");
-
-    let sizes = [(4usize, 2usize), (8, 3), (16, 4), (32, 5), (64, 8)];
-    let dists: [(&str, PowerDist); 3] = [
-        ("equal", PowerDist::Equal(100)),
-        ("uniform", PowerDist::Uniform { lo: 1, hi: 1000 }),
-        (
-            "zipf",
-            PowerDist::Zipf {
-                base: 10_000,
-                exponent: 1.0,
-            },
-        ),
-    ];
-
-    let mut cases = Vec::new();
-    for &(n, k) in &sizes {
-        for &(dist_name, dist) in &dists {
-            for kind in SchedulerKind::ALL {
-                cases.push((n, k, dist_name, dist, kind));
-            }
-        }
-    }
-
-    let rows = parallel_map(&cases, goc_analysis::default_threads(), |&(n, k, dist_name, dist, kind)| {
-        let spec = GameSpec {
-            miners: n,
-            coins: k,
-            powers: dist,
-            rewards: RewardDist::Uniform { lo: 10, hi: 1000 },
-        };
-        let mut steps = Vec::with_capacity(TRIALS);
-        let mut converged = 0usize;
-        for trial in 0..TRIALS {
-            let seed = (n as u64) * 1_000_003 + (k as u64) * 7919 + trial as u64;
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let game = spec.sample(&mut rng).expect("valid spec");
-            let start = goc_game::gen::random_config(&mut rng, game.system());
-            let mut sched = kind.build(seed);
-            let outcome = run(
-                &game,
-                &start,
-                sched.as_mut(),
-                LearningOptions {
-                    audit_potential: true,
-                    ..LearningOptions::default()
-                },
-            )
-            .expect("bundled schedulers are legal");
-            assert_eq!(
-                outcome.potential_audit,
-                Some(true),
-                "potential must increase on every step"
-            );
-            if outcome.converged {
-                converged += 1;
-                assert!(game.is_stable(&outcome.final_config));
-            }
-            steps.push(outcome.steps as f64);
-        }
-        let s = goc_analysis::Summary::of(&steps);
-        (n, k, dist_name, kind, converged, s)
-    });
-
-    let mut table = Table::new(vec![
-        "n", "coins", "powers", "scheduler", "converged", "steps_mean", "steps_p95", "steps_max",
-    ]);
-    for (n, k, dist_name, kind, converged, s) in rows {
-        table.row(vec![
-            n.to_string(),
-            k.to_string(),
-            dist_name.to_string(),
-            kind.to_string(),
-            format!("{converged}/{TRIALS}"),
-            fmt_f64(s.mean),
-            fmt_f64(s.p95),
-            fmt_f64(s.max),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "All {} runs converged to a pure equilibrium with a strictly increasing ordinal potential.",
-        cases.len() * TRIALS
-    );
-    write_results("thm1.csv", &table.to_csv());
+fn main() -> ExitCode {
+    goc_experiments::run_bin("thm1")
 }

@@ -1,0 +1,163 @@
+//! **fig1** — Figure 1: miners move from Bitcoin to Bitcoin Cash.
+//!
+//! Reproduces both panels on the synthetic market calibrated to the
+//! November 2017 event: **(a)** the BCH/BTC exchange-rate ratio (pump
+//! ×3.2, partial retrace) and **(b)** the hashrate share of each chain,
+//! which tracks the value share with difficulty-response lag. A second
+//! run with the naive lagging-difficulty oracle shows the EDA-style
+//! all-in/all-out oscillation the real chart also exhibits.
+
+use goc_analysis::{ChartData, RunReport, SeriesData, Summary};
+use goc_sim::scenario::{BtcBchParams, DAY};
+use goc_sim::OracleKind;
+
+use crate::{Experiment, RunContext};
+
+/// The Figure 1 experiment.
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Figure 1(a)/(b): BTC->BCH price jump and hashrate migration"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunReport {
+        let mut report = RunReport::new(self.name(), "BTC -> BCH migration (paper Figure 1a/1b)");
+        let params = if ctx.quick {
+            BtcBchParams {
+                num_miners: 40,
+                horizon_days: 25.0,
+                shock_day: 10.0,
+                revert_day: 16.0,
+                seed: 2017 + ctx.seed,
+                ..BtcBchParams::default()
+            }
+        } else {
+            BtcBchParams {
+                seed: 2017 + ctx.seed,
+                ..BtcBchParams::default()
+            }
+        };
+        report
+            .param("miners", params.num_miners.to_string())
+            .param("days", params.horizon_days.to_string())
+            .param("seed", params.seed.to_string());
+        report.note(format!(
+            "market: BTC $6000, BCH $600 (ratio 0.10); pump x{} on day {}, retrace x{} on day {}; {} Zipf miners",
+            params.shock_factor, params.shock_day, params.revert_factor, params.revert_day,
+            params.num_miners
+        ));
+
+        let mut sim = params.to_spec().build().expect("preset builds");
+        let metrics = sim.run().clone();
+        let days: Vec<f64> = metrics.times.iter().map(|t| t / DAY).collect();
+
+        // Panel (a): exchange-rate ratio.
+        let ratio: Vec<f64> = (0..metrics.len())
+            .map(|t| metrics.prices[1][t] / metrics.prices[0][t])
+            .collect();
+        report.chart(ChartData::new(
+            "(a) BCH/BTC exchange-rate ratio",
+            days.clone(),
+            vec![SeriesData {
+                name: "BCH/BTC".into(),
+                values: ratio,
+                symbol: '*',
+            }],
+        ));
+
+        // Panel (b): hashrate shares.
+        let share_btc: Vec<f64> = (0..metrics.len())
+            .map(|t| metrics.hashrate_share(0, t))
+            .collect();
+        let share_bch: Vec<f64> = (0..metrics.len())
+            .map(|t| metrics.hashrate_share(1, t))
+            .collect();
+        report.chart(ChartData::new(
+            "(b) hashrate share per chain",
+            days.clone(),
+            vec![
+                SeriesData {
+                    name: "BTC share".into(),
+                    values: share_btc,
+                    symbol: 'o',
+                },
+                SeriesData {
+                    name: "BCH share".into(),
+                    values: share_bch.clone(),
+                    symbol: '#',
+                },
+            ],
+        ));
+
+        // Quantitative checkpoints.
+        let idx_at = |day: f64| {
+            days.iter()
+                .position(|&d| d >= day)
+                .unwrap_or(days.len() - 1)
+        };
+        let before = share_bch[idx_at(params.shock_day - 1.0)];
+        let peak = share_bch[idx_at(params.shock_day)..idx_at(params.revert_day)]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        let end = *share_bch.last().expect("nonempty");
+        report.note(format!(
+            "BCH hashrate share: pre-shock {before:.3}, post-pump peak {peak:.3}, end {end:.3}; \
+             total miner switches: {}",
+            metrics.total_switches
+        ));
+        report.check(
+            "pump_pulls_hashrate_in",
+            peak > before + 0.08,
+            format!("pre-shock {before:.3} -> peak {peak:.3}"),
+        );
+        report.check(
+            "retrace_pushes_hashrate_out",
+            end < peak,
+            format!("peak {peak:.3} -> end {end:.3}"),
+        );
+        report.check(
+            "net_migration_positive",
+            end > before,
+            format!("pre-shock {before:.3} -> end {end:.3}"),
+        );
+        report.artifact("fig1.csv", metrics.to_csv(&["BTC", "BCH"]));
+
+        // Supplement: the naive lagging-difficulty (whattomine) oracle.
+        let osc_params = BtcBchParams {
+            num_miners: ctx.scale(80, 30),
+            horizon_days: 30.0,
+            shock_day: 10.0,
+            revert_day: 20.0,
+            seed: 2017 + ctx.seed,
+            ..BtcBchParams::default()
+        };
+        let mut osc_spec = osc_params.to_spec();
+        osc_spec.oracle = OracleKind::Difficulty;
+        let mut osc = osc_spec.build().expect("preset builds");
+        let om = osc.run().clone();
+        let odays: Vec<f64> = om.times.iter().map(|t| t / DAY).collect();
+        let oshare: Vec<f64> = (0..om.len()).map(|t| om.hashrate_share(1, t)).collect();
+        let o_sum = Summary::of(&oshare);
+        report.chart(ChartData::new(
+            "supplement: same market, naive lagging-difficulty oracle (EDA-style herding)",
+            odays,
+            vec![SeriesData {
+                name: "BCH share (naive oracle)".into(),
+                values: oshare,
+                symbol: '#',
+            }],
+        ));
+        report.note(format!(
+            "share swings min {:.2} / max {:.2} with {} switches (vs {} under the game-theoretic oracle)",
+            o_sum.min, o_sum.max, om.total_switches, metrics.total_switches
+        ));
+        report.artifact("fig1_oscillation.csv", om.to_csv(&["BTC", "BCH"]));
+        report
+    }
+}

@@ -1,0 +1,22 @@
+//! The registered experiments, one module per paper artifact.
+//!
+//! Each module exposes a unit struct implementing
+//! [`crate::Experiment`]; the construction logic that used to live in
+//! the per-experiment binaries now builds a structured
+//! [`goc_analysis::RunReport`] here, and the binaries are thin wrappers
+//! over [`crate::run_bin`].
+
+pub mod ablation;
+pub mod alg2;
+pub mod appendix_a;
+pub mod appendix_b;
+pub mod asym;
+pub mod attack;
+pub mod cross;
+pub mod fig1;
+pub mod poa;
+pub mod prop1;
+pub mod prop2;
+pub mod speed;
+pub mod sync;
+pub mod thm1;

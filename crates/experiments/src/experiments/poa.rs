@@ -1,0 +1,111 @@
+//! **poa** — the equilibrium landscape, exactly: welfare spread (price
+//! of anarchy/stability), reachability, and exact best/worst
+//! improving-path lengths on enumerable games.
+//!
+//! Context for §4–5: Proposition 2 says someone always prefers another
+//! equilibrium; this experiment shows how much the equilibria differ in
+//! aggregate (welfare) and which of them arbitrary learning can
+//! actually reach from a clumped start — the gap reward design exists
+//! to close.
+
+use goc_analysis::{fmt_f64, RunReport, Table};
+use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+use goc_game::paths::ImprovingDag;
+use goc_game::CoinId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Experiment, RunContext};
+
+/// The equilibrium-landscape experiment.
+pub struct Poa;
+
+impl Experiment for Poa {
+    fn name(&self) -> &'static str {
+        "poa"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Equilibrium welfare spread, reachability, exact path lengths"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunReport {
+        let mut report = RunReport::new(
+            self.name(),
+            "equilibrium welfare spread and reachability (context for §4–5)",
+        );
+        let games = ctx.scale(10, 4);
+        report.param("games", games.to_string());
+
+        let spec = GameSpec {
+            miners: 8,
+            coins: 3,
+            powers: PowerDist::Uniform { lo: 1, hi: 500 },
+            rewards: RewardDist::Uniform { lo: 100, hi: 1000 },
+        };
+
+        let mut table = Table::new(vec![
+            "seed",
+            "equilibria",
+            "welfare worst/opt",
+            "reachable from clump",
+            "shortest path",
+            "longest path",
+        ]);
+        let mut rng = SmallRng::seed_from_u64(3 + ctx.seed);
+        let mut poa_worst: f64 = 1.0;
+        let mut always_reaches_some = true;
+        for seed in 0..games {
+            let game = spec.sample(&mut rng).expect("valid spec");
+            let dag = ImprovingDag::new(&game, 1 << 16).expect("small game");
+            let eqs = dag.equilibria();
+            let opt = game.rewards().total().to_f64();
+            let worst = eqs
+                .iter()
+                .map(|s| game.welfare(s).to_f64())
+                .fold(f64::INFINITY, f64::min);
+            let ratio = worst / opt;
+            poa_worst = poa_worst.min(ratio);
+
+            let clump =
+                goc_game::Configuration::uniform(CoinId(0), game.system()).expect("coin exists");
+            let reachable = dag.reachable_equilibria(&clump).expect("same game");
+            always_reaches_some &= !reachable.is_empty();
+            let shortest = dag.shortest_path_to_equilibrium(&clump).expect("same game");
+            let longest = dag.longest_path(&clump).expect("same game");
+            table.row(vec![
+                seed.to_string(),
+                eqs.len().to_string(),
+                fmt_f64(ratio),
+                format!("{}/{}", reachable.len(), eqs.len()),
+                shortest.to_string(),
+                longest.to_string(),
+            ]);
+        }
+        report.table("the equilibrium landscape, exactly", &table);
+        report.note(format!(
+            "observations: (1) equilibrium welfare is near-optimal whenever miners cover all \
+             coins (Observation 3), so the price of anarchy is mild (worst seen: {}); \
+             (2) arbitrary learning can usually reach MANY equilibria from the same start — \
+             which one it lands in is up to move order, exactly the nondeterminism the paper's \
+             reward design (§5) takes control of; (3) exact worst-case improving paths \
+             (longest-path column) stay short, matching the speed experiment.",
+            fmt_f64(poa_worst)
+        ));
+        report.check(
+            "learning_always_reaches_an_equilibrium",
+            always_reaches_some,
+            "from the clumped start, at least one equilibrium is reachable in every game",
+        );
+        // The observed spread is reported, not asserted: how bad the
+        // worst equilibrium is depends on the sampled game. What IS
+        // guaranteed is that welfare never exceeds the total reward.
+        report.check(
+            "welfare_never_exceeds_optimum",
+            poa_worst <= 1.0 + 1e-12,
+            format!("worst welfare ratio observed: {}", fmt_f64(poa_worst)),
+        );
+        report.artifact("poa.csv", table.to_csv());
+        report
+    }
+}

@@ -1,0 +1,85 @@
+//! **prop1** — Proposition 1: the mining game has no exact potential.
+//!
+//! Regenerates the paper's worked counterexample (powers (2,1), unit
+//! rewards): the four-configuration cycle whose deviator-payoff changes
+//! sum to 2/3 ≠ 0, plus an exhaustive Monderer–Shapley check over all
+//! 4-cycles, and — in contrast — a verification that the *ordinal*
+//! potential of Theorem 1 strictly increases on every better response.
+
+use goc_analysis::{RunReport, Table};
+use goc_game::{paper, potential, CoinId, MinerId, Ratio};
+
+use crate::{Experiment, RunContext};
+
+/// The Proposition 1 experiment.
+pub struct Prop1;
+
+impl Experiment for Prop1 {
+    fn name(&self) -> &'static str {
+        "prop1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Proposition 1: no exact potential"
+    }
+
+    fn run(&self, _ctx: &RunContext) -> RunReport {
+        let mut report =
+            RunReport::new(self.name(), "no exact potential (paper §3, Proposition 1)");
+        let game = paper::prop1_game();
+        let [s1, s2, s3, s4] = paper::prop1_cycle(&game);
+
+        let mut table = Table::new(vec!["config", "u_p1", "u_p2", "stable?"]);
+        for (name, s) in [
+            ("s1=(c1,c1)", &s1),
+            ("s2=(c1,c2)", &s2),
+            ("s3=(c2,c2)", &s3),
+            ("s4=(c2,c1)", &s4),
+        ] {
+            table.row(vec![
+                name.to_string(),
+                game.payoff(MinerId(0), s).to_string(),
+                game.payoff(MinerId(1), s).to_string(),
+                game.is_stable(s).to_string(),
+            ]);
+        }
+        report.table("the counterexample cycle", &table);
+
+        // The cycle of the proof: deviators alternate p2, p1, p2, p1.
+        let defect =
+            potential::four_cycle_defect(&game, &s1, MinerId(1), MinerId(0), CoinId(1), CoinId(1));
+        report.note(format!(
+            "4-cycle deviator-payoff sum (paper: 2/3 ≠ 0): {defect}"
+        ));
+        report.check(
+            "cycle_defect_is_two_thirds",
+            defect == Ratio::new(2, 3).expect("valid ratio"),
+            format!("measured {defect}"),
+        );
+        let has_exact = potential::has_exact_potential(&game, 1 << 16).expect("tiny game");
+        report.check(
+            "no_exact_potential",
+            !has_exact,
+            format!("exhaustive Monderer–Shapley check → exact potential exists: {has_exact}"),
+        );
+
+        // Contrast: the ordinal potential strictly increases on every
+        // better response of every configuration.
+        let mut checked = 0usize;
+        let mut monotone = true;
+        for s in goc_game::ConfigurationIter::new(game.system()) {
+            for mv in game.improving_moves(&s) {
+                let next = s.with_move(mv.miner, mv.to);
+                monotone &= potential::strictly_increases(&game, &s, &next);
+                checked += 1;
+            }
+        }
+        report.check(
+            "ordinal_potential_strictly_increases",
+            monotone,
+            format!("checked all {checked} better-response steps"),
+        );
+        report.artifact("prop1.csv", table.to_csv());
+        report
+    }
+}

@@ -1,0 +1,118 @@
+//! **prop2** — Proposition 2: under Assumptions 1–2, every equilibrium
+//! is dominated for some miner by another equilibrium.
+//!
+//! For random games verified to satisfy the assumptions (exhaustively),
+//! enumerates all pure equilibria and finds, for each one, a witnessing
+//! miner strictly better off elsewhere; also exercises the Lemma 2
+//! two-equilibria construction.
+
+use goc_analysis::{fmt_f64, RunReport, Table};
+use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+use goc_game::{assumptions, equilibrium};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Experiment, RunContext};
+
+/// The Proposition 2 experiment.
+pub struct Prop2;
+
+impl Experiment for Prop2 {
+    fn name(&self) -> &'static str {
+        "prop2"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Proposition 2: a better equilibrium exists for someone"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunReport {
+        let mut report = RunReport::new(
+            self.name(),
+            "every equilibrium is dominated for someone (paper §4, Prop. 2)",
+        );
+        let wanted = ctx.scale(10, 3);
+        report.param("games", wanted.to_string());
+
+        let spec = GameSpec {
+            miners: 8,
+            coins: 2,
+            powers: PowerDist::DistinctUniform { lo: 50, hi: 200 },
+            rewards: RewardDist::DistinctUniform { lo: 500, hi: 2000 },
+        };
+
+        let mut table = Table::new(vec![
+            "seed",
+            "A1 (never alone)",
+            "A2 (generic)",
+            "equilibria",
+            "all dominated",
+            "lemma2 distinct eqs",
+            "max payoff gain",
+        ]);
+        let mut rng = SmallRng::seed_from_u64(1 + ctx.seed);
+        let mut seed = 0u64;
+        let mut assumption_holders = 0usize;
+        let mut all_dominated_everywhere = true;
+        while assumption_holders < wanted && seed < 400 {
+            seed += 1;
+            let game = match spec.sample(&mut rng) {
+                Ok(g) => g,
+                Err(_) => continue,
+            };
+            let a1 = assumptions::never_alone_exhaustive(&game, 1 << 16).expect("small game");
+            let a2 = assumptions::generic_exhaustive(&game, 1 << 20).expect("small game");
+            if !(a1 && a2) {
+                continue;
+            }
+            assumption_holders += 1;
+            let eqs = equilibrium::enumerate_equilibria(&game, 1 << 16).expect("small game");
+            let all_dominated = equilibrium::better_equilibrium_witnesses(&game, 1 << 16).is_ok();
+            all_dominated_everywhere &= all_dominated;
+            // Largest payoff improvement available to any witness.
+            let payoffs: Vec<Vec<f64>> = eqs
+                .iter()
+                .map(|s| goc_analysis::payoffs_f64(&game, s))
+                .collect();
+            let mut best_gain: f64 = 0.0;
+            for (i, pi) in payoffs.iter().enumerate() {
+                for (j, pj) in payoffs.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    for p in 0..pi.len() {
+                        best_gain = best_gain.max(pj[p] - pi[p]);
+                    }
+                }
+            }
+            let lemma2 = equilibrium::two_equilibria(&game)
+                .map(|(a, b)| a != b)
+                .unwrap_or(false);
+            table.row(vec![
+                seed.to_string(),
+                a1.to_string(),
+                a2.to_string(),
+                eqs.len().to_string(),
+                all_dominated.to_string(),
+                lemma2.to_string(),
+                fmt_f64(best_gain),
+            ]);
+        }
+        report.table("games satisfying A1+A2", &table);
+        report.note(format!(
+            "checked {assumption_holders} games satisfying A1+A2 (screened {seed} candidates)"
+        ));
+        report.check(
+            "enough_assumption_holders",
+            assumption_holders == wanted,
+            format!("{assumption_holders}/{wanted} games found within the screening budget"),
+        );
+        report.check(
+            "every_equilibrium_dominated",
+            all_dominated_everywhere,
+            "each equilibrium had a strictly-better alternative for some miner",
+        );
+        report.artifact("prop2.csv", table.to_csv());
+        report
+    }
+}

@@ -1,0 +1,119 @@
+//! **sync** — why the paper's model uses *individual* improvement
+//! steps: synchronous best-response dynamics can cycle forever.
+//!
+//! Theorem 1 holds for any sequential better-response learning. If all
+//! unstable miners instead move simultaneously (a natural model of
+//! miners reacting to the same profitability dashboard), the dynamics
+//! can enter limit cycles — two symmetric miners endlessly swapping
+//! coins. This experiment measures cycling rates across game shapes.
+
+use goc_analysis::{fmt_f64, RunReport, Table};
+use goc_game::gen::{GameSpec, PowerDist, RewardDist};
+use goc_learning::run_simultaneous;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Experiment, RunContext};
+
+/// The synchronous-cycling experiment.
+pub struct Sync;
+
+impl Experiment for Sync {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Synchronous best response cycles (why the model is sequential)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunReport {
+        let mut report = RunReport::new(
+            self.name(),
+            "synchronous best response cycles; sequential never does (paper §2–3)",
+        );
+        let trials = ctx.scale(100, 20);
+        report.param("trials", trials.to_string());
+
+        let shapes: [(&str, PowerDist, RewardDist); 4] = [
+            (
+                "symmetric (equal powers, equal rewards)",
+                PowerDist::Equal(100),
+                RewardDist::Equal(1000),
+            ),
+            (
+                "equal powers, generic rewards",
+                PowerDist::Equal(100),
+                RewardDist::Uniform { lo: 500, hi: 2000 },
+            ),
+            (
+                "generic powers, equal rewards",
+                PowerDist::Uniform { lo: 1, hi: 1000 },
+                RewardDist::Equal(1000),
+            ),
+            (
+                "fully generic",
+                PowerDist::Uniform { lo: 1, hi: 1000 },
+                RewardDist::Uniform { lo: 500, hi: 2000 },
+            ),
+        ];
+
+        let mut table = Table::new(vec![
+            "game shape",
+            "n",
+            "coins",
+            "cycles",
+            "cycle rate",
+            "median cycle len",
+        ]);
+        let mut symmetric_cycled = false;
+        for &(name, powers, rewards) in &shapes {
+            for &(n, k) in &[(6usize, 2usize), (10, 3)] {
+                let spec = GameSpec {
+                    miners: n,
+                    coins: k,
+                    powers,
+                    rewards,
+                };
+                let mut cycles = 0usize;
+                let mut lens = Vec::new();
+                let mut rng = SmallRng::seed_from_u64((n * k) as u64 + ctx.seed);
+                for _ in 0..trials {
+                    let game = spec.sample(&mut rng).expect("valid spec");
+                    let start = goc_game::gen::random_config(&mut rng, game.system());
+                    let outcome = run_simultaneous(&game, &start, 500);
+                    if let Some(len) = outcome.cycle {
+                        cycles += 1;
+                        lens.push(len as f64);
+                    }
+                }
+                if name.starts_with("symmetric") {
+                    symmetric_cycled |= cycles > 0;
+                }
+                lens.sort_by(f64::total_cmp);
+                let median = lens.get(lens.len() / 2).copied().unwrap_or(0.0);
+                table.row(vec![
+                    name.to_string(),
+                    n.to_string(),
+                    k.to_string(),
+                    format!("{cycles}/{trials}"),
+                    fmt_f64(cycles as f64 / trials as f64),
+                    fmt_f64(median),
+                ]);
+            }
+        }
+        report.table("cycling rates of synchronous best response", &table);
+        report.note(
+            "sequential better-response learning converges in every audited run (see thm1); \
+             synchronous updates cycle at the rates above. The paper's one-miner-at-a-time \
+             improvement model is essential, not cosmetic.",
+        );
+        report.check(
+            "symmetric_games_cycle",
+            symmetric_cycled,
+            "the symmetric worst case exhibits limit cycles under synchronous updates",
+        );
+        report.artifact("sync.csv", table.to_csv());
+        report
+    }
+}

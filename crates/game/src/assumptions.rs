@@ -77,12 +77,10 @@ pub fn never_alone_exhaustive(game: &Game, limit: u128) -> Result<bool, GameErro
 /// ```
 pub fn generic_exhaustive(game: &Game, limit: u128) -> Result<bool, GameError> {
     let n = game.system().num_miners();
-    let subsets: u128 = 1u128
-        .checked_shl(n as u32)
-        .ok_or(GameError::TooLarge {
-            configurations: u128::MAX,
-            limit,
-        })?;
+    let subsets: u128 = 1u128.checked_shl(n as u32).ok_or(GameError::TooLarge {
+        configurations: u128::MAX,
+        limit,
+    })?;
     if subsets > limit {
         return Err(GameError::TooLarge {
             configurations: subsets,

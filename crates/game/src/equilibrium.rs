@@ -296,7 +296,10 @@ mod tests {
             let rewards: Vec<u64> = (0..k).map(|_| rng.gen_range(1..=1000)).collect();
             let g = Game::build(&powers, &rewards).unwrap();
             let eq = greedy_equilibrium(&g);
-            assert!(g.is_stable(&eq), "unstable for powers {powers:?} rewards {rewards:?}");
+            assert!(
+                g.is_stable(&eq),
+                "unstable for powers {powers:?} rewards {rewards:?}"
+            );
         }
     }
 

@@ -90,10 +90,7 @@ impl Rewards {
 
     /// The largest reward (`max F`), used by Eq. 5.
     pub fn max(&self) -> Ratio {
-        self.values
-            .iter()
-            .copied()
-            .fold(Ratio::ZERO, Ratio::max)
+        self.values.iter().copied().fold(Ratio::ZERO, Ratio::max)
     }
 
     /// Sum of all rewards `Σ_c F(c)`.
@@ -103,10 +100,7 @@ impl Rewards {
 
     /// Iterates over `(coin, reward)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CoinId, Ratio)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (CoinId(i), r))
+        self.values.iter().enumerate().map(|(i, &r)| (CoinId(i), r))
     }
 }
 
@@ -284,13 +278,7 @@ impl Game {
 
     /// The RPU miner `p` would experience after moving to `c`:
     /// `F(c) / (M_c(s) + m_p)` if `p` is not on `c`, otherwise `RPU_c(s)`.
-    pub fn rpu_after_join(
-        &self,
-        p: MinerId,
-        c: CoinId,
-        current: CoinId,
-        masses: &Masses,
-    ) -> Ratio {
+    pub fn rpu_after_join(&self, p: MinerId, c: CoinId, current: CoinId, masses: &Masses) -> Ratio {
         let m_p = u128::from(self.system.power_of(p));
         let mass = if current == c {
             masses.mass_of(c)
@@ -352,12 +340,7 @@ impl Game {
     }
 
     /// All better-response steps available to `p` in `s`, in coin order.
-    pub fn better_responses(
-        &self,
-        p: MinerId,
-        s: &Configuration,
-        masses: &Masses,
-    ) -> Vec<CoinId> {
+    pub fn better_responses(&self, p: MinerId, s: &Configuration, masses: &Masses) -> Vec<CoinId> {
         self.system
             .coin_ids()
             .filter(|&c| self.is_better_response(p, c, s, masses))

@@ -137,9 +137,7 @@ fn sample_values<R: Rng + ?Sized>(
 ) -> Result<Vec<u64>, GameError> {
     match dist {
         PowerDist::Equal(v) => Ok(vec![v; n]),
-        PowerDist::Uniform { lo, hi } => {
-            Ok((0..n).map(|_| rng.gen_range(lo..=hi)).collect())
-        }
+        PowerDist::Uniform { lo, hi } => Ok((0..n).map(|_| rng.gen_range(lo..=hi)).collect()),
         PowerDist::DistinctUniform { lo, hi } => {
             let span = hi.saturating_sub(lo).saturating_add(1);
             if (span as u128) < n as u128 {
@@ -260,7 +258,12 @@ mod tests {
             rewards: RewardDist::Equal(5),
         };
         let g = spec.sample(&mut rng).unwrap();
-        let mut powers: Vec<u64> = g.system().miners().iter().map(|m| m.power().get()).collect();
+        let mut powers: Vec<u64> = g
+            .system()
+            .miners()
+            .iter()
+            .map(|m| m.power().get())
+            .collect();
         assert!(powers.iter().all(|&p| p >= 1));
         powers.sort_unstable();
         assert!(powers[powers.len() - 1] == 1000);

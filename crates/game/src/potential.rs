@@ -144,8 +144,7 @@ pub fn symmetric_potential(game: &Game, s: &Configuration) -> Extended {
         if m == 0 {
             return Extended::Infinite;
         }
-        total = total
-            + Ratio::new(1, m as i128).expect("mass is positive");
+        total = total + Ratio::new(1, m as i128).expect("mass is positive");
     }
     Extended::Finite(total)
 }

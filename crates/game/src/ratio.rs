@@ -316,12 +316,8 @@ macro_rules! panicking_op {
             /// Panics on `i128` overflow. Inputs validated by
             /// [`System`](crate::system::System) never overflow.
             fn $method(self, rhs: Ratio) -> Ratio {
-                self.$checked(rhs).unwrap_or_else(|| {
-                    panic!(
-                        "ratio overflow: {} {} {}",
-                        self, $sym, rhs
-                    )
-                })
+                self.$checked(rhs)
+                    .unwrap_or_else(|| panic!("ratio overflow: {} {} {}", self, $sym, rhs))
             }
         }
     };
@@ -533,14 +529,26 @@ mod tests {
     fn comparison_overflow_path() {
         // Denominators chosen so cross multiplication overflows i128.
         let big = i128::MAX / 2;
-        let a = Ratio { num: big, den: big - 1 }; // slightly > 1
-        let b = Ratio { num: big - 1, den: big }; // slightly < 1
+        let a = Ratio {
+            num: big,
+            den: big - 1,
+        }; // slightly > 1
+        let b = Ratio {
+            num: big - 1,
+            den: big,
+        }; // slightly < 1
         assert!(a > b);
         assert!(b < a);
         assert_eq!(a.cmp(&a), Ordering::Equal);
 
-        let na = Ratio { num: -big, den: big - 1 };
-        let nb = Ratio { num: -(big - 1), den: big };
+        let na = Ratio {
+            num: -big,
+            den: big - 1,
+        };
+        let nb = Ratio {
+            num: -(big - 1),
+            den: big,
+        };
         assert!(na < nb);
     }
 
@@ -624,9 +632,7 @@ mod tests {
         let big = Ratio::from_int(i128::MAX / 2);
         assert!(big.checked_mul(big).is_none());
         assert!(big.checked_add(big).is_some()); // i128::MAX/2*2 fits
-        assert!(Ratio::from_int(i128::MAX)
-            .checked_add(Ratio::ONE)
-            .is_none());
+        assert!(Ratio::from_int(i128::MAX).checked_add(Ratio::ONE).is_none());
     }
 
     #[test]

@@ -27,9 +27,7 @@ pub const MAX_UNIT: u64 = 1 << 40;
 /// assert_eq!(p.get(), 10);
 /// # Ok::<(), goc_game::GameError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Power(u64);
 
 impl Power {
@@ -388,7 +386,10 @@ mod tests {
     #[test]
     fn named_entities() {
         let mut b = SystemBuilder::new();
-        b.named_miner("alice", 4).miner_with_power(2).named_coin("BTC").coin();
+        b.named_miner("alice", 4)
+            .miner_with_power(2)
+            .named_coin("BTC")
+            .coin();
         let s = b.build().unwrap();
         assert_eq!(s.miners()[0].name(), "alice");
         assert_eq!(s.miners()[1].name(), "p1");

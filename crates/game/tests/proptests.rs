@@ -61,11 +61,8 @@ fn game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
         let assignment = proptest::collection::vec(0usize..k, n);
         (powers, rewards, assignment).prop_map(|(p, r, a)| {
             let game = Game::build(&p, &r).expect("valid parameters");
-            let config = Configuration::new(
-                a.into_iter().map(CoinId).collect(),
-                game.system(),
-            )
-            .expect("valid assignment");
+            let config = Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
+                .expect("valid assignment");
             (game, config)
         })
     })

@@ -184,7 +184,11 @@ pub fn run_with_observer(
 ///
 /// Panics if the scheduler misbehaves (cannot happen for the bundled
 /// schedulers) or the step cap is hit.
-pub fn converge(game: &Game, start: &Configuration, scheduler: &mut dyn Scheduler) -> (Configuration, usize) {
+pub fn converge(
+    game: &Game,
+    start: &Configuration,
+    scheduler: &mut dyn Scheduler,
+) -> (Configuration, usize) {
     let outcome = run(game, start, scheduler, LearningOptions::default())
         .expect("bundled schedulers only return legal moves");
     assert!(
@@ -329,7 +333,13 @@ mod tests {
     fn stable_start_is_zero_steps() {
         let game = goc_game::paper::prop1_game();
         let eq = goc_game::equilibrium::greedy_equilibrium(&game);
-        let outcome = run(&game, &eq, &mut RoundRobin::new(), LearningOptions::default()).unwrap();
+        let outcome = run(
+            &game,
+            &eq,
+            &mut RoundRobin::new(),
+            LearningOptions::default(),
+        )
+        .unwrap();
         assert!(outcome.converged);
         assert_eq!(outcome.steps, 0);
         assert_eq!(outcome.final_config, eq);

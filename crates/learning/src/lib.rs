@@ -32,9 +32,9 @@ pub mod stats;
 pub use dynamics::{
     converge, run, run_with_observer, LearningError, LearningOptions, LearningOutcome,
 };
-pub use simultaneous::{run_simultaneous, SyncOutcome};
 pub use scheduler::{
     LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerKind, SmallestMinerFirst,
     UniformRandom,
 };
+pub use simultaneous::{run_simultaneous, SyncOutcome};
 pub use stats::{convergence_trials, ConvergenceSummary};

@@ -34,11 +34,7 @@ pub struct ConvergenceSummary {
 impl ConvergenceSummary {
     /// Summarizes a list of `(converged, steps)` observations.
     pub fn from_observations(obs: &[(bool, usize)]) -> Self {
-        let mut steps: Vec<usize> = obs
-            .iter()
-            .filter(|(ok, _)| *ok)
-            .map(|&(_, s)| s)
-            .collect();
+        let mut steps: Vec<usize> = obs.iter().filter(|(ok, _)| *ok).map(|&(_, s)| s).collect();
         steps.sort_unstable();
         let converged = steps.len();
         let (min_steps, max_steps) = match (steps.first(), steps.last()) {
@@ -147,8 +143,20 @@ mod tests {
     #[test]
     fn trials_are_deterministic() {
         let game = goc_game::paper::btc_bch_toy();
-        let a = convergence_trials(&game, SchedulerKind::MaxGain, 10, 3, LearningOptions::default());
-        let b = convergence_trials(&game, SchedulerKind::MaxGain, 10, 3, LearningOptions::default());
+        let a = convergence_trials(
+            &game,
+            SchedulerKind::MaxGain,
+            10,
+            3,
+            LearningOptions::default(),
+        );
+        let b = convergence_trials(
+            &game,
+            SchedulerKind::MaxGain,
+            10,
+            3,
+            LearningOptions::default(),
+        );
         assert_eq!(a, b);
     }
 

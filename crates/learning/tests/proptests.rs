@@ -14,9 +14,8 @@ fn arb_game_and_start() -> impl Strategy<Value = (Game, Configuration)> {
         )
             .prop_map(|(p, r, a)| {
                 let game = Game::build(&p, &r).expect("valid parameters");
-                let start =
-                    Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
-                        .expect("valid assignment");
+                let start = Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
+                    .expect("valid assignment");
                 (game, start)
             })
     })

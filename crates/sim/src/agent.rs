@@ -105,7 +105,9 @@ impl MinerAgent {
             return Decision::PowerOff;
         }
         let current = net(self.coin);
-        if best != self.coin && best_value > current.max(0.0) * (1.0 + self.inertia) + f64::MIN_POSITIVE {
+        if best != self.coin
+            && best_value > current.max(0.0) * (1.0 + self.inertia) + f64::MIN_POSITIVE
+        {
             Decision::Switch(best)
         } else {
             Decision::Stay

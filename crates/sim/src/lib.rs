@@ -30,9 +30,14 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod scenario;
+pub mod spec;
 
 pub use agent::{MinerAgent, OracleKind};
 pub use bridge::{coin_weights, snapshot_game};
 pub use engine::{SimConfig, Simulation};
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::SimMetrics;
+pub use spec::{
+    Assignment, ChainFlavor, ChainSpec, DifficultyInit, MinerSpec, PriceSpec, ScenarioSpec,
+    ShockSpec, SpecError, WhaleSpec,
+};

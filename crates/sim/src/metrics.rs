@@ -136,8 +136,22 @@ mod tests {
     #[test]
     fn records_and_shares() {
         let mut m = SimMetrics::new(2);
-        m.record(0.0, &[100.0, 10.0], &[75.0, 25.0], &[1e6, 1e5], &[0, 0], &[3, 1]);
-        m.record(60.0, &[100.0, 20.0], &[50.0, 50.0], &[1e6, 2e5], &[1, 2], &[2, 2]);
+        m.record(
+            0.0,
+            &[100.0, 10.0],
+            &[75.0, 25.0],
+            &[1e6, 1e5],
+            &[0, 0],
+            &[3, 1],
+        );
+        m.record(
+            60.0,
+            &[100.0, 20.0],
+            &[50.0, 50.0],
+            &[1e6, 2e5],
+            &[1, 2],
+            &[2, 2],
+        );
         assert_eq!(m.len(), 2);
         assert_eq!(m.hashrate_share(0, 0), 0.75);
         assert_eq!(m.hashrate_share(1, 1), 0.5);
@@ -160,7 +174,14 @@ mod tests {
     #[test]
     fn csv_round_shape() {
         let mut m = SimMetrics::new(2);
-        m.record(0.0, &[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7, 8], &[9, 10]);
+        m.record(
+            0.0,
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7, 8],
+            &[9, 10],
+        );
         let csv = m.to_csv(&["BTC", "BCH"]);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();

@@ -1,10 +1,15 @@
 //! Prebuilt scenarios, headlined by the Figure 1 reproduction.
+//!
+//! Since the scenario-API redesign these builders are thin veneers over
+//! the declarative [`crate::spec::ScenarioSpec`] layer —
+//! [`BtcBchParams::to_spec`] is the single source of truth for the
+//! Figure 1 construction, and [`btc_bch`] simply builds it.
 
-use goc_chain::{Blockchain, ChainParams, FeeParams, SubsidySchedule};
-use goc_market::{Gbm, Market, Price, ScheduledShock};
-
-use crate::agent::{MinerAgent, OracleKind};
-use crate::engine::{SimConfig, Simulation};
+use crate::agent::OracleKind;
+use crate::engine::Simulation;
+use crate::spec::{
+    Assignment, ChainFlavor, ChainSpec, MinerSpec, PriceSpec, ScenarioSpec, ShockSpec,
+};
 
 /// Parameters of the BTC/BCH migration scenario (paper Figure 1).
 ///
@@ -78,100 +83,80 @@ pub const DAY: f64 = 86_400.0;
 /// assert_eq!(metrics.num_coins(), 2);
 /// ```
 pub fn btc_bch(params: BtcBchParams) -> Simulation {
-    let subsidy = 12_500_000u64; // 12.5 coins of 1e6 base units
-    let btc_price = 6000.0;
-    let bch_price = 600.0;
+    params
+        .to_spec()
+        .build()
+        .expect("the Figure 1 preset always validates")
+}
 
-    // Agent hashrates: Zipf-skewed, echoing real pool concentration.
-    let hashrates: Vec<f64> = (0..params.num_miners)
-        .map(|i| 1000.0 / ((i + 1) as f64).powf(params.zipf_exponent))
-        .collect();
-    let total: f64 = hashrates.iter().sum();
-
-    // Pre-shock stationary split by value: BTC carries 10/11 of reward.
-    let bch_share = bch_price / (btc_price + bch_price);
-    // Assign agents to BCH until its share is met (small agents first, so
-    // the composition is diverse).
-    let mut on_bch = vec![false; params.num_miners];
-    let mut acc = 0.0;
-    for i in (0..params.num_miners).rev() {
-        if acc + hashrates[i] <= bch_share * total * 1.05 {
-            acc += hashrates[i];
-            on_bch[i] = true;
+impl BtcBchParams {
+    /// The declarative form of this scenario: equal 12.5-coin subsidies,
+    /// BTC at $6000 with the slow epoch retarget, BCH at $600 with the
+    /// fast moving-average rule, the pump/retrace shocks on BCH, a
+    /// value-share initial split, and Zipf miners with heterogeneous
+    /// frictions (identical agents would herd — the EDA-oscillation
+    /// pathology the `fig1` experiment demonstrates separately).
+    ///
+    /// Agents play the static game's better response
+    /// ([`OracleKind::Hashrate`]: destination congestion priced with
+    /// their own mass included), giving the stable marginal-miner
+    /// migration of Figure 1; swap the spec's oracle to
+    /// [`OracleKind::Difficulty`] for the naive whattomine signal and
+    /// its oscillations.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let subsidy = 12_500_000u64; // 12.5 coins of 1e6 base units
+        ScenarioSpec {
+            name: "btc_bch".into(),
+            horizon_days: self.horizon_days,
+            snapshot_hours: 12.0,
+            seed: self.seed,
+            oracle: OracleKind::Hashrate,
+            chains: vec![
+                ChainSpec::simple(
+                    "BTC",
+                    ChainFlavor::BitcoinLike,
+                    subsidy,
+                    PriceSpec::Gbm {
+                        initial: 6000.0,
+                        drift: 0.0,
+                        volatility: self.volatility,
+                    },
+                ),
+                ChainSpec::simple(
+                    "BCH",
+                    ChainFlavor::BchLike,
+                    subsidy,
+                    PriceSpec::Gbm {
+                        initial: 600.0,
+                        drift: 0.0,
+                        volatility: self.volatility,
+                    },
+                ),
+            ],
+            miners: MinerSpec::Zipf {
+                count: self.num_miners,
+                exponent: self.zipf_exponent,
+                scale: 1000.0,
+                eval_hours: self.eval_hours,
+                inertia: self.inertia,
+                cost_per_hash: 0.0,
+            },
+            assignment: Assignment::ValueShare,
+            shocks: vec![
+                ShockSpec {
+                    day: self.shock_day,
+                    coin: 1,
+                    factor: self.shock_factor,
+                },
+                ShockSpec {
+                    day: self.revert_day,
+                    coin: 1,
+                    factor: self.revert_factor,
+                },
+            ],
+            whale: None,
         }
     }
-    let h_bch: f64 = acc;
-    let h_btc = total - h_bch;
-
-    let fee = FeeParams {
-        fee_rate: 0.0,
-        max_fees_per_block: u64::MAX,
-    };
-    let btc = ChainParams {
-        fees: fee,
-        subsidy: SubsidySchedule::constant(subsidy),
-        ..ChainParams::bitcoin_like("BTC", h_btc.max(1.0) * 600.0)
-    };
-    let bch = ChainParams {
-        fees: fee,
-        subsidy: SubsidySchedule::constant(subsidy),
-        ..ChainParams::bch_like("BCH", h_bch.max(1.0) * 600.0)
-    };
-
-    let mut market = Market::new(vec![
-        Price::Gbm(Gbm::new(btc_price, 0.0, params.volatility)),
-        Price::Gbm(Gbm::new(bch_price, 0.0, params.volatility)),
-    ]);
-    market.schedule_shock(ScheduledShock {
-        at: params.shock_day * DAY,
-        coin: 1,
-        factor: params.shock_factor,
-    });
-    market.schedule_shock(ScheduledShock {
-        at: params.revert_day * DAY,
-        coin: 1,
-        factor: params.revert_factor,
-    });
-
-    // Heterogeneous frictions: inertia spread over [0.5x, 2x] of the base
-    // and evaluation cadence over [0.5x, 1.5x], both deterministic in the
-    // agent index. Identical agents herd (they all see the same signal
-    // and move together — the EDA-oscillation pathology demonstrated by
-    // the `fig1_oscillation` experiment); heterogeneity produces the
-    // marginal-miner response of the real market.
-    let n = params.num_miners as f64;
-    let agents: Vec<MinerAgent> = hashrates
-        .iter()
-        .zip(&on_bch)
-        .enumerate()
-        .map(|(i, (&hashrate, &bch))| {
-            let spread = i as f64 / n.max(1.0);
-            MinerAgent {
-                hashrate,
-                coin: usize::from(bch),
-                eval_interval: params.eval_hours * 3600.0 * (0.5 + spread),
-                inertia: params.inertia * (0.5 + 1.5 * spread),
-                ..MinerAgent::default()
-            }
-        })
-        .collect();
-
-    Simulation::new(
-        vec![Blockchain::new(btc), Blockchain::new(bch)],
-        market,
-        agents,
-        SimConfig {
-            horizon: params.horizon_days * DAY,
-            snapshot_interval: 0.5 * DAY,
-            seed: params.seed,
-            // Agents play the static game's better response (destination
-            // congestion priced with their own mass included): stable
-            // marginal-miner migration, the shape of Figure 1. Swap to
-            // `Difficulty` to reproduce the EDA-style oscillations the
-            // real 2017 chart also shows.
-            oracle: OracleKind::Hashrate,
-        },
-    )
 }
 
 /// The same scenario but with the naive whattomine oracle
@@ -223,7 +208,10 @@ mod tests {
         let after = m.hashrate_share(1, m.len() - 1);
         // Pump pulls hashrate in; retrace pushes part of it back.
         assert!(peak > before + 0.08, "no inflow: {before} -> peak {peak}");
-        assert!(after < peak, "no outflow after retrace: peak {peak} -> {after}");
+        assert!(
+            after < peak,
+            "no outflow after retrace: peak {peak} -> {after}"
+        );
         assert!(after > before, "net effect should remain positive");
     }
 }

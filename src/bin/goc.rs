@@ -1,25 +1,36 @@
 //! `goc` — command-line interface to the Game of Coins library.
 //!
 //! ```text
+//! goc list
+//! goc run fig1 [--json] [--quick] [--seed 0]
+//! goc sweep    --spec sweep.json [--threads N] [--out FILE]
 //! goc learn    --powers 13,11,7,5,3,2 --rewards 17,10 [--scheduler round-robin] [--seed 0]
 //! goc enumerate --powers 13,11,7,5,3,2 --rewards 17,10
 //! goc design   --powers 13,11,7,5,3,2 --rewards 17,10 [--scheduler min-gain] [--seed 0]
 //! goc simulate [--miners 120] [--days 80] [--shock-day 30] [--seed 2017]
+//! goc simulate --spec scenario.json
 //! ```
 //!
-//! `learn` runs better-response learning from the all-on-c0 configuration;
-//! `enumerate` lists all pure equilibria (small games); `design` picks the
-//! two Lemma-2 equilibria and runs Algorithm 2 between them; `simulate`
-//! runs the Figure 1 BTC/BCH market and prints the hashrate chart.
+//! `list` shows the experiment registry; `run` executes a registered
+//! experiment, rendering its structured report as ASCII or JSON; `sweep`
+//! fans a JSON list of experiment runs across worker threads (reports
+//! come back in input order). The classic commands remain: `learn` runs
+//! better-response learning from the all-on-c0 configuration;
+//! `enumerate` lists all pure equilibria (small games); `design` picks
+//! the two Lemma-2 equilibria and runs Algorithm 2 between them;
+//! `simulate` runs the Figure 1 BTC/BCH market and prints the hashrate
+//! chart.
 
 use std::process::ExitCode;
 
 use gameofcoins::analysis::chart::{ascii_chart, Series};
 use gameofcoins::analysis::{fmt_f64, Table};
 use gameofcoins::design::{design, DesignOptions, DesignProblem};
+use gameofcoins::experiments::{self, RunContext, SweepSpec};
 use gameofcoins::game::{equilibrium, CoinId, Configuration, Game};
 use gameofcoins::learning::{run, LearningOptions, SchedulerKind};
 use gameofcoins::sim::scenario::{btc_bch, BtcBchParams, DAY};
+use gameofcoins::sim::ScenarioSpec;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,16 +45,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command.as_str() {
-        "learn" => cmd_learn(&opts),
-        "enumerate" => cmd_enumerate(&opts),
-        "design" => cmd_design(&opts),
-        "simulate" => cmd_simulate(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
+    // Only `run` takes a positional argument (the experiment name);
+    // stray tokens anywhere else are typos, not input.
+    let expected_positionals = usize::from(command == "run");
+    let result = if opts.positional.len() > expected_positionals {
+        Err(format!(
+            "unexpected argument `{}`",
+            opts.positional[expected_positionals]
+        ))
+    } else {
+        match command.as_str() {
+            "list" => cmd_list(),
+            "run" => cmd_run(&opts),
+            "sweep" => cmd_sweep(&opts),
+            "learn" => cmd_learn(&opts),
+            "enumerate" => cmd_enumerate(&opts),
+            "design" => cmd_design(&opts),
+            "simulate" => cmd_simulate(&opts),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`")),
         }
-        other => Err(format!("unknown command `{other}`")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -57,10 +81,20 @@ fn main() -> ExitCode {
 const USAGE: &str = "goc — Game of Coins (Spiegelman, Keidar, Tennenholtz; ICDCS 2021)
 
 USAGE:
+  goc list
+  goc run <EXPERIMENT> [--json] [--quick] [--seed N]
+  goc sweep     --spec FILE [--threads N] [--out FILE]
   goc learn     --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc enumerate --powers P1,P2,.. --rewards F1,F2,..
   goc design    --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc simulate  [--miners N] [--days D] [--shock-day D] [--seed N]
+  goc simulate  --spec FILE    (a declarative ScenarioSpec JSON)
+
+`goc list` names every registered experiment. A sweep spec is JSON:
+  {\"runs\": [{\"experiment\": \"fig1\", \"seed\": 1, \"quick\": true}, ...]}
+Reports come back in input order regardless of completion order.
+A scenario spec for `goc simulate --spec` is a serialized
+`gameofcoins::sim::ScenarioSpec` (serialize a preset to start).
 
 SCHEDULERS: round-robin | uniform-random | max-gain | min-gain |
             largest-miner-first | smallest-miner-first";
@@ -68,6 +102,7 @@ SCHEDULERS: round-robin | uniform-random | max-gain | min-gain |
 /// Parsed command-line options (manual parsing; no CLI dependency).
 #[derive(Debug, Default)]
 struct Options {
+    positional: Vec<String>,
     powers: Option<Vec<u64>>,
     rewards: Option<Vec<u64>>,
     scheduler: Option<String>,
@@ -75,6 +110,11 @@ struct Options {
     miners: usize,
     days: f64,
     shock_day: f64,
+    json: bool,
+    quick: bool,
+    spec: Option<String>,
+    out: Option<String>,
+    threads: Option<usize>,
 }
 
 impl Options {
@@ -98,13 +138,19 @@ impl Options {
                 "--rewards" => o.rewards = Some(parse_list(value()?)?),
                 "--scheduler" => o.scheduler = Some(value()?.to_string()),
                 "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-                "--miners" => {
-                    o.miners = value()?.parse().map_err(|e| format!("--miners: {e}"))?
-                }
+                "--miners" => o.miners = value()?.parse().map_err(|e| format!("--miners: {e}"))?,
                 "--days" => o.days = value()?.parse().map_err(|e| format!("--days: {e}"))?,
                 "--shock-day" => {
                     o.shock_day = value()?.parse().map_err(|e| format!("--shock-day: {e}"))?
                 }
+                "--json" => o.json = true,
+                "--quick" => o.quick = true,
+                "--spec" => o.spec = Some(value()?.to_string()),
+                "--out" => o.out = Some(value()?.to_string()),
+                "--threads" => {
+                    o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+                }
+                other if !other.starts_with('-') => o.positional.push(other.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -134,15 +180,101 @@ impl Options {
 
 fn parse_list(s: &str) -> Result<Vec<u64>, String> {
     s.split(',')
-        .map(|part| part.trim().parse::<u64>().map_err(|e| format!("`{part}`: {e}")))
+        .map(|part| {
+            part.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("`{part}`: {e}"))
+        })
         .collect()
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut table = Table::new(vec!["experiment", "regenerates"]);
+    for experiment in experiments::registry() {
+        table.row(vec![
+            experiment.name().to_string(),
+            experiment.describe().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("run one with `goc run <experiment> [--json] [--quick] [--seed N]`");
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let name = opts
+        .positional
+        .first()
+        .ok_or("missing experiment name (try `goc list`)")?;
+    let experiment = experiments::find(name)
+        .ok_or_else(|| format!("unknown experiment `{name}` (try `goc list`)"))?;
+    let ctx = RunContext {
+        seed: opts.seed,
+        quick: opts.quick,
+        ..RunContext::default()
+    };
+    let report = experiment.run(&ctx);
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_ascii());
+        for artifact in &report.artifacts {
+            experiments::write_results(&artifact.name, &artifact.contents);
+        }
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        let (ok, total) = report.check_counts();
+        Err(format!(
+            "experiment `{name}` failed ({ok}/{total} checks passed)"
+        ))
+    }
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .spec
+        .as_deref()
+        .ok_or("missing --spec FILE (a JSON sweep specification)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec: SweepSpec =
+        serde_json::from_str(&text).map_err(|e| format!("invalid sweep spec {path}: {e}"))?;
+    let threads = opts
+        .threads
+        .unwrap_or_else(gameofcoins::analysis::default_threads);
+    let reports = experiments::sweep(&spec, threads)?;
+    let json = serde_json::to_string_pretty(&reports)
+        .map_err(|e| format!("cannot serialize reports: {e}"))?;
+    match &opts.out {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            for report in &reports {
+                eprintln!("{}", report.summary_line());
+            }
+            eprintln!("[written {out}]");
+        }
+        None => println!("{json}"),
+    }
+    let failed: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.passed())
+        .map(|r| r.experiment.as_str())
+        .collect();
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "sweep had failing experiments: {}",
+            failed.join(", ")
+        ))
+    }
 }
 
 fn cmd_learn(opts: &Options) -> Result<(), String> {
     let game = opts.game()?;
     let kind = opts.scheduler_kind()?;
-    let start =
-        Configuration::uniform(CoinId(0), game.system()).map_err(|e| e.to_string())?;
+    let start = Configuration::uniform(CoinId(0), game.system()).map_err(|e| e.to_string())?;
     let mut sched = kind.build(opts.seed);
     let outcome = run(
         &game,
@@ -181,7 +313,11 @@ fn cmd_enumerate(opts: &Options) -> Result<(), String> {
     println!("{} pure equilibria:", eqs.len());
     let mut table = Table::new(vec!["#", "configuration", "welfare", "payoffs"]);
     for (i, s) in eqs.iter().enumerate() {
-        let payoffs: Vec<String> = game.payoffs(s).iter().map(|p| fmt_f64(p.to_f64())).collect();
+        let payoffs: Vec<String> = game
+            .payoffs(s)
+            .iter()
+            .map(|p| fmt_f64(p.to_f64()))
+            .collect();
         table.row(vec![
             i.to_string(),
             s.to_string(),
@@ -230,37 +366,84 @@ fn cmd_design(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_simulate(opts: &Options) -> Result<(), String> {
-    let mut sim = btc_bch(BtcBchParams {
-        num_miners: opts.miners,
-        horizon_days: opts.days,
-        shock_day: opts.shock_day,
-        revert_day: opts.shock_day + 15.0,
-        seed: opts.seed.max(1),
-        ..BtcBchParams::default()
-    });
+    // With --spec, run an arbitrary declarative scenario from disk;
+    // otherwise the classic parameterized Figure 1 market.
+    let (mut sim, coin_names, description) = match &opts.spec {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec: ScenarioSpec = serde_json::from_str(&text)
+                .map_err(|e| format!("invalid scenario spec {path}: {e}"))?;
+            let sim = spec.build().map_err(|e| e.to_string())?;
+            let names: Vec<String> = spec.chains.iter().map(|c| c.name.clone()).collect();
+            let description = format!(
+                "scenario `{}` over {} days ({} miners)",
+                spec.name,
+                spec.horizon_days,
+                spec.miners.count()
+            );
+            (sim, names, description)
+        }
+        None => {
+            let sim = btc_bch(BtcBchParams {
+                num_miners: opts.miners,
+                horizon_days: opts.days,
+                shock_day: opts.shock_day,
+                revert_day: opts.shock_day + 15.0,
+                seed: opts.seed.max(1),
+                ..BtcBchParams::default()
+            });
+            let description = format!(
+                "BTC/BCH migration over {} days ({} miners)",
+                opts.days, opts.miners
+            );
+            (sim, vec!["BTC".into(), "BCH".into()], description)
+        }
+    };
     let metrics = sim.run().clone();
     let days: Vec<f64> = metrics.times.iter().map(|t| t / DAY).collect();
-    let share: Vec<f64> = (0..metrics.len())
-        .map(|t| metrics.hashrate_share(1, t))
+    // Chart the shares of every coin beyond the first (the first coin's
+    // share is their complement); single-coin scenarios chart coin 0.
+    let charted: Vec<usize> = if metrics.num_coins() > 1 {
+        (1..metrics.num_coins()).collect()
+    } else {
+        vec![0]
+    };
+    let shares: Vec<Vec<f64>> = charted
+        .iter()
+        .map(|&c| {
+            (0..metrics.len())
+                .map(|t| metrics.hashrate_share(c, t))
+                .collect()
+        })
         .collect();
-    println!("BCH hashrate share over {} days ({} miners):", opts.days, opts.miners);
+    const SYMBOLS: [char; 6] = ['#', 'o', '*', '+', 'x', '%'];
+    let labels: Vec<String> = charted
+        .iter()
+        .map(|&c| format!("{} share", coin_names[c]))
+        .collect();
+    let series: Vec<Series<'_>> = charted
+        .iter()
+        .zip(&shares)
+        .zip(&labels)
+        .enumerate()
+        .map(|(i, ((_, values), label))| Series {
+            name: label,
+            values,
+            symbol: SYMBOLS[i % SYMBOLS.len()],
+        })
+        .collect();
+    println!("hashrate share — {description}:");
+    println!("{}", ascii_chart(&days, &series, 72, 12));
+    let blocks: Vec<String> = sim
+        .chains()
+        .iter()
+        .zip(&coin_names)
+        .map(|(chain, name)| format!("{name} {}", chain.height()))
+        .collect();
     println!(
-        "{}",
-        ascii_chart(
-            &days,
-            &[Series {
-                name: "BCH share",
-                values: &share,
-                symbol: '#'
-            }],
-            72,
-            12
-        )
-    );
-    println!(
-        "blocks: BTC {}, BCH {}; switches: {}",
-        sim.chains()[0].height(),
-        sim.chains()[1].height(),
+        "blocks: {}; switches: {}",
+        blocks.join(", "),
         metrics.total_switches
     );
     Ok(())

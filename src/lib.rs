@@ -18,9 +18,16 @@
 //! * [`chain`] — proof-of-work chains: difficulty adjustment, fee market,
 //!   whale transactions, mining races.
 //! * [`market`] — exchange-rate processes and scheduled shocks.
-//! * [`sim`] — the discrete-event simulator coupling all of the above
-//!   (the Figure 1 scenario lives in [`sim::scenario`]).
-//! * [`analysis`] — statistics, tables, charts, welfare/security metrics.
+//! * [`sim`] — the discrete-event simulator coupling all of the above;
+//!   scenarios are declarative [`sim::spec::ScenarioSpec`] values (the
+//!   Figure 1 preset and friends live there, with convenience builders
+//!   in [`sim::scenario`]).
+//! * [`analysis`] — statistics, tables, charts, welfare/security
+//!   metrics, and the structured [`analysis::report::RunReport`] that
+//!   every registered experiment returns.
+//! * [`experiments`] — the experiment registry: every figure and claim
+//!   of the paper as a named, runnable [`experiments::Experiment`]
+//!   (drive it with `goc list` / `goc run <name>` / `goc sweep`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +61,7 @@
 pub use goc_analysis as analysis;
 pub use goc_chain as chain;
 pub use goc_design as design;
+pub use goc_experiments as experiments;
 pub use goc_game as game;
 pub use goc_learning as learning;
 pub use goc_market as market;
@@ -61,9 +69,10 @@ pub use goc_sim as sim;
 
 /// Convenient single-import prelude for examples and downstream users.
 pub mod prelude {
-    pub use goc_analysis::{ascii_chart, fmt_f64, Series, Summary, Table};
+    pub use goc_analysis::{ascii_chart, fmt_f64, RunReport, Series, Summary, Table, TableData};
     pub use goc_chain::{Blockchain, ChainParams, DifficultyRule};
     pub use goc_design::{design, DesignOptions, DesignOutcome, DesignProblem};
+    pub use goc_experiments::{registry, Experiment, RunContext, SweepSpec};
     pub use goc_game::{
         equilibrium, potential, CoinId, Configuration, Game, GameError, MinerId, Ratio, Rewards,
         System,
@@ -71,6 +80,8 @@ pub mod prelude {
     pub use goc_learning::{
         converge, run, LearningOptions, LearningOutcome, Scheduler, SchedulerKind,
     };
-    pub use goc_market::{Gbm, Market, Price, ScheduledShock, WhaleBudget, WhaleInjection, WhalePlan};
-    pub use goc_sim::{MinerAgent, OracleKind, SimConfig, Simulation};
+    pub use goc_market::{
+        Gbm, Market, Price, ScheduledShock, WhaleBudget, WhaleInjection, WhalePlan,
+    };
+    pub use goc_sim::{MinerAgent, OracleKind, ScenarioSpec, SimConfig, Simulation};
 }

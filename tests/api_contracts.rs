@@ -7,6 +7,8 @@ use gameofcoins::prelude::*;
 fn assert_send<T: Send>() {}
 fn assert_sync<T: Sync>() {}
 fn assert_error<T: std::error::Error>() {}
+fn assert_debug<T: std::fmt::Debug>() {}
+fn assert_clone<T: Clone>() {}
 
 #[test]
 fn core_types_are_send_and_sync() {
@@ -32,6 +34,46 @@ fn core_types_are_send_and_sync() {
 }
 
 #[test]
+fn scenario_api_types_are_send_sync_debug_clone() {
+    // The scenario/report/registry layer is moved across threads by
+    // `goc sweep` and embedded in user structs; lock in the auto traits.
+    assert_send::<ScenarioSpec>();
+    assert_sync::<ScenarioSpec>();
+    assert_debug::<ScenarioSpec>();
+    assert_clone::<ScenarioSpec>();
+    assert_send::<RunReport>();
+    assert_sync::<RunReport>();
+    assert_debug::<RunReport>();
+    assert_clone::<RunReport>();
+    assert_send::<TableData>();
+    assert_sync::<TableData>();
+    assert_debug::<TableData>();
+    assert_clone::<TableData>();
+    assert_send::<RunContext>();
+    assert_sync::<RunContext>();
+    assert_debug::<RunContext>();
+    assert_clone::<RunContext>();
+    assert_send::<SweepSpec>();
+    assert_sync::<SweepSpec>();
+    assert_debug::<SweepSpec>();
+    assert_clone::<SweepSpec>();
+    assert_send::<gameofcoins::sim::SpecError>();
+    assert_sync::<gameofcoins::sim::SpecError>();
+    // Trait objects from the registry cross sweep worker threads.
+    assert_send::<Box<dyn Experiment>>();
+    assert_sync::<Box<dyn Experiment>>();
+}
+
+#[test]
+fn spec_error_is_a_real_error() {
+    assert_error::<gameofcoins::sim::SpecError>();
+    let mut spec = ScenarioSpec::btc_bch();
+    spec.chains.clear();
+    let err = spec.build().unwrap_err();
+    assert!(err.to_string().contains("no chains"));
+}
+
+#[test]
 fn error_types_implement_error_send_sync() {
     assert_error::<GameError>();
     assert_send::<GameError>();
@@ -51,8 +93,7 @@ fn games_can_be_shared_across_threads() {
             .map(|seed| {
                 let game = &game;
                 scope.spawn(move || {
-                    let start =
-                        Configuration::uniform(CoinId(0), game.system()).unwrap();
+                    let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
                     let mut sched = SchedulerKind::UniformRandom.build(seed);
                     run(game, &start, sched.as_mut(), LearningOptions::default())
                         .unwrap()

@@ -71,16 +71,163 @@ fn simulate_draws_a_chart() {
 }
 
 #[test]
-fn bad_input_fails_with_usage() {
+fn list_names_every_registered_experiment() {
+    let out = goc(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for experiment in gameofcoins::experiments::registry() {
+        assert!(
+            stdout.contains(experiment.name()),
+            "`goc list` is missing {}",
+            experiment.name()
+        );
+    }
+}
+
+#[test]
+fn run_emits_a_machine_readable_report() {
+    let out = goc(&["run", "prop1", "--json", "--quick"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let report = gameofcoins::analysis::RunReport::from_json(&stdout)
+        .expect("stdout of `goc run --json` is a RunReport");
+    assert_eq!(report.experiment, "prop1");
+    assert!(report.passed());
+    assert!(!report.checks.is_empty());
+}
+
+#[test]
+fn run_ascii_renders_checks() {
+    let out = goc(&["run", "prop1", "--quick"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("prop1"));
+    assert!(stdout.contains("[PASS]"));
+}
+
+#[test]
+fn run_rejects_unknown_experiments() {
+    let out = goc(&["run", "frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown experiment"));
+}
+
+#[test]
+fn stray_positional_arguments_are_rejected() {
     for args in [
-        vec!["learn"],                                        // missing flags
-        vec!["learn", "--powers", "abc", "--rewards", "1"],   // parse error
-        vec!["learn", "--powers", "2,1", "--bogus", "x"],     // unknown flag
-        vec!["frobnicate"],                                   // unknown command
-        vec![],                                               // no command
+        vec!["run", "prop1", "bogus"],
+        vec!["learn", "--powers", "2,1", "--rewards", "1,1", "extra"],
+        vec!["sweep", "mysweep.json"],
+        vec!["list", "surplus"],
     ] {
         let out = goc(&args);
-        assert!(!out.status.success(), "args {args:?} unexpectedly succeeded");
+        assert!(
+            !out.status.success(),
+            "args {args:?} unexpectedly succeeded"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("unexpected argument"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_fans_out_and_preserves_input_order() {
+    let dir = std::env::temp_dir().join(format!("goc_sweep_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("sweep.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"runs": [
+            {"experiment": "cross", "seed": 0, "quick": true},
+            {"experiment": "prop1", "seed": 0, "quick": true}
+        ]}"#,
+    )
+    .unwrap();
+    let out = goc(&[
+        "sweep",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let reports: Vec<gameofcoins::analysis::RunReport> =
+        serde_json::from_str(&stdout).expect("sweep output is a JSON array of reports");
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0].experiment, "cross");
+    assert_eq!(reports[1].experiment, "prop1");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_runs_a_scenario_spec_file() {
+    use gameofcoins::sim::ScenarioSpec;
+    let dir = std::env::temp_dir().join(format!("goc_scenario_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("scenario.json");
+    let mut spec = ScenarioSpec::asymmetric();
+    spec.horizon_days = 2.0;
+    std::fs::write(&spec_path, serde_json::to_string_pretty(&spec).unwrap()).unwrap();
+    let out = goc(&["simulate", "--spec", spec_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "simulate --spec failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("scenario `asymmetric`"), "stdout: {stdout}");
+    assert!(stdout.contains("B share"));
+    assert!(stdout.contains("blocks: A"));
+
+    // Malformed and invalid scenario files are rejected with errors.
+    let bad_path = dir.join("bad.json");
+    std::fs::write(&bad_path, "{not json").unwrap();
+    let out = goc(&["simulate", "--spec", bad_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    spec.chains.clear();
+    std::fs::write(&bad_path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let out = goc(&["simulate", "--spec", bad_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no chains"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_rejects_bad_specs() {
+    let out = goc(&["sweep"]);
+    assert!(!out.status.success());
+    let dir = std::env::temp_dir().join(format!("goc_sweep_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("bad.json");
+    std::fs::write(&spec_path, r#"{"runs": [{"experiment": "nope"}]}"#).unwrap();
+    let out = goc(&["sweep", "--spec", spec_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    for args in [
+        vec!["learn"],                                      // missing flags
+        vec!["learn", "--powers", "abc", "--rewards", "1"], // parse error
+        vec!["learn", "--powers", "2,1", "--bogus", "x"],   // unknown flag
+        vec!["frobnicate"],                                 // unknown command
+        vec![],                                             // no command
+    ] {
+        let out = goc(&args);
+        assert!(
+            !out.status.success(),
+            "args {args:?} unexpectedly succeeded"
+        );
         let stderr = String::from_utf8(out.stderr).unwrap();
         assert!(stderr.contains("error") || stderr.contains("USAGE"));
     }

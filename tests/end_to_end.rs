@@ -112,8 +112,14 @@ fn value_share_predicts_equilibrium_and_simulation() {
     let masses = eq.masses(game.system());
     let eq_share = masses.mass_of(CoinId(1)) as f64 / masses.total() as f64;
 
-    assert!((sim_share - value_share).abs() < 0.05, "{sim_share} vs {value_share}");
-    assert!((eq_share - value_share).abs() < 0.05, "{eq_share} vs {value_share}");
+    assert!(
+        (sim_share - value_share).abs() < 0.05,
+        "{sim_share} vs {value_share}"
+    );
+    assert!(
+        (eq_share - value_share).abs() < 0.05,
+        "{eq_share} vs {value_share}"
+    );
 }
 
 /// Restarting learning from a designed equilibrium does nothing — the

@@ -1,0 +1,147 @@
+//! Integration tests for the unified scenario API: declarative specs,
+//! the experiment registry, and structured run reports.
+
+use gameofcoins::analysis::{ReportItem, RunReport};
+use gameofcoins::experiments::{self, RunContext, SweepRun, SweepSpec};
+use gameofcoins::sim::{Assignment, MinerSpec, OracleKind, ScenarioSpec};
+
+#[test]
+fn every_preset_round_trips_through_serde_json() {
+    for spec in ScenarioSpec::presets() {
+        let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+        let back: ScenarioSpec = serde_json::from_str(&json).expect("spec parses");
+        assert_eq!(spec, back, "{} lost data in the JSON round trip", spec.name);
+    }
+}
+
+#[test]
+fn edited_spec_json_builds_a_different_simulation() {
+    // The scenario-as-data workflow: serialize a preset, edit fields in
+    // the JSON (as a user would in a spec file), build the result.
+    let spec = ScenarioSpec::btc_bch();
+    let json = serde_json::to_string(&spec).expect("serializes");
+    let mut edited: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+    edited.horizon_days = 2.0;
+    edited.shocks.clear();
+    edited.oracle = OracleKind::Difficulty;
+    edited.miners = MinerSpec::Uniform {
+        count: 10,
+        hashrate: 50.0,
+        eval_hours: 2.0,
+        eval_stagger_secs: 120.0,
+        inertia: 0.01,
+        inertia_step: 0.0,
+        cost_per_hash: 0.0,
+    };
+    edited.assignment = Assignment::Modulo;
+    let mut sim = edited.build().expect("edited spec builds");
+    let metrics = sim.run();
+    assert_eq!(metrics.num_coins(), 2);
+    assert!(!metrics.is_empty());
+}
+
+#[test]
+fn spec_builds_are_deterministic() {
+    let run = |spec: &ScenarioSpec| {
+        let mut sim = spec.build().expect("builds");
+        let m = sim.run().clone();
+        (
+            sim.chains()[0].height(),
+            sim.chains()[1].height(),
+            m.total_switches,
+        )
+    };
+    let mut spec = ScenarioSpec::btc_bch();
+    spec.horizon_days = 5.0;
+    spec.shocks[0].day = 2.0;
+    spec.shocks[1].day = 4.0;
+    assert_eq!(run(&spec), run(&spec), "same spec, different runs");
+    let mut other_seed = spec.clone();
+    other_seed.seed += 1;
+    assert_ne!(run(&spec), run(&other_seed), "seed had no effect");
+}
+
+#[test]
+fn registered_experiments_are_deterministic_under_a_fixed_seed() {
+    // Same context => byte-identical JSON report, including across
+    // internal parallel sweeps (input-ordered outputs).
+    let ctx = RunContext {
+        seed: 7,
+        quick: true,
+        ..RunContext::default()
+    };
+    for name in ["prop1", "cross"] {
+        let a = experiments::find(name).expect("registered").run(&ctx);
+        let b = experiments::find(name).expect("registered").run(&ctx);
+        assert_eq!(a.to_json(), b.to_json(), "{name} is nondeterministic");
+    }
+}
+
+#[test]
+fn reports_round_trip_and_carry_content() {
+    let ctx = RunContext {
+        quick: true,
+        ..RunContext::default()
+    };
+    let report = experiments::find("prop1").expect("registered").run(&ctx);
+    assert!(report.passed(), "prop1 must pass");
+    assert!(
+        report
+            .items
+            .iter()
+            .any(|item| matches!(item, ReportItem::Table(_))),
+        "prop1 report should contain a table"
+    );
+    let back = RunReport::from_json(&report.to_json()).expect("valid JSON");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn sweep_preserves_input_order_and_seeds() {
+    let spec = SweepSpec {
+        runs: vec![
+            SweepRun {
+                experiment: "prop1".into(),
+                seed: Some(0),
+                quick: Some(true),
+            },
+            SweepRun {
+                experiment: "cross".into(),
+                seed: Some(1),
+                quick: Some(true),
+            },
+            SweepRun {
+                experiment: "prop1".into(),
+                seed: Some(2),
+                quick: Some(true),
+            },
+        ],
+    };
+    let reports = experiments::sweep(&spec, 3).expect("sweep runs");
+    assert_eq!(reports.len(), 3);
+    assert_eq!(reports[0].experiment, "prop1");
+    assert_eq!(reports[1].experiment, "cross");
+    assert_eq!(reports[2].experiment, "prop1");
+    assert!(reports.iter().all(RunReport::passed));
+    // Parallel and serial sweeps agree exactly.
+    let serial = experiments::sweep(&spec, 1).expect("serial sweep runs");
+    let to_json = |rs: &[RunReport]| serde_json::to_string(&rs.to_vec()).unwrap();
+    assert_eq!(to_json(&reports), to_json(&serial));
+}
+
+#[test]
+fn attack_preset_feeds_the_design_pipeline() {
+    // Spec -> static game -> two equilibria -> Algorithm 2: the full
+    // declarative path from a market description to a designed outcome.
+    use gameofcoins::design::{design, DesignOptions, DesignProblem};
+    use gameofcoins::game::equilibrium;
+    use gameofcoins::learning::SchedulerKind;
+
+    let (game, _initial) = ScenarioSpec::attack().game().expect("snapshots");
+    let (s0, sf) = equilibrium::two_equilibria(&game).expect("two equilibria");
+    let problem = DesignProblem::new(game.clone(), s0, sf.clone()).expect("valid problem");
+    let mut sched = SchedulerKind::RoundRobin.build(0);
+    let outcome = design(&problem, sched.as_mut(), DesignOptions::default()).expect("designs");
+    assert_eq!(outcome.final_config, sf);
+    assert!(game.is_stable(&outcome.final_config));
+}

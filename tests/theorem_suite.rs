@@ -83,7 +83,10 @@ fn prop2_dominated_equilibria_when_assumptions_hold() {
         equilibrium::better_equilibrium_witnesses(&game, 1 << 16)
             .expect("Proposition 2 must hold under A1+A2");
     }
-    assert!(verified >= 3, "too few assumption-satisfying samples: {verified}");
+    assert!(
+        verified >= 3,
+        "too few assumption-satisfying samples: {verified}"
+    );
 }
 
 /// Theorem 2 pipeline: random design problems complete with verified

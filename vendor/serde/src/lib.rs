@@ -1,0 +1,618 @@
+//! Vendored, minimal, API-shape-compatible stand-in for `serde` so the
+//! workspace builds offline. Serialization goes through an in-memory
+//! [`Value`] tree (the JSON data model) instead of serde's visitor
+//! machinery; `#[derive(Serialize, Deserialize)]` is provided by the
+//! sibling `serde_derive` crate and generates `Value` conversions.
+//!
+//! Supported surface (exactly what this workspace uses):
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs
+//!   (named, tuple/newtype, unit) and enums (unit, newtype, tuple, and
+//!   struct variants; externally tagged, like serde's default).
+//! * Manual `impl<'de> Deserialize<'de> for T` against a
+//!   [`Deserializer`] with `serde::de::Error::custom`.
+//! * `serde_json::{to_string, to_string_pretty, from_str}` over these
+//!   traits (see the vendored `serde_json`).
+
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integers (covers every integer type up to `i128`).
+    Int(i128),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    String(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization error machinery (mirrors `serde::de`).
+pub mod de {
+    use std::fmt;
+
+    /// The error-construction contract deserializers expose.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The concrete error used by [`crate::Value`]-backed deserialization.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError(pub String);
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+}
+
+/// A source of [`Value`]s (the stand-in for serde's `Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// The error type reported by this deserializer.
+    type Error: de::Error;
+
+    /// Consumes the deserializer, yielding the underlying value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = de::DeError;
+
+    fn into_value(self) -> Result<Value, de::DeError> {
+        Ok(self)
+    }
+}
+
+impl<'de> Deserializer<'de> for &Value {
+    type Error = de::DeError;
+
+    fn into_value(self) -> Result<Value, de::DeError> {
+        Ok(self.clone())
+    }
+}
+
+/// Deserialization from the [`Value`] model.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of a deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` without borrowed data (all of ours is owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------
+// Primitive and container impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_value()? {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| de::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    // Whole-number floats are accepted, but through the
+                    // same range check as integers — a bare `as` cast
+                    // would silently saturate -1.0 to 0 for unsigned
+                    // targets or 1e30 to the type's maximum.
+                    Value::Float(f)
+                        if f.fract() == 0.0
+                            && f >= i128::MIN as f64
+                            && f <= i128::MAX as f64 =>
+                    {
+                        <$t>::try_from(f as i128).map_err(|_| {
+                            de::Error::custom(concat!("number out of range for ", stringify!($t)))
+                        })
+                    }
+                    other => Err(de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i128)
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Int(i) => {
+                u128::try_from(i).map_err(|_| de::Error::custom("negative integer for u128"))
+            }
+            other => Err(de::Error::custom(format!("expected u128, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                // NB: `Null` is rejected (matching real serde_json), so
+                // a missing required float field reports "missing field"
+                // instead of silently deserializing to NaN.
+                match d.into_value()? {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    other => Err(de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_pointer {
+    ($($p:ident),*) => {$(
+        impl<T: Serialize> Serialize for $p<T> {
+            fn to_value(&self) -> Value {
+                (**self).to_value()
+            }
+        }
+        impl<'de, T: DeserializeOwned> Deserialize<'de> for $p<T> {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                T::deserialize(d).map($p::new)
+            }
+        }
+    )*};
+}
+use std::boxed::Box;
+use std::rc::Rc;
+use std::sync::Arc;
+impl_serde_pointer!(Box, Rc, Arc);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| T::deserialize(item).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Null => Ok(None),
+            v => T::deserialize(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for BTreeMap<String, T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Object(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| T::deserialize(v).map(|v| (k, v)).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_value()? {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(de::Error::custom("tuple length mismatch"));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            $name::deserialize(it.next().expect("length checked"))
+                                .map_err(|e| de::Error::custom(e))?
+                        },)+))
+                    }
+                    other => Err(de::Error::custom(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, E: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.into_value()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::__private::render(self, false))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Support machinery for the derive macro (not a public API)
+// ---------------------------------------------------------------------
+
+/// Helpers the `serde_derive` expansion calls. Not a stable interface.
+pub mod __private {
+    use super::de::{DeError, Error as _};
+    use super::{DeserializeOwned, Value};
+
+    /// Looks up and deserializes a named struct field (missing keys
+    /// read as `Null`, which `Option` fields turn into `None`).
+    pub fn field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<T, DeError> {
+        let field_value = match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null),
+            other => {
+                return Err(DeError::custom(format!(
+                    "expected object with field `{name}`, got {other:?}"
+                )))
+            }
+        };
+        if field_value == Value::Null && v.get(name).is_none() {
+            // Distinguish "missing" from a literal null for diagnostics.
+            return T::deserialize(Value::Null)
+                .map_err(|_| DeError::custom(format!("missing field `{name}`")));
+        }
+        T::deserialize(field_value).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+    }
+
+    /// Deserializes positional element `idx` of an array value.
+    pub fn element<T: DeserializeOwned>(v: &Value, idx: usize) -> Result<T, DeError> {
+        match v {
+            Value::Array(items) => items
+                .get(idx)
+                .cloned()
+                .ok_or_else(|| DeError::custom(format!("missing tuple element {idx}")))
+                .and_then(|item| {
+                    T::deserialize(item).map_err(|e| DeError::custom(format!("element {idx}: {e}")))
+                }),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Deserializes a whole value (newtype-struct bodies).
+    pub fn whole<T: DeserializeOwned>(v: &Value) -> Result<T, DeError> {
+        T::deserialize(v.clone())
+    }
+
+    /// Builds an externally-tagged enum payload: `{"Variant": value}`.
+    pub fn tagged(variant: &str, payload: Value) -> Value {
+        Value::Object(vec![(variant.to_string(), payload)])
+    }
+
+    /// Splits an enum value into `(variant_name, payload)` — a bare
+    /// string is a unit variant; `{"Variant": payload}` carries data.
+    pub fn variant(v: &Value) -> Result<(String, Option<Value>), DeError> {
+        match v {
+            Value::String(s) => Ok((s.clone(), None)),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                Ok((pairs[0].0.clone(), Some(pairs[0].1.clone())))
+            }
+            other => Err(DeError::custom(format!(
+                "expected enum (string or single-key object), got {other:?}"
+            ))),
+        }
+    }
+
+    /// Renders a value as JSON text (used by the vendored `serde_json`).
+    pub fn render(v: &Value, pretty: bool) -> String {
+        let mut out = String::new();
+        render_into(v, pretty, 0, &mut out);
+        out
+    }
+
+    fn push_json_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn render_into(v: &Value, pretty: bool, indent: usize, out: &mut String) {
+        let pad = |n: usize| "  ".repeat(n);
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // Keep a trailing `.0` so floats survive a round-trip
+                    // as floats (and always re-parse as JSON numbers).
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => push_json_string(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&pad(indent + 1));
+                    }
+                    render_into(item, pretty, indent + 1, out);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&pad(indent));
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, item)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&pad(indent + 1));
+                    }
+                    push_json_string(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    render_into(item, pretty, indent + 1, out);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&pad(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::deserialize(42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::deserialize(2.5f64.to_value()).unwrap(), 2.5);
+        assert!(bool::deserialize(true.to_value()).unwrap());
+        assert_eq!(
+            String::deserialize("hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u64> = Vec::deserialize(vec![1u64, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let o: Option<u64> = Option::deserialize(Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::deserialize(Value::Int(300)).is_err());
+        assert!(u64::deserialize(Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_floats_do_not_saturate_into_integers() {
+        assert!(u64::deserialize(Value::Float(-1.0)).is_err());
+        assert!(u64::deserialize(Value::Float(1e30)).is_err());
+        assert!(u8::deserialize(Value::Float(300.0)).is_err());
+        assert_eq!(u64::deserialize(Value::Float(7.0)).unwrap(), 7);
+        assert!(u64::deserialize(Value::Float(7.5)).is_err());
+    }
+
+    #[test]
+    fn missing_float_fields_are_errors_not_nan() {
+        assert!(f64::deserialize(Value::Null).is_err());
+        let v = Value::Object(vec![]);
+        assert!(__private::field::<f64>(&v, "inertia")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field"));
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), None);
+        let a: u64 = __private::field(&v, "a").unwrap();
+        assert_eq!(a, 1);
+        assert!(__private::field::<u64>(&v, "b").is_err());
+        let missing: Option<u64> = __private::field(&v, "b").unwrap();
+        assert_eq!(missing, None);
+    }
+}

@@ -1,0 +1,443 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the sibling
+//! vendored `serde` crate. Parses the item with a hand-rolled token
+//! walker (no `syn`): supports non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, newtype, tuple, or struct-shaped —
+//! exactly the shapes in this workspace. Externally tagged enum
+//! representation, matching real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored, `Value`-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (the vendored, `Value`-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid")
+}
+
+// ---------------------------------------------------------------------
+// A tiny item model
+// ---------------------------------------------------------------------
+
+enum Fields {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T, U);` — field count.
+    Tuple(usize),
+    /// `struct S { a: T, b: U }` — field names in order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips attributes (`#[...]`, including doc comments) and
+    /// visibility (`pub`, `pub(crate)`, …).
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    // The bracket group of the attribute.
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        self.pos += 1;
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Consumes type tokens until a top-level `,` (tracking `<`/`>`
+    /// nesting), leaving the cursor on the comma (not consumed).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    // Find `struct` or `enum`, skipping attributes/visibility.
+    let kind_word = loop {
+        c.skip_attrs_and_vis();
+        match c.next() {
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                // Words like `union` (unsupported) or stray idents.
+                if word == "union" {
+                    return Err("derive(Serialize/Deserialize): unions unsupported".into());
+                }
+            }
+            Some(_) => {}
+            None => return Err("derive: could not find `struct` or `enum`".into()),
+        }
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive: expected item name, got {other:?}")),
+    };
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive: generic type `{name}` unsupported by vendored serde_derive"
+        ));
+    }
+    if kind_word == "struct" {
+        match c.next() {
+            None => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Unit),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Unit),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream()))),
+            }),
+            other => Err(format!("derive: unexpected struct body {other:?}")),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("derive: expected enum body, got {other:?}")),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let field = match c.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("derive: expected field name, got {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("derive: expected `:` after field, got {other:?}")),
+        }
+        c.skip_type();
+        fields.push(field);
+        match c.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "derive: expected `,` between fields, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let name = match c.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("derive: expected variant name, got {other:?}")),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        match c.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("derive: explicit enum discriminants unsupported".into())
+            }
+            other => {
+                return Err(format!(
+                    "derive: expected `,` between variants, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?}))"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::__private::tagged({vname:?}, ::serde::Serialize::to_value(x0))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::__private::tagged({vname:?}, ::serde::Value::Array(vec![{}]))",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::__private::tagged({vname:?}, ::serde::Value::Object(vec![{}]))",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::__private::whole(&v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::element(&v, {i})?"))
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(&v, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|var| {
+                    let vname = &var.name;
+                    match &var.fields {
+                        Fields::Unit => format!("{vname:?} => Ok({name}::{vname})"),
+                        Fields::Tuple(1) => format!(
+                            "{vname:?} => {{\n\
+                                 let p = payload.ok_or_else(|| ::serde::de::Error::custom(\"variant needs a payload\"))?;\n\
+                                 Ok({name}::{vname}(::serde::__private::whole(&p)?))\n\
+                             }}"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::__private::element(&p, {i})?"))
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\n\
+                                     let p = payload.ok_or_else(|| ::serde::de::Error::custom(\"variant needs a payload\"))?;\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__private::field(&p, {f:?})?"))
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\n\
+                                     let p = payload.ok_or_else(|| ::serde::de::Error::custom(\"variant needs a payload\"))?;\n\
+                                     Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (tag, payload) = ::serde::__private::variant(&v)?;\n\
+                 match tag.as_str() {{\n\
+                     {},\n\
+                     other => Err(::serde::de::Error::custom(format!(\"unknown variant `{{other}}`\")))\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                 let v = ::serde::Deserializer::into_value(d)?;\n\
+                 let r = (move || -> ::std::result::Result<{name}, ::serde::de::DeError> {{\n\
+                     {body}\n\
+                 }})();\n\
+                 r.map_err(|e| <D::Error as ::serde::de::Error>::custom(e))\n\
+             }}\n\
+         }}"
+    )
+}
