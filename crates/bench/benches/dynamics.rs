@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::{Configuration, Game};
-use goc_learning::{run, LearningOptions, SchedulerKind};
+use goc_game::{CoinId, Configuration, Game, MassTracker};
+use goc_learning::{run, run_incremental, LearningOptions, SchedulerKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -65,5 +65,59 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_improving_moves, bench_convergence);
+/// The shared scale-fixture game (`goc_sim::fixtures`): `n` miners from
+/// 8 hashrate classes over 3 coins — the same workload the `scale`
+/// experiment and the `BENCH_2.json` recorder measure.
+fn class_game(n: usize) -> (Game, Configuration) {
+    let game = goc_sim::fixtures::scale_class_game(n);
+    let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
+    (game, start)
+}
+
+fn bench_incremental_converge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics/incremental_converge");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let (game, start) = class_game(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k3")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let outcome = run_incremental(&game, &start, LearningOptions::default())
+                        .expect("incremental dynamics");
+                    assert!(outcome.converged);
+                    outcome.steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tracker_step(c: &mut Criterion) {
+    // The primitive behind every step: apply + undo + an O(coins) query,
+    // at a population size where the naive rescan would dominate.
+    let mut group = c.benchmark_group("dynamics/tracker_apply_undo");
+    let (game, start) = class_game(100_000);
+    let mut tracker = MassTracker::new(&game, &start).expect("valid tracker");
+    let p = goc_game::MinerId(0);
+    group.bench_with_input(BenchmarkId::from_parameter("n100000_k3"), &(), |b, ()| {
+        b.iter(|| {
+            tracker.apply(p, CoinId(1));
+            let rpu = tracker.rpu_list();
+            tracker.undo();
+            rpu
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_improving_moves,
+    bench_convergence,
+    bench_incremental_converge,
+    bench_tracker_step
+);
 criterion_main!(benches);

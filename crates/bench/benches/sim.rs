@@ -1,9 +1,13 @@
 //! Criterion benches for the discrete-event simulator: the Figure 1
 //! scenario at several population sizes (simulated days per wall
-//! second is the relevant throughput number).
+//! second is the relevant throughput number), plus cohort-aggregated
+//! populations where event volume tracks behaviours instead of
+//! head-count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_sim::fixtures::scale_cohort_scenario;
 use goc_sim::scenario::{btc_bch, BtcBchParams};
+use goc_sim::spec::ScenarioSpec;
 
 fn bench_btc_bch(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/btc_bch_10_days");
@@ -29,5 +33,31 @@ fn bench_btc_bch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_btc_bch);
+/// The shared scale-fixture scenario (`goc_sim::fixtures`): `n` rigs in
+/// 8 behaviour cohorts over a two-chain market — the same workload the
+/// `scale` experiment and the `BENCH_2.json` recorder measure.
+fn cohort_spec(n: usize) -> ScenarioSpec {
+    scale_cohort_scenario(n, 10.0, 9)
+}
+
+fn bench_cohorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/cohorts_10_days");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let spec = cohort_spec(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_miners")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut sim = spec.build().expect("cohort spec builds");
+                    sim.run().total_events
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btc_bch, bench_cohorts);
 criterion_main!(benches);

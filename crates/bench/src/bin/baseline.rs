@@ -1,0 +1,164 @@
+//! `baseline` — records the repo's perf baseline to `BENCH_2.json`.
+//!
+//! Measures the two headline throughput numbers of the large-population
+//! engine and writes them as machine-readable JSON:
+//!
+//! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
+//!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
+//!   start (best of three runs);
+//! * **sim events/sec** — a 100k-rig population aggregated into 8
+//!   behaviour cohorts over a two-chain market for 10 simulated days.
+//!
+//! ```text
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_2.json
+//! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
+//! cargo run --release -p goc-bench --bin baseline -- --out custom.json
+//! ```
+//!
+//! Re-record after a perf-relevant change by re-running the full mode on
+//! quiet hardware and committing the refreshed `BENCH_2.json`; the CI
+//! smoke job only checks that the recorder still runs and that the
+//! committed file parses.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use goc_game::{CoinId, Configuration};
+use goc_learning::{run_incremental, LearningOptions};
+use goc_sim::fixtures::{scale_class_game, scale_cohort_scenario};
+use serde::{Deserialize, Serialize};
+
+/// One measured layer of the baseline.
+#[derive(Debug, Serialize, Deserialize)]
+struct LayerBaseline {
+    /// Population head-count.
+    miners: usize,
+    /// Work units completed (dynamics steps / sim events).
+    work: u64,
+    /// Best-of-three wall time in seconds.
+    wall_secs: f64,
+    /// `work / wall_secs`.
+    per_sec: f64,
+}
+
+/// The `BENCH_2.json` schema.
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    /// Baseline generation (this file is the repo's second, and first
+    /// recorded, perf baseline).
+    baseline: u32,
+    /// Whether the quick (CI smoke) population was used.
+    quick: bool,
+    /// How to regenerate this file.
+    recorded_by: String,
+    /// Incremental best-response dynamics (steps/sec).
+    dynamics: LayerBaseline,
+    /// Cohort discrete-event simulation (events/sec).
+    sim: LayerBaseline,
+}
+
+fn dynamics_baseline(n: usize) -> LayerBaseline {
+    // The shared scale fixture (`goc_sim::fixtures`): the recorder must
+    // measure exactly the workload the `scale` experiment and the
+    // large-population benches run.
+    let game = scale_class_game(n);
+    let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
+    let mut best = f64::INFINITY;
+    let mut steps = 0usize;
+    for _ in 0..3 {
+        let clock = Instant::now();
+        let outcome =
+            run_incremental(&game, &start, LearningOptions::default()).expect("converges");
+        assert!(outcome.converged, "dynamics did not converge");
+        best = best.min(clock.elapsed().as_secs_f64());
+        steps = outcome.steps;
+    }
+    LayerBaseline {
+        miners: n,
+        work: steps as u64,
+        wall_secs: best,
+        per_sec: steps as f64 / best.max(1e-9),
+    }
+}
+
+fn sim_baseline(n: usize) -> LayerBaseline {
+    let spec = scale_cohort_scenario(n, 10.0, 9);
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let mut sim = spec.build().expect("cohort spec builds");
+        let clock = Instant::now();
+        let metrics = sim.run();
+        best = best.min(clock.elapsed().as_secs_f64());
+        events = metrics.total_events;
+    }
+    LayerBaseline {
+        miners: n,
+        work: events,
+        wall_secs: best,
+        per_sec: events as f64 / best.max(1e-9),
+    }
+}
+
+fn default_out() -> PathBuf {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if repo_root.is_dir() {
+        repo_root.join("BENCH_2.json")
+    } else {
+        PathBuf::from("BENCH_2.json")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = default_out();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag `{other}` (supported: --quick, --out FILE)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let n = if quick { 10_000 } else { 100_000 };
+    let baseline = Baseline {
+        baseline: 2,
+        quick,
+        recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
+        dynamics: dynamics_baseline(n),
+        sim: sim_baseline(n),
+    };
+    println!(
+        "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
+        baseline.dynamics.miners,
+        baseline.dynamics.work,
+        baseline.dynamics.wall_secs,
+        baseline.dynamics.per_sec
+    );
+    println!(
+        "sim:      {} miners, {} events in {:.3} s -> {:.0} events/sec",
+        baseline.sim.miners, baseline.sim.work, baseline.sim.wall_secs, baseline.sim.per_sec
+    );
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    match std::fs::write(&out, json + "\n") {
+        Ok(()) => {
+            println!("[written {}]", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -193,7 +193,7 @@ mod tests {
         let h = h1(&p);
         let design_game = p.game().with_rewards(h).unwrap();
         let target = p.final_coin(1);
-        for s in goc_game::ConfigurationIter::new(design_game.system()) {
+        for s in goc_game::ConfigurationIter::bounded(design_game.system(), 1 << 20).unwrap() {
             let masses = s.masses(design_game.system());
             for miner in design_game.system().miner_ids() {
                 if s.coin_of(miner) != target {

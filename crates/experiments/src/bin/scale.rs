@@ -1,0 +1,9 @@
+//! Thin wrapper: runs the registered `scale` experiment (see
+//! `goc_experiments::experiments::scale`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    goc_experiments::run_bin("scale")
+}

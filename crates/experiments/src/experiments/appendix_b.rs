@@ -112,7 +112,9 @@ impl Experiment for AppendixB {
         // Counterpoint: with unequal rewards Σ 1/M_c is NOT a potential.
         let game = goc_game::Game::build(&[5, 4, 3, 2], &[1000, 10]).expect("valid");
         let mut violated = false;
-        for s in goc_game::ConfigurationIter::new(game.system()) {
+        for s in goc_game::ConfigurationIter::bounded(game.system(), 1 << 20)
+            .expect("the counterexample game is enumerable")
+        {
             for mv in game.improving_moves(&s) {
                 let next = s.with_move(mv.miner, mv.to);
                 if !decreased(

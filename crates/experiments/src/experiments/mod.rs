@@ -17,6 +17,7 @@ pub mod fig1;
 pub mod poa;
 pub mod prop1;
 pub mod prop2;
+pub mod scale;
 pub mod speed;
 pub mod sync;
 pub mod thm1;

@@ -67,7 +67,9 @@ impl Experiment for Prop1 {
         // better response of every configuration.
         let mut checked = 0usize;
         let mut monotone = true;
-        for s in goc_game::ConfigurationIter::new(game.system()) {
+        for s in goc_game::ConfigurationIter::bounded(game.system(), 1 << 20)
+            .expect("the Proposition 1 game is enumerable")
+        {
             for mv in game.improving_moves(&s) {
                 let next = s.with_move(mv.miner, mv.to);
                 monotone &= potential::strictly_increases(&game, &s, &next);

@@ -228,12 +228,49 @@ pub struct ConfigurationIter {
 
 impl ConfigurationIter {
     /// Creates an iterator over all configurations of `system`.
+    ///
+    /// Prefer [`ConfigurationIter::bounded`] anywhere the system size is
+    /// not already known to be tiny: this constructor happily yields
+    /// `|C|^n` items, and an unguarded loop over a large game hangs
+    /// rather than erroring.
     pub fn new(system: &System) -> Self {
         ConfigurationIter {
             current: Some(vec![0; system.num_miners()]),
             num_coins: system.num_coins(),
         }
     }
+
+    /// [`ConfigurationIter::new`] with an explicit enumeration budget: the
+    /// named counterpart that refuses to start a hopeless enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::TooLarge`] (with the exact configuration
+    /// count, saturated to `u128::MAX` on overflow) if `|C|^n > limit`.
+    pub fn bounded(system: &System, limit: u128) -> Result<Self, GameError> {
+        let configurations = num_configurations(system);
+        if configurations > limit {
+            return Err(GameError::TooLarge {
+                configurations,
+                limit,
+            });
+        }
+        Ok(Self::new(system))
+    }
+}
+
+/// The number of configurations `|C|^n` of a system, saturated to
+/// `u128::MAX` on overflow.
+pub fn num_configurations(system: &System) -> u128 {
+    let k = system.num_coins() as u128;
+    let mut total: u128 = 1;
+    for _ in 0..system.num_miners() {
+        total = match total.checked_mul(k) {
+            Some(t) => t,
+            None => return u128::MAX,
+        };
+    }
+    total
 }
 
 impl Iterator for ConfigurationIter {
@@ -335,6 +372,35 @@ mod tests {
         // First and last in lexicographic order.
         assert_eq!(all[0], Configuration::uniform(CoinId(0), &sys).unwrap());
         assert_eq!(all[7], Configuration::uniform(CoinId(1), &sys).unwrap());
+    }
+
+    #[test]
+    fn bounded_iterator_enforces_the_named_limit() {
+        let sys = system3x2();
+        assert_eq!(num_configurations(&sys), 8);
+        let all: Vec<Configuration> = ConfigurationIter::bounded(&sys, 8).unwrap().collect();
+        assert_eq!(all.len(), 8);
+        // One below the count: the named error carries the exact size.
+        match ConfigurationIter::bounded(&sys, 7) {
+            Err(GameError::TooLarge {
+                configurations,
+                limit,
+            }) => {
+                assert_eq!(configurations, 8);
+                assert_eq!(limit, 7);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Overflowing sizes saturate instead of wrapping.
+        let huge = System::new(&[1; 200], 3).unwrap();
+        assert_eq!(num_configurations(&huge), u128::MAX);
+        assert!(matches!(
+            ConfigurationIter::bounded(&huge, u128::MAX - 1),
+            Err(GameError::TooLarge {
+                configurations: u128::MAX,
+                ..
+            })
+        ));
     }
 
     #[test]

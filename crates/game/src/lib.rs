@@ -15,7 +15,8 @@
 //! * equilibrium existence, enumeration, and the two-equilibria
 //!   construction of §4 ([`equilibrium`]),
 //! * checkers for the paper's Assumptions 1–2 ([`assumptions`]),
-//! * deterministic random-game generation ([`gen`]), and
+//! * deterministic random-game generation ([`gen`]),
+//! * the incremental state layer for large populations ([`tracker`]), and
 //! * the paper's canonical example games ([`paper`]).
 //!
 //! Learning dynamics live in `goc-learning`; reward design (Algorithms 1
@@ -59,10 +60,12 @@ pub mod paths;
 pub mod potential;
 pub mod ratio;
 pub mod system;
+pub mod tracker;
 
-pub use config::{Configuration, ConfigurationIter, Masses};
+pub use config::{num_configurations, Configuration, ConfigurationIter, Masses};
 pub use error::GameError;
 pub use game::{Game, Move, Rewards};
 pub use ids::{CoinId, MinerId};
 pub use ratio::{Extended, Ratio};
 pub use system::{Power, System, SystemBuilder, MAX_UNIT};
+pub use tracker::MassTracker;

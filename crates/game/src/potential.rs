@@ -214,21 +214,15 @@ pub fn has_exact_potential(game: &Game, limit: u128) -> Result<bool, GameError> 
     Ok(true)
 }
 
-/// Guards exhaustive enumeration: errors if `|C|^n > limit`.
+/// Guards exhaustive enumeration: errors if `|C|^n > limit`, reporting
+/// the exact configuration count (saturated on overflow).
 pub(crate) fn check_enumeration_size(game: &Game, limit: u128) -> Result<(), GameError> {
-    let k = game.system().num_coins() as u128;
-    let n = game.system().num_miners() as u32;
-    let mut total: u128 = 1;
-    for _ in 0..n {
-        total = match total.checked_mul(k) {
-            Some(t) if t <= limit => t,
-            _ => {
-                return Err(GameError::TooLarge {
-                    configurations: u128::MAX,
-                    limit,
-                })
-            }
-        };
+    let configurations = crate::config::num_configurations(game.system());
+    if configurations > limit {
+        return Err(GameError::TooLarge {
+            configurations,
+            limit,
+        });
     }
     Ok(())
 }

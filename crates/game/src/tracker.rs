@@ -1,0 +1,613 @@
+//! Incremental game state for large populations.
+//!
+//! Every query on [`Game`] ([`Game::better_responses`],
+//! [`crate::potential::rpu_list`], [`crate::potential::symmetric_potential`],
+//! …) recomputes the per-coin mass table from the full miner vector, which
+//! costs `O(miners)` before the `O(coins)` question is even asked. That is
+//! fine for the paper's toy games and hopeless for 100k-miner populations.
+//!
+//! [`MassTracker`] is the incremental counterpart: it owns a configuration
+//! and maintains, under single-move deltas ([`MassTracker::apply`] /
+//! [`MassTracker::undo`]),
+//!
+//! * the per-coin mass table `M_c(s)` — `O(1)` per move,
+//! * a **group index** partitioning miners into strategic equivalence
+//!   classes (same coin, same power, same coin restrictions). All members
+//!   of a group share payoff, better-response set, and stability, so
+//!   whole-population questions ([`MassTracker::is_stable`],
+//!   [`MassTracker::find_improving_move`]) cost `O(groups × coins)`
+//!   instead of `O(miners × coins)`. With cohort-structured populations
+//!   (few distinct hashrate classes) `groups ≪ miners`.
+//!
+//! Per-miner queries ([`MassTracker::payoff`],
+//! [`MassTracker::better_responses`], [`MassTracker::rpu_list`],
+//! [`MassTracker::symmetric_potential`]) therefore evaluate in `O(coins)`
+//! (or `O(coins log coins)` for the sorted list) per step.
+//!
+//! The naive recompute-from-scratch path on [`Game`] remains the **test
+//! oracle**: the property suite in `crates/game/tests` asserts exact
+//! agreement on random games, random move sequences, and apply/undo
+//! round-trips.
+//!
+//! # Examples
+//!
+//! ```
+//! use goc_game::{CoinId, Configuration, Game, MassTracker, MinerId};
+//!
+//! let game = Game::build(&[2, 1], &[1, 1])?;
+//! let start = Configuration::uniform(CoinId(0), game.system())?;
+//! let mut tracker = MassTracker::new(&game, &start)?;
+//! assert_eq!(tracker.best_response(MinerId(1)), Some(CoinId(1)));
+//!
+//! let mv = tracker.apply(MinerId(1), CoinId(1));
+//! assert!(tracker.is_stable());
+//! tracker.undo();
+//! assert_eq!(tracker.config(), &start);
+//! assert_eq!(mv.from, CoinId(0));
+//! # Ok::<(), goc_game::GameError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::config::{Configuration, Masses};
+use crate::error::GameError;
+use crate::game::{Game, Move};
+use crate::ids::{CoinId, MinerId};
+use crate::ratio::{Extended, Ratio};
+
+/// A strategic equivalence class: miners sharing a coin, a power, and a
+/// restriction row behave identically in every query. The class key lives
+/// in [`GroupIndex::by_key`]; the group itself only carries its members.
+#[derive(Debug, Clone)]
+struct Group {
+    members: Vec<MinerId>,
+}
+
+/// `(coin, power, restriction discriminator)` — the discriminator is `0`
+/// for unrestricted games and `miner index + 1` in restricted games (each
+/// miner its own class).
+type GroupKey = (u32, u64, u32);
+
+/// Partition of the miners into [`Group`]s, maintained under moves.
+#[derive(Debug, Clone)]
+struct GroupIndex {
+    /// Group id of each miner.
+    of: Vec<u32>,
+    /// Position of each miner inside its group's member vector.
+    pos: Vec<u32>,
+    groups: Vec<Group>,
+    by_key: HashMap<GroupKey, u32>,
+    /// Round-robin cursor for [`MassTracker::find_improving_move`].
+    cursor: usize,
+}
+
+impl GroupIndex {
+    fn new(game: &Game, config: &Configuration) -> Self {
+        let n = game.system().num_miners();
+        let mut index = GroupIndex {
+            of: vec![0; n],
+            pos: vec![0; n],
+            groups: Vec::new(),
+            by_key: HashMap::new(),
+            cursor: 0,
+        };
+        for p in game.system().miner_ids() {
+            index.insert(game, p, config.coin_of(p));
+        }
+        index
+    }
+
+    fn rkey(game: &Game, p: MinerId) -> u32 {
+        if game.is_restricted() {
+            p.index() as u32 + 1
+        } else {
+            0
+        }
+    }
+
+    fn insert(&mut self, game: &Game, p: MinerId, coin: CoinId) {
+        let power = game.system().power_of(p);
+        let key = (coin.index() as u32, power, Self::rkey(game, p));
+        let gid = *self.by_key.entry(key).or_insert_with(|| {
+            self.groups.push(Group {
+                members: Vec::new(),
+            });
+            (self.groups.len() - 1) as u32
+        });
+        let members = &mut self.groups[gid as usize].members;
+        self.of[p.index()] = gid;
+        self.pos[p.index()] = members.len() as u32;
+        members.push(p);
+    }
+
+    fn remove(&mut self, p: MinerId) {
+        let gid = self.of[p.index()] as usize;
+        let pos = self.pos[p.index()] as usize;
+        let members = &mut self.groups[gid].members;
+        members.swap_remove(pos);
+        if let Some(&moved) = members.get(pos) {
+            self.pos[moved.index()] = pos as u32;
+        }
+    }
+
+    fn move_miner(&mut self, game: &Game, p: MinerId, to: CoinId) {
+        self.remove(p);
+        self.insert(game, p, to);
+    }
+}
+
+/// Incrementally-maintained view of a configuration inside a game: masses,
+/// the Appendix-B potential, and a miner group index, all updated in
+/// `O(1)`–`O(log)` per move. See the [module docs](self) for the cost
+/// model.
+#[derive(Debug, Clone)]
+pub struct MassTracker<'g> {
+    game: &'g Game,
+    config: Configuration,
+    masses: Masses,
+    groups: GroupIndex,
+    undo: Vec<Move>,
+    record_undo: bool,
+}
+
+impl<'g> MassTracker<'g> {
+    /// Builds a tracker over `start` in `game`. Costs
+    /// `O(miners + coins)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ConfigLengthMismatch`] /
+    /// [`GameError::CoinOutOfRange`] if `start` does not fit the game's
+    /// system.
+    pub fn new(game: &'g Game, start: &Configuration) -> Result<Self, GameError> {
+        let system = game.system();
+        // Re-validate the shape so a tracker can never silently index out
+        // of range (Configurations from a different system are accepted by
+        // the type system).
+        let config = Configuration::new(start.as_slice().to_vec(), system)?;
+        let masses = config.masses(system);
+        Ok(MassTracker {
+            groups: GroupIndex::new(game, &config),
+            game,
+            config,
+            masses,
+            undo: Vec::new(),
+            record_undo: true,
+        })
+    }
+
+    /// Enables or disables undo recording (on by default). Long-running
+    /// dynamics loops that never rewind disable it so a million-step
+    /// convergence does not retain a million-entry history; while
+    /// disabled, [`MassTracker::apply`] pushes nothing and
+    /// [`MassTracker::undo`] can only rewind moves recorded earlier.
+    pub fn set_undo_recording(&mut self, record: bool) {
+        self.record_undo = record;
+    }
+
+    /// The game this tracker evaluates.
+    pub fn game(&self) -> &Game {
+        self.game
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Consumes the tracker, returning the final configuration.
+    pub fn into_config(self) -> Configuration {
+        self.config
+    }
+
+    /// The maintained per-coin mass table.
+    pub fn masses(&self) -> &Masses {
+        &self.masses
+    }
+
+    /// Mass of coin `c` (`M_c(s)`), `O(1)`.
+    pub fn mass_of(&self, c: CoinId) -> u128 {
+        self.masses.mass_of(c)
+    }
+
+    /// The coin currently mined by `p`.
+    pub fn coin_of(&self, p: MinerId) -> CoinId {
+        self.config.coin_of(p)
+    }
+
+    /// Number of strategic equivalence classes currently present
+    /// (including classes emptied by moves).
+    pub fn group_count(&self) -> usize {
+        self.groups.groups.len()
+    }
+
+    /// Depth of the undo stack (number of un-undone applied moves).
+    pub fn depth(&self) -> usize {
+        self.undo.len()
+    }
+
+    // ------------------------------------------------------------------
+    // O(coins) queries
+    // ------------------------------------------------------------------
+
+    /// `RPU_c(s)`, `O(1)`.
+    pub fn rpu(&self, c: CoinId) -> Extended {
+        self.game.rpu(c, &self.masses)
+    }
+
+    /// Miner `p`'s payoff `u_p(s)`, `O(1)`.
+    pub fn payoff(&self, p: MinerId) -> Ratio {
+        self.game
+            .payoff_with(p, self.config.coin_of(p), &self.masses)
+    }
+
+    /// Whether moving `p` to `to` is a better-response step, `O(1)`.
+    pub fn is_better_response(&self, p: MinerId, to: CoinId) -> bool {
+        self.game
+            .is_better_response(p, to, &self.config, &self.masses)
+    }
+
+    /// The payoff gain of moving `p` to `to`, `O(1)`.
+    pub fn gain(&self, p: MinerId, to: CoinId) -> Ratio {
+        self.game.gain(p, to, &self.config, &self.masses)
+    }
+
+    /// All better-response steps of `p`, `O(coins)`.
+    pub fn better_responses(&self, p: MinerId) -> Vec<CoinId> {
+        self.game.better_responses(p, &self.config, &self.masses)
+    }
+
+    /// `p`'s best response (or `None` if stable), `O(coins)`.
+    pub fn best_response(&self, p: MinerId) -> Option<CoinId> {
+        self.game.best_response(p, &self.config, &self.masses)
+    }
+
+    /// Whether `p` has no better response, `O(coins)`.
+    pub fn is_miner_stable(&self, p: MinerId) -> bool {
+        self.best_response(p).is_none()
+    }
+
+    /// The sorted `⟨RPU_c(s), c⟩` list of Theorem 1's ordinal potential,
+    /// `O(coins log coins)` — no population rescan.
+    pub fn rpu_list(&self) -> Vec<(Extended, CoinId)> {
+        let mut list: Vec<(Extended, CoinId)> = self
+            .game
+            .system()
+            .coin_ids()
+            .map(|c| (self.rpu(c), c))
+            .collect();
+        list.sort();
+        list
+    }
+
+    /// Appendix B's potential `H(s) = Σ_c 1/M_c(s)` (infinite when some
+    /// coin is unoccupied), `O(coins)` over the maintained masses — no
+    /// population rescan. (A running accumulator would be `O(1)` but
+    /// overflows `i128` on many-coin games whose masses are coprime;
+    /// summing on demand keeps exactly the naive path's envelope.)
+    pub fn symmetric_potential(&self) -> Extended {
+        let mut total = Ratio::ZERO;
+        for c in self.game.system().coin_ids() {
+            match self.masses.mass_of(c) {
+                0 => return Extended::Infinite,
+                m => {
+                    total = total
+                        .checked_add(inv(m))
+                        .expect("potential sum fits i128 for supported systems");
+                }
+            }
+        }
+        Extended::Finite(total)
+    }
+
+    // ------------------------------------------------------------------
+    // O(groups × coins) whole-population queries
+    // ------------------------------------------------------------------
+
+    /// Whether the configuration is stable, `O(groups × coins)`.
+    pub fn is_stable(&self) -> bool {
+        self.groups
+            .groups
+            .iter()
+            .filter(|g| !g.members.is_empty())
+            .all(|g| self.best_response(g.members[0]).is_none())
+    }
+
+    /// The unstable miners, in id order. Costs `O(groups × coins)` plus
+    /// the output size (stability is decided once per group).
+    pub fn unstable_miners(&self) -> Vec<MinerId> {
+        let unstable = self.unstable_group_mask();
+        self.game
+            .system()
+            .miner_ids()
+            .filter(|p| unstable[self.groups.of[p.index()] as usize])
+            .collect()
+    }
+
+    /// All better-response steps over all miners, in miner-id then coin
+    /// order — exactly [`Game::improving_moves`], but better responses
+    /// are computed once per group (`O(groups × coins)` plus output).
+    pub fn improving_moves(&self) -> Vec<Move> {
+        let mut per_group: Vec<Option<Vec<CoinId>>> = vec![None; self.groups.groups.len()];
+        for (gid, g) in self.groups.groups.iter().enumerate() {
+            if let Some(&rep) = g.members.first() {
+                per_group[gid] = Some(self.better_responses(rep));
+            }
+        }
+        let mut out = Vec::new();
+        for p in self.game.system().miner_ids() {
+            let gid = self.groups.of[p.index()] as usize;
+            let from = self.config.coin_of(p);
+            if let Some(targets) = &per_group[gid] {
+                out.extend(targets.iter().map(|&to| Move { miner: p, from, to }));
+            }
+        }
+        out
+    }
+
+    fn unstable_group_mask(&self) -> Vec<bool> {
+        self.groups
+            .groups
+            .iter()
+            .map(|g| {
+                g.members
+                    .first()
+                    .is_some_and(|&rep| self.best_response(rep).is_some())
+            })
+            .collect()
+    }
+
+    /// Finds one better-response step by round-robin over the strategic
+    /// groups, or `None` if the configuration is stable. Amortized
+    /// `O(coins)` per returned move while the dynamics make progress;
+    /// a full stability sweep (`O(groups × coins)`) only when converged.
+    ///
+    /// The cursor persists across calls, so repeated
+    /// `find_improving_move` / [`MassTracker::apply`] loops cycle fairly
+    /// over the groups — a population-free round-robin best-response
+    /// dynamics.
+    pub fn find_improving_move(&mut self) -> Option<Move> {
+        let count = self.groups.groups.len();
+        for offset in 0..count {
+            let gid = (self.groups.cursor + offset) % count;
+            let Some(&rep) = self.groups.groups[gid].members.first() else {
+                continue;
+            };
+            if let Some(to) = self.best_response(rep) {
+                // Advance past this group so its remaining members do not
+                // starve the others.
+                self.groups.cursor = (gid + 1) % count;
+                return Some(Move {
+                    miner: rep,
+                    from: self.config.coin_of(rep),
+                    to,
+                });
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Moves `p` to `to`, updating masses, the potential accumulator, and
+    /// the group index in `O(1)` (amortized), and pushes the move onto
+    /// the undo stack. Returns the applied move (with its `from` coin).
+    ///
+    /// The move need not be a better response — the tracker follows any
+    /// move sequence exactly (that is what the equivalence suite
+    /// exercises).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `to` is out of range for the game's system.
+    pub fn apply(&mut self, p: MinerId, to: CoinId) -> Move {
+        assert!(
+            to.index() < self.game.system().num_coins(),
+            "{to} out of range"
+        );
+        let from = self.config.coin_of(p);
+        let mv = Move { miner: p, from, to };
+        if from != to {
+            self.shift(p, from, to);
+        }
+        if self.record_undo {
+            self.undo.push(mv);
+        }
+        mv
+    }
+
+    /// Reverts the most recent un-undone [`MassTracker::apply`], returning
+    /// the move that was undone (`None` on an empty stack).
+    pub fn undo(&mut self) -> Option<Move> {
+        let mv = self.undo.pop()?;
+        if mv.from != mv.to {
+            self.shift(mv.miner, mv.to, mv.from);
+        }
+        Some(mv)
+    }
+
+    fn shift(&mut self, p: MinerId, from: CoinId, to: CoinId) {
+        let power = self.game.system().power_of(p);
+        self.masses.apply_move(power, from, to);
+        self.config.apply_move(p, to);
+        self.groups.move_miner(self.game, p, to);
+    }
+}
+
+fn inv(mass: u128) -> Ratio {
+    Ratio::new(1, mass as i128).expect("mass is positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential;
+
+    fn cfg(game: &Game, coins: &[usize]) -> Configuration {
+        Configuration::new(coins.iter().map(|&c| CoinId(c)).collect(), game.system()).unwrap()
+    }
+
+    #[test]
+    fn validates_start_shape() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let other = Game::build(&[1, 1, 1], &[1, 1]).unwrap();
+        let foreign = Configuration::uniform(CoinId(0), other.system()).unwrap();
+        assert!(matches!(
+            MassTracker::new(&game, &foreign),
+            Err(GameError::ConfigLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_naive_queries_after_moves() {
+        let game = Game::build(&[5, 3, 3, 2, 1], &[9, 4, 2]).unwrap();
+        let start = cfg(&game, &[0, 0, 1, 2, 0]);
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        let moves = [
+            (MinerId(0), CoinId(1)),
+            (MinerId(4), CoinId(2)),
+            (MinerId(2), CoinId(0)),
+            (MinerId(0), CoinId(0)),
+        ];
+        for (p, c) in moves {
+            t.apply(p, c);
+            let s = t.config().clone();
+            let masses = s.masses(game.system());
+            assert_eq!(t.masses(), &masses);
+            assert_eq!(t.rpu_list(), potential::rpu_list(&game, &s));
+            assert_eq!(
+                t.symmetric_potential(),
+                potential::symmetric_potential(&game, &s)
+            );
+            assert_eq!(t.improving_moves(), game.improving_moves(&s));
+            assert_eq!(t.unstable_miners(), game.unstable_miners(&s));
+            assert_eq!(t.is_stable(), game.is_stable(&s));
+            for p in game.system().miner_ids() {
+                assert_eq!(t.payoff(p), game.payoff(p, &s));
+                assert_eq!(t.best_response(p), game.best_response(p, &s, &masses));
+            }
+        }
+    }
+
+    #[test]
+    fn undo_round_trips() {
+        let game = Game::build(&[4, 2, 1], &[6, 3]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        let baseline = t.symmetric_potential();
+        t.apply(MinerId(1), CoinId(1));
+        t.apply(MinerId(2), CoinId(1));
+        t.apply(MinerId(2), CoinId(1)); // same-coin no-op still undoes
+        assert_eq!(t.depth(), 3);
+        while t.undo().is_some() {}
+        assert_eq!(t.config(), &start);
+        assert_eq!(t.masses(), &start.masses(game.system()));
+        assert_eq!(t.symmetric_potential(), baseline);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.undo(), None);
+    }
+
+    #[test]
+    fn groups_collapse_equal_powers() {
+        // 6 unit miners on one coin: one group; splitting creates a second.
+        let game = Game::build(&[1; 6], &[3, 3]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        assert_eq!(t.group_count(), 1);
+        t.apply(MinerId(3), CoinId(1));
+        assert_eq!(t.group_count(), 2);
+        // All members of a group report identical stability.
+        let masses = t.config().masses(game.system());
+        for p in game.system().miner_ids() {
+            assert_eq!(
+                t.best_response(p),
+                game.best_response(p, t.config(), &masses)
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_games_split_groups_per_miner() {
+        let game = Game::build(&[1, 1], &[2, 2])
+            .unwrap()
+            .with_restrictions(vec![vec![true, false], vec![true, true]])
+            .unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let t = MassTracker::new(&game, &start).unwrap();
+        assert_eq!(t.group_count(), 2);
+        // p0 may not leave c0; p1 may.
+        assert_eq!(t.best_response(MinerId(0)), None);
+        assert_eq!(t.best_response(MinerId(1)), Some(CoinId(1)));
+        assert_eq!(t.improving_moves(), game.improving_moves(t.config()));
+    }
+
+    #[test]
+    fn find_improving_move_drives_convergence() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[9, 6, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        let mut steps = 0;
+        while let Some(mv) = t.find_improving_move() {
+            assert!(t.is_better_response(mv.miner, mv.to), "{mv} not improving");
+            t.apply(mv.miner, mv.to);
+            steps += 1;
+            assert!(steps < 10_000, "did not converge");
+        }
+        assert!(t.is_stable());
+        assert!(game.is_stable(t.config()));
+        assert!(steps >= 2);
+    }
+
+    #[test]
+    fn potential_accumulator_tracks_occupancy() {
+        let game = Game::build(&[2, 1], &[5, 5]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        assert_eq!(t.symmetric_potential(), Extended::Infinite);
+        t.apply(MinerId(1), CoinId(1));
+        assert_eq!(
+            t.symmetric_potential(),
+            Extended::Finite(Ratio::new(3, 2).unwrap())
+        );
+        t.undo();
+        assert_eq!(t.symmetric_potential(), Extended::Infinite);
+    }
+
+    #[test]
+    fn undo_recording_can_be_disabled() {
+        let game = Game::build(&[4, 2, 1], &[6, 3]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        t.apply(MinerId(0), CoinId(1));
+        t.set_undo_recording(false);
+        t.apply(MinerId(1), CoinId(1));
+        t.apply(MinerId(2), CoinId(1));
+        // Only the recorded move is on the stack; state is still exact.
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.masses(), &t.config().masses(game.system()));
+        let undone = t.undo().unwrap();
+        assert_eq!(undone.miner, MinerId(0));
+        assert_eq!(t.undo(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_rejects_unknown_coins() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        t.apply(MinerId(0), CoinId(7));
+    }
+
+    #[test]
+    fn into_config_returns_current_state() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        t.apply(MinerId(1), CoinId(1));
+        let final_config = t.into_config();
+        assert_eq!(final_config.coin_of(MinerId(1)), CoinId(1));
+    }
+}

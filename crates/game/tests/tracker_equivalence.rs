@@ -1,0 +1,228 @@
+//! Property suite pinning the incremental [`MassTracker`] to the naive
+//! recomputation oracle: on random games, random (not necessarily
+//! improving) move sequences, and apply/undo round-trips, every tracked
+//! quantity — masses, payoffs, better-response sets, best responses,
+//! improving-move lists, stability, the sorted RPU list, and the
+//! Appendix-B potential — must agree *exactly* with recomputing from the
+//! full miner vector. The naive path is the oracle; the tracker is the
+//! production path.
+
+use proptest::prelude::*;
+
+use goc_game::potential;
+use goc_game::{CoinId, Configuration, Game, MassTracker, MinerId};
+
+/// A random small game plus a random configuration.
+fn game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (2usize..7, 2usize..4).prop_flat_map(|(n, k)| {
+        let powers = proptest::collection::vec(1u64..200, n);
+        let rewards = proptest::collection::vec(1u64..200, k);
+        let assignment = proptest::collection::vec(0usize..k, n);
+        (powers, rewards, assignment).prop_map(|(p, r, a)| {
+            let game = Game::build(&p, &r).expect("valid parameters");
+            let config = Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
+                .expect("valid assignment");
+            (game, config)
+        })
+    })
+}
+
+/// As [`game_and_config`], but with a random coin-restriction matrix
+/// (every miner keeps at least one permitted coin).
+fn restricted_game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (
+        game_and_config(),
+        proptest::collection::vec(0usize..64, 2usize..7),
+    )
+        .prop_map(|((game, config), seeds)| {
+            let n = game.system().num_miners();
+            let k = game.system().num_coins();
+            let restrictions: Vec<Vec<bool>> = (0..n)
+                .map(|p| {
+                    let bits = seeds[p % seeds.len()];
+                    (0..k)
+                        // Always permit the currently-mined coin so the
+                        // configuration stays legal under restrictions.
+                        .map(|c| c == config.coin_of(MinerId(p)).index() || (bits >> c) & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let game = game
+                .with_restrictions(restrictions)
+                .expect("every miner keeps its own coin");
+            (game, config)
+        })
+}
+
+/// Asserts every tracked quantity equals its naive recomputation.
+fn assert_tracker_matches_oracle(
+    tracker: &MassTracker<'_>,
+    game: &Game,
+) -> Result<(), TestCaseError> {
+    let s = tracker.config().clone();
+    let masses = s.masses(game.system());
+    prop_assert_eq!(tracker.masses(), &masses, "masses diverged at {}", s);
+    prop_assert_eq!(tracker.rpu_list(), potential::rpu_list(game, &s));
+    prop_assert_eq!(
+        tracker.symmetric_potential(),
+        potential::symmetric_potential(game, &s)
+    );
+    prop_assert_eq!(tracker.improving_moves(), game.improving_moves(&s));
+    prop_assert_eq!(tracker.unstable_miners(), game.unstable_miners(&s));
+    prop_assert_eq!(tracker.is_stable(), game.is_stable(&s));
+    for p in game.system().miner_ids() {
+        prop_assert_eq!(tracker.coin_of(p), s.coin_of(p));
+        prop_assert_eq!(tracker.payoff(p), game.payoff(p, &s), "payoff of {}", p);
+        prop_assert_eq!(
+            tracker.better_responses(p),
+            game.better_responses(p, &s, &masses)
+        );
+        prop_assert_eq!(tracker.best_response(p), game.best_response(p, &s, &masses));
+        for c in game.system().coin_ids() {
+            prop_assert_eq!(
+                tracker.is_better_response(p, c),
+                game.is_better_response(p, c, &s, &masses)
+            );
+            if game.allowed(p, c) {
+                prop_assert_eq!(tracker.gain(p, c), game.gain(p, c, &s, &masses));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Arbitrary move sequences: the tracker agrees with the oracle after
+    /// every single move, restricted games included.
+    #[test]
+    fn tracker_tracks_arbitrary_move_sequences(
+        (game, start) in game_and_config(),
+        moves in proptest::collection::vec((0usize..64, 0usize..64), 1..12),
+    ) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        assert_tracker_matches_oracle(&tracker, &game)?;
+        for (pi, ci) in moves {
+            let p = MinerId(pi % game.system().num_miners());
+            let c = CoinId(ci % game.system().num_coins());
+            let mv = tracker.apply(p, c);
+            prop_assert_eq!(mv.to, c);
+            assert_tracker_matches_oracle(&tracker, &game)?;
+        }
+    }
+
+    /// The same, under random coin restrictions (groups degenerate to
+    /// singletons; equivalence must still be exact).
+    #[test]
+    fn tracker_tracks_restricted_games(
+        (game, start) in restricted_game_and_config(),
+        moves in proptest::collection::vec((0usize..64, 0usize..64), 1..8),
+    ) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        assert_tracker_matches_oracle(&tracker, &game)?;
+        for (pi, ci) in moves {
+            let p = MinerId(pi % game.system().num_miners());
+            let c = CoinId(ci % game.system().num_coins());
+            tracker.apply(p, c);
+            assert_tracker_matches_oracle(&tracker, &game)?;
+        }
+    }
+
+    /// Apply/undo round-trips: fully unwinding the stack restores the
+    /// start exactly, and every intermediate state agrees with a naive
+    /// replay of the same prefix.
+    #[test]
+    fn apply_undo_round_trips(
+        (game, start) in game_and_config(),
+        moves in proptest::collection::vec((0usize..64, 0usize..64), 1..10),
+        keep in 0usize..10,
+    ) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        let mut replay = vec![start.clone()];
+        for (pi, ci) in &moves {
+            let p = MinerId(pi % game.system().num_miners());
+            let c = CoinId(ci % game.system().num_coins());
+            tracker.apply(p, c);
+            replay.push(replay.last().unwrap().with_move(p, c));
+        }
+        // Partially unwind to a random prefix, checking each state.
+        let keep = keep % (moves.len() + 1);
+        while tracker.depth() > keep {
+            tracker.undo();
+            prop_assert_eq!(tracker.config(), &replay[tracker.depth()]);
+            assert_tracker_matches_oracle(&tracker, &game)?;
+        }
+        // Then all the way down: the start state is restored exactly.
+        while tracker.undo().is_some() {}
+        prop_assert_eq!(tracker.config(), &start);
+        prop_assert_eq!(tracker.masses(), &start.masses(game.system()));
+        prop_assert_eq!(tracker.depth(), 0);
+        assert_tracker_matches_oracle(&tracker, &game)?;
+    }
+
+    /// Potential deltas along better-response steps: the tracker's
+    /// before/after values of both potentials agree with the oracle, the
+    /// ordinal potential strictly increases, and (Appendix B) the
+    /// symmetric potential strictly decreases on equal-reward games.
+    #[test]
+    fn potential_deltas_agree_on_better_responses(
+        (game, start) in game_and_config(),
+        equal_rewards in 0u64..2,
+    ) {
+        let game = if equal_rewards == 1 {
+            let k = game.system().num_coins();
+            game.with_rewards(goc_game::Rewards::from_integers(&vec![7; k]).unwrap()).unwrap()
+        } else {
+            game
+        };
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        for _ in 0..6 {
+            let Some(mv) = tracker.find_improving_move() else { break };
+            let s_before = tracker.config().clone();
+            let list_before = tracker.rpu_list();
+            let sym_before = tracker.symmetric_potential();
+            prop_assert_eq!(&list_before, &potential::rpu_list(&game, &s_before));
+            prop_assert_eq!(sym_before, potential::symmetric_potential(&game, &s_before));
+
+            tracker.apply(mv.miner, mv.to);
+            let s_after = tracker.config().clone();
+            let list_after = tracker.rpu_list();
+            let sym_after = tracker.symmetric_potential();
+            prop_assert_eq!(&list_after, &potential::rpu_list(&game, &s_after));
+            prop_assert_eq!(sym_after, potential::symmetric_potential(&game, &s_after));
+
+            // Theorem 1 (ordinal) through the tracker's lists…
+            prop_assert!(list_after > list_before, "ordinal potential did not increase");
+            prop_assert!(potential::strictly_increases(&game, &s_before, &s_after));
+            // …and Appendix B (symmetric) when rewards are constant —
+            // the paper's argument assumes all coins stay occupied, so
+            // only finite-to-finite steps are in scope.
+            if equal_rewards == 1 && !sym_before.is_infinite() && !sym_after.is_infinite() {
+                prop_assert!(sym_after < sym_before, "symmetric potential did not decrease");
+            }
+        }
+    }
+
+    /// `find_improving_move` returns legal better responses until — and
+    /// only until — the oracle says the configuration is stable.
+    #[test]
+    fn find_improving_move_is_sound_and_complete((game, start) in game_and_config()) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        let mut steps = 0usize;
+        loop {
+            match tracker.find_improving_move() {
+                Some(mv) => {
+                    let s = tracker.config().clone();
+                    let masses = s.masses(game.system());
+                    prop_assert!(game.is_better_response(mv.miner, mv.to, &s, &masses));
+                    tracker.apply(mv.miner, mv.to);
+                }
+                None => {
+                    prop_assert!(game.is_stable(tracker.config()));
+                    break;
+                }
+            }
+            steps += 1;
+            prop_assert!(steps < 100_000, "runaway dynamics");
+        }
+    }
+}

@@ -6,11 +6,19 @@
 //! [`run`] executes the sequence for any [`Scheduler`] and reports the
 //! convergence point, step count, and (optionally) the full improving path
 //! with a potential-monotonicity audit.
+//!
+//! Both entry points ride on `goc_game`'s incremental
+//! [`MassTracker`]: masses, payoffs, and the potential audit are
+//! maintained under single-move deltas, never recomputed from the full
+//! miner vector. [`run`] still materializes the complete improving-move
+//! list each step because the [`Scheduler`] contract hands schedulers
+//! *every* legal step; [`run_incremental`] is the large-population path —
+//! a group round-robin best-response dynamics whose per-step cost is
+//! `O(coins)` amortized, independent of head-count.
 
 use std::fmt;
 
-use goc_game::potential;
-use goc_game::{Configuration, Game, Move};
+use goc_game::{Configuration, Game, MassTracker, Move};
 
 use crate::scheduler::Scheduler;
 
@@ -132,44 +140,121 @@ pub fn run_with_observer(
     options: LearningOptions,
     mut observer: impl FnMut(&Configuration, Move),
 ) -> Result<LearningOutcome, LearningError> {
-    let system = game.system();
-    let mut config = start.clone();
-    let mut masses = config.masses(system);
+    let mut tracker =
+        MassTracker::new(game, start).expect("start configuration belongs to the game's system");
+    // The run never rewinds; don't retain an O(steps) undo history.
+    tracker.set_undo_recording(false);
     let mut path = Vec::new();
     let mut steps = 0usize;
 
     while steps < options.max_steps {
-        let moves = game.improving_moves(&config);
+        let moves = tracker.improving_moves();
         if moves.is_empty() {
             return Ok(LearningOutcome {
-                final_config: config,
+                final_config: tracker.into_config(),
                 steps,
                 converged: true,
                 path,
                 potential_audit: options.audit_potential.then_some(true),
             });
         }
-        let mv = scheduler.pick(game, &config, &moves);
+        let mv = scheduler.pick_with(game, tracker.config(), tracker.masses(), &moves);
         if !moves.contains(&mv) {
             return Err(LearningError::NotABetterResponse { mv });
         }
-        let before = options.audit_potential.then(|| config.clone());
-        masses.apply_move(system.power_of(mv.miner), config.coin_of(mv.miner), mv.to);
-        config.apply_move(mv.miner, mv.to);
+        let before = options.audit_potential.then(|| tracker.rpu_list());
+        tracker.apply(mv.miner, mv.to);
         if let Some(before) = before {
-            if !potential::strictly_increases(game, &before, &config) {
+            // Theorem 1's ordinal potential is the sorted RPU list; the
+            // tracker yields it in O(coins log coins) with no rescan.
+            if tracker.rpu_list() <= before {
                 return Err(LearningError::PotentialViolation { mv, step: steps });
             }
         }
         if options.record_path {
             path.push(mv);
         }
-        observer(&config, mv);
+        observer(tracker.config(), mv);
         steps += 1;
     }
 
     Ok(LearningOutcome {
-        final_config: config,
+        final_config: tracker.into_config(),
+        steps,
+        converged: false,
+        path,
+        potential_audit: options.audit_potential.then_some(true),
+    })
+}
+
+/// Better-response learning for **large populations**: a round-robin over
+/// the tracker's strategic groups (same coin, same power), each step
+/// applying the probed group representative's best response. Semantics
+/// are a legal better-response learning in the sense of Theorem 1 — it
+/// converges to a pure equilibrium exactly like [`run`] — but no step
+/// ever rescans the miner vector, so 100k+ miner games converge in
+/// seconds as long as the population has few distinct hashrate classes.
+///
+/// The scheduler abstraction is deliberately absent: any [`Scheduler`]
+/// must be handed *all* legal moves, which costs `O(miners)` per step to
+/// materialize. Use [`run`] when scheduler semantics matter and this
+/// entry point when head-count does.
+///
+/// # Errors
+///
+/// [`LearningError::PotentialViolation`] if auditing detects a
+/// non-increasing step (engine bug).
+///
+/// # Examples
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, Game};
+/// use goc_learning::{run_incremental, LearningOptions};
+///
+/// let game = Game::build(&[3, 3, 1, 1], &[6, 2])?;
+/// let start = Configuration::uniform(CoinId(0), game.system())?;
+/// let outcome = run_incremental(&game, &start, LearningOptions::default())?;
+/// assert!(outcome.converged);
+/// assert!(game.is_stable(&outcome.final_config));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_incremental(
+    game: &Game,
+    start: &Configuration,
+    options: LearningOptions,
+) -> Result<LearningOutcome, LearningError> {
+    let mut tracker =
+        MassTracker::new(game, start).expect("start configuration belongs to the game's system");
+    // The run never rewinds; don't retain an O(steps) undo history.
+    tracker.set_undo_recording(false);
+    let mut path = Vec::new();
+    let mut steps = 0usize;
+
+    while steps < options.max_steps {
+        let Some(mv) = tracker.find_improving_move() else {
+            return Ok(LearningOutcome {
+                final_config: tracker.into_config(),
+                steps,
+                converged: true,
+                path,
+                potential_audit: options.audit_potential.then_some(true),
+            });
+        };
+        let before = options.audit_potential.then(|| tracker.rpu_list());
+        tracker.apply(mv.miner, mv.to);
+        if let Some(before) = before {
+            if tracker.rpu_list() <= before {
+                return Err(LearningError::PotentialViolation { mv, step: steps });
+            }
+        }
+        if options.record_path {
+            path.push(mv);
+        }
+        steps += 1;
+    }
+
+    Ok(LearningOutcome {
+        final_config: tracker.into_config(),
         steps,
         converged: false,
         path,
@@ -343,6 +428,107 @@ mod tests {
         assert!(outcome.converged);
         assert_eq!(outcome.steps, 0);
         assert_eq!(outcome.final_config, eq);
+    }
+
+    #[test]
+    fn incremental_path_converges_with_audit_on_random_games() {
+        let spec = GameSpec {
+            miners: 24,
+            coins: 4,
+            powers: PowerDist::Uniform { lo: 1, hi: 9 },
+            rewards: RewardDist::Uniform { lo: 1, hi: 500 },
+        };
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let game = spec.sample(&mut rng).unwrap();
+            let start = goc_game::gen::random_config(&mut rng, game.system());
+            let outcome = run_incremental(
+                &game,
+                &start,
+                LearningOptions {
+                    audit_potential: true,
+                    record_path: true,
+                    ..LearningOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(outcome.converged);
+            assert!(game.is_stable(&outcome.final_config));
+            assert_eq!(outcome.path.len(), outcome.steps);
+            assert_eq!(outcome.potential_audit, Some(true));
+            // The recorded path replays to the final configuration and
+            // every step was an individual better response.
+            let mut replay = start.clone();
+            for mv in &outcome.path {
+                let masses = replay.masses(game.system());
+                assert!(game.is_better_response(mv.miner, mv.to, &replay, &masses));
+                assert_eq!(replay.coin_of(mv.miner), mv.from);
+                replay.apply_move(mv.miner, mv.to);
+            }
+            assert_eq!(replay, outcome.final_config);
+        }
+    }
+
+    #[test]
+    fn incremental_path_respects_step_cap() {
+        let game = goc_game::paper::btc_bch_toy();
+        let start = Configuration::uniform(CoinId(1), game.system()).unwrap();
+        let outcome = run_incremental(
+            &game,
+            &start,
+            LearningOptions {
+                max_steps: 1,
+                ..LearningOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.steps, 1);
+    }
+
+    #[test]
+    fn incremental_path_handles_restrictions_and_stable_starts() {
+        let game = Game::build(&[5, 3, 2, 1], &[4, 4, 4])
+            .unwrap()
+            .with_restrictions(vec![
+                vec![true, true, false],
+                vec![true, true, true],
+                vec![false, true, true],
+                vec![true, false, true],
+            ])
+            .unwrap();
+        let start = Configuration::uniform(CoinId(1), game.system()).unwrap();
+        let outcome = run_incremental(&game, &start, LearningOptions::default()).unwrap();
+        assert!(outcome.converged);
+        assert!(game.is_stable(&outcome.final_config));
+
+        let eq = goc_game::equilibrium::greedy_equilibrium(&goc_game::paper::prop1_game());
+        let outcome = run_incremental(
+            &goc_game::paper::prop1_game(),
+            &eq,
+            LearningOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.steps, 0);
+        assert_eq!(outcome.final_config, eq);
+    }
+
+    #[test]
+    fn incremental_scales_past_population_rescans() {
+        // 3k miners in 6 power classes over 3 coins: convergence must
+        // take a number of steps linear-ish in the population and stay
+        // well under a second (the 100k case is exercised by the `scale`
+        // experiment and the benches).
+        let classes: [u64; 6] = [1, 2, 3, 5, 8, 13];
+        let powers: Vec<u64> = (0..3_000).map(|i| classes[i % classes.len()]).collect();
+        let game = Game::build(&powers, &[60, 30, 10]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let outcome = run_incremental(&game, &start, LearningOptions::default()).unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.steps >= 1_000, "suspiciously few steps");
+        let tracker = goc_game::MassTracker::new(&game, &outcome.final_config).unwrap();
+        assert!(tracker.is_stable());
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod simultaneous;
 pub mod stats;
 
 pub use dynamics::{
-    converge, run, run_with_observer, LearningError, LearningOptions, LearningOutcome,
+    converge, run, run_incremental, run_with_observer, LearningError, LearningOptions,
+    LearningOutcome,
 };
 pub use scheduler::{
     LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerKind, SmallestMinerFirst,

@@ -13,18 +13,34 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use goc_game::{Configuration, Game, Move, Ratio};
+use goc_game::{Configuration, Game, Masses, Move, Ratio};
 
 /// Picks the next better-response step.
 ///
-/// The engine calls [`Scheduler::pick`] with the complete list of legal
-/// improving moves in the current configuration (never empty) and applies
-/// the returned move after validating it is one of them — a scheduler that
+/// The engine calls [`Scheduler::pick_with`] with the complete list of
+/// legal improving moves in the current configuration (never empty) plus
+/// the engine's incrementally-maintained mass table, and applies the
+/// returned move after validating it is one of them — a scheduler that
 /// fabricates a non-improving move is reported as
 /// [`LearningError::NotABetterResponse`](crate::dynamics::LearningError).
 pub trait Scheduler {
     /// Chooses one of `moves` (all legal better-response steps in `s`).
     fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move;
+
+    /// [`Scheduler::pick`] with the engine's precomputed mass table, so
+    /// schedulers ranking moves by RPU or gain need not rescan the
+    /// population each step. The default ignores `masses` and delegates
+    /// to [`Scheduler::pick`]; the bundled schedulers override it.
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        masses: &Masses,
+        moves: &[Move],
+    ) -> Move {
+        let _ = masses;
+        self.pick(game, s, moves)
+    }
 
     /// Short human-readable name, used in experiment tables.
     fn name(&self) -> &'static str;
@@ -46,11 +62,21 @@ impl RoundRobin {
 
 impl Scheduler for RoundRobin {
     fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        let n = game.system().num_miners();
         let masses = s.masses(game.system());
+        self.pick_with(game, s, &masses, moves)
+    }
+
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        masses: &Masses,
+        moves: &[Move],
+    ) -> Move {
+        let n = game.system().num_miners();
         for offset in 0..n {
             let p = goc_game::MinerId((self.cursor + offset) % n);
-            if let Some(c) = game.best_response(p, s, &masses) {
+            if let Some(c) = game.best_response(p, s, masses) {
                 self.cursor = (p.index() + 1) % n;
                 return Move {
                     miner: p,
@@ -108,7 +134,18 @@ pub struct MaxGain;
 
 impl Scheduler for MaxGain {
     fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        extremal_by_gain(game, s, moves, true)
+        let masses = s.masses(game.system());
+        self.pick_with(game, s, &masses, moves)
+    }
+
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        masses: &Masses,
+        moves: &[Move],
+    ) -> Move {
+        extremal_by_gain(game, s, masses, moves, true)
     }
 
     fn name(&self) -> &'static str {
@@ -123,7 +160,18 @@ pub struct MinGain;
 
 impl Scheduler for MinGain {
     fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        extremal_by_gain(game, s, moves, false)
+        let masses = s.masses(game.system());
+        self.pick_with(game, s, &masses, moves)
+    }
+
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        masses: &Masses,
+        moves: &[Move],
+    ) -> Move {
+        extremal_by_gain(game, s, masses, moves, false)
     }
 
     fn name(&self) -> &'static str {
@@ -131,11 +179,16 @@ impl Scheduler for MinGain {
     }
 }
 
-fn extremal_by_gain(game: &Game, s: &Configuration, moves: &[Move], max: bool) -> Move {
-    let masses = s.masses(game.system());
+fn extremal_by_gain(
+    game: &Game,
+    s: &Configuration,
+    masses: &Masses,
+    moves: &[Move],
+    max: bool,
+) -> Move {
     let mut best: Option<(Ratio, Move)> = None;
     for &mv in moves {
-        let gain = game.gain(mv.miner, mv.to, s, &masses);
+        let gain = game.gain(mv.miner, mv.to, s, masses);
         let better = match &best {
             None => true,
             Some((g, _)) => {
@@ -161,13 +214,23 @@ pub struct LargestMinerFirst;
 impl Scheduler for LargestMinerFirst {
     fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
         let masses = s.masses(game.system());
+        self.pick_with(game, s, &masses, moves)
+    }
+
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        masses: &Masses,
+        moves: &[Move],
+    ) -> Move {
         let p = moves
             .iter()
             .map(|m| m.miner)
             .max_by_key(|p| (game.system().power_of(*p), std::cmp::Reverse(p.index())))
             .expect("engine guarantees a nonempty move list");
         let c = game
-            .best_response(p, s, &masses)
+            .best_response(p, s, masses)
             .expect("miner appears in the move list, so it has a better response");
         Move {
             miner: p,
@@ -189,13 +252,23 @@ pub struct SmallestMinerFirst;
 impl Scheduler for SmallestMinerFirst {
     fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
         let masses = s.masses(game.system());
+        self.pick_with(game, s, &masses, moves)
+    }
+
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        masses: &Masses,
+        moves: &[Move],
+    ) -> Move {
         let p = moves
             .iter()
             .map(|m| m.miner)
             .min_by_key(|p| (game.system().power_of(*p), p.index()))
             .expect("engine guarantees a nonempty move list");
         let c = game
-            .best_response(p, s, &masses)
+            .best_response(p, s, masses)
             .expect("miner appears in the move list, so it has a better response");
         Move {
             miner: p,
@@ -352,6 +425,17 @@ mod tests {
         // while others are unstable.
         for w in seen.windows(2) {
             assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn pick_with_matches_pick_for_all_schedulers() {
+        let (game, s, moves) = setup();
+        let masses = s.masses(game.system());
+        for kind in SchedulerKind::ALL {
+            let via_pick = kind.build(9).pick(&game, &s, &moves);
+            let via_pick_with = kind.build(9).pick_with(&game, &s, &masses, &moves);
+            assert_eq!(via_pick, via_pick_with, "{kind} disagrees with itself");
         }
     }
 

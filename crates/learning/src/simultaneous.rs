@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use goc_game::{Configuration, Game};
+use goc_game::{Configuration, Game, MassTracker};
 
 /// Result of a synchronous-dynamics run.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,39 +46,44 @@ pub struct SyncOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_simultaneous(game: &Game, start: &Configuration, max_rounds: usize) -> SyncOutcome {
-    let mut config = start.clone();
+    // The tracker's incremental masses serve each round's simultaneous
+    // decisions; per-miner best responses still read the *same* pre-round
+    // masses because moves are collected before any is applied.
+    let mut tracker =
+        MassTracker::new(game, start).expect("start configuration belongs to the game's system");
+    // Rounds never rewind; don't retain an O(rounds × miners) history.
+    tracker.set_undo_recording(false);
     let mut seen: HashMap<Configuration, usize> = HashMap::new();
-    seen.insert(config.clone(), 0);
+    seen.insert(tracker.config().clone(), 0);
     for round in 1..=max_rounds {
-        let masses = config.masses(game.system());
         let moves: Vec<_> = game
             .system()
             .miner_ids()
-            .filter_map(|p| game.best_response(p, &config, &masses).map(|c| (p, c)))
+            .filter_map(|p| tracker.best_response(p).map(|c| (p, c)))
             .collect();
         if moves.is_empty() {
             return SyncOutcome {
-                final_config: config,
+                final_config: tracker.into_config(),
                 rounds: round - 1,
                 converged: true,
                 cycle: None,
             };
         }
         for (p, c) in moves {
-            config.apply_move(p, c);
+            tracker.apply(p, c);
         }
-        if let Some(&first) = seen.get(&config) {
+        if let Some(&first) = seen.get(tracker.config()) {
             return SyncOutcome {
-                final_config: config,
+                final_config: tracker.into_config(),
                 rounds: round,
                 converged: false,
                 cycle: Some(round - first),
             };
         }
-        seen.insert(config.clone(), round);
+        seen.insert(tracker.config().clone(), round);
     }
     SyncOutcome {
-        final_config: config,
+        final_config: tracker.into_config(),
         rounds: max_rounds,
         converged: false,
         cycle: None,
@@ -118,7 +123,8 @@ mod tests {
         // and every synchronous run cycles; this 2-miner instance has a
         // genuine single-mover start.)
         let game = Game::build(&[3, 1], &[9, 5]).unwrap();
-        let converged = goc_game::ConfigurationIter::new(game.system())
+        let converged = goc_game::ConfigurationIter::bounded(game.system(), 1 << 16)
+            .unwrap()
             .filter(|s| !game.is_stable(s))
             .map(|s| run_simultaneous(&game, &s, 200))
             .find(|o| o.converged)

@@ -180,6 +180,7 @@ impl Simulation {
                 break;
             }
             self.time = event.time;
+            self.metrics.total_events += 1;
             match event.kind {
                 EventKind::BlockCandidate { coin, generation } => {
                     if generation == self.generation[coin] {
@@ -433,9 +434,13 @@ mod tests {
                 sim.chains()[0].height(),
                 sim.chains()[1].height(),
                 sim.metrics().total_switches,
+                sim.metrics().total_events,
             )
         };
         assert_eq!(run(7), run(7));
+        // Every block, evaluation, and snapshot is an event.
+        let (h0, h1, _, events) = run(7);
+        assert!(events >= h0 + h1, "events {events} < blocks {}", h0 + h1);
     }
 
     #[test]

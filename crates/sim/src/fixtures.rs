@@ -1,0 +1,136 @@
+//! The shared large-population fixture.
+//!
+//! The `scale` experiment, the `goc-bench` large-population benches, and
+//! the `baseline` recorder (the bin behind `BENCH_2.json`) must all
+//! measure the **same** workload, or the recorded baseline silently
+//! stops describing what the experiment runs. This module is that single
+//! source of truth: eight hashrate classes ([`SCALE_CLASSES`]) and the
+//! two populations built from them — a static game
+//! ([`scale_class_game`]) and a cohort scenario
+//! ([`scale_cohort_scenario`]).
+
+use goc_game::Game;
+
+use crate::agent::OracleKind;
+use crate::spec::{Assignment, ChainFlavor, ChainSpec, CohortSpec, MinerSpec, ScenarioSpec};
+
+/// One hashrate class of the scale fixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashrateClass {
+    /// Display name.
+    pub name: &'static str,
+    /// Integer power units (static-game side).
+    pub power: u64,
+    /// Per-rig hashrate (simulation side).
+    pub hashrate: f64,
+    /// Hours between profitability evaluations.
+    pub eval_hours: f64,
+    /// Relative gain required to switch.
+    pub inertia: f64,
+}
+
+const fn class(
+    name: &'static str,
+    power: u64,
+    hashrate: f64,
+    eval_hours: f64,
+    inertia: f64,
+) -> HashrateClass {
+    HashrateClass {
+        name,
+        power,
+        hashrate,
+        eval_hours,
+        inertia,
+    }
+}
+
+/// The eight hashrate classes shared by the dynamics games and the sim
+/// cohorts, largest first.
+pub const SCALE_CLASSES: [HashrateClass; 8] = [
+    class("asic-farm", 34, 3_400.0, 2.0, 0.010),
+    class("warehouse", 21, 2_100.0, 2.5, 0.015),
+    class("pool-node", 13, 1_300.0, 3.0, 0.020),
+    class("pro-rig", 8, 800.0, 4.0, 0.030),
+    class("garage", 5, 500.0, 5.0, 0.040),
+    class("hobbyist", 3, 300.0, 6.0, 0.050),
+    class("laptop", 2, 200.0, 7.0, 0.060),
+    class("dorm", 1, 100.0, 8.0, 0.080),
+];
+
+/// An `n`-miner static game drawn from [`SCALE_CLASSES`] over three
+/// coins with rewards 55/30/15.
+pub fn scale_class_game(n: usize) -> Game {
+    let powers: Vec<u64> = (0..n)
+        .map(|i| SCALE_CLASSES[i % SCALE_CLASSES.len()].power)
+        .collect();
+    Game::build(&powers, &[55, 30, 15]).expect("class powers and rewards are in range")
+}
+
+/// The cohort scenario: `n` rigs in one cohort per class over a
+/// two-chain market (`major` at price 4, `minor` at price 1; the two
+/// smallest classes start on `minor`). Shockless — callers add shocks
+/// or whales on top when the workload calls for them.
+pub fn scale_cohort_scenario(n: usize, horizon_days: f64, seed: u64) -> ScenarioSpec {
+    let per = n / SCALE_CLASSES.len();
+    ScenarioSpec {
+        name: format!("scale_{n}"),
+        horizon_days,
+        snapshot_hours: 6.0,
+        seed,
+        oracle: OracleKind::Hashrate,
+        chains: vec![
+            ChainSpec::simple(
+                "major",
+                ChainFlavor::BchLike,
+                5_000_000,
+                crate::spec::PriceSpec::Constant { value: 4.0 },
+            ),
+            ChainSpec::simple(
+                "minor",
+                ChainFlavor::BchLike,
+                5_000_000,
+                crate::spec::PriceSpec::Constant { value: 1.0 },
+            ),
+        ],
+        miners: MinerSpec::Cohorts(
+            SCALE_CLASSES
+                .iter()
+                .enumerate()
+                .map(|(i, c)| CohortSpec {
+                    name: c.name.into(),
+                    count: per.max(1),
+                    hashrate: c.hashrate,
+                    coin: usize::from(i >= 6), // the two smallest classes start on `minor`
+                    eval_hours: c.eval_hours,
+                    inertia: c.inertia,
+                    cost_per_hash: 0.0,
+                })
+                .collect(),
+        ),
+        assignment: Assignment::Explicit,
+        shocks: Vec::new(),
+        whale: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_populations_validate_and_agree_on_shape() {
+        let game = scale_class_game(80);
+        assert_eq!(game.system().num_miners(), 80);
+        assert_eq!(game.system().num_coins(), 3);
+        let spec = scale_cohort_scenario(80, 5.0, 1);
+        spec.validate().expect("fixture scenario validates");
+        assert_eq!(spec.miners.num_agents(), SCALE_CLASSES.len());
+        assert_eq!(spec.miners.count(), 80);
+        // Game powers and sim hashrates are the same classes in the same
+        // proportions (hashrate = 100 × power throughout).
+        for c in &SCALE_CLASSES {
+            assert_eq!(c.hashrate, c.power as f64 * 100.0, "{} drifted", c.name);
+        }
+    }
+}

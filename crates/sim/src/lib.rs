@@ -28,6 +28,7 @@ pub mod agent;
 pub mod bridge;
 pub mod engine;
 pub mod event;
+pub mod fixtures;
 pub mod metrics;
 pub mod scenario;
 pub mod spec;
@@ -38,6 +39,6 @@ pub use engine::{SimConfig, Simulation};
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::SimMetrics;
 pub use spec::{
-    Assignment, ChainFlavor, ChainSpec, DifficultyInit, MinerSpec, PriceSpec, ScenarioSpec,
-    ShockSpec, SpecError, WhaleSpec,
+    Assignment, ChainFlavor, ChainSpec, CohortSpec, DifficultyInit, MinerPopulation, MinerSpec,
+    PriceSpec, ScenarioSpec, ShockSpec, SpecError, WhaleSpec,
 };

@@ -20,6 +20,10 @@ pub struct SimMetrics {
     pub miners: Vec<Vec<usize>>,
     /// Total better-response switches agents have performed.
     pub total_switches: usize,
+    /// Total events processed by the engine (block candidates,
+    /// evaluations, snapshots, whale injections) — the denominator of
+    /// the events-per-second throughput baseline.
+    pub total_events: u64,
 }
 
 impl SimMetrics {
@@ -33,6 +37,7 @@ impl SimMetrics {
             blocks: vec![Vec::new(); num_coins],
             miners: vec![Vec::new(); num_coins],
             total_switches: 0,
+            total_events: 0,
         }
     }
 

@@ -308,6 +308,51 @@ impl ChainSpec {
     }
 }
 
+/// One miner **cohort**: `count` rigs sharing a hashrate class and a
+/// switching strategy (the same evaluation cadence, inertia, and power
+/// cost). The simulator aggregates a cohort into a *single* agent whose
+/// hashrate is the cohort total, so event volume scales with the number
+/// of distinct behaviours rather than head-count — the device that makes
+/// 100k-miner scenarios run in seconds. [`ScenarioSpec::expanded`]
+/// lazily materializes the individual rigs when a per-miner view is
+/// needed (e.g. the static-game snapshot of [`ScenarioSpec::game`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortSpec {
+    /// Display name ("asic-farms", "hobbyists", …).
+    pub name: String,
+    /// Number of rigs in the cohort (head-count).
+    pub count: usize,
+    /// Hashrate of **one** rig; the aggregated agent mines with
+    /// `count × hashrate`.
+    pub hashrate: f64,
+    /// Initial coin (used by [`Assignment::Explicit`]).
+    pub coin: usize,
+    /// Hours between profitability evaluations.
+    pub eval_hours: f64,
+    /// Relative gain required to switch.
+    pub inertia: f64,
+    /// Electricity cost per hash (0 disables capitulation).
+    pub cost_per_hash: f64,
+}
+
+impl CohortSpec {
+    fn aggregated(&self) -> MinerAgent {
+        MinerAgent {
+            hashrate: self.count as f64 * self.hashrate,
+            coin: self.coin,
+            eval_interval: self.eval_hours * 3600.0,
+            inertia: self.inertia,
+            cost_per_hash: self.cost_per_hash,
+            active: true,
+        }
+    }
+}
+
+/// The name the paper-adjacent literature uses for this layer: a miner
+/// population description. Cohort populations are the
+/// [`MinerSpec::Cohorts`] variant.
+pub type MinerPopulation = MinerSpec;
+
 /// The miner population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MinerSpec {
@@ -353,6 +398,9 @@ pub enum MinerSpec {
     /// A fully explicit population (`coin` fields set the initial
     /// configuration when the assignment is [`Assignment::Explicit`]).
     Explicit(Vec<MinerAgent>),
+    /// Aggregated hashrate-class cohorts: each entry simulates as one
+    /// agent of the cohort's total hashrate (see [`CohortSpec`]).
+    Cohorts(Vec<CohortSpec>),
 }
 
 impl MinerSpec {
@@ -400,14 +448,30 @@ impl MinerSpec {
                 })
                 .collect(),
             MinerSpec::Explicit(agents) => agents.clone(),
+            MinerSpec::Cohorts(cohorts) => cohorts.iter().map(CohortSpec::aggregated).collect(),
         }
     }
 
-    /// Number of agents the spec describes.
+    /// Number of miners the spec describes (head-count: cohorts count
+    /// every rig, not the aggregated agents). Saturates instead of
+    /// wrapping, so absurd cohort counts cannot slip under validation's
+    /// head-count cap in release builds.
     pub fn count(&self) -> usize {
         match self {
             MinerSpec::Zipf { count, .. } | MinerSpec::Uniform { count, .. } => *count,
             MinerSpec::Explicit(agents) => agents.len(),
+            MinerSpec::Cohorts(cohorts) => cohorts
+                .iter()
+                .fold(0usize, |total, c| total.saturating_add(c.count)),
+        }
+    }
+
+    /// Number of *simulated* agents: equals [`MinerSpec::count`] except
+    /// for cohorts, which aggregate into one agent each.
+    pub fn num_agents(&self) -> usize {
+        match self {
+            MinerSpec::Cohorts(cohorts) => cohorts.len(),
+            other => other.count(),
         }
     }
 }
@@ -581,6 +645,36 @@ impl ScenarioSpec {
             // Surface bad price parameters at validation time, not mid-build.
             chain.price.build()?;
         }
+        if let MinerSpec::Cohorts(cohorts) = &self.miners {
+            for cohort in cohorts {
+                if cohort.count == 0 {
+                    return Err(SpecError::BadValue("cohort count (must be ≥ 1)"));
+                }
+                if cohort.coin >= k {
+                    return Err(bad_coin(cohort.coin));
+                }
+                if !(cohort.hashrate > 0.0 && cohort.hashrate.is_finite()) {
+                    return Err(SpecError::BadValue("cohort hashrate (must be positive)"));
+                }
+                if !(cohort.inertia >= 0.0 && cohort.inertia.is_finite()) {
+                    return Err(SpecError::BadValue(
+                        "cohort inertia (must be finite and ≥ 0)",
+                    ));
+                }
+                if !(cohort.cost_per_hash >= 0.0 && cohort.cost_per_hash.is_finite()) {
+                    return Err(SpecError::BadValue(
+                        "cohort cost per hash (must be finite and ≥ 0)",
+                    ));
+                }
+            }
+            // `expanded()` materializes one agent per rig; cap the
+            // head-count so a typo cannot request a terabyte of agents.
+            if self.miners.count() > 10_000_000 {
+                return Err(SpecError::BadValue(
+                    "cohort head-count (more than 10M miners)",
+                ));
+            }
+        }
         // Agent timing must move the event clock forward: a non-positive
         // evaluation interval would reschedule the same instant forever
         // and hang the simulation.
@@ -607,17 +701,20 @@ impl ScenarioSpec {
             Assignment::Split { .. } if k < 2 => {
                 return Err(SpecError::BadValue("Split assignment (needs ≥ 2 chains)"))
             }
-            Assignment::Explicit => {
-                if let MinerSpec::Explicit(agents) = &self.miners {
+            Assignment::Explicit => match &self.miners {
+                MinerSpec::Explicit(agents) => {
                     if let Some(a) = agents.iter().find(|a| a.coin >= k) {
                         return Err(bad_coin(a.coin));
                     }
-                } else {
+                }
+                // Cohorts carry their own validated `coin` fields.
+                MinerSpec::Cohorts(_) => {}
+                _ => {
                     return Err(SpecError::BadValue(
-                        "Explicit assignment (needs an Explicit miner population)",
+                        "Explicit assignment (needs an Explicit or Cohorts miner population)",
                     ));
                 }
-            }
+            },
             _ => {}
         }
         Ok(())
@@ -721,15 +818,56 @@ impl ScenarioSpec {
         })
     }
 
+    /// The same scenario with every cohort **lazily expanded** into its
+    /// individual rigs: the miner population becomes
+    /// [`MinerSpec::Explicit`] (one agent per rig at the per-rig
+    /// hashrate, on the coin the cohort was assigned) and the assignment
+    /// becomes [`Assignment::Explicit`]. Non-cohort specs come back
+    /// unchanged.
+    ///
+    /// Aggregation is a simulation device; expansion is the per-miner
+    /// ground truth, which is why [`ScenarioSpec::game`] snapshots the
+    /// expanded population.
+    pub fn expanded(&self) -> ScenarioSpec {
+        let MinerSpec::Cohorts(cohorts) = &self.miners else {
+            return self.clone();
+        };
+        let mut aggregated = self.miners.agents();
+        self.assign(&mut aggregated);
+        let mut individuals = Vec::with_capacity(self.miners.count());
+        for (cohort, agent) in cohorts.iter().zip(&aggregated) {
+            individuals.extend((0..cohort.count).map(|_| MinerAgent {
+                hashrate: cohort.hashrate,
+                coin: agent.coin,
+                eval_interval: agent.eval_interval,
+                inertia: agent.inertia,
+                cost_per_hash: agent.cost_per_hash,
+                active: true,
+            }));
+        }
+        ScenarioSpec {
+            miners: MinerSpec::Explicit(individuals),
+            assignment: Assignment::Explicit,
+            ..self.clone()
+        }
+    }
+
     /// Snapshots the scenario's time-zero state into a static
     /// `goc_game::Game` plus the initial configuration — the exact-game
     /// view of this market (weights `subsidy × price / spacing`).
+    ///
+    /// Cohorts are expanded first ([`ScenarioSpec::expanded`]), so the
+    /// snapshot always has one game miner per rig regardless of how the
+    /// population was described.
     ///
     /// # Errors
     ///
     /// Propagates build failures and game-quantization errors.
     pub fn game(&self) -> Result<(Game, Configuration), SpecError> {
-        let sim = self.build()?;
+        // Validate *before* expanding: the cohort head-count cap must
+        // guard the per-rig allocation expansion performs.
+        self.validate()?;
+        let sim = self.expanded().build()?;
         bridge::snapshot_game(&sim, 0.0, 1e-4).map_err(|e| SpecError::Game(e.to_string()))
     }
 
@@ -1002,6 +1140,164 @@ mod tests {
             / game.reward_of(goc_game::CoinId(1)).to_f64();
         assert!((ratio - 1.6).abs() < 0.05, "ratio {ratio}");
         assert_eq!(config.len(), 7);
+    }
+
+    fn cohort_fixture(total: usize) -> ScenarioSpec {
+        let classes = [
+            ("farms", 4_000.0, 2.0, 0.01),
+            ("pools", 800.0, 3.0, 0.02),
+            ("hobby", 120.0, 5.0, 0.05),
+            ("dorm", 40.0, 8.0, 0.08),
+        ];
+        let per = total / classes.len();
+        ScenarioSpec {
+            name: "cohort_fixture".into(),
+            horizon_days: 5.0,
+            snapshot_hours: 6.0,
+            seed: 11,
+            oracle: OracleKind::Hashrate,
+            chains: vec![
+                ChainSpec::simple(
+                    "A",
+                    ChainFlavor::BchLike,
+                    5_000_000,
+                    PriceSpec::Constant { value: 2.0 },
+                ),
+                ChainSpec::simple(
+                    "B",
+                    ChainFlavor::BchLike,
+                    5_000_000,
+                    PriceSpec::Constant { value: 1.0 },
+                ),
+            ],
+            miners: MinerSpec::Cohorts(
+                classes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(name, hashrate, eval_hours, inertia))| CohortSpec {
+                        name: name.into(),
+                        count: per,
+                        hashrate,
+                        coin: i % 2,
+                        eval_hours,
+                        inertia,
+                        cost_per_hash: 0.0,
+                    })
+                    .collect(),
+            ),
+            assignment: Assignment::Explicit,
+            shocks: Vec::new(),
+            whale: None,
+        }
+    }
+
+    #[test]
+    fn cohorts_aggregate_into_one_agent_each() {
+        let spec = cohort_fixture(4_000);
+        spec.validate().expect("cohort spec validates");
+        assert_eq!(spec.miners.count(), 4_000);
+        assert_eq!(spec.miners.num_agents(), 4);
+        let sim = spec.build().expect("builds");
+        assert_eq!(sim.agents().len(), 4);
+        // Aggregated hashrate equals the cohort totals, per coin.
+        assert_eq!(sim.hashrate_of(0), 1_000.0 * (4_000.0 + 120.0));
+        assert_eq!(sim.hashrate_of(1), 1_000.0 * (800.0 + 40.0));
+        // The spec round-trips as data like every other population.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn cohort_expansion_matches_hand_built_individuals() {
+        let spec = cohort_fixture(400);
+        let expanded = spec.expanded();
+        assert_eq!(expanded.miners.count(), 400);
+        assert_eq!(expanded.miners.num_agents(), 400);
+        assert_eq!(expanded.assignment, Assignment::Explicit);
+        // Expansion is the identity on non-cohort specs.
+        assert_eq!(expanded.expanded(), expanded);
+        assert_eq!(ScenarioSpec::attack().expanded(), ScenarioSpec::attack());
+        // Hand-build the same individuals and compare the populations.
+        let MinerSpec::Cohorts(cohorts) = &spec.miners else {
+            unreachable!()
+        };
+        let mut by_hand = Vec::new();
+        for c in cohorts {
+            for _ in 0..c.count {
+                by_hand.push(MinerAgent {
+                    hashrate: c.hashrate,
+                    coin: c.coin,
+                    eval_interval: c.eval_hours * 3600.0,
+                    inertia: c.inertia,
+                    cost_per_hash: c.cost_per_hash,
+                    active: true,
+                });
+            }
+        }
+        assert_eq!(expanded.miners, MinerSpec::Explicit(by_hand));
+    }
+
+    #[test]
+    fn cohort_game_snapshot_equals_expanded_individuals() {
+        let spec = cohort_fixture(400);
+        let (game, config) = spec.game().expect("cohort spec snapshots");
+        let (game2, config2) = spec.expanded().game().expect("expanded spec snapshots");
+        assert_eq!(game.system(), game2.system());
+        assert_eq!(game.rewards(), game2.rewards());
+        assert_eq!(config, config2);
+        // One game miner per rig, not per cohort.
+        assert_eq!(game.system().num_miners(), 400);
+        // Deterministic per seed: a second snapshot is identical.
+        let (game3, config3) = spec.game().expect("snapshots again");
+        assert_eq!(game.system(), game3.system());
+        assert_eq!(config, config3);
+    }
+
+    #[test]
+    fn cohort_validation_catches_bad_fields() {
+        let base = cohort_fixture(400);
+        let cohorts = |spec: &ScenarioSpec| match &spec.miners {
+            MinerSpec::Cohorts(c) => c.clone(),
+            _ => unreachable!(),
+        };
+
+        let mut spec = base.clone();
+        let mut c = cohorts(&base);
+        c[0].count = 0;
+        spec.miners = MinerSpec::Cohorts(c);
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        let mut spec = base.clone();
+        let mut c = cohorts(&base);
+        c[1].coin = 7;
+        spec.miners = MinerSpec::Cohorts(c);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::BadCoin { coin: 7, chains: 2 })
+        );
+
+        let mut spec = base.clone();
+        let mut c = cohorts(&base);
+        c[2].hashrate = 0.0;
+        spec.miners = MinerSpec::Cohorts(c);
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        let mut spec = base.clone();
+        let mut c = cohorts(&base);
+        c[3].inertia = f64::NAN;
+        spec.miners = MinerSpec::Cohorts(c);
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        let mut spec = base.clone();
+        let mut c = cohorts(&base);
+        c[0].count = 100_000_000;
+        spec.miners = MinerSpec::Cohorts(c);
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        let mut spec = base.clone();
+        spec.miners = MinerSpec::Cohorts(Vec::new());
+        assert_eq!(spec.validate(), Err(SpecError::NoMiners));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 
 use gameofcoins::analysis::{ReportItem, RunReport};
 use gameofcoins::experiments::{self, RunContext, SweepRun, SweepSpec};
-use gameofcoins::sim::{Assignment, MinerSpec, OracleKind, ScenarioSpec};
+use gameofcoins::sim::{
+    Assignment, ChainFlavor, ChainSpec, CohortSpec, MinerAgent, MinerSpec, OracleKind, PriceSpec,
+    ScenarioSpec,
+};
 
 #[test]
 fn every_preset_round_trips_through_serde_json() {
@@ -127,6 +130,89 @@ fn sweep_preserves_input_order_and_seeds() {
     let serial = experiments::sweep(&spec, 1).expect("serial sweep runs");
     let to_json = |rs: &[RunReport]| serde_json::to_string(&rs.to_vec()).unwrap();
     assert_eq!(to_json(&reports), to_json(&serial));
+}
+
+#[test]
+fn cohort_spec_snapshots_like_its_individual_miner_equivalent() {
+    // A cohort population and the hand-written Explicit population it
+    // abbreviates must produce the *same* static game snapshot — system,
+    // rewards, and initial configuration — and do so deterministically
+    // per seed, even though the cohort simulation aggregates each class
+    // into a single agent.
+    let chains = vec![
+        ChainSpec::simple(
+            "major",
+            ChainFlavor::BchLike,
+            4_000_000,
+            PriceSpec::Constant { value: 3.0 },
+        ),
+        ChainSpec::simple(
+            "minor",
+            ChainFlavor::BchLike,
+            4_000_000,
+            PriceSpec::Constant { value: 1.0 },
+        ),
+    ];
+    let classes = [(2_000.0, 3.0, 0.02, 0usize), (250.0, 6.0, 0.05, 1usize)];
+    let cohorts: Vec<CohortSpec> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, &(hashrate, eval_hours, inertia, coin))| CohortSpec {
+            name: format!("class{i}"),
+            count: 60,
+            hashrate,
+            coin,
+            eval_hours,
+            inertia,
+            cost_per_hash: 0.0,
+        })
+        .collect();
+    let individuals: Vec<MinerAgent> = cohorts
+        .iter()
+        .flat_map(|c| {
+            (0..c.count).map(|_| MinerAgent {
+                hashrate: c.hashrate,
+                coin: c.coin,
+                eval_interval: c.eval_hours * 3600.0,
+                inertia: c.inertia,
+                cost_per_hash: c.cost_per_hash,
+                active: true,
+            })
+        })
+        .collect();
+    let base = ScenarioSpec {
+        name: "cohorts".into(),
+        horizon_days: 5.0,
+        snapshot_hours: 6.0,
+        seed: 31,
+        oracle: OracleKind::Hashrate,
+        chains,
+        miners: MinerSpec::Cohorts(cohorts),
+        assignment: Assignment::Explicit,
+        shocks: Vec::new(),
+        whale: None,
+    };
+    let by_hand = ScenarioSpec {
+        name: "individuals".into(),
+        miners: MinerSpec::Explicit(individuals),
+        ..base.clone()
+    };
+
+    let (game_a, config_a) = base.game().expect("cohort spec snapshots");
+    let (game_b, config_b) = by_hand.game().expect("individual spec snapshots");
+    assert_eq!(game_a.system(), game_b.system());
+    assert_eq!(game_a.rewards(), game_b.rewards());
+    assert_eq!(config_a, config_b);
+    assert_eq!(game_a.system().num_miners(), 120);
+
+    // Determinism per seed: repeated snapshots are identical, and the
+    // aggregated *simulation* still runs (with one agent per cohort).
+    let (game_c, config_c) = base.game().expect("snapshots again");
+    assert_eq!(game_a.system(), game_c.system());
+    assert_eq!(config_a, config_c);
+    let mut sim = base.build().expect("builds aggregated");
+    assert_eq!(sim.agents().len(), 2);
+    assert!(!sim.run().is_empty());
 }
 
 #[test]
