@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_game::{CoinId, Configuration, Game, MassTracker};
+use goc_game::{CoinId, Configuration, Game, MassTracker, MoveSource};
 use goc_learning::{run, run_incremental, LearningOptions, SchedulerKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -113,11 +113,64 @@ fn bench_tracker_step(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scheduler_pick(c: &mut Criterion) {
+    // One incremental pick + apply + undo per iteration, on a 100k-miner
+    // source whose group-decision cache is warm — the per-step primitive
+    // of the incremental scheduler protocol, per SchedulerKind.
+    let mut group = c.benchmark_group("dynamics/scheduler_pick");
+    let (game, start) = class_game(100_000);
+    for kind in SchedulerKind::ALL {
+        let mut src = MoveSource::new(&game, &start).expect("valid source");
+        let mut sched = kind.build(5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n100000_k3_{kind}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mv = sched
+                        .pick_incremental(&mut src)
+                        .expect("uniform start is unstable");
+                    src.apply(mv.miner, mv.to);
+                    src.undo().expect("apply was recorded");
+                    mv
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheduler_converge(c: &mut Criterion) {
+    // Full convergence per SchedulerKind through the incremental path —
+    // the workload BENCH_3.json records and the CI perf gate checks.
+    let mut group = c.benchmark_group("dynamics/scheduler_converge");
+    group.sample_size(10);
+    let (game, start) = class_game(10_000);
+    for kind in SchedulerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n10000_k3_{kind}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut sched = kind.build(5);
+                    let outcome = run(&game, &start, sched.as_mut(), LearningOptions::default())
+                        .expect("bundled schedulers are legal");
+                    assert!(outcome.converged);
+                    outcome.steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_improving_moves,
     bench_convergence,
     bench_incremental_converge,
-    bench_tracker_step
+    bench_tracker_step,
+    bench_scheduler_pick,
+    bench_scheduler_converge
 );
 criterion_main!(benches);

@@ -1,31 +1,42 @@
-//! `baseline` — records the repo's perf baseline to `BENCH_2.json`.
+//! `baseline` — records and checks the repo's perf baseline.
 //!
-//! Measures the two headline throughput numbers of the large-population
-//! engine and writes them as machine-readable JSON:
+//! **Record mode** (default) measures the headline throughput numbers of
+//! the large-population engine and writes them as machine-readable JSON
+//! (`BENCH_3.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
 //!   start (best of three runs);
 //! * **sim events/sec** — a 100k-rig population aggregated into 8
-//!   behaviour cohorts over a two-chain market for 10 simulated days.
+//!   behaviour cohorts over a two-chain market for 1000 simulated days
+//!   (long enough that the timed window is ~100 ms, not timer noise);
+//! * **per-scheduler steps/sec** — every `SchedulerKind` converging the
+//!   same 100k-miner game through the incremental scheduler protocol
+//!   (`run` over a `MoveSource`; best of two runs).
+//!
+//! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
+//! it re-measures the *same* workloads at the miner counts recorded in
+//! `FILE` and fails (exit 1) if any measured throughput drops below
+//! `T × recorded` (default `T = 0.5`, i.e. a >50% regression).
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_2.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_3.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_3.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_2.json`; the CI
-//! smoke job only checks that the recorder still runs and that the
-//! committed file parses.
+//! quiet hardware and committing the refreshed `BENCH_3.json`. Keep the
+//! tolerance loose: the gate is meant to catch order-of-magnitude
+//! regressions (an accidentally quadratic path), not CI-runner noise.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use goc_game::{CoinId, Configuration};
-use goc_learning::{run_incremental, LearningOptions};
+use goc_learning::{run, run_incremental, LearningOptions, SchedulerKind};
 use goc_sim::fixtures::{scale_class_game, scale_cohort_scenario};
 use serde::{Deserialize, Serialize};
 
@@ -36,17 +47,27 @@ struct LayerBaseline {
     miners: usize,
     /// Work units completed (dynamics steps / sim events).
     work: u64,
-    /// Best-of-three wall time in seconds.
+    /// Best-of-N wall time in seconds.
     wall_secs: f64,
     /// `work / wall_secs`.
     per_sec: f64,
 }
 
-/// The `BENCH_2.json` schema.
+/// Per-scheduler throughput through the incremental protocol.
+#[derive(Debug, Serialize, Deserialize)]
+struct SchedulerBaseline {
+    /// `SchedulerKind` display name.
+    scheduler: String,
+    /// The measured convergence, as a [`LayerBaseline`].
+    layer: LayerBaseline,
+}
+
+/// The `BENCH_3.json` schema (a superset of `BENCH_2.json`: the
+/// `schedulers` section is new and optional on read, so `--check` also
+/// accepts the older file).
 #[derive(Debug, Serialize, Deserialize)]
 struct Baseline {
-    /// Baseline generation (this file is the repo's second, and first
-    /// recorded, perf baseline).
+    /// Baseline generation.
     baseline: u32,
     /// Whether the quick (CI smoke) population was used.
     quick: bool,
@@ -56,17 +77,20 @@ struct Baseline {
     dynamics: LayerBaseline,
     /// Cohort discrete-event simulation (events/sec).
     sim: LayerBaseline,
+    /// Incremental scheduler protocol, one entry per `SchedulerKind`
+    /// (steps/sec; absent in pre-3 baselines).
+    schedulers: Option<Vec<SchedulerBaseline>>,
 }
 
-fn dynamics_baseline(n: usize) -> LayerBaseline {
+fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
     // The shared scale fixture (`goc_sim::fixtures`): the recorder must
-    // measure exactly the workload the `scale` experiment and the
-    // large-population benches run.
+    // measure exactly the workload the `scale`/`schedulers` experiments
+    // and the large-population benches run.
     let game = scale_class_game(n);
     let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
     let mut best = f64::INFINITY;
     let mut steps = 0usize;
-    for _ in 0..3 {
+    for _ in 0..repeats {
         let clock = Instant::now();
         let outcome =
             run_incremental(&game, &start, LearningOptions::default()).expect("converges");
@@ -82,11 +106,15 @@ fn dynamics_baseline(n: usize) -> LayerBaseline {
     }
 }
 
-fn sim_baseline(n: usize) -> LayerBaseline {
-    let spec = scale_cohort_scenario(n, 10.0, 9);
+fn sim_baseline(n: usize, repeats: usize) -> LayerBaseline {
+    // 1000 simulated days (vs BENCH_2's 10): cohorts compress a 100k-rig
+    // population into ~3.5k events per 10 days, and a sub-millisecond
+    // timed window would gate on scheduler noise, not throughput. The
+    // longer horizon keeps the measured region around 100 ms.
+    let spec = scale_cohort_scenario(n, 1000.0, 9);
     let mut best = f64::INFINITY;
     let mut events = 0u64;
-    for _ in 0..3 {
+    for _ in 0..repeats {
         let mut sim = spec.build().expect("cohort spec builds");
         let clock = Instant::now();
         let metrics = sim.run();
@@ -101,43 +129,45 @@ fn sim_baseline(n: usize) -> LayerBaseline {
     }
 }
 
-fn default_out() -> PathBuf {
-    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    if repo_root.is_dir() {
-        repo_root.join("BENCH_2.json")
-    } else {
-        PathBuf::from("BENCH_2.json")
+fn scheduler_baseline(kind: SchedulerKind, n: usize, repeats: usize) -> SchedulerBaseline {
+    let game = scale_class_game(n);
+    let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
+    let mut best = f64::INFINITY;
+    let mut steps = 0usize;
+    for rep in 0..repeats {
+        let mut sched = kind.build(5);
+        let clock = Instant::now();
+        let outcome = run(&game, &start, sched.as_mut(), LearningOptions::default())
+            .expect("bundled schedulers are legal");
+        assert!(outcome.converged, "{kind} did not converge at rep {rep}");
+        best = best.min(clock.elapsed().as_secs_f64());
+        steps = outcome.steps;
+    }
+    SchedulerBaseline {
+        scheduler: kind.name().to_string(),
+        layer: LayerBaseline {
+            miners: n,
+            work: steps as u64,
+            wall_secs: best,
+            per_sec: steps as f64 / best.max(1e-9),
+        },
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut out = default_out();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--quick" => quick = true,
-            "--out" => match it.next() {
-                Some(path) => out = PathBuf::from(path),
-                None => {
-                    eprintln!("error: --out needs a value");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("error: unknown flag `{other}` (supported: --quick, --out FILE)");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
+fn record(quick: bool, out: &Path) -> ExitCode {
     let n = if quick { 10_000 } else { 100_000 };
     let baseline = Baseline {
-        baseline: 2,
+        baseline: 3,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
-        dynamics: dynamics_baseline(n),
-        sim: sim_baseline(n),
+        dynamics: dynamics_baseline(n, 3),
+        sim: sim_baseline(n, 3),
+        schedulers: Some(
+            SchedulerKind::ALL
+                .into_iter()
+                .map(|kind| scheduler_baseline(kind, n, 2))
+                .collect(),
+        ),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -150,8 +180,14 @@ fn main() -> ExitCode {
         "sim:      {} miners, {} events in {:.3} s -> {:.0} events/sec",
         baseline.sim.miners, baseline.sim.work, baseline.sim.wall_secs, baseline.sim.per_sec
     );
+    for entry in baseline.schedulers.as_deref().unwrap_or(&[]) {
+        println!(
+            "sched:    {:<22} {} steps in {:.3} s -> {:.0} steps/sec",
+            entry.scheduler, entry.layer.work, entry.layer.wall_secs, entry.layer.per_sec
+        );
+    }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
-    match std::fs::write(&out, json + "\n") {
+    match std::fs::write(out, json + "\n") {
         Ok(()) => {
             println!("[written {}]", out.display());
             ExitCode::SUCCESS
@@ -160,5 +196,137 @@ fn main() -> ExitCode {
             eprintln!("error: cannot write {}: {e}", out.display());
             ExitCode::FAILURE
         }
+    }
+}
+
+/// One gate comparison; returns whether it passed.
+fn gate(label: &str, measured: &LayerBaseline, recorded: &LayerBaseline, tolerance: f64) -> bool {
+    let floor = recorded.per_sec * tolerance;
+    let ok = measured.per_sec >= floor;
+    println!(
+        "{} {label:<28} measured {:>12.0}/s vs recorded {:>12.0}/s (floor {:>12.0}/s)",
+        if ok { "[PASS]" } else { "[FAIL]" },
+        measured.per_sec,
+        recorded.per_sec,
+        floor
+    );
+    ok
+}
+
+fn check(file: &Path, tolerance: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let recorded: Baseline = match serde_json::from_str(&text) {
+        Ok(recorded) => recorded,
+        Err(e) => {
+            eprintln!(
+                "error: {} does not parse as a baseline: {e}",
+                file.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "perf gate: re-measuring {} (baseline {}) at tolerance {tolerance}",
+        file.display(),
+        recorded.baseline
+    );
+    let mut ok = true;
+    // Re-measure at the *recorded* miner counts so the comparison is
+    // apples-to-apples, with fewer repeats than a recording run.
+    ok &= gate(
+        "dynamics",
+        &dynamics_baseline(recorded.dynamics.miners, 2),
+        &recorded.dynamics,
+        tolerance,
+    );
+    ok &= gate(
+        "sim",
+        &sim_baseline(recorded.sim.miners, 2),
+        &recorded.sim,
+        tolerance,
+    );
+    for entry in recorded.schedulers.as_deref().unwrap_or(&[]) {
+        let Some(kind) = SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name() == entry.scheduler)
+        else {
+            eprintln!("error: unknown recorded scheduler `{}`", entry.scheduler);
+            ok = false;
+            continue;
+        };
+        ok &= gate(
+            &format!("scheduler/{}", entry.scheduler),
+            &scheduler_baseline(kind, entry.layer.miners, 2).layer,
+            &entry.layer,
+            tolerance,
+        );
+    }
+    if ok {
+        println!("perf gate passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: throughput regressed below tolerance x recorded baseline");
+        ExitCode::FAILURE
+    }
+}
+
+fn default_out() -> PathBuf {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if repo_root.is_dir() {
+        repo_root.join("BENCH_3.json")
+    } else {
+        PathBuf::from("BENCH_3.json")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = default_out();
+    let mut check_file: Option<PathBuf> = None;
+    let mut tolerance = 0.5f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => check_file = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --check needs a baseline file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(t)) if t > 0.0 && t <= 1.0 => tolerance = t,
+                _ => {
+                    eprintln!("error: --tolerance needs a value in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown flag `{other}` (supported: --quick, --out FILE, \
+                     --check FILE, --tolerance T)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match check_file {
+        Some(file) => check(&file, tolerance),
+        None => record(quick, &out),
     }
 }

@@ -18,6 +18,7 @@ pub mod poa;
 pub mod prop1;
 pub mod prop2;
 pub mod scale;
+pub mod schedulers;
 pub mod speed;
 pub mod sync;
 pub mod thm1;

@@ -16,7 +16,8 @@
 //!   construction of §4 ([`equilibrium`]),
 //! * checkers for the paper's Assumptions 1–2 ([`assumptions`]),
 //! * deterministic random-game generation ([`gen`]),
-//! * the incremental state layer for large populations ([`tracker`]), and
+//! * the incremental state layer for large populations ([`tracker`]) and
+//!   the lazy move-discovery protocol schedulers run on ([`source`]), and
 //! * the paper's canonical example games ([`paper`]).
 //!
 //! Learning dynamics live in `goc-learning`; reward design (Algorithms 1
@@ -59,6 +60,7 @@ pub mod paper;
 pub mod paths;
 pub mod potential;
 pub mod ratio;
+pub mod source;
 pub mod system;
 pub mod tracker;
 
@@ -67,5 +69,6 @@ pub use error::GameError;
 pub use game::{Game, Move, Rewards};
 pub use ids::{CoinId, MinerId};
 pub use ratio::{Extended, Ratio};
+pub use source::{Extremum, MoveSource};
 pub use system::{Power, System, SystemBuilder, MAX_UNIT};
 pub use tracker::MassTracker;

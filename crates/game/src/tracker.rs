@@ -47,7 +47,7 @@
 //! # Ok::<(), goc_game::GameError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::{Configuration, Masses};
 use crate::error::GameError;
@@ -57,26 +57,31 @@ use crate::ratio::{Extended, Ratio};
 
 /// A strategic equivalence class: miners sharing a coin, a power, and a
 /// restriction row behave identically in every query. The class key lives
-/// in [`GroupIndex::by_key`]; the group itself only carries its members.
+/// in [`GroupIndex::by_key`]; the group itself only carries its members,
+/// ordered by id so min-member and successor queries (the tie-breaks of
+/// the incremental scheduler protocol, [`crate::source::MoveSource`])
+/// cost `O(log miners)` instead of a member scan.
 #[derive(Debug, Clone)]
-struct Group {
-    members: Vec<MinerId>,
+pub(crate) struct Group {
+    pub(crate) members: BTreeSet<MinerId>,
 }
 
 /// `(coin, power, restriction discriminator)` — the discriminator is `0`
 /// for unrestricted games and `miner index + 1` in restricted games (each
-/// miner its own class).
-type GroupKey = (u32, u64, u32);
+/// miner its own class). The key order (coin first) is part of the
+/// [`crate::source::MoveSource`] contract: class enumeration is
+/// coin-major, so the eager scheduler oracle can reproduce it from a
+/// flat move list.
+pub(crate) type GroupKey = (u32, u64, u32);
 
 /// Partition of the miners into [`Group`]s, maintained under moves.
 #[derive(Debug, Clone)]
-struct GroupIndex {
+pub(crate) struct GroupIndex {
     /// Group id of each miner.
-    of: Vec<u32>,
-    /// Position of each miner inside its group's member vector.
-    pos: Vec<u32>,
-    groups: Vec<Group>,
-    by_key: HashMap<GroupKey, u32>,
+    pub(crate) of: Vec<u32>,
+    pub(crate) groups: Vec<Group>,
+    /// Key → group id, ordered so class-major enumeration is canonical.
+    pub(crate) by_key: BTreeMap<GroupKey, u32>,
     /// Round-robin cursor for [`MassTracker::find_improving_move`].
     cursor: usize,
 }
@@ -86,9 +91,8 @@ impl GroupIndex {
         let n = game.system().num_miners();
         let mut index = GroupIndex {
             of: vec![0; n],
-            pos: vec![0; n],
             groups: Vec::new(),
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
             cursor: 0,
         };
         for p in game.system().miner_ids() {
@@ -97,7 +101,7 @@ impl GroupIndex {
         index
     }
 
-    fn rkey(game: &Game, p: MinerId) -> u32 {
+    pub(crate) fn rkey(game: &Game, p: MinerId) -> u32 {
         if game.is_restricted() {
             p.index() as u32 + 1
         } else {
@@ -110,29 +114,31 @@ impl GroupIndex {
         let key = (coin.index() as u32, power, Self::rkey(game, p));
         let gid = *self.by_key.entry(key).or_insert_with(|| {
             self.groups.push(Group {
-                members: Vec::new(),
+                members: BTreeSet::new(),
             });
             (self.groups.len() - 1) as u32
         });
-        let members = &mut self.groups[gid as usize].members;
         self.of[p.index()] = gid;
-        self.pos[p.index()] = members.len() as u32;
-        members.push(p);
+        self.groups[gid as usize].members.insert(p);
     }
 
     fn remove(&mut self, p: MinerId) {
         let gid = self.of[p.index()] as usize;
-        let pos = self.pos[p.index()] as usize;
-        let members = &mut self.groups[gid].members;
-        members.swap_remove(pos);
-        if let Some(&moved) = members.get(pos) {
-            self.pos[moved.index()] = pos as u32;
-        }
+        self.groups[gid].members.remove(&p);
     }
 
     fn move_miner(&mut self, game: &Game, p: MinerId, to: CoinId) {
         self.remove(p);
         self.insert(game, p, to);
+    }
+
+    /// Group ids of every class currently keyed to coin `c` (some may be
+    /// empty). `O(log groups + output)` via a key-range scan.
+    pub(crate) fn groups_on(&self, c: CoinId) -> impl Iterator<Item = u32> + '_ {
+        let c = c.index() as u32;
+        self.by_key
+            .range((c, 0, 0)..=(c, u64::MAX, u32::MAX))
+            .map(|(_, &gid)| gid)
     }
 }
 
@@ -309,8 +315,8 @@ impl<'g> MassTracker<'g> {
         self.groups
             .groups
             .iter()
-            .filter(|g| !g.members.is_empty())
-            .all(|g| self.best_response(g.members[0]).is_none())
+            .filter_map(|g| g.members.first())
+            .all(|&rep| self.best_response(rep).is_none())
     }
 
     /// The unstable miners, in id order. Costs `O(groups × coins)` plus
@@ -385,6 +391,30 @@ impl<'g> MassTracker<'g> {
             }
         }
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Group-index access for the MoveSource scheduler protocol
+    // ------------------------------------------------------------------
+
+    /// The group id of miner `p`.
+    pub(crate) fn gid_of(&self, p: MinerId) -> u32 {
+        self.groups.of[p.index()]
+    }
+
+    /// The id-ordered members of group `gid` (possibly empty).
+    pub(crate) fn members_of(&self, gid: u32) -> &BTreeSet<MinerId> {
+        &self.groups.groups[gid as usize].members
+    }
+
+    /// `(key, gid)` pairs in canonical class order (coin, power, rkey).
+    pub(crate) fn classes(&self) -> impl Iterator<Item = (GroupKey, u32)> + '_ {
+        self.groups.by_key.iter().map(|(&k, &g)| (k, g))
+    }
+
+    /// Group ids keyed to coin `c` (see [`GroupIndex::groups_on`]).
+    pub(crate) fn gids_on(&self, c: CoinId) -> impl Iterator<Item = u32> + '_ {
+        self.groups.groups_on(c)
     }
 
     // ------------------------------------------------------------------

@@ -7,20 +7,24 @@
 //! convergence point, step count, and (optionally) the full improving path
 //! with a potential-monotonicity audit.
 //!
-//! Both entry points ride on `goc_game`'s incremental
-//! [`MassTracker`]: masses, payoffs, and the potential audit are
-//! maintained under single-move deltas, never recomputed from the full
-//! miner vector. [`run`] still materializes the complete improving-move
-//! list each step because the [`Scheduler`] contract hands schedulers
-//! *every* legal step; [`run_incremental`] is the large-population path —
-//! a group round-robin best-response dynamics whose per-step cost is
-//! `O(coins)` amortized, independent of head-count.
+//! Every entry point rides on `goc_game`'s incremental layers:
+//! [`MassTracker`] maintains masses, payoffs, and the potential audit
+//! under single-move deltas, and [`run`] hands schedulers a
+//! [`MoveSource`] — lazy move discovery over the
+//! tracker's strategic groups — through
+//! [`Scheduler::pick_incremental`]. No step materializes the per-miner
+//! improving-move list, so **every** bundled [`SchedulerKind`] converges
+//! 100k–250k-miner games, not just the dedicated [`run_incremental`]
+//! group round-robin. The eager [`Scheduler::pick_with`] path survives
+//! as the oracle the equivalence suite pins the lazy picks to.
+//!
+//! [`SchedulerKind`]: crate::scheduler::SchedulerKind
 
 use std::fmt;
 
-use goc_game::{Configuration, Game, MassTracker, Move};
+use goc_game::{Configuration, Game, MassTracker, Move, MoveSource};
 
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SchedulerError};
 
 /// Options controlling a learning run.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +86,9 @@ pub enum LearningError {
         /// Step index at which the violation occurred.
         step: usize,
     },
+    /// The scheduler reported an internal inconsistency instead of a
+    /// pick (see [`SchedulerError`]).
+    SchedulerFailed(SchedulerError),
 }
 
 impl fmt::Display for LearningError {
@@ -94,11 +101,18 @@ impl fmt::Display for LearningError {
                 f,
                 "ordinal potential failed to increase at step {step} ({mv})"
             ),
+            LearningError::SchedulerFailed(err) => write!(f, "{err}"),
         }
     }
 }
 
 impl std::error::Error for LearningError {}
+
+impl From<SchedulerError> for LearningError {
+    fn from(err: SchedulerError) -> Self {
+        LearningError::SchedulerFailed(err)
+    }
+}
 
 /// Runs better-response learning from `start` under `scheduler`.
 ///
@@ -140,46 +154,47 @@ pub fn run_with_observer(
     options: LearningOptions,
     mut observer: impl FnMut(&Configuration, Move),
 ) -> Result<LearningOutcome, LearningError> {
-    let mut tracker =
-        MassTracker::new(game, start).expect("start configuration belongs to the game's system");
+    let mut source =
+        MoveSource::new(game, start).expect("start configuration belongs to the game's system");
     // The run never rewinds; don't retain an O(steps) undo history.
-    tracker.set_undo_recording(false);
+    source.set_undo_recording(false);
     let mut path = Vec::new();
     let mut steps = 0usize;
 
     while steps < options.max_steps {
-        let moves = tracker.improving_moves();
-        if moves.is_empty() {
+        // The stability sweep warms the source's group-decision cache;
+        // the scheduler's pick right after reuses it.
+        if source.is_stable() {
             return Ok(LearningOutcome {
-                final_config: tracker.into_config(),
+                final_config: source.into_config(),
                 steps,
                 converged: true,
                 path,
                 potential_audit: options.audit_potential.then_some(true),
             });
         }
-        let mv = scheduler.pick_with(game, tracker.config(), tracker.masses(), &moves);
-        if !moves.contains(&mv) {
+        let mv = scheduler.pick_incremental(&mut source)?;
+        if !source.is_better_response(mv.miner, mv.to) {
             return Err(LearningError::NotABetterResponse { mv });
         }
-        let before = options.audit_potential.then(|| tracker.rpu_list());
-        tracker.apply(mv.miner, mv.to);
+        let before = options.audit_potential.then(|| source.rpu_list());
+        source.apply(mv.miner, mv.to);
         if let Some(before) = before {
             // Theorem 1's ordinal potential is the sorted RPU list; the
             // tracker yields it in O(coins log coins) with no rescan.
-            if tracker.rpu_list() <= before {
+            if source.rpu_list() <= before {
                 return Err(LearningError::PotentialViolation { mv, step: steps });
             }
         }
         if options.record_path {
             path.push(mv);
         }
-        observer(tracker.config(), mv);
+        observer(source.config(), mv);
         steps += 1;
     }
 
     Ok(LearningOutcome {
-        final_config: tracker.into_config(),
+        final_config: source.into_config(),
         steps,
         converged: false,
         path,
@@ -195,10 +210,12 @@ pub fn run_with_observer(
 /// ever rescans the miner vector, so 100k+ miner games converge in
 /// seconds as long as the population has few distinct hashrate classes.
 ///
-/// The scheduler abstraction is deliberately absent: any [`Scheduler`]
-/// must be handed *all* legal moves, which costs `O(miners)` per step to
-/// materialize. Use [`run`] when scheduler semantics matter and this
-/// entry point when head-count does.
+/// Since the incremental scheduler protocol landed, [`run`] matches this
+/// entry point's asymptotics for every bundled scheduler (both ride the
+/// tracker); `run_incremental` survives as the leanest loop — group
+/// round-robin with no scheduler dispatch, the recorded `BENCH_*.json`
+/// dynamics workload — and as a second implementation the `schedulers`
+/// experiment cross-checks.
 ///
 /// # Errors
 ///
@@ -378,14 +395,22 @@ mod tests {
     fn rogue_scheduler_is_rejected() {
         struct Rogue;
         impl Scheduler for Rogue {
-            fn pick(&mut self, _game: &Game, s: &Configuration, _: &[Move]) -> Move {
+            // Implements only the eager contract: the engine reaches it
+            // through the default (materializing) `pick_incremental`.
+            fn pick_with(
+                &mut self,
+                _game: &Game,
+                s: &Configuration,
+                _masses: &goc_game::Masses,
+                _moves: &[Move],
+            ) -> Result<Move, SchedulerError> {
                 // Propose a no-op "move" that is never a better response.
                 let p = goc_game::MinerId(0);
-                Move {
+                Ok(Move {
                     miner: p,
                     from: s.coin_of(p),
                     to: s.coin_of(p),
-                }
+                })
             }
             fn name(&self) -> &'static str {
                 "rogue"

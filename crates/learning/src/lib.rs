@@ -34,8 +34,8 @@ pub use dynamics::{
     LearningOutcome,
 };
 pub use scheduler::{
-    LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerKind, SmallestMinerFirst,
-    UniformRandom,
+    LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerError, SchedulerKind,
+    SmallestMinerFirst, UniformRandom,
 };
 pub use simultaneous::{run_simultaneous, SyncOutcome};
 pub use stats::{convergence_trials, ConvergenceSummary};

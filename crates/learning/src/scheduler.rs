@@ -6,40 +6,123 @@
 //! implementations, from the benign (round-robin best response) to the
 //! adversarially slow (smallest positive gain), which the experiments
 //! sweep to exercise the theorem's "for all" claim.
+//!
+//! Every scheduler speaks two dialects of the same selection rule:
+//!
+//! * the **incremental protocol** ([`Scheduler::pick_incremental`]) —
+//!   the production path. The engine hands the scheduler a
+//!   [`MoveSource`] and the pick is answered from maintained group
+//!   state, `O(groups × coins)` or better per step, never materializing
+//!   the per-miner move list. This is what lifts every bundled
+//!   scheduler to 250k-miner populations.
+//! * the **eager oracle** ([`Scheduler::pick_with`]) — the reference
+//!   semantics over the complete improving-move list. The property
+//!   suite (`tests/scheduler_equivalence.rs`) pins the incremental pick
+//!   to the eager pick on random games and trajectories, so the lazy
+//!   path can never silently drift from the documented rule.
 
 use std::fmt;
 
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
-use goc_game::{Configuration, Game, Masses, Move, Ratio};
+use goc_game::{CoinId, Configuration, Extremum, Game, Masses, MinerId, Move, MoveSource, Ratio};
+
+/// A scheduler detected an internal inconsistency (e.g. the engine
+/// reported improving moves but the scheduler's own scan found none).
+/// The engine surfaces this as
+/// [`LearningError::SchedulerFailed`](crate::dynamics::LearningError) —
+/// a named error path instead of a silent wrong-scheduler pick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerError {
+    /// Name of the failing scheduler.
+    pub scheduler: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl SchedulerError {
+    fn new(scheduler: &'static str, detail: impl Into<String>) -> Self {
+        SchedulerError {
+            scheduler,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduler `{}`: {}", self.scheduler, self.detail)
+    }
+}
+
+impl std::error::Error for SchedulerError {}
 
 /// Picks the next better-response step.
 ///
-/// The engine calls [`Scheduler::pick_with`] with the complete list of
-/// legal improving moves in the current configuration (never empty) plus
-/// the engine's incrementally-maintained mass table, and applies the
-/// returned move after validating it is one of them — a scheduler that
-/// fabricates a non-improving move is reported as
+/// Implementors provide the eager rule ([`Scheduler::pick_with`]) and —
+/// for large-population support — override [`Scheduler::pick_incremental`]
+/// to answer the same rule from a [`MoveSource`]. The engine validates
+/// every returned move; a scheduler that fabricates a non-improving move
+/// is reported as
 /// [`LearningError::NotABetterResponse`](crate::dynamics::LearningError).
 pub trait Scheduler {
-    /// Chooses one of `moves` (all legal better-response steps in `s`).
-    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move;
-
-    /// [`Scheduler::pick`] with the engine's precomputed mass table, so
-    /// schedulers ranking moves by RPU or gain need not rescan the
-    /// population each step. The default ignores `masses` and delegates
-    /// to [`Scheduler::pick`]; the bundled schedulers override it.
+    /// Chooses one of `moves` (all legal better-response steps in `s`,
+    /// never empty) given the engine's precomputed mass table. This is
+    /// the **eager oracle** the incremental path is tested against.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError`] if the scheduler's own scan contradicts the
+    /// engine (cannot happen for the bundled schedulers on legal input).
     fn pick_with(
         &mut self,
         game: &Game,
         s: &Configuration,
         masses: &Masses,
         moves: &[Move],
-    ) -> Move {
-        let _ = masses;
-        self.pick(game, s, moves)
+    ) -> Result<Move, SchedulerError>;
+
+    /// [`Scheduler::pick_with`] without precomputed masses: the provided
+    /// implementation computes them once and delegates, so implementors
+    /// never repeat the `s.masses(game.system())` boilerplate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Scheduler::pick_with`].
+    fn pick(
+        &mut self,
+        game: &Game,
+        s: &Configuration,
+        moves: &[Move],
+    ) -> Result<Move, SchedulerError> {
+        let masses = s.masses(game.system());
+        self.pick_with(game, s, &masses, moves)
+    }
+
+    /// Chooses the next step by querying the source's maintained group
+    /// state — the large-population path. The engine only calls this
+    /// when the source has at least one improving move.
+    ///
+    /// The provided implementation materializes the move list and
+    /// delegates to [`Scheduler::pick_with`] (compatibility for external
+    /// schedulers); every bundled scheduler overrides it with an
+    /// `O(groups × coins)`-or-better rule.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError`] if the source yields no improving move (the
+    /// engine believed otherwise — an inconsistency, not a pick).
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        let moves = src.improving_moves();
+        if moves.is_empty() {
+            return Err(SchedulerError::new(
+                self.name(),
+                "source has no improving moves",
+            ));
+        }
+        self.pick_with(src.game(), src.config(), src.masses(), &moves)
     }
 
     /// Short human-readable name, used in experiment tables.
@@ -61,32 +144,52 @@ impl RoundRobin {
 }
 
 impl Scheduler for RoundRobin {
-    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        let masses = s.masses(game.system());
-        self.pick_with(game, s, &masses, moves)
-    }
-
     fn pick_with(
         &mut self,
         game: &Game,
         s: &Configuration,
         masses: &Masses,
         moves: &[Move],
-    ) -> Move {
+    ) -> Result<Move, SchedulerError> {
         let n = game.system().num_miners();
         for offset in 0..n {
-            let p = goc_game::MinerId((self.cursor + offset) % n);
+            let p = MinerId((self.cursor + offset) % n);
             if let Some(c) = game.best_response(p, s, masses) {
                 self.cursor = (p.index() + 1) % n;
-                return Move {
+                return Ok(Move {
                     miner: p,
                     from: s.coin_of(p),
                     to: c,
-                };
+                });
             }
         }
-        // Unreachable when `moves` is nonempty; fall back defensively.
-        moves[0]
+        // Unreachable when `moves` is nonempty: every listed mover has a
+        // best response. Surface the inconsistency instead of silently
+        // picking under the wrong rule.
+        debug_assert!(
+            moves.is_empty(),
+            "round-robin found no best response among {} improving moves",
+            moves.len()
+        );
+        Err(SchedulerError::new(
+            self.name(),
+            format!(
+                "no best response found despite {} listed improving moves",
+                moves.len()
+            ),
+        ))
+    }
+
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        let n = src.game().system().num_miners();
+        let start = MinerId(self.cursor % n);
+        let p = src
+            .next_unstable(start)
+            .or_else(|| src.next_unstable(MinerId(0)))
+            .ok_or_else(|| SchedulerError::new(self.name(), "source reports no unstable miner"))?;
+        self.cursor = (p.index() + 1) % n;
+        src.improving_move_for(p)
+            .ok_or_else(|| SchedulerError::new(self.name(), format!("{p} lost its best response")))
     }
 
     fn name(&self) -> &'static str {
@@ -95,7 +198,16 @@ impl Scheduler for RoundRobin {
 }
 
 /// Uniformly random choice among all improving moves (the "arbitrary
-/// improving path" of the paper, in distribution).
+/// improving path" of the paper, in distribution), executed by the
+/// smallest-id member of the drawn mover's strategic class.
+///
+/// The draw weights each `(class, target)` pair by the class's member
+/// count — exactly the improving-move list's marginal — and the member
+/// collapse makes the pick computable in `O(groups × coins)` from a
+/// [`MoveSource`] (members of a class are interchangeable: same power,
+/// same payoff, same better responses). One `gen_range` call over the
+/// exact move count per pick, on both the eager and incremental paths,
+/// so the two stay in lockstep on a shared seed.
 pub struct UniformRandom {
     rng: SmallRng,
 }
@@ -116,10 +228,63 @@ impl fmt::Debug for UniformRandom {
 }
 
 impl Scheduler for UniformRandom {
-    fn pick(&mut self, _game: &Game, _s: &Configuration, moves: &[Move]) -> Move {
-        *moves
-            .choose(&mut self.rng)
-            .expect("engine guarantees a nonempty move list")
+    fn pick_with(
+        &mut self,
+        game: &Game,
+        _s: &Configuration,
+        _masses: &Masses,
+        moves: &[Move],
+    ) -> Result<Move, SchedulerError> {
+        // Rebuild the strategic classes from the flat list, in the same
+        // canonical (coin, power, restriction) order the MoveSource
+        // enumerates, so the same draw lands on the same move.
+        struct Class {
+            min_miner: MinerId,
+            first_miner: MinerId,
+            weight: usize,
+            targets: Vec<CoinId>,
+        }
+        let mut classes: std::collections::BTreeMap<(usize, u64, u32), Class> =
+            std::collections::BTreeMap::new();
+        for &mv in moves {
+            let rkey = if game.is_restricted() {
+                mv.miner.index() as u32 + 1
+            } else {
+                0
+            };
+            let key = (mv.from.index(), game.system().power_of(mv.miner), rkey);
+            let class = classes.entry(key).or_insert(Class {
+                min_miner: mv.miner,
+                first_miner: mv.miner,
+                weight: 0,
+                targets: Vec::new(),
+            });
+            class.weight += 1;
+            class.min_miner = class.min_miner.min(mv.miner);
+            if mv.miner == class.first_miner {
+                class.targets.push(mv.to);
+            }
+        }
+        if moves.is_empty() {
+            return Err(SchedulerError::new(self.name(), "empty move list"));
+        }
+        let mut r = self.rng.gen_range(0..moves.len());
+        for ((from, _, _), class) in classes {
+            if r < class.weight {
+                return Ok(Move {
+                    miner: class.min_miner,
+                    from: CoinId(from),
+                    to: class.targets[r % class.targets.len()],
+                });
+            }
+            r -= class.weight;
+        }
+        unreachable!("class weights sum to the move count")
+    }
+
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        src.sample_improving(&mut self.rng)
+            .ok_or_else(|| SchedulerError::new(self.name(), "source reports no improving move"))
     }
 
     fn name(&self) -> &'static str {
@@ -133,19 +298,19 @@ impl Scheduler for UniformRandom {
 pub struct MaxGain;
 
 impl Scheduler for MaxGain {
-    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        let masses = s.masses(game.system());
-        self.pick_with(game, s, &masses, moves)
-    }
-
     fn pick_with(
         &mut self,
         game: &Game,
         s: &Configuration,
         masses: &Masses,
         moves: &[Move],
-    ) -> Move {
-        extremal_by_gain(game, s, masses, moves, true)
+    ) -> Result<Move, SchedulerError> {
+        extremal_by_gain(self.name(), game, s, masses, moves, true)
+    }
+
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        src.extremal_gain_move(Extremum::Max)
+            .ok_or_else(|| SchedulerError::new(self.name(), "source reports no improving move"))
     }
 
     fn name(&self) -> &'static str {
@@ -159,19 +324,19 @@ impl Scheduler for MaxGain {
 pub struct MinGain;
 
 impl Scheduler for MinGain {
-    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        let masses = s.masses(game.system());
-        self.pick_with(game, s, &masses, moves)
-    }
-
     fn pick_with(
         &mut self,
         game: &Game,
         s: &Configuration,
         masses: &Masses,
         moves: &[Move],
-    ) -> Move {
-        extremal_by_gain(game, s, masses, moves, false)
+    ) -> Result<Move, SchedulerError> {
+        extremal_by_gain(self.name(), game, s, masses, moves, false)
+    }
+
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        src.extremal_gain_move(Extremum::Min)
+            .ok_or_else(|| SchedulerError::new(self.name(), "source reports no improving move"))
     }
 
     fn name(&self) -> &'static str {
@@ -180,12 +345,13 @@ impl Scheduler for MinGain {
 }
 
 fn extremal_by_gain(
+    name: &'static str,
     game: &Game,
     s: &Configuration,
     masses: &Masses,
     moves: &[Move],
     max: bool,
-) -> Move {
+) -> Result<Move, SchedulerError> {
     let mut best: Option<(Ratio, Move)> = None;
     for &mv in moves {
         let gain = game.gain(mv.miner, mv.to, s, masses);
@@ -203,7 +369,8 @@ fn extremal_by_gain(
             best = Some((gain, mv));
         }
     }
-    best.expect("engine guarantees a nonempty move list").1
+    best.map(|(_, mv)| mv)
+        .ok_or_else(|| SchedulerError::new(name, "empty move list"))
 }
 
 /// The largest-power unstable miner moves first (models big pools reacting
@@ -212,31 +379,19 @@ fn extremal_by_gain(
 pub struct LargestMinerFirst;
 
 impl Scheduler for LargestMinerFirst {
-    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        let masses = s.masses(game.system());
-        self.pick_with(game, s, &masses, moves)
-    }
-
     fn pick_with(
         &mut self,
         game: &Game,
         s: &Configuration,
         masses: &Masses,
         moves: &[Move],
-    ) -> Move {
-        let p = moves
-            .iter()
-            .map(|m| m.miner)
-            .max_by_key(|p| (game.system().power_of(*p), std::cmp::Reverse(p.index())))
-            .expect("engine guarantees a nonempty move list");
-        let c = game
-            .best_response(p, s, masses)
-            .expect("miner appears in the move list, so it has a better response");
-        Move {
-            miner: p,
-            from: s.coin_of(p),
-            to: c,
-        }
+    ) -> Result<Move, SchedulerError> {
+        extremal_by_power(self.name(), game, s, masses, moves, true)
+    }
+
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        src.extremal_power_move(Extremum::Max)
+            .ok_or_else(|| SchedulerError::new(self.name(), "source reports no improving move"))
     }
 
     fn name(&self) -> &'static str {
@@ -250,31 +405,19 @@ impl Scheduler for LargestMinerFirst {
 pub struct SmallestMinerFirst;
 
 impl Scheduler for SmallestMinerFirst {
-    fn pick(&mut self, game: &Game, s: &Configuration, moves: &[Move]) -> Move {
-        let masses = s.masses(game.system());
-        self.pick_with(game, s, &masses, moves)
-    }
-
     fn pick_with(
         &mut self,
         game: &Game,
         s: &Configuration,
         masses: &Masses,
         moves: &[Move],
-    ) -> Move {
-        let p = moves
-            .iter()
-            .map(|m| m.miner)
-            .min_by_key(|p| (game.system().power_of(*p), p.index()))
-            .expect("engine guarantees a nonempty move list");
-        let c = game
-            .best_response(p, s, masses)
-            .expect("miner appears in the move list, so it has a better response");
-        Move {
-            miner: p,
-            from: s.coin_of(p),
-            to: c,
-        }
+    ) -> Result<Move, SchedulerError> {
+        extremal_by_power(self.name(), game, s, masses, moves, false)
+    }
+
+    fn pick_incremental(&mut self, src: &mut MoveSource<'_>) -> Result<Move, SchedulerError> {
+        src.extremal_power_move(Extremum::Min)
+            .ok_or_else(|| SchedulerError::new(self.name(), "source reports no improving move"))
     }
 
     fn name(&self) -> &'static str {
@@ -282,8 +425,40 @@ impl Scheduler for SmallestMinerFirst {
     }
 }
 
-/// Enumeration of the bundled schedulers, for parameter sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+fn extremal_by_power(
+    name: &'static str,
+    game: &Game,
+    s: &Configuration,
+    masses: &Masses,
+    moves: &[Move],
+    max: bool,
+) -> Result<Move, SchedulerError> {
+    let p = if max {
+        moves
+            .iter()
+            .map(|m| m.miner)
+            .max_by_key(|p| (game.system().power_of(*p), std::cmp::Reverse(p.index())))
+    } else {
+        moves
+            .iter()
+            .map(|m| m.miner)
+            .min_by_key(|p| (game.system().power_of(*p), p.index()))
+    };
+    let p = p.ok_or_else(|| SchedulerError::new(name, "empty move list"))?;
+    let c = game.best_response(p, s, masses).ok_or_else(|| {
+        SchedulerError::new(name, format!("{p} is listed but has no best response"))
+    })?;
+    Ok(Move {
+        miner: p,
+        from: s.coin_of(p),
+        to: c,
+    })
+}
+
+/// Enumeration of the bundled schedulers, for parameter sweeps. Serde
+/// round-trips as the variant name (e.g. `"MaxGain"`), so sweep spec
+/// files can name schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// [`RoundRobin`].
     RoundRobin,
@@ -322,7 +497,7 @@ impl SchedulerKind {
         }
     }
 
-    /// Stable display name.
+    /// Stable display name (also accepted by `goc --scheduler`).
     pub fn name(self) -> &'static str {
         match self {
             SchedulerKind::RoundRobin => "round-robin",
@@ -359,7 +534,18 @@ mod tests {
         let (game, s, moves) = setup();
         for kind in SchedulerKind::ALL {
             let mut sched = kind.build(11);
-            let mv = sched.pick(&game, &s, &moves);
+            let mv = sched.pick(&game, &s, &moves).unwrap();
+            assert!(moves.contains(&mv), "{kind} returned unlisted move {mv}");
+        }
+    }
+
+    #[test]
+    fn all_schedulers_pick_incrementally_without_a_move_list() {
+        let (game, s, moves) = setup();
+        for kind in SchedulerKind::ALL {
+            let mut src = MoveSource::new(&game, &s).unwrap();
+            let mut sched = kind.build(11);
+            let mv = sched.pick_incremental(&mut src).unwrap();
             assert!(moves.contains(&mv), "{kind} returned unlisted move {mv}");
         }
     }
@@ -368,8 +554,8 @@ mod tests {
     fn max_gain_beats_min_gain() {
         let (game, s, moves) = setup();
         let masses = s.masses(game.system());
-        let hi = MaxGain.pick(&game, &s, &moves);
-        let lo = MinGain.pick(&game, &s, &moves);
+        let hi = MaxGain.pick(&game, &s, &moves).unwrap();
+        let lo = MinGain.pick(&game, &s, &moves).unwrap();
         let g_hi = game.gain(hi.miner, hi.to, &s, &masses);
         let g_lo = game.gain(lo.miner, lo.to, &s, &masses);
         assert!(g_hi >= g_lo);
@@ -382,8 +568,8 @@ mod tests {
     #[test]
     fn miner_order_schedulers_pick_extremal_powers() {
         let (game, s, moves) = setup();
-        let big = LargestMinerFirst.pick(&game, &s, &moves);
-        let small = SmallestMinerFirst.pick(&game, &s, &moves);
+        let big = LargestMinerFirst.pick(&game, &s, &moves).unwrap();
+        let small = SmallestMinerFirst.pick(&game, &s, &moves).unwrap();
         let unstable_powers: Vec<u64> = moves
             .iter()
             .map(|m| game.system().power_of(m.miner))
@@ -401,8 +587,8 @@ mod tests {
     #[test]
     fn uniform_random_is_deterministic_per_seed() {
         let (game, s, moves) = setup();
-        let a = UniformRandom::seeded(3).pick(&game, &s, &moves);
-        let b = UniformRandom::seeded(3).pick(&game, &s, &moves);
+        let a = UniformRandom::seeded(3).pick(&game, &s, &moves).unwrap();
+        let b = UniformRandom::seeded(3).pick(&game, &s, &moves).unwrap();
         assert_eq!(a, b);
     }
 
@@ -417,7 +603,7 @@ mod tests {
             if moves.is_empty() {
                 break;
             }
-            let mv = sched.pick(&game, &s, &moves);
+            let mv = sched.pick(&game, &s, &moves).unwrap();
             seen.push(mv.miner);
             s.apply_move(mv.miner, mv.to);
         }
@@ -433,8 +619,8 @@ mod tests {
         let (game, s, moves) = setup();
         let masses = s.masses(game.system());
         for kind in SchedulerKind::ALL {
-            let via_pick = kind.build(9).pick(&game, &s, &moves);
-            let via_pick_with = kind.build(9).pick_with(&game, &s, &masses, &moves);
+            let via_pick = kind.build(9).pick(&game, &s, &moves).unwrap();
+            let via_pick_with = kind.build(9).pick_with(&game, &s, &masses, &moves).unwrap();
             assert_eq!(via_pick, via_pick_with, "{kind} disagrees with itself");
         }
     }
@@ -444,5 +630,27 @@ mod tests {
         for kind in SchedulerKind::ALL {
             assert_eq!(kind.build(0).name(), kind.name());
         }
+    }
+
+    #[test]
+    fn kind_serde_round_trips_as_variant_names() {
+        for kind in SchedulerKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert!(json.contains('"'), "unit variants serialize as strings");
+            let back: SchedulerKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert_eq!(
+            serde_json::from_str::<SchedulerKind>("\"MinGain\"").unwrap(),
+            SchedulerKind::MinGain
+        );
+        assert!(serde_json::from_str::<SchedulerKind>("\"NotAScheduler\"").is_err());
+    }
+
+    #[test]
+    fn scheduler_error_displays_its_context() {
+        let err = SchedulerError::new("round-robin", "test detail");
+        let text = err.to_string();
+        assert!(text.contains("round-robin") && text.contains("test detail"));
     }
 }

@@ -96,7 +96,7 @@ proptest! {
         let mut sched = kind.build(seed);
         let moves = game.improving_moves(&start);
         prop_assume!(!moves.is_empty());
-        let mv = sched.pick(&game, &start, &moves);
+        let mv = sched.pick(&game, &start, &moves).expect("legal input");
         prop_assert!(moves.contains(&mv), "{} proposed {:?}", kind, mv);
     }
 }

@@ -82,7 +82,7 @@ const USAGE: &str = "goc — Game of Coins (Spiegelman, Keidar, Tennenholtz; ICD
 
 USAGE:
   goc list
-  goc run <EXPERIMENT> [--json] [--quick] [--seed N]
+  goc run <EXPERIMENT> [--json] [--quick] [--seed N] [--scheduler NAME]
   goc sweep     --spec FILE [--threads N] [--out FILE]
   goc learn     --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc enumerate --powers P1,P2,.. --rewards F1,F2,..
@@ -92,6 +92,8 @@ USAGE:
 
 `goc list` names every registered experiment. A sweep spec is JSON:
   {\"runs\": [{\"experiment\": \"fig1\", \"seed\": 1, \"quick\": true}, ...]}
+(an entry may also pin \"scheduler\" to a SchedulerKind variant name,
+e.g. \"MinGain\", for experiments that sweep schedulers).
 Reports come back in input order regardless of completion order.
 A scenario spec for `goc simulate --spec` is a serialized
 `gameofcoins::sim::ScenarioSpec` (serialize a preset to start).
@@ -211,6 +213,12 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let ctx = RunContext {
         seed: opts.seed,
         quick: opts.quick,
+        // Only pin a kind when the flag was given; experiments sweep all
+        // bundled kinds otherwise.
+        scheduler: match opts.scheduler {
+            Some(_) => Some(opts.scheduler_kind()?),
+            None => None,
+        },
         ..RunContext::default()
     };
     let report = experiment.run(&ctx);

@@ -1,6 +1,7 @@
 //! Golden-file regression tests: the structured JSON reports of
 //! `goc run <exp> --json --quick --seed 7` are snapshotted under
-//! `tests/golden/` for `fig1`, `attack`, and `scale`. A future perf
+//! `tests/golden/` for `fig1`, `attack`, `scale`, and `schedulers`. A
+//! future perf
 //! refactor that silently changes *results* (tables, charts, check
 //! verdicts, artifacts) fails here; throughput is free to float because
 //! the comparator strips the timing conventions the reports follow:
@@ -25,7 +26,7 @@ use std::path::PathBuf;
 use gameofcoins::experiments::{self, RunContext};
 use serde_json::Value;
 
-const GOLDEN_EXPERIMENTS: [&str; 3] = ["fig1", "attack", "scale"];
+const GOLDEN_EXPERIMENTS: [&str; 4] = ["fig1", "attack", "scale", "schedulers"];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -37,6 +38,7 @@ fn run_report_json(name: &str) -> Value {
         seed: 7,
         quick: true,
         threads: 1,
+        ..RunContext::default()
     };
     let report = experiment.run(&ctx);
     serde_json::from_str(&report.to_json()).expect("reports serialize to valid JSON")

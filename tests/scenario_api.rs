@@ -107,16 +107,19 @@ fn sweep_preserves_input_order_and_seeds() {
                 experiment: "prop1".into(),
                 seed: Some(0),
                 quick: Some(true),
+                scheduler: None,
             },
             SweepRun {
                 experiment: "cross".into(),
                 seed: Some(1),
                 quick: Some(true),
+                scheduler: None,
             },
             SweepRun {
                 experiment: "prop1".into(),
                 seed: Some(2),
                 quick: Some(true),
+                scheduler: None,
             },
         ],
     };
@@ -130,6 +133,38 @@ fn sweep_preserves_input_order_and_seeds() {
     let serial = experiments::sweep(&spec, 1).expect("serial sweep runs");
     let to_json = |rs: &[RunReport]| serde_json::to_string(&rs.to_vec()).unwrap();
     assert_eq!(to_json(&reports), to_json(&serial));
+}
+
+#[test]
+fn sweep_specs_can_name_schedulers() {
+    // A spec file can pin a SchedulerKind by variant name; the field is
+    // optional (missing => all kinds) and round-trips through JSON.
+    let text = r#"{"runs": [{"experiment": "schedulers", "quick": true,
+                             "scheduler": "MinGain"}]}"#;
+    let spec: SweepSpec = serde_json::from_str(text).expect("spec parses");
+    assert_eq!(
+        spec.runs[0].scheduler,
+        Some(gameofcoins::learning::SchedulerKind::MinGain)
+    );
+    let back: SweepSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(spec, back);
+
+    // Missing field deserializes as "all kinds".
+    let bare: SweepSpec =
+        serde_json::from_str(r#"{"runs": [{"experiment": "prop1"}]}"#).expect("spec parses");
+    assert_eq!(bare.runs[0].scheduler, None);
+
+    // The pinned kind reaches the experiment: its report sweeps exactly
+    // one scheduler.
+    let reports = experiments::sweep(&spec, 1).expect("sweep runs");
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].passed(), "pinned schedulers run must pass");
+    let json = reports[0].to_json();
+    assert!(json.contains("min-gain"), "report names the pinned kind");
+    assert!(
+        !json.contains("max-gain"),
+        "other kinds must not be swept when one is pinned"
+    );
 }
 
 #[test]
