@@ -140,6 +140,72 @@ fn bench_scheduler_pick(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shared churn workload (`goc_sim::fixtures::scale_churn_scenario`
+/// lowered through `goc_sim::churn_universe`): the fixture game plus a
+/// 10%-turnover delta stream with one coin launch and one retirement.
+fn churn_workload(n: usize) -> (goc_sim::ChurnUniverse, goc_learning::ChurnPlan) {
+    let spec = goc_sim::fixtures::scale_churn_scenario(n, 30.0, 9, 10);
+    let universe = goc_sim::churn_universe(&spec, 1e-4).expect("fixture lowers to a universe");
+    let plan = goc_learning::ChurnPlan::with_events(
+        Some(universe.miner_active.clone()),
+        Some(universe.coin_active.clone()),
+        universe.step_deltas(n),
+    );
+    (universe, plan)
+}
+
+fn bench_churn_converge(c: &mut Criterion) {
+    // Full convergence under 10% population turnover + coin lifecycle —
+    // the workload BENCH_4.json records and the CI perf gate checks.
+    let mut group = c.benchmark_group("dynamics/churn_converge");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let (universe, plan) = churn_workload(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k3")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let outcome = goc_learning::run_incremental_with_churn(
+                        &universe.game,
+                        &universe.start,
+                        LearningOptions::default(),
+                        &plan,
+                    )
+                    .expect("churn dynamics");
+                    assert!(outcome.converged);
+                    outcome.steps + outcome.churn_applied
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_churn_delta(c: &mut Criterion) {
+    // The churn primitive: one remove + insert round-trip against a
+    // 100k-miner tracker (group-index splice + mass patch-up), with the
+    // decision-cache repair included.
+    let mut group = c.benchmark_group("dynamics/churn_delta_apply_undo");
+    let (game, start) = class_game(100_000);
+    let mut src = MoveSource::new(&game, &start).expect("valid source");
+    let p = goc_game::MinerId(0);
+    group.bench_with_input(BenchmarkId::from_parameter("n100000_k3"), &(), |b, ()| {
+        b.iter(|| {
+            src.apply_delta(goc_game::Delta::RemoveMiner { miner: p })
+                .expect("p is active");
+            src.apply_delta(goc_game::Delta::InsertMiner {
+                miner: p,
+                coin: None,
+            })
+            .expect("p is dormant");
+            src.undo_delta().expect("insert recorded");
+            src.undo_delta().expect("remove recorded")
+        });
+    });
+    group.finish();
+}
+
 fn bench_scheduler_converge(c: &mut Criterion) {
     // Full convergence per SchedulerKind through the incremental path —
     // the workload BENCH_3.json records and the CI perf gate checks.
@@ -171,6 +237,8 @@ criterion_group!(
     bench_incremental_converge,
     bench_tracker_step,
     bench_scheduler_pick,
+    bench_churn_converge,
+    bench_churn_delta,
     bench_scheduler_converge
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_3.json`):
+//! (`BENCH_4.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -12,22 +12,29 @@
 //!   (long enough that the timed window is ~100 ms, not timer noise);
 //! * **per-scheduler steps/sec** — every `SchedulerKind` converging the
 //!   same 100k-miner game through the incremental scheduler protocol
-//!   (`run` over a `MoveSource`; best of two runs).
+//!   (`run` over a `MoveSource`; best of two runs);
+//! * **churn (steps+deltas)/sec** — `run_incremental_with_churn`
+//!   absorbing the shared churn fixture (10% population turnover, one
+//!   coin launch, one retirement) on the 100k-miner universe (best of
+//!   two runs).
 //!
 //! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
 //! it re-measures the *same* workloads at the miner counts recorded in
 //! `FILE` and fails (exit 1) if any measured throughput drops below
-//! `T × recorded` (default `T = 0.5`, i.e. a >50% regression).
+//! `T × recorded` (default `T = 0.5`, i.e. a >50% regression). The
+//! failure message names **which** metrics regressed, and a recorded
+//! miner count the gate machine cannot allocate (or a degenerate zero)
+//! is a named error up front — never a panic or a silent pass.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_3.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_4.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_3.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_4.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_3.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_4.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -36,9 +43,17 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use goc_game::{CoinId, Configuration};
-use goc_learning::{run, run_incremental, LearningOptions, SchedulerKind};
-use goc_sim::fixtures::{scale_class_game, scale_cohort_scenario};
+use goc_learning::{
+    run, run_incremental, run_incremental_with_churn, ChurnPlan, LearningOptions, SchedulerKind,
+};
+use goc_sim::fixtures::{scale_churn_scenario, scale_class_game, scale_cohort_scenario};
 use serde::{Deserialize, Serialize};
+
+/// Largest recorded miner count the gate will re-measure. Each miner
+/// costs a few hundred bytes across the tracker's index structures, so
+/// populations beyond this bound exceed what a CI-class machine can
+/// allocate — the gate refuses with a named error instead of OOMing.
+const MAX_GATE_MINERS: usize = 2_000_000;
 
 /// One measured layer of the baseline.
 #[derive(Debug, Serialize, Deserialize)]
@@ -62,9 +77,9 @@ struct SchedulerBaseline {
     layer: LayerBaseline,
 }
 
-/// The `BENCH_3.json` schema (a superset of `BENCH_2.json`: the
-/// `schedulers` section is new and optional on read, so `--check` also
-/// accepts the older file).
+/// The `BENCH_4.json` schema (a superset of `BENCH_3.json`: the `churn`
+/// section is new and optional on read, so `--check` also accepts the
+/// older files).
 #[derive(Debug, Serialize, Deserialize)]
 struct Baseline {
     /// Baseline generation.
@@ -80,6 +95,9 @@ struct Baseline {
     /// Incremental scheduler protocol, one entry per `SchedulerKind`
     /// (steps/sec; absent in pre-3 baselines).
     schedulers: Option<Vec<SchedulerBaseline>>,
+    /// Churny incremental dynamics: 10% turnover + coin lifecycle
+    /// ((steps+deltas)/sec; absent in pre-4 baselines).
+    churn: Option<LayerBaseline>,
 }
 
 fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
@@ -154,10 +172,50 @@ fn scheduler_baseline(kind: SchedulerKind, n: usize, repeats: usize) -> Schedule
     }
 }
 
+/// The shared churn workload: the fixture scenario lowered to a game
+/// universe plus a step-keyed delta plan (exactly what the `churn`
+/// experiment and the churn benches drive; the stride policy lives on
+/// `ChurnUniverse::step_deltas`).
+fn churn_workload(n: usize) -> (goc_sim::ChurnUniverse, ChurnPlan) {
+    let spec = scale_churn_scenario(n, 30.0, 9, 10);
+    let universe = goc_sim::churn_universe(&spec, 1e-4).expect("fixture lowers to a universe");
+    let plan = ChurnPlan::with_events(
+        Some(universe.miner_active.clone()),
+        Some(universe.coin_active.clone()),
+        universe.step_deltas(n),
+    );
+    (universe, plan)
+}
+
+fn churn_baseline(n: usize, repeats: usize) -> LayerBaseline {
+    let (universe, plan) = churn_workload(n);
+    let mut best = f64::INFINITY;
+    let mut work = 0usize;
+    for _ in 0..repeats {
+        let clock = Instant::now();
+        let outcome = run_incremental_with_churn(
+            &universe.game,
+            &universe.start,
+            LearningOptions::default(),
+            &plan,
+        )
+        .expect("churn dynamics converge");
+        assert!(outcome.converged, "churn dynamics did not converge");
+        best = best.min(clock.elapsed().as_secs_f64());
+        work = outcome.steps + outcome.churn_applied;
+    }
+    LayerBaseline {
+        miners: n,
+        work: work as u64,
+        wall_secs: best,
+        per_sec: work as f64 / best.max(1e-9),
+    }
+}
+
 fn record(quick: bool, out: &Path) -> ExitCode {
     let n = if quick { 10_000 } else { 100_000 };
     let baseline = Baseline {
-        baseline: 3,
+        baseline: 4,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -168,6 +226,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
                 .map(|kind| scheduler_baseline(kind, n, 2))
                 .collect(),
         ),
+        churn: Some(churn_baseline(n, 2)),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -186,6 +245,12 @@ fn record(quick: bool, out: &Path) -> ExitCode {
             entry.scheduler, entry.layer.work, entry.layer.wall_secs, entry.layer.per_sec
         );
     }
+    if let Some(churn) = &baseline.churn {
+        println!(
+            "churn:    {} miners, {} steps+deltas in {:.3} s -> {:.0} /sec",
+            churn.miners, churn.work, churn.wall_secs, churn.per_sec
+        );
+    }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     match std::fs::write(out, json + "\n") {
         Ok(()) => {
@@ -199,8 +264,34 @@ fn record(quick: bool, out: &Path) -> ExitCode {
     }
 }
 
-/// One gate comparison; returns whether it passed.
-fn gate(label: &str, measured: &LayerBaseline, recorded: &LayerBaseline, tolerance: f64) -> bool {
+/// Validates that a recorded layer is something this machine can
+/// honestly re-measure: a zero or absurd miner count means the file is
+/// corrupt or was recorded on hardware this gate cannot emulate — a
+/// named error, never a panic mid-allocation or a silent pass.
+fn checkable(label: &str, recorded: &LayerBaseline) -> Result<(), String> {
+    if recorded.miners == 0 {
+        return Err(format!(
+            "baseline metric `{label}` records a zero miner count — the file is corrupt"
+        ));
+    }
+    if recorded.miners > MAX_GATE_MINERS {
+        return Err(format!(
+            "baseline metric `{label}` records {} miners, beyond the {MAX_GATE_MINERS} this \
+             machine can allocate for the gate — re-record the baseline on gate-class hardware",
+            recorded.miners
+        ));
+    }
+    Ok(())
+}
+
+/// One gate comparison; pushes the label onto `regressed` on failure.
+fn gate(
+    label: &str,
+    measured: &LayerBaseline,
+    recorded: &LayerBaseline,
+    tolerance: f64,
+    regressed: &mut Vec<String>,
+) {
     let floor = recorded.per_sec * tolerance;
     let ok = measured.per_sec >= floor;
     println!(
@@ -210,7 +301,9 @@ fn gate(label: &str, measured: &LayerBaseline, recorded: &LayerBaseline, toleran
         recorded.per_sec,
         floor
     );
-    ok
+    if !ok {
+        regressed.push(label.to_string());
+    }
 }
 
 fn check(file: &Path, tolerance: f64) -> ExitCode {
@@ -236,20 +329,38 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         file.display(),
         recorded.baseline
     );
+    // Refuse unallocatable or corrupt recordings up front, by name.
+    let mut layers: Vec<(&str, &LayerBaseline)> =
+        vec![("dynamics", &recorded.dynamics), ("sim", &recorded.sim)];
+    for entry in recorded.schedulers.as_deref().unwrap_or(&[]) {
+        layers.push(("scheduler", &entry.layer));
+    }
+    if let Some(churn) = &recorded.churn {
+        layers.push(("churn", churn));
+    }
+    for (label, layer) in &layers {
+        if let Err(e) = checkable(label, layer) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut regressed: Vec<String> = Vec::new();
     let mut ok = true;
     // Re-measure at the *recorded* miner counts so the comparison is
     // apples-to-apples, with fewer repeats than a recording run.
-    ok &= gate(
+    gate(
         "dynamics",
         &dynamics_baseline(recorded.dynamics.miners, 2),
         &recorded.dynamics,
         tolerance,
+        &mut regressed,
     );
-    ok &= gate(
+    gate(
         "sim",
         &sim_baseline(recorded.sim.miners, 2),
         &recorded.sim,
         tolerance,
+        &mut regressed,
     );
     for entry in recorded.schedulers.as_deref().unwrap_or(&[]) {
         let Some(kind) = SchedulerKind::ALL
@@ -260,18 +371,33 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
             ok = false;
             continue;
         };
-        ok &= gate(
+        gate(
             &format!("scheduler/{}", entry.scheduler),
             &scheduler_baseline(kind, entry.layer.miners, 2).layer,
             &entry.layer,
             tolerance,
+            &mut regressed,
         );
     }
-    if ok {
+    if let Some(churn) = &recorded.churn {
+        gate(
+            "churn",
+            &churn_baseline(churn.miners, 2),
+            churn,
+            tolerance,
+            &mut regressed,
+        );
+    }
+    if ok && regressed.is_empty() {
         println!("perf gate passed");
         ExitCode::SUCCESS
     } else {
-        eprintln!("error: throughput regressed below tolerance x recorded baseline");
+        if !regressed.is_empty() {
+            eprintln!(
+                "error: throughput regressed below tolerance × recorded baseline for: {}",
+                regressed.join(", ")
+            );
+        }
         ExitCode::FAILURE
     }
 }
@@ -279,9 +405,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_3.json")
+        repo_root.join("BENCH_4.json")
     } else {
-        PathBuf::from("BENCH_3.json")
+        PathBuf::from("BENCH_4.json")
     }
 }
 

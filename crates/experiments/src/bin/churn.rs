@@ -1,0 +1,9 @@
+//! Thin wrapper: runs the registered `churn` experiment (see
+//! `goc_experiments::experiments::churn`) with the default context,
+//! prints its ASCII report, and writes its CSV artifacts to `results/`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    goc_experiments::run_bin("churn")
+}

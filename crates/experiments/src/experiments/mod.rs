@@ -12,6 +12,7 @@ pub mod appendix_a;
 pub mod appendix_b;
 pub mod asym;
 pub mod attack;
+pub mod churn;
 pub mod cross;
 pub mod fig1;
 pub mod poa;

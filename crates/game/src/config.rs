@@ -167,9 +167,22 @@ impl Masses {
     }
 
     /// Adds `power` units onto `to` without a source coin (used when
-    /// placing miners one by one, as in the Appendix A construction).
+    /// placing miners one by one, as in the Appendix A construction, and
+    /// by `insert_miner` deltas).
     pub fn add(&mut self, to: CoinId, power: u64) {
         self.mass[to.index()] += u128::from(power);
+    }
+
+    /// Removes `power` units from `from` without a destination coin (the
+    /// `remove_miner` delta: a rig goes offline).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the removal would underflow `from`'s
+    /// mass, which indicates the table is out of sync.
+    pub fn remove(&mut self, from: CoinId, power: u64) {
+        debug_assert!(self.mass[from.index()] >= u128::from(power));
+        self.mass[from.index()] -= u128::from(power);
     }
 
     /// Mass of coin `c` (`M_c(s)`).

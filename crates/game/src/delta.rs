@@ -1,0 +1,199 @@
+//! The incremental delta vocabulary: population and coin-lifecycle
+//! changes as first-class, undoable state transitions.
+//!
+//! The large-population engine was built over a single delta — *move* —
+//! on a frozen population: rigs never came online or died, and coins
+//! never launched or got delisted. Real hashrate markets churn, and a
+//! churny workload that forces a full tracker rebuild per population
+//! change caps out at toy sizes. [`Delta`] widens the vocabulary to
+//! `{move, insert_miner, remove_miner, launch_coin, retire_coin}`;
+//! [`crate::MassTracker::apply_delta`] and
+//! [`crate::MoveSource::apply_delta`] apply (and undo) every variant
+//! incrementally.
+//!
+//! The device is an **activity mask over a pre-declared universe**: a
+//! game is built once over every miner and coin that may ever exist
+//! (arrivals included, dormant), and churn toggles activity in
+//! `O(log miners)` per delta — the [`crate::Game`] itself never changes
+//! shape, so ids stay stable, undo is exact, and the naive
+//! recompute-from-scratch oracle survives as
+//! [`crate::MassTracker::active_subgame`] (the dense projection of the
+//! active population).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::game::Move;
+use crate::ids::{CoinId, MinerId};
+
+/// A single incremental state transition of a (possibly churning) game.
+///
+/// Deltas are *requests*; applying one through
+/// [`crate::MassTracker::apply_delta`] validates it against the current
+/// activity state and resolves any open choices (a best-response
+/// placement, the forced relocations of a retirement) into an
+/// [`AppliedDelta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Delta {
+    /// An active miner moves between active coins (the classic delta).
+    Move {
+        /// The deviating miner.
+        miner: MinerId,
+        /// The coin the miner joins.
+        to: CoinId,
+    },
+    /// A dormant miner comes online. With `coin: None` the arrival is
+    /// placed by **best response**: the active permitted coin with the
+    /// highest post-join RPU (ties to the lowest coin id) — an arriving
+    /// rig pointing its hashrate at the most profitable live coin.
+    InsertMiner {
+        /// The arriving miner (must be dormant in the universe).
+        miner: MinerId,
+        /// Explicit placement, or `None` for best-response placement.
+        coin: Option<CoinId>,
+    },
+    /// An active miner goes offline (rig death, capitulation).
+    RemoveMiner {
+        /// The departing miner.
+        miner: MinerId,
+    },
+    /// A dormant coin launches (becomes a legal, initially empty target).
+    LaunchCoin {
+        /// The launching coin.
+        coin: CoinId,
+    },
+    /// An active coin is delisted. Every resident miner is **forcibly
+    /// relocated** by best response over the remaining active coins (in
+    /// miner-id order, each against the masses its predecessors left) —
+    /// in restricted games a resident with no permitted active coin left
+    /// makes the whole delta fail atomically.
+    RetireCoin {
+        /// The retiring coin.
+        coin: CoinId,
+    },
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delta::Move { miner, to } => write!(f, "{miner} → {to}"),
+            Delta::InsertMiner {
+                miner,
+                coin: Some(c),
+            } => write!(f, "+{miner} @ {c}"),
+            Delta::InsertMiner { miner, coin: None } => write!(f, "+{miner} @ best"),
+            Delta::RemoveMiner { miner } => write!(f, "-{miner}"),
+            Delta::LaunchCoin { coin } => write!(f, "launch {coin}"),
+            Delta::RetireCoin { coin } => write!(f, "retire {coin}"),
+        }
+    }
+}
+
+/// A [`Delta`] as it was actually applied: every open choice resolved,
+/// carrying exactly the information needed to undo it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppliedDelta {
+    /// A move, with its resolved `from` coin.
+    Move(Move),
+    /// An insertion, with its resolved placement.
+    InsertMiner {
+        /// The arrived miner.
+        miner: MinerId,
+        /// The coin it was placed on.
+        coin: CoinId,
+        /// The stale coin the dormant miner pointed at before arriving
+        /// (restored on undo, so rewinds are byte-exact).
+        previous: CoinId,
+    },
+    /// A removal, remembering the coin the miner was on.
+    RemoveMiner {
+        /// The departed miner.
+        miner: MinerId,
+        /// The coin it left.
+        coin: CoinId,
+    },
+    /// A coin launch.
+    LaunchCoin {
+        /// The launched coin.
+        coin: CoinId,
+    },
+    /// A retirement, with the forced relocations in application order
+    /// (every `relocations[i].from` is the retired coin).
+    RetireCoin {
+        /// The retired coin.
+        coin: CoinId,
+        /// The forced best-response relocations, in miner-id order.
+        relocations: Vec<Move>,
+    },
+}
+
+impl fmt::Display for AppliedDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppliedDelta::Move(mv) => write!(f, "{mv}"),
+            AppliedDelta::InsertMiner { miner, coin, .. } => write!(f, "+{miner} @ {coin}"),
+            AppliedDelta::RemoveMiner { miner, coin } => write!(f, "-{miner} (was {coin})"),
+            AppliedDelta::LaunchCoin { coin } => write!(f, "launch {coin}"),
+            AppliedDelta::RetireCoin { coin, relocations } => {
+                write!(f, "retire {coin} ({} relocated)", relocations.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let all = [
+            Delta::Move {
+                miner: MinerId(1),
+                to: CoinId(0),
+            },
+            Delta::InsertMiner {
+                miner: MinerId(2),
+                coin: Some(CoinId(1)),
+            },
+            Delta::InsertMiner {
+                miner: MinerId(2),
+                coin: None,
+            },
+            Delta::RemoveMiner { miner: MinerId(3) },
+            Delta::LaunchCoin { coin: CoinId(2) },
+            Delta::RetireCoin { coin: CoinId(0) },
+        ];
+        for d in all {
+            assert!(!d.to_string().is_empty());
+        }
+        let applied = AppliedDelta::RetireCoin {
+            coin: CoinId(0),
+            relocations: vec![Move {
+                miner: MinerId(0),
+                from: CoinId(0),
+                to: CoinId(1),
+            }],
+        };
+        assert!(applied.to_string().contains("retire"));
+    }
+
+    #[test]
+    fn delta_serde_round_trips() {
+        let d = Delta::InsertMiner {
+            miner: MinerId(4),
+            coin: None,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Delta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        let r = AppliedDelta::RemoveMiner {
+            miner: MinerId(1),
+            coin: CoinId(0),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AppliedDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

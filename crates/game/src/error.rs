@@ -77,6 +77,32 @@ pub enum GameError {
         /// The enforced maximum.
         limit: u128,
     },
+    /// An `insert_miner` delta targeted a miner that is already active.
+    MinerActive {
+        /// The offending miner.
+        miner: MinerId,
+    },
+    /// A delta referenced a miner that is currently dormant.
+    MinerInactive {
+        /// The offending miner.
+        miner: MinerId,
+    },
+    /// A `launch_coin` delta targeted a coin that is already active.
+    CoinActive {
+        /// The offending coin.
+        coin: CoinId,
+    },
+    /// A delta referenced a coin that is currently retired or unlaunched.
+    CoinInactive {
+        /// The offending coin.
+        coin: CoinId,
+    },
+    /// A placement (arrival or forced relocation after a retirement)
+    /// found no active permitted coin for the miner.
+    NoPlacement {
+        /// The miner that cannot be placed.
+        miner: MinerId,
+    },
 }
 
 impl fmt::Display for GameError {
@@ -126,6 +152,14 @@ impl fmt::Display for GameError {
                 f,
                 "exhaustive analysis over {configurations} configurations exceeds limit {limit}"
             ),
+            GameError::MinerActive { miner } => write!(f, "{miner} is already active"),
+            GameError::MinerInactive { miner } => write!(f, "{miner} is not active"),
+            GameError::CoinActive { coin } => write!(f, "{coin} is already active"),
+            GameError::CoinInactive { coin } => write!(f, "{coin} is retired or not yet launched"),
+            GameError::NoPlacement { miner } => write!(
+                f,
+                "no active permitted coin is available to place {miner} on"
+            ),
         }
     }
 }
@@ -171,6 +205,11 @@ mod tests {
                 configurations: 1 << 70,
                 limit: 1 << 22,
             },
+            GameError::MinerActive { miner: MinerId(3) },
+            GameError::MinerInactive { miner: MinerId(3) },
+            GameError::CoinActive { coin: CoinId(1) },
+            GameError::CoinInactive { coin: CoinId(1) },
+            GameError::NoPlacement { miner: MinerId(0) },
         ];
         for e in errs {
             let s = e.to_string();

@@ -16,7 +16,8 @@
 //!   construction of §4 ([`equilibrium`]),
 //! * checkers for the paper's Assumptions 1–2 ([`assumptions`]),
 //! * deterministic random-game generation ([`gen`]),
-//! * the incremental state layer for large populations ([`tracker`]) and
+//! * the incremental state layer for large populations ([`tracker`]),
+//!   the churn delta vocabulary it applies and undoes ([`delta`]), and
 //!   the lazy move-discovery protocol schedulers run on ([`source`]), and
 //! * the paper's canonical example games ([`paper`]).
 //!
@@ -51,6 +52,7 @@
 
 pub mod assumptions;
 pub mod config;
+pub mod delta;
 pub mod equilibrium;
 pub mod error;
 pub mod game;
@@ -65,10 +67,11 @@ pub mod system;
 pub mod tracker;
 
 pub use config::{num_configurations, Configuration, ConfigurationIter, Masses};
+pub use delta::{AppliedDelta, Delta};
 pub use error::GameError;
 pub use game::{Game, Move, Rewards};
 pub use ids::{CoinId, MinerId};
 pub use ratio::{Extended, Ratio};
 pub use source::{Extremum, MoveSource};
 pub use system::{Power, System, SystemBuilder, MAX_UNIT};
-pub use tracker::MassTracker;
+pub use tracker::{ActiveSubgame, MassTracker};

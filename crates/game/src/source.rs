@@ -60,6 +60,7 @@ use std::collections::VecDeque;
 use rand::Rng;
 
 use crate::config::{Configuration, Masses};
+use crate::delta::{AppliedDelta, Delta};
 use crate::error::GameError;
 use crate::game::{Game, Move};
 use crate::ids::{CoinId, MinerId};
@@ -243,9 +244,13 @@ impl<'g> MoveSource<'g> {
         self.unstable == 0
     }
 
-    /// Miner `p`'s best-response move, or `None` if `p` is stable.
-    /// `O(coins)` on a dirty group, `O(1)` on a warm one.
+    /// Miner `p`'s best-response move, or `None` if `p` is stable (a
+    /// dormant miner is always stable). `O(coins)` on a dirty group,
+    /// `O(1)` on a warm one.
     pub fn improving_move_for(&mut self, p: MinerId) -> Option<Move> {
+        if !self.tracker.is_miner_active(p) {
+            return None;
+        }
         let gid = self.tracker.gid_of(p);
         let to = self.decision(gid)?;
         Some(Move {
@@ -281,6 +286,9 @@ impl<'g> MoveSource<'g> {
         self.revalidate();
         let mut out = Vec::new();
         for p in self.tracker.game().system().miner_ids() {
+            if !self.tracker.is_miner_active(p) {
+                continue;
+            }
             let gid = self.tracker.gid_of(p);
             if matches!(self.cache[gid as usize], Cached::Decision(Some(_))) {
                 out.push(p);
@@ -339,7 +347,7 @@ impl<'g> MoveSource<'g> {
         let current = game.rpu_after_join(p, from, from, masses);
         let mut best: Option<(Ratio, CoinId)> = None;
         for c in game.system().coin_ids() {
-            if c == from || !game.allowed(p, c) {
+            if c == from || !self.tracker.is_coin_active(c) || !game.allowed(p, c) {
                 continue;
             }
             let v = game.rpu_after_join(p, c, from, masses);
@@ -441,47 +449,172 @@ impl<'g> MoveSource<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if `p` or `to` is out of range for the game's system.
+    /// Panics if `p` or `to` is out of range for the game's system, or
+    /// illegal under the current activity state (see
+    /// [`MassTracker::apply`]).
     pub fn apply(&mut self, p: MinerId, to: CoinId) -> Move {
         let mv = self.tracker.apply(p, to);
         if mv.from != mv.to {
-            self.after_shift(mv.from, mv.to);
+            self.after_shift(Some(mv.from), Some(mv.to));
         }
         mv
     }
 
+    /// Applies one churn [`Delta`] through the tracker (see
+    /// [`MassTracker::apply_delta`]) and repairs the decision cache:
+    ///
+    /// * **move**: re-probe queued for the groups keyed to the two
+    ///   touched coins, `O(1)` touch-up elsewhere;
+    /// * **insert/remove**: re-probe keyed to the single touched coin
+    ///   (membership and payoff changed there); the one-sided touch-up
+    ///   elsewhere — an insertion only made its coin *less* attractive, a
+    ///   removal only made its coin *more* attractive;
+    /// * **launch**: the new coin is the only thing that became
+    ///   attractive, so the vacated-style `O(1)` touch-up suffices;
+    /// * **retire**: decisions pointing at the dead coin are invalidated,
+    ///   groups keyed to it are re-probed, and each forced relocation is
+    ///   repaired like a move.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MassTracker::apply_delta`] errors (the cache is
+    /// untouched on failure).
+    pub fn apply_delta(&mut self, delta: Delta) -> Result<AppliedDelta, GameError> {
+        let applied = self.tracker.apply_delta(delta)?;
+        self.repair(&applied, false);
+        Ok(applied)
+    }
+
     /// Reverts the most recent un-undone [`MoveSource::apply`] (see
     /// [`MassTracker::undo`]), repairing the cache symmetrically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the most recent delta is not a move — mixed histories
+    /// rewind through [`MoveSource::undo_delta`].
     pub fn undo(&mut self) -> Option<Move> {
         let mv = self.tracker.undo()?;
         if mv.from != mv.to {
             // In reverse, the mover vacates `to` and rejoins `from`.
-            self.after_shift(mv.to, mv.from);
+            self.after_shift(Some(mv.to), Some(mv.from));
         }
         Some(mv)
     }
 
-    /// Cache repair after mass left `vacated` and joined `joined`.
-    fn after_shift(&mut self, vacated: CoinId, joined: CoinId) {
-        // The move may have minted a brand-new group (first visit to a
-        // (coin, power) class): grow the cache, born dirty.
+    /// Reverts the most recent un-undone [`MoveSource::apply_delta`] (see
+    /// [`MassTracker::undo_delta`]), repairing the cache symmetrically.
+    pub fn undo_delta(&mut self) -> Option<AppliedDelta> {
+        let applied = self.tracker.undo_delta()?;
+        self.repair(&applied, true);
+        Some(applied)
+    }
+
+    /// Repairs the cache after `applied` ran forwards (`reverse = false`)
+    /// or was undone (`reverse = true`). The tracker has already
+    /// transitioned; repair reads its *current* state.
+    fn repair(&mut self, applied: &AppliedDelta, reverse: bool) {
+        match applied {
+            AppliedDelta::Move(mv) => {
+                if mv.from != mv.to {
+                    if reverse {
+                        self.after_shift(Some(mv.to), Some(mv.from));
+                    } else {
+                        self.after_shift(Some(mv.from), Some(mv.to));
+                    }
+                }
+            }
+            AppliedDelta::InsertMiner { coin, .. } => {
+                if reverse {
+                    // Undoing an insertion is a removal: `coin` lost mass.
+                    self.after_shift(Some(*coin), None);
+                } else {
+                    self.after_shift(None, Some(*coin));
+                }
+            }
+            AppliedDelta::RemoveMiner { coin, .. } => {
+                if reverse {
+                    self.after_shift(None, Some(*coin));
+                } else {
+                    self.after_shift(Some(*coin), None);
+                }
+            }
+            AppliedDelta::LaunchCoin { coin } => {
+                if reverse {
+                    // The coin vanished again: nothing elsewhere changed
+                    // mass, but any decision pointing at it is dead.
+                    self.invalidate_decisions_to(*coin);
+                    self.mark_coin_groups_stale(*coin);
+                } else {
+                    // A fresh empty coin is the only thing that became
+                    // attractive — exactly the vacated-coin touch-up.
+                    self.after_shift(Some(*coin), None);
+                }
+            }
+            AppliedDelta::RetireCoin { coin, relocations } => {
+                if reverse {
+                    // The coin is live again and every relocation was
+                    // walked back: repair each reversed move, then treat
+                    // the re-launched coin as newly attractive.
+                    for mv in relocations.iter().rev() {
+                        self.after_shift(Some(mv.to), Some(mv.from));
+                    }
+                    self.after_shift(Some(*coin), None);
+                } else {
+                    // Decisions pointing at the dead coin are invalid no
+                    // matter what the touch-up logic thinks of its mass.
+                    self.invalidate_decisions_to(*coin);
+                    for mv in relocations {
+                        self.after_shift(Some(mv.from), Some(mv.to));
+                    }
+                    self.mark_coin_groups_stale(*coin);
+                }
+            }
+        }
+    }
+
+    /// Grows the cache to cover groups minted by the latest transition
+    /// (born dirty).
+    fn grow_cache(&mut self) {
         while self.cache.len() < self.tracker.group_count() {
             self.cache.push(Cached::Stale);
             self.dirty.push_back(self.cache.len() as u32 - 1);
         }
-        // Full re-probe for the classes keyed to the touched coins (their
-        // own payoff changed; membership of the mover's groups changed).
-        let touched: Vec<u32> = self
-            .tracker
-            .gids_on(vacated)
-            .chain(self.tracker.gids_on(joined))
-            .collect();
+    }
+
+    /// Queues a re-probe for every class keyed to `c`.
+    fn mark_coin_groups_stale(&mut self, c: CoinId) {
+        let touched: Vec<u32> = self.tracker.gids_on(c).collect();
         for gid in touched {
             self.mark_stale(gid);
         }
-        // O(1) touch-up for every other group: `vacated` lost mass, so it
-        // is the only coin that became more attractive; `joined` got
-        // strictly worse, which only matters where it was the cached best.
+    }
+
+    /// Queues a re-probe for every group whose cached best response is
+    /// `c` (used when `c` stops being a legal target).
+    fn invalidate_decisions_to(&mut self, c: CoinId) {
+        for gid in 0..self.cache.len() as u32 {
+            if self.cache[gid as usize] == Cached::Decision(Some(c)) {
+                self.mark_stale(gid);
+            }
+        }
+    }
+
+    /// Cache repair after mass left `vacated` and/or joined `joined`
+    /// (population deltas touch a single coin, so either side may be
+    /// absent).
+    fn after_shift(&mut self, vacated: Option<CoinId>, joined: Option<CoinId>) {
+        // The transition may have minted a brand-new group (first visit
+        // to a (coin, power) class): grow the cache, born dirty.
+        self.grow_cache();
+        // Full re-probe for the classes keyed to the touched coins (their
+        // own payoff changed; membership of the mover's groups changed).
+        for c in [vacated, joined].into_iter().flatten() {
+            self.mark_coin_groups_stale(c);
+        }
+        // O(1) touch-up for every other group: `vacated` lost mass (or
+        // newly launched), so it is the only coin that became more
+        // attractive; `joined` got strictly worse, which only matters
+        // where it was the cached best.
         for gid in 0..self.cache.len() {
             let Cached::Decision(dec) = self.cache[gid] else {
                 continue;
@@ -490,24 +623,32 @@ impl<'g> MoveSource<'g> {
                 continue;
             };
             let game = self.tracker.game();
-            let masses = self.tracker.masses();
             let own = self.tracker.coin_of(rep);
-            debug_assert!(own != vacated && own != joined, "touched groups are stale");
+            debug_assert!(
+                Some(own) != vacated && Some(own) != joined,
+                "touched groups are stale"
+            );
+            if let Some(joined) = joined {
+                if dec == Some(joined) {
+                    // The cached best got worse; nothing cheaper than a
+                    // re-probe decides what replaces it.
+                    self.mark_stale(gid as u32);
+                    continue;
+                }
+            }
+            let Some(vacated) = vacated else { continue };
+            if !self.tracker.is_coin_active(vacated) || !game.allowed(rep, vacated) {
+                continue;
+            }
+            let masses = self.tracker.masses();
             match dec {
                 None => {
                     // Stable: only `vacated` can now beat the (unchanged)
                     // current payoff — and then it is the unique best.
-                    if game.allowed(rep, vacated) {
-                        let current = game.rpu_after_join(rep, own, own, masses);
-                        if game.rpu_after_join(rep, vacated, own, masses) > current {
-                            self.set_decision(gid as u32, Some(vacated));
-                        }
+                    let current = game.rpu_after_join(rep, own, own, masses);
+                    if game.rpu_after_join(rep, vacated, own, masses) > current {
+                        self.set_decision(gid as u32, Some(vacated));
                     }
-                }
-                Some(b) if b == joined => {
-                    // The cached best got worse; nothing cheaper than a
-                    // re-probe decides what replaces it.
-                    self.mark_stale(gid as u32);
                 }
                 Some(b) if b == vacated => {
                     // The cached best only improved; still the unique max.
@@ -515,12 +656,10 @@ impl<'g> MoveSource<'g> {
                 Some(b) => {
                     // Unchanged best unless `vacated` now beats it (or
                     // ties with a smaller coin id).
-                    if game.allowed(rep, vacated) {
-                        let v = game.rpu_after_join(rep, vacated, own, masses);
-                        let v_b = game.rpu_after_join(rep, b, own, masses);
-                        if v > v_b || (v == v_b && vacated < b) {
-                            self.set_decision(gid as u32, Some(vacated));
-                        }
+                    let v = game.rpu_after_join(rep, vacated, own, masses);
+                    let v_b = game.rpu_after_join(rep, b, own, masses);
+                    if v > v_b || (v == v_b && vacated < b) {
+                        self.set_decision(gid as u32, Some(vacated));
                     }
                 }
             }
@@ -681,6 +820,97 @@ mod tests {
         let mut rng = CountingRng(9, 0);
         assert_eq!(src.sample_improving(&mut rng), None);
         assert_eq!(rng.1, 0, "a stable source must not consume randomness");
+    }
+
+    /// Naive oracle for a churned source: project the active subgame and
+    /// recompute every decision from scratch.
+    fn assert_matches_subgame_oracle(src: &mut MoveSource<'_>) {
+        let sub = src.tracker().active_subgame().expect("active population");
+        let masses = sub.config.masses(sub.game.system());
+        assert_eq!(src.is_stable(), sub.game.is_stable(&sub.config));
+        // Map the dense oracle's unstable set back into universe ids.
+        let expected_unstable: Vec<MinerId> = sub
+            .game
+            .unstable_miners(&sub.config)
+            .into_iter()
+            .map(|p| sub.miners[p.index()])
+            .collect();
+        assert_eq!(src.unstable_miners(), expected_unstable);
+        for (dense, &p) in sub.miners.iter().enumerate() {
+            let expected = sub
+                .game
+                .best_response(MinerId(dense), &sub.config, &masses)
+                .map(|to| Move {
+                    miner: p,
+                    from: sub.coins[sub.config.coin_of(MinerId(dense)).index()],
+                    to: sub.coins[to.index()],
+                });
+            assert_eq!(src.improving_move_for(p), expected, "{p}");
+        }
+    }
+
+    #[test]
+    fn decision_cache_survives_population_deltas() {
+        use crate::delta::Delta;
+        let game = Game::build(&[5, 3, 3, 2, 1], &[9, 4, 2]).unwrap();
+        let start = cfg(&game, &[0, 0, 1, 2, 0]);
+        let mut src = MoveSource::new(&game, &start).unwrap();
+        assert_matches_subgame_oracle(&mut src);
+        let deltas = [
+            Delta::RemoveMiner { miner: MinerId(3) },
+            Delta::Move {
+                miner: MinerId(4),
+                to: CoinId(2),
+            },
+            Delta::RetireCoin { coin: CoinId(1) },
+            Delta::InsertMiner {
+                miner: MinerId(3),
+                coin: None,
+            },
+            Delta::LaunchCoin { coin: CoinId(1) },
+            Delta::Move {
+                miner: MinerId(0),
+                to: CoinId(1),
+            },
+            Delta::RemoveMiner { miner: MinerId(0) },
+        ];
+        for delta in deltas {
+            src.apply_delta(delta)
+                .unwrap_or_else(|e| panic!("{delta}: {e}"));
+            assert_matches_subgame_oracle(&mut src);
+        }
+        while src.undo_delta().is_some() {
+            assert_matches_subgame_oracle(&mut src);
+        }
+        assert_eq!(src.config(), &start);
+        assert_eq!(src.tracker().active_miner_count(), 5);
+    }
+
+    #[test]
+    fn launch_attracts_and_retire_repels_cached_decisions() {
+        use crate::delta::Delta;
+        // Two heavy miners split over two coins; a dormant high-reward
+        // coin launches and must displace cached stable decisions.
+        let game = Game::build(&[4, 4], &[4, 4, 9]).unwrap();
+        let start = cfg(&game, &[0, 1]);
+        let mut src = MoveSource::over(
+            MassTracker::with_activity(&game, &start, &[true, true], &[true, true, false]).unwrap(),
+        );
+        assert!(src.is_stable());
+        src.apply_delta(Delta::LaunchCoin { coin: CoinId(2) })
+            .unwrap();
+        // 9/(4+4) > 4/4: both groups now want the fresh coin.
+        assert!(!src.is_stable());
+        let mv = src.improving_move_for(MinerId(0)).unwrap();
+        assert_eq!(mv.to, CoinId(2));
+        src.apply(mv.miner, mv.to);
+        // Retiring the new coin forces p0 home and must clear every
+        // cached decision that pointed at it.
+        src.apply_delta(Delta::RetireCoin { coin: CoinId(2) })
+            .unwrap();
+        assert!(src.is_stable());
+        assert_eq!(src.config().coin_of(MinerId(0)), CoinId(0));
+        assert_matches_subgame_oracle(&mut src);
     }
 
     #[test]

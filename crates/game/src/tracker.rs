@@ -7,17 +7,28 @@
 //! fine for the paper's toy games and hopeless for 100k-miner populations.
 //!
 //! [`MassTracker`] is the incremental counterpart: it owns a configuration
-//! and maintains, under single-move deltas ([`MassTracker::apply`] /
-//! [`MassTracker::undo`]),
+//! and maintains, under single-delta transitions
+//! ([`MassTracker::apply_delta`] / [`MassTracker::undo_delta`], with the
+//! classic [`MassTracker::apply`] / [`MassTracker::undo`] as the move-only
+//! shorthand),
 //!
 //! * the per-coin mass table `M_c(s)` — `O(1)` per move,
-//! * a **group index** partitioning miners into strategic equivalence
-//!   classes (same coin, same power, same coin restrictions). All members
-//!   of a group share payoff, better-response set, and stability, so
-//!   whole-population questions ([`MassTracker::is_stable`],
+//! * a **group index** partitioning the *active* miners into strategic
+//!   equivalence classes (same coin, same power, same coin restrictions).
+//!   All members of a group share payoff, better-response set, and
+//!   stability, so whole-population questions ([`MassTracker::is_stable`],
 //!   [`MassTracker::find_improving_move`]) cost `O(groups × coins)`
 //!   instead of `O(miners × coins)`. With cohort-structured populations
 //!   (few distinct hashrate classes) `groups ≪ miners`.
+//! * an **activity mask** over the declared miner/coin universe (the
+//!   [`crate::delta`] churn device): dormant miners carry no mass and
+//!   belong to no group; retired or unlaunched coins are not legal
+//!   targets and drop out of every potential. The four population deltas
+//!   ([`crate::Delta::InsertMiner`], [`crate::Delta::RemoveMiner`],
+//!   [`crate::Delta::LaunchCoin`], [`crate::Delta::RetireCoin`]) splice
+//!   the group index and patch masses/payoffs in `O(log miners)` — plus
+//!   `O(residents × coins)` for a retirement's forced relocations —
+//!   with **no rebuild**.
 //!
 //! Per-miner queries ([`MassTracker::payoff`],
 //! [`MassTracker::better_responses`], [`MassTracker::rpu_list`],
@@ -25,14 +36,16 @@
 //! (or `O(coins log coins)` for the sorted list) per step.
 //!
 //! The naive recompute-from-scratch path on [`Game`] remains the **test
-//! oracle**: the property suite in `crates/game/tests` asserts exact
-//! agreement on random games, random move sequences, and apply/undo
-//! round-trips.
+//! oracle**: with the whole universe active it is consulted directly, and
+//! under churn [`MassTracker::active_subgame`] projects the active
+//! population into a dense game the naive path evaluates. The property
+//! suites in `crates/game/tests` assert exact agreement on random games,
+//! random interleaved delta sequences, and apply/undo round-trips.
 //!
 //! # Examples
 //!
 //! ```
-//! use goc_game::{CoinId, Configuration, Game, MassTracker, MinerId};
+//! use goc_game::{CoinId, Configuration, Delta, Game, MassTracker, MinerId};
 //!
 //! let game = Game::build(&[2, 1], &[1, 1])?;
 //! let start = Configuration::uniform(CoinId(0), game.system())?;
@@ -44,16 +57,25 @@
 //! tracker.undo();
 //! assert_eq!(tracker.config(), &start);
 //! assert_eq!(mv.from, CoinId(0));
+//!
+//! // Population churn is a first-class delta: p1 goes offline …
+//! tracker.apply_delta(Delta::RemoveMiner { miner: MinerId(1) })?;
+//! assert_eq!(tracker.active_miner_count(), 1);
+//! // … and comes back, placed by best response onto the empty coin.
+//! tracker.apply_delta(Delta::InsertMiner { miner: MinerId(1), coin: None })?;
+//! assert_eq!(tracker.coin_of(MinerId(1)), CoinId(1));
 //! # Ok::<(), goc_game::GameError>(())
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::{Configuration, Masses};
+use crate::delta::{AppliedDelta, Delta};
 use crate::error::GameError;
-use crate::game::{Game, Move};
+use crate::game::{Game, Move, Rewards};
 use crate::ids::{CoinId, MinerId};
 use crate::ratio::{Extended, Ratio};
+use crate::system::System;
 
 /// A strategic equivalence class: miners sharing a coin, a power, and a
 /// restriction row behave identically in every query. The class key lives
@@ -74,10 +96,11 @@ pub(crate) struct Group {
 /// flat move list.
 pub(crate) type GroupKey = (u32, u64, u32);
 
-/// Partition of the miners into [`Group`]s, maintained under moves.
+/// Partition of the **active** miners into [`Group`]s, maintained under
+/// deltas (dormant miners belong to no group).
 #[derive(Debug, Clone)]
 pub(crate) struct GroupIndex {
-    /// Group id of each miner.
+    /// Group id of each miner (stale while a miner is dormant).
     pub(crate) of: Vec<u32>,
     pub(crate) groups: Vec<Group>,
     /// Key → group id, ordered so class-major enumeration is canonical.
@@ -87,7 +110,7 @@ pub(crate) struct GroupIndex {
 }
 
 impl GroupIndex {
-    fn new(game: &Game, config: &Configuration) -> Self {
+    fn new(game: &Game, config: &Configuration, active: &[bool]) -> Self {
         let n = game.system().num_miners();
         let mut index = GroupIndex {
             of: vec![0; n],
@@ -96,7 +119,9 @@ impl GroupIndex {
             cursor: 0,
         };
         for p in game.system().miner_ids() {
-            index.insert(game, p, config.coin_of(p));
+            if active[p.index()] {
+                index.insert(game, p, config.coin_of(p));
+            }
         }
         index
     }
@@ -142,23 +167,43 @@ impl GroupIndex {
     }
 }
 
+/// The dense projection of a (possibly churned) tracker state: a fresh
+/// [`Game`] over exactly the active miners and coins, plus the id maps
+/// back into the universe. This is the **naive oracle** of every churn
+/// equivalence test: build the subgame, recompute from scratch, compare.
+#[derive(Debug, Clone)]
+pub struct ActiveSubgame {
+    /// The dense game over the active population.
+    pub game: Game,
+    /// The active miners' configuration, in dense ids.
+    pub config: Configuration,
+    /// `miners[dense] = universe id` (ascending).
+    pub miners: Vec<MinerId>,
+    /// `coins[dense] = universe id` (ascending).
+    pub coins: Vec<CoinId>,
+}
+
 /// Incrementally-maintained view of a configuration inside a game: masses,
-/// the Appendix-B potential, and a miner group index, all updated in
-/// `O(1)`–`O(log)` per move. See the [module docs](self) for the cost
-/// model.
+/// the Appendix-B potential, a miner group index, and the activity masks
+/// of the churn vocabulary, all updated in `O(1)`–`O(log)` per delta. See
+/// the [module docs](self) for the cost model.
 #[derive(Debug, Clone)]
 pub struct MassTracker<'g> {
     game: &'g Game,
     config: Configuration,
     masses: Masses,
     groups: GroupIndex,
-    undo: Vec<Move>,
+    miner_active: Vec<bool>,
+    coin_active: Vec<bool>,
+    active_miners: usize,
+    active_coins: usize,
+    undo: Vec<AppliedDelta>,
     record_undo: bool,
 }
 
 impl<'g> MassTracker<'g> {
-    /// Builds a tracker over `start` in `game`. Costs
-    /// `O(miners + coins)`.
+    /// Builds a tracker over `start` in `game`, with the whole universe
+    /// active. Costs `O(miners + coins)`.
     ///
     /// # Errors
     ///
@@ -166,17 +211,65 @@ impl<'g> MassTracker<'g> {
     /// [`GameError::CoinOutOfRange`] if `start` does not fit the game's
     /// system.
     pub fn new(game: &'g Game, start: &Configuration) -> Result<Self, GameError> {
+        let n = game.system().num_miners();
+        let k = game.system().num_coins();
+        Self::with_activity(game, start, &vec![true; n], &vec![true; k])
+    }
+
+    /// Builds a tracker with an explicit activity state: `miner_active[p]`
+    /// / `coin_active[c]` declare who is online and which coins are live
+    /// at time zero — dormant entries are the churn reserve that
+    /// [`Delta::InsertMiner`] / [`Delta::LaunchCoin`] later activate.
+    ///
+    /// # Errors
+    ///
+    /// * Shape errors as in [`MassTracker::new`].
+    /// * [`GameError::CoinInactive`] if an active miner starts on a
+    ///   dormant coin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask length does not match the system.
+    pub fn with_activity(
+        game: &'g Game,
+        start: &Configuration,
+        miner_active: &[bool],
+        coin_active: &[bool],
+    ) -> Result<Self, GameError> {
         let system = game.system();
+        assert_eq!(
+            miner_active.len(),
+            system.num_miners(),
+            "miner activity mask must cover the universe"
+        );
+        assert_eq!(
+            coin_active.len(),
+            system.num_coins(),
+            "coin activity mask must cover the universe"
+        );
         // Re-validate the shape so a tracker can never silently index out
         // of range (Configurations from a different system are accepted by
         // the type system).
         let config = Configuration::new(start.as_slice().to_vec(), system)?;
-        let masses = config.masses(system);
+        let mut masses = Masses::zero(system.num_coins());
+        for p in system.miner_ids() {
+            if miner_active[p.index()] {
+                let coin = config.coin_of(p);
+                if !coin_active[coin.index()] {
+                    return Err(GameError::CoinInactive { coin });
+                }
+                masses.add(coin, system.power_of(p));
+            }
+        }
         Ok(MassTracker {
-            groups: GroupIndex::new(game, &config),
+            groups: GroupIndex::new(game, &config, miner_active),
             game,
             config,
             masses,
+            active_miners: miner_active.iter().filter(|&&a| a).count(),
+            active_coins: coin_active.iter().filter(|&&a| a).count(),
+            miner_active: miner_active.to_vec(),
+            coin_active: coin_active.to_vec(),
             undo: Vec::new(),
             record_undo: true,
         })
@@ -185,8 +278,9 @@ impl<'g> MassTracker<'g> {
     /// Enables or disables undo recording (on by default). Long-running
     /// dynamics loops that never rewind disable it so a million-step
     /// convergence does not retain a million-entry history; while
-    /// disabled, [`MassTracker::apply`] pushes nothing and
-    /// [`MassTracker::undo`] can only rewind moves recorded earlier.
+    /// disabled, [`MassTracker::apply_delta`] pushes nothing and
+    /// [`MassTracker::undo_delta`] can only rewind deltas recorded
+    /// earlier.
     pub fn set_undo_recording(&mut self, record: bool) {
         self.record_undo = record;
     }
@@ -196,7 +290,8 @@ impl<'g> MassTracker<'g> {
         self.game
     }
 
-    /// The current configuration.
+    /// The current configuration (entries of dormant miners are their
+    /// last coin and carry no mass).
     pub fn config(&self) -> &Configuration {
         &self.config
     }
@@ -206,7 +301,7 @@ impl<'g> MassTracker<'g> {
         self.config
     }
 
-    /// The maintained per-coin mass table.
+    /// The maintained per-coin mass table (active miners only).
     pub fn masses(&self) -> &Masses {
         &self.masses
     }
@@ -216,18 +311,48 @@ impl<'g> MassTracker<'g> {
         self.masses.mass_of(c)
     }
 
-    /// The coin currently mined by `p`.
+    /// The coin currently mined by `p` (last mined, for dormant miners).
     pub fn coin_of(&self, p: MinerId) -> CoinId {
         self.config.coin_of(p)
     }
 
+    /// Whether miner `p` is currently online.
+    pub fn is_miner_active(&self, p: MinerId) -> bool {
+        self.miner_active[p.index()]
+    }
+
+    /// Whether coin `c` is currently live.
+    pub fn is_coin_active(&self, c: CoinId) -> bool {
+        self.coin_active[c.index()]
+    }
+
+    /// The miner activity mask over the universe.
+    pub fn miner_activity(&self) -> &[bool] {
+        &self.miner_active
+    }
+
+    /// The coin activity mask over the universe.
+    pub fn coin_activity(&self) -> &[bool] {
+        &self.coin_active
+    }
+
+    /// Number of currently active miners.
+    pub fn active_miner_count(&self) -> usize {
+        self.active_miners
+    }
+
+    /// Number of currently live coins.
+    pub fn active_coin_count(&self) -> usize {
+        self.active_coins
+    }
+
     /// Number of strategic equivalence classes currently present
-    /// (including classes emptied by moves).
+    /// (including classes emptied by moves or departures).
     pub fn group_count(&self) -> usize {
         self.groups.groups.len()
     }
 
-    /// Depth of the undo stack (number of un-undone applied moves).
+    /// Depth of the undo stack (number of un-undone applied deltas).
     pub fn depth(&self) -> usize {
         self.undo.len()
     }
@@ -241,16 +366,23 @@ impl<'g> MassTracker<'g> {
         self.game.rpu(c, &self.masses)
     }
 
-    /// Miner `p`'s payoff `u_p(s)`, `O(1)`.
+    /// Miner `p`'s payoff `u_p(s)`, `O(1)`. A dormant miner earns zero.
     pub fn payoff(&self, p: MinerId) -> Ratio {
+        if !self.miner_active[p.index()] {
+            return Ratio::ZERO;
+        }
         self.game
             .payoff_with(p, self.config.coin_of(p), &self.masses)
     }
 
     /// Whether moving `p` to `to` is a better-response step, `O(1)`.
+    /// Always false for dormant miners and retired target coins.
     pub fn is_better_response(&self, p: MinerId, to: CoinId) -> bool {
-        self.game
-            .is_better_response(p, to, &self.config, &self.masses)
+        self.miner_active[p.index()]
+            && self.coin_active[to.index()]
+            && self
+                .game
+                .is_better_response(p, to, &self.config, &self.masses)
     }
 
     /// The payoff gain of moving `p` to `to`, `O(1)`.
@@ -258,14 +390,35 @@ impl<'g> MassTracker<'g> {
         self.game.gain(p, to, &self.config, &self.masses)
     }
 
-    /// All better-response steps of `p`, `O(coins)`.
+    /// All better-response steps of `p` over the live coins, `O(coins)`.
     pub fn better_responses(&self, p: MinerId) -> Vec<CoinId> {
-        self.game.better_responses(p, &self.config, &self.masses)
+        self.game
+            .system()
+            .coin_ids()
+            .filter(|&c| self.is_better_response(p, c))
+            .collect()
     }
 
-    /// `p`'s best response (or `None` if stable), `O(coins)`.
+    /// `p`'s best response over the live coins (or `None` if stable),
+    /// `O(coins)`. Identical to [`Game::best_response`] when the whole
+    /// universe is active.
     pub fn best_response(&self, p: MinerId) -> Option<CoinId> {
-        self.game.best_response(p, &self.config, &self.masses)
+        if !self.miner_active[p.index()] {
+            return None;
+        }
+        let from = self.config.coin_of(p);
+        let current = self.game.rpu_after_join(p, from, from, &self.masses);
+        let mut best: Option<(Ratio, CoinId)> = None;
+        for c in self.game.system().coin_ids() {
+            if c == from || !self.coin_active[c.index()] || !self.game.allowed(p, c) {
+                continue;
+            }
+            let target = self.game.rpu_after_join(p, c, from, &self.masses);
+            if target > current && best.is_none_or(|(b, _)| target > b) {
+                best = Some((target, c));
+            }
+        }
+        best.map(|(_, c)| c)
     }
 
     /// Whether `p` has no better response, `O(coins)`.
@@ -273,27 +426,33 @@ impl<'g> MassTracker<'g> {
         self.best_response(p).is_none()
     }
 
-    /// The sorted `⟨RPU_c(s), c⟩` list of Theorem 1's ordinal potential,
-    /// `O(coins log coins)` — no population rescan.
+    /// The sorted `⟨RPU_c(s), c⟩` list of Theorem 1's ordinal potential
+    /// over the **live** coins, `O(coins log coins)` — no population
+    /// rescan.
     pub fn rpu_list(&self) -> Vec<(Extended, CoinId)> {
         let mut list: Vec<(Extended, CoinId)> = self
             .game
             .system()
             .coin_ids()
+            .filter(|&c| self.coin_active[c.index()])
             .map(|c| (self.rpu(c), c))
             .collect();
         list.sort();
         list
     }
 
-    /// Appendix B's potential `H(s) = Σ_c 1/M_c(s)` (infinite when some
-    /// coin is unoccupied), `O(coins)` over the maintained masses — no
-    /// population rescan. (A running accumulator would be `O(1)` but
-    /// overflows `i128` on many-coin games whose masses are coprime;
-    /// summing on demand keeps exactly the naive path's envelope.)
+    /// Appendix B's potential `H(s) = Σ_c 1/M_c(s)` over the live coins
+    /// (infinite when some live coin is unoccupied), `O(coins)` over the
+    /// maintained masses — no population rescan. (A running accumulator
+    /// would be `O(1)` but overflows `i128` on many-coin games whose
+    /// masses are coprime; summing on demand keeps exactly the naive
+    /// path's envelope.)
     pub fn symmetric_potential(&self) -> Extended {
         let mut total = Ratio::ZERO;
         for c in self.game.system().coin_ids() {
+            if !self.coin_active[c.index()] {
+                continue;
+            }
             match self.masses.mass_of(c) {
                 0 => return Extended::Infinite,
                 m => {
@@ -326,13 +485,16 @@ impl<'g> MassTracker<'g> {
         self.game
             .system()
             .miner_ids()
-            .filter(|p| unstable[self.groups.of[p.index()] as usize])
+            .filter(|p| {
+                self.miner_active[p.index()] && unstable[self.groups.of[p.index()] as usize]
+            })
             .collect()
     }
 
-    /// All better-response steps over all miners, in miner-id then coin
-    /// order — exactly [`Game::improving_moves`], but better responses
-    /// are computed once per group (`O(groups × coins)` plus output).
+    /// All better-response steps over all active miners, in miner-id then
+    /// coin order — exactly [`Game::improving_moves`] on the active
+    /// subgame, but better responses are computed once per group
+    /// (`O(groups × coins)` plus output).
     pub fn improving_moves(&self) -> Vec<Move> {
         let mut per_group: Vec<Option<Vec<CoinId>>> = vec![None; self.groups.groups.len()];
         for (gid, g) in self.groups.groups.iter().enumerate() {
@@ -342,6 +504,9 @@ impl<'g> MassTracker<'g> {
         }
         let mut out = Vec::new();
         for p in self.game.system().miner_ids() {
+            if !self.miner_active[p.index()] {
+                continue;
+            }
             let gid = self.groups.of[p.index()] as usize;
             let from = self.config.coin_of(p);
             if let Some(targets) = &per_group[gid] {
@@ -394,10 +559,69 @@ impl<'g> MassTracker<'g> {
     }
 
     // ------------------------------------------------------------------
+    // The naive oracle under churn
+    // ------------------------------------------------------------------
+
+    /// Projects the active population into a dense [`Game`] plus the
+    /// matching configuration — the state a from-scratch rebuild would
+    /// see. With the whole universe active the projection is the
+    /// identity on ids. `O(miners + coins)`; this is the oracle path,
+    /// not a production query.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::NoMiners`] / [`GameError::NoCoins`] when the active
+    /// population or coin set is empty.
+    pub fn active_subgame(&self) -> Result<ActiveSubgame, GameError> {
+        let system = self.game.system();
+        let coins: Vec<CoinId> = system
+            .coin_ids()
+            .filter(|&c| self.coin_active[c.index()])
+            .collect();
+        let miners: Vec<MinerId> = system
+            .miner_ids()
+            .filter(|&p| self.miner_active[p.index()])
+            .collect();
+        if miners.is_empty() {
+            return Err(GameError::NoMiners);
+        }
+        if coins.is_empty() {
+            return Err(GameError::NoCoins);
+        }
+        let powers: Vec<u64> = miners.iter().map(|&p| system.power_of(p)).collect();
+        let dense_system = System::new(&powers, coins.len())?;
+        let rewards =
+            Rewards::from_ratios(coins.iter().map(|&c| self.game.reward_of(c)).collect())?;
+        let mut game = Game::new(dense_system, rewards)?;
+        if self.game.is_restricted() {
+            let rows: Vec<Vec<bool>> = miners
+                .iter()
+                .map(|&p| coins.iter().map(|&c| self.game.allowed(p, c)).collect())
+                .collect();
+            game = game.with_restrictions(rows)?;
+        }
+        let mut dense_coin = vec![usize::MAX; system.num_coins()];
+        for (dense, &c) in coins.iter().enumerate() {
+            dense_coin[c.index()] = dense;
+        }
+        let assignment: Vec<CoinId> = miners
+            .iter()
+            .map(|&p| CoinId(dense_coin[self.config.coin_of(p).index()]))
+            .collect();
+        let config = Configuration::new(assignment, game.system())?;
+        Ok(ActiveSubgame {
+            game,
+            config,
+            miners,
+            coins,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Group-index access for the MoveSource scheduler protocol
     // ------------------------------------------------------------------
 
-    /// The group id of miner `p`.
+    /// The group id of miner `p` (stale for dormant miners).
     pub(crate) fn gid_of(&self, p: MinerId) -> u32 {
         self.groups.of[p.index()]
     }
@@ -421,9 +645,10 @@ impl<'g> MassTracker<'g> {
     // Mutation
     // ------------------------------------------------------------------
 
-    /// Moves `p` to `to`, updating masses, the potential accumulator, and
-    /// the group index in `O(1)` (amortized), and pushes the move onto
-    /// the undo stack. Returns the applied move (with its `from` coin).
+    /// Moves `p` to `to`, updating masses and the group index in `O(log)`
+    /// (amortized), and pushes the move onto the undo stack. Returns the
+    /// applied move (with its `from` coin). Shorthand for a
+    /// [`Delta::Move`] through [`MassTracker::apply_delta`].
     ///
     /// The move need not be a better response — the tracker follows any
     /// move sequence exactly (that is what the equivalence suite
@@ -431,31 +656,265 @@ impl<'g> MassTracker<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if `p` or `to` is out of range for the game's system.
+    /// Panics if `p` or `to` is out of range for the game's system, or if
+    /// the move is illegal under the current activity state (dormant
+    /// miner, retired coin) — population-aware callers use
+    /// [`MassTracker::apply_delta`] and handle the error.
     pub fn apply(&mut self, p: MinerId, to: CoinId) -> Move {
         assert!(
             to.index() < self.game.system().num_coins(),
             "{to} out of range"
         );
-        let from = self.config.coin_of(p);
-        let mv = Move { miner: p, from, to };
-        if from != to {
-            self.shift(p, from, to);
+        match self.apply_delta(Delta::Move { miner: p, to }) {
+            Ok(AppliedDelta::Move(mv)) => mv,
+            Ok(_) => unreachable!("a move delta applies as a move"),
+            Err(e) => panic!("illegal move: {e}"),
         }
+    }
+
+    /// Applies one churn [`Delta`], validating it against the current
+    /// activity state, and pushes the resolved [`AppliedDelta`] onto the
+    /// undo stack. `O(log miners)` for moves, insertions, removals, and
+    /// launches; `O(residents × coins)` for a retirement (the forced
+    /// relocations).
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::MinerInactive`] / [`GameError::MinerActive`] on a
+    ///   move/removal of a dormant miner or an insertion of an active one.
+    /// * [`GameError::CoinInactive`] / [`GameError::CoinActive`] on a
+    ///   retired move target, retirement of a dormant coin, or launch of
+    ///   a live one.
+    /// * [`GameError::CoinOutOfRange`] if a referenced coin is outside
+    ///   the universe.
+    /// * [`GameError::NoPlacement`] if an arrival or a forced relocation
+    ///   has no active permitted coin (the delta fails atomically: no
+    ///   state changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a miner id is outside the universe.
+    pub fn apply_delta(&mut self, delta: Delta) -> Result<AppliedDelta, GameError> {
+        let applied = self.apply_delta_inner(delta)?;
         if self.record_undo {
-            self.undo.push(mv);
+            self.undo.push(applied.clone());
         }
-        mv
+        Ok(applied)
+    }
+
+    fn check_coin(&self, coin: CoinId) -> Result<(), GameError> {
+        if coin.index() >= self.game.system().num_coins() {
+            return Err(GameError::CoinOutOfRange {
+                coin,
+                coins: self.game.system().num_coins(),
+            });
+        }
+        Ok(())
+    }
+
+    fn apply_delta_inner(&mut self, delta: Delta) -> Result<AppliedDelta, GameError> {
+        match delta {
+            Delta::Move { miner, to } => {
+                self.check_coin(to)?;
+                if !self.miner_active[miner.index()] {
+                    return Err(GameError::MinerInactive { miner });
+                }
+                if !self.coin_active[to.index()] {
+                    return Err(GameError::CoinInactive { coin: to });
+                }
+                let from = self.config.coin_of(miner);
+                if from != to {
+                    self.shift(miner, from, to);
+                }
+                Ok(AppliedDelta::Move(Move { miner, from, to }))
+            }
+            Delta::InsertMiner { miner, coin } => {
+                if self.miner_active[miner.index()] {
+                    return Err(GameError::MinerActive { miner });
+                }
+                let coin = match coin {
+                    Some(c) => {
+                        self.check_coin(c)?;
+                        if !self.coin_active[c.index()] {
+                            return Err(GameError::CoinInactive { coin: c });
+                        }
+                        if !self.game.allowed(miner, c) {
+                            return Err(GameError::NoPlacement { miner });
+                        }
+                        c
+                    }
+                    None => self
+                        .forced_placement(miner)
+                        .ok_or(GameError::NoPlacement { miner })?,
+                };
+                let previous = self.config.coin_of(miner);
+                self.miner_active[miner.index()] = true;
+                self.active_miners += 1;
+                self.masses.add(coin, self.game.system().power_of(miner));
+                self.config.apply_move(miner, coin);
+                self.groups.insert(self.game, miner, coin);
+                Ok(AppliedDelta::InsertMiner {
+                    miner,
+                    coin,
+                    previous,
+                })
+            }
+            Delta::RemoveMiner { miner } => {
+                if !self.miner_active[miner.index()] {
+                    return Err(GameError::MinerInactive { miner });
+                }
+                let coin = self.config.coin_of(miner);
+                self.deactivate_miner(miner, coin);
+                Ok(AppliedDelta::RemoveMiner { miner, coin })
+            }
+            Delta::LaunchCoin { coin } => {
+                self.check_coin(coin)?;
+                if self.coin_active[coin.index()] {
+                    return Err(GameError::CoinActive { coin });
+                }
+                debug_assert_eq!(self.masses.mass_of(coin), 0, "dormant coins carry no mass");
+                self.coin_active[coin.index()] = true;
+                self.active_coins += 1;
+                Ok(AppliedDelta::LaunchCoin { coin })
+            }
+            Delta::RetireCoin { coin } => {
+                self.check_coin(coin)?;
+                if !self.coin_active[coin.index()] {
+                    return Err(GameError::CoinInactive { coin });
+                }
+                let mut residents: Vec<MinerId> = Vec::new();
+                let gids: Vec<u32> = self.groups.groups_on(coin).collect();
+                for gid in gids {
+                    residents.extend(self.groups.groups[gid as usize].members.iter().copied());
+                }
+                residents.sort_unstable();
+                // Atomicity precheck: every resident must have somewhere
+                // legal to go (existence depends only on activity and
+                // restrictions, not on masses, so checking up front is
+                // exact).
+                for &p in &residents {
+                    let placeable = self.game.system().coin_ids().any(|c| {
+                        c != coin && self.coin_active[c.index()] && self.game.allowed(p, c)
+                    });
+                    if !placeable {
+                        return Err(GameError::NoPlacement { miner: p });
+                    }
+                }
+                self.coin_active[coin.index()] = false;
+                self.active_coins -= 1;
+                // Forced relocation by best response, in miner-id order,
+                // each against the masses its predecessors left.
+                let mut relocations = Vec::with_capacity(residents.len());
+                for p in residents {
+                    let to = self
+                        .forced_placement(p)
+                        .expect("prechecked: a permitted active coin exists");
+                    self.shift(p, coin, to);
+                    relocations.push(Move {
+                        miner: p,
+                        from: coin,
+                        to,
+                    });
+                }
+                Ok(AppliedDelta::RetireCoin { coin, relocations })
+            }
+        }
     }
 
     /// Reverts the most recent un-undone [`MassTracker::apply`], returning
     /// the move that was undone (`None` on an empty stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the top of the stack is a population delta — mixed
+    /// histories rewind through [`MassTracker::undo_delta`].
     pub fn undo(&mut self) -> Option<Move> {
-        let mv = self.undo.pop()?;
-        if mv.from != mv.to {
-            self.shift(mv.miner, mv.to, mv.from);
+        match self.undo.last()? {
+            AppliedDelta::Move(_) => match self.undo_delta() {
+                Some(AppliedDelta::Move(mv)) => Some(mv),
+                _ => unreachable!("the top of the stack was a move"),
+            },
+            other => panic!("undo() reached a population delta ({other}); use undo_delta()"),
         }
-        Some(mv)
+    }
+
+    /// Reverts the most recent un-undone [`MassTracker::apply_delta`],
+    /// returning the delta that was undone (`None` on an empty stack).
+    /// Every variant rewinds exactly: a retirement re-launches the coin
+    /// and walks the forced relocations backwards.
+    pub fn undo_delta(&mut self) -> Option<AppliedDelta> {
+        let applied = self.undo.pop()?;
+        match &applied {
+            AppliedDelta::Move(mv) => {
+                if mv.from != mv.to {
+                    self.shift(mv.miner, mv.to, mv.from);
+                }
+            }
+            AppliedDelta::InsertMiner {
+                miner,
+                coin,
+                previous,
+            } => {
+                self.deactivate_miner(*miner, *coin);
+                self.config.apply_move(*miner, *previous);
+            }
+            AppliedDelta::RemoveMiner { miner, coin } => {
+                self.miner_active[miner.index()] = true;
+                self.active_miners += 1;
+                self.masses.add(*coin, self.game.system().power_of(*miner));
+                self.config.apply_move(*miner, *coin);
+                self.groups.insert(self.game, *miner, *coin);
+            }
+            AppliedDelta::LaunchCoin { coin } => {
+                debug_assert_eq!(self.masses.mass_of(*coin), 0, "launch undone after moves");
+                self.coin_active[coin.index()] = false;
+                self.active_coins -= 1;
+            }
+            AppliedDelta::RetireCoin { coin, relocations } => {
+                self.coin_active[coin.index()] = true;
+                self.active_coins += 1;
+                for mv in relocations.iter().rev() {
+                    self.shift(mv.miner, mv.to, mv.from);
+                }
+            }
+        }
+        Some(applied)
+    }
+
+    fn deactivate_miner(&mut self, p: MinerId, coin: CoinId) {
+        self.miner_active[p.index()] = false;
+        self.active_miners -= 1;
+        self.masses.remove(coin, self.game.system().power_of(p));
+        self.groups.remove(p);
+    }
+
+    /// The RPU miner `p` would experience after joining `c` from nowhere
+    /// (`F(c) / (M_c + m_p)`): the placement objective of arrivals and
+    /// forced relocations.
+    fn joined_rpu(&self, p: MinerId, c: CoinId) -> Ratio {
+        let mass = self.masses.mass_of(c) + u128::from(self.game.system().power_of(p));
+        self.game
+            .reward_of(c)
+            .checked_div_int(mass as i128)
+            .expect("mass fits i128 by construction")
+    }
+
+    /// The best active permitted coin to place `p` on (highest post-join
+    /// RPU, ties to the lowest coin id), or `None` if no active coin is
+    /// permitted. Placement is *forced*: unlike a better response it
+    /// needs no current payoff to beat.
+    fn forced_placement(&self, p: MinerId) -> Option<CoinId> {
+        let mut best: Option<(Ratio, CoinId)> = None;
+        for c in self.game.system().coin_ids() {
+            if !self.coin_active[c.index()] || !self.game.allowed(p, c) {
+                continue;
+            }
+            let v = self.joined_rpu(p, c);
+            if best.is_none_or(|(b, _)| v > b) {
+                best = Some((v, c));
+            }
+        }
+        best.map(|(_, c)| c)
     }
 
     fn shift(&mut self, p: MinerId, from: CoinId, to: CoinId) {
@@ -639,5 +1098,211 @@ mod tests {
         t.apply(MinerId(1), CoinId(1));
         let final_config = t.into_config();
         assert_eq!(final_config.coin_of(MinerId(1)), CoinId(1));
+    }
+
+    // ------------------------------------------------------------------
+    // Churn deltas
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn insert_and_remove_patch_masses_and_groups() {
+        let game = Game::build(&[4, 2, 1], &[6, 3]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t =
+            MassTracker::with_activity(&game, &start, &[true, true, false], &[true, true]).unwrap();
+        assert_eq!(t.active_miner_count(), 2);
+        assert_eq!(t.mass_of(CoinId(0)), 6);
+        assert_eq!(t.payoff(MinerId(2)), Ratio::ZERO);
+
+        // p2 arrives by best response: the empty coin 1 pays 3/1 > 6/7.
+        let applied = t
+            .apply_delta(Delta::InsertMiner {
+                miner: MinerId(2),
+                coin: None,
+            })
+            .unwrap();
+        assert_eq!(
+            applied,
+            AppliedDelta::InsertMiner {
+                miner: MinerId(2),
+                coin: CoinId(1),
+                previous: CoinId(0)
+            }
+        );
+        assert_eq!(t.mass_of(CoinId(1)), 1);
+        assert_eq!(t.active_miner_count(), 3);
+
+        // Departures free the mass again.
+        t.apply_delta(Delta::RemoveMiner { miner: MinerId(0) })
+            .unwrap();
+        assert_eq!(t.mass_of(CoinId(0)), 2);
+        assert_eq!(t.active_miner_count(), 2);
+        assert!(!t.is_miner_active(MinerId(0)));
+
+        // Deltas are rejected with named errors, not silent corruption.
+        assert_eq!(
+            t.apply_delta(Delta::RemoveMiner { miner: MinerId(0) }),
+            Err(GameError::MinerInactive { miner: MinerId(0) })
+        );
+        assert_eq!(
+            t.apply_delta(Delta::InsertMiner {
+                miner: MinerId(2),
+                coin: None
+            }),
+            Err(GameError::MinerActive { miner: MinerId(2) })
+        );
+        assert_eq!(
+            t.apply_delta(Delta::Move {
+                miner: MinerId(0),
+                to: CoinId(1)
+            }),
+            Err(GameError::MinerInactive { miner: MinerId(0) })
+        );
+
+        // Full rewind restores the initial activity state exactly.
+        while t.undo_delta().is_some() {}
+        assert_eq!(t.active_miner_count(), 2);
+        assert_eq!(t.mass_of(CoinId(0)), 6);
+        assert_eq!(t.mass_of(CoinId(1)), 0);
+        assert!(!t.is_miner_active(MinerId(2)));
+    }
+
+    #[test]
+    fn launch_and_retire_toggle_the_coin_universe() {
+        // Coin 2 starts dormant; after launch it attracts a mover; the
+        // retirement of coin 1 forcibly relocates its residents.
+        let game = Game::build(&[3, 2, 1], &[6, 3, 4]).unwrap();
+        let start = cfg(&game, &[0, 1, 1]);
+        let mut t =
+            MassTracker::with_activity(&game, &start, &[true; 3], &[true, true, false]).unwrap();
+        assert_eq!(t.active_coin_count(), 2);
+        // The dormant coin is invisible to every query.
+        assert_eq!(t.rpu_list().len(), 2);
+        assert!(t
+            .better_responses(MinerId(2))
+            .iter()
+            .all(|&c| c != CoinId(2)));
+        assert_eq!(
+            t.apply_delta(Delta::Move {
+                miner: MinerId(2),
+                to: CoinId(2)
+            }),
+            Err(GameError::CoinInactive { coin: CoinId(2) })
+        );
+
+        t.apply_delta(Delta::LaunchCoin { coin: CoinId(2) })
+            .unwrap();
+        assert_eq!(t.active_coin_count(), 3);
+        assert_eq!(
+            t.apply_delta(Delta::LaunchCoin { coin: CoinId(2) }),
+            Err(GameError::CoinActive { coin: CoinId(2) })
+        );
+        // The fresh coin pays 4/(1+1) = 2 to p2 vs 3/3 = 1 staying: a
+        // better response the launch made legal.
+        assert!(t.is_better_response(MinerId(2), CoinId(2)));
+        t.apply(MinerId(2), CoinId(2));
+
+        // Retiring coin 1 relocates p1 (power 2): targets pay 6/5 (c0)
+        // vs 4/3 (c2) — forced best response picks c2.
+        let applied = t
+            .apply_delta(Delta::RetireCoin { coin: CoinId(1) })
+            .unwrap();
+        let AppliedDelta::RetireCoin { coin, relocations } = &applied else {
+            panic!("expected a retirement, got {applied}");
+        };
+        assert_eq!(*coin, CoinId(1));
+        assert_eq!(
+            relocations.as_slice(),
+            &[Move {
+                miner: MinerId(1),
+                from: CoinId(1),
+                to: CoinId(2)
+            }]
+        );
+        assert_eq!(t.mass_of(CoinId(1)), 0);
+        assert!(!t.is_coin_active(CoinId(1)));
+        // The whole history unwinds exactly.
+        while t.undo_delta().is_some() {}
+        assert_eq!(t.config(), &start);
+        assert_eq!(t.masses(), &start.masses(game.system()));
+        assert!(!t.is_coin_active(CoinId(2)));
+        assert!(t.is_coin_active(CoinId(1)));
+    }
+
+    #[test]
+    fn retirement_is_atomic_when_a_restricted_miner_is_stranded() {
+        // p0 may only mine c0: retiring c0 must fail atomically.
+        let game = Game::build(&[2, 1], &[1, 1])
+            .unwrap()
+            .with_restrictions(vec![vec![true, false], vec![true, true]])
+            .unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        let before = t.clone();
+        assert_eq!(
+            t.apply_delta(Delta::RetireCoin { coin: CoinId(0) }),
+            Err(GameError::NoPlacement { miner: MinerId(0) })
+        );
+        assert_eq!(t.config(), before.config());
+        assert_eq!(t.masses(), before.masses());
+        assert_eq!(t.active_coin_count(), 2);
+        assert_eq!(t.depth(), 0);
+        // Retiring c1 instead relocates p1 back onto its permitted coin.
+        let applied = t.apply_delta(Delta::RetireCoin { coin: CoinId(1) });
+        assert!(applied.is_ok());
+        assert_eq!(t.coin_of(MinerId(1)), CoinId(0));
+    }
+
+    #[test]
+    fn active_subgame_projects_the_churned_state() {
+        let game = Game::build(&[5, 3, 2, 1], &[9, 4, 2]).unwrap();
+        let start = cfg(&game, &[0, 1, 1, 2]);
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        // All-active: the projection is the identity on ids.
+        let sub = t.active_subgame().unwrap();
+        assert_eq!(sub.game.system().num_miners(), 4);
+        assert_eq!(sub.config, start);
+
+        t.apply_delta(Delta::RemoveMiner { miner: MinerId(1) })
+            .unwrap();
+        t.apply_delta(Delta::RetireCoin { coin: CoinId(2) })
+            .unwrap();
+        let sub = t.active_subgame().unwrap();
+        assert_eq!(sub.miners, vec![MinerId(0), MinerId(2), MinerId(3)]);
+        assert_eq!(sub.coins, vec![CoinId(0), CoinId(1)]);
+        assert_eq!(sub.game.system().num_miners(), 3);
+        assert_eq!(sub.game.system().num_coins(), 2);
+        // Dense masses equal the tracker's masses on the live coins.
+        let dense_masses = sub.config.masses(sub.game.system());
+        for (dense, &c) in sub.coins.iter().enumerate() {
+            assert_eq!(dense_masses.mass_of(CoinId(dense)), t.mass_of(c));
+        }
+        // Tracker stability answers exactly as the naive dense oracle.
+        assert_eq!(t.is_stable(), sub.game.is_stable(&sub.config));
+    }
+
+    #[test]
+    #[should_panic(expected = "population delta")]
+    fn move_only_undo_rejects_population_deltas() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut t = MassTracker::new(&game, &start).unwrap();
+        t.apply_delta(Delta::RemoveMiner { miner: MinerId(1) })
+            .unwrap();
+        t.undo();
+    }
+
+    #[test]
+    fn with_activity_rejects_active_miners_on_dormant_coins() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let start = cfg(&game, &[0, 1]);
+        assert_eq!(
+            MassTracker::with_activity(&game, &start, &[true, true], &[true, false]).err(),
+            Some(GameError::CoinInactive { coin: CoinId(1) })
+        );
+        // A dormant miner may point at a dormant coin.
+        let t = MassTracker::with_activity(&game, &start, &[true, false], &[true, false]).unwrap();
+        assert_eq!(t.active_miner_count(), 1);
+        assert_eq!(t.active_coin_count(), 1);
     }
 }

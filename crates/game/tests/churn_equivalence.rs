@@ -1,0 +1,295 @@
+//! Property suite pinning the churn delta vocabulary to the naive
+//! oracle: under randomly interleaved `{move, insert_miner,
+//! remove_miner, launch_coin, retire_coin}` sequences — restricted games
+//! included — every [`MassTracker`] and [`MoveSource`] answer must agree
+//! *exactly* with rebuilding the dense active subgame
+//! ([`MassTracker::active_subgame`]) and recomputing from scratch, and
+//! fully unwinding the stack through [`MassTracker::undo_delta`] must
+//! restore every intermediate state byte-for-byte.
+
+use proptest::prelude::*;
+
+use goc_game::{
+    AppliedDelta, CoinId, Configuration, Delta, Game, GameError, MinerId, Move, MoveSource,
+};
+
+/// A random small game plus a random configuration.
+fn game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (3usize..7, 2usize..5).prop_flat_map(|(n, k)| {
+        let powers = proptest::collection::vec(1u64..200, n);
+        let rewards = proptest::collection::vec(1u64..200, k);
+        let assignment = proptest::collection::vec(0usize..k, n);
+        (powers, rewards, assignment).prop_map(|(p, r, a)| {
+            let game = Game::build(&p, &r).expect("valid parameters");
+            let config = Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
+                .expect("valid assignment");
+            (game, config)
+        })
+    })
+}
+
+/// As [`game_and_config`], but with a random coin-restriction matrix
+/// (every miner keeps at least one permitted coin: its own).
+fn restricted_game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (
+        game_and_config(),
+        proptest::collection::vec(0usize..64, 3usize..7),
+    )
+        .prop_map(|((game, config), seeds)| {
+            let n = game.system().num_miners();
+            let k = game.system().num_coins();
+            let restrictions: Vec<Vec<bool>> = (0..n)
+                .map(|p| {
+                    let bits = seeds[p % seeds.len()];
+                    (0..k)
+                        .map(|c| c == config.coin_of(MinerId(p)).index() || (bits >> c) & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let game = game
+                .with_restrictions(restrictions)
+                .expect("every miner keeps its own coin");
+            (game, config)
+        })
+}
+
+/// Everything the undo path must restore, captured per step.
+#[derive(Clone, PartialEq, Debug)]
+struct Snapshot {
+    config: Configuration,
+    miner_active: Vec<bool>,
+    coin_active: Vec<bool>,
+}
+
+fn snapshot(src: &MoveSource<'_>) -> Snapshot {
+    Snapshot {
+        config: src.config().clone(),
+        miner_active: src.tracker().miner_activity().to_vec(),
+        coin_active: src.tracker().coin_activity().to_vec(),
+    }
+}
+
+/// Chooses the next delta from three raw random draws, keeping the
+/// population and coin set non-degenerate (≥ 1 active miner, ≥ 1 live
+/// coin — the subgame oracle needs both).
+fn choose_delta(src: &MoveSource<'_>, op: usize, a: usize, b: usize) -> Option<Delta> {
+    let tracker = src.tracker();
+    let system = src.game().system();
+    let active_miners: Vec<MinerId> = system
+        .miner_ids()
+        .filter(|&p| tracker.is_miner_active(p))
+        .collect();
+    let dormant_miners: Vec<MinerId> = system
+        .miner_ids()
+        .filter(|&p| !tracker.is_miner_active(p))
+        .collect();
+    let live_coins: Vec<CoinId> = system
+        .coin_ids()
+        .filter(|&c| tracker.is_coin_active(c))
+        .collect();
+    let dormant_coins: Vec<CoinId> = system
+        .coin_ids()
+        .filter(|&c| !tracker.is_coin_active(c))
+        .collect();
+    match op % 5 {
+        0 if !active_miners.is_empty() => {
+            // Only permitted targets: legal dynamics never move a miner
+            // onto a forbidden coin, and the dense-subgame oracle
+            // requires every active miner to keep a permitted live coin
+            // (its own).
+            let miner = active_miners[a % active_miners.len()];
+            let allowed: Vec<CoinId> = live_coins
+                .iter()
+                .copied()
+                .filter(|&c| src.game().allowed(miner, c))
+                .collect();
+            (!allowed.is_empty()).then(|| Delta::Move {
+                miner,
+                to: allowed[b % allowed.len()],
+            })
+        }
+        1 if !dormant_miners.is_empty() => Some(Delta::InsertMiner {
+            miner: dormant_miners[a % dormant_miners.len()],
+            // Alternate between best-response and explicit placement.
+            coin: if b.is_multiple_of(2) {
+                None
+            } else {
+                Some(live_coins[b % live_coins.len()])
+            },
+        }),
+        2 if active_miners.len() >= 2 => Some(Delta::RemoveMiner {
+            miner: active_miners[a % active_miners.len()],
+        }),
+        3 if !dormant_coins.is_empty() => Some(Delta::LaunchCoin {
+            coin: dormant_coins[a % dormant_coins.len()],
+        }),
+        4 if live_coins.len() >= 2 => Some(Delta::RetireCoin {
+            coin: live_coins[a % live_coins.len()],
+        }),
+        _ => None,
+    }
+}
+
+/// Asserts every tracker/source answer equals the naive recomputation
+/// over the dense active subgame.
+fn assert_matches_subgame(src: &mut MoveSource<'_>) -> Result<(), TestCaseError> {
+    let sub = src
+        .tracker()
+        .active_subgame()
+        .expect("delta chooser keeps the population non-degenerate");
+    let masses = sub.config.masses(sub.game.system());
+    // Masses, coin by live coin.
+    for (dense, &c) in sub.coins.iter().enumerate() {
+        prop_assert_eq!(
+            src.tracker().mass_of(c),
+            masses.mass_of(CoinId(dense)),
+            "mass of {} diverged",
+            c
+        );
+    }
+    // The sorted RPU list maps 1:1 (ascending universe ids preserve the
+    // dense tie-break order).
+    let expected_rpu: Vec<_> = goc_game::potential::rpu_list(&sub.game, &sub.config)
+        .into_iter()
+        .map(|(rpu, c)| (rpu, sub.coins[c.index()]))
+        .collect();
+    prop_assert_eq!(src.tracker().rpu_list(), expected_rpu);
+    prop_assert_eq!(
+        src.tracker().symmetric_potential(),
+        goc_game::potential::symmetric_potential(&sub.game, &sub.config)
+    );
+    // Whole-population answers.
+    prop_assert_eq!(src.is_stable(), sub.game.is_stable(&sub.config));
+    let expected_unstable: Vec<MinerId> = sub
+        .game
+        .unstable_miners(&sub.config)
+        .into_iter()
+        .map(|p| sub.miners[p.index()])
+        .collect();
+    prop_assert_eq!(src.unstable_miners(), expected_unstable);
+    prop_assert_eq!(src.tracker().unstable_miners(), src.unstable_miners());
+    let expected_moves: Vec<Move> = sub
+        .game
+        .improving_moves(&sub.config)
+        .into_iter()
+        .map(|mv| Move {
+            miner: sub.miners[mv.miner.index()],
+            from: sub.coins[mv.from.index()],
+            to: sub.coins[mv.to.index()],
+        })
+        .collect();
+    prop_assert_eq!(src.tracker().improving_moves(), expected_moves);
+    // Per-miner answers, dormant miners included.
+    let universe_miners = src.game().system().num_miners();
+    let mut dense_of = vec![usize::MAX; universe_miners];
+    for (dense, &p) in sub.miners.iter().enumerate() {
+        dense_of[p.index()] = dense;
+    }
+    for p in (0..universe_miners).map(MinerId) {
+        let dense = dense_of[p.index()];
+        if dense == usize::MAX {
+            prop_assert_eq!(src.tracker().payoff(p), goc_game::Ratio::ZERO);
+            prop_assert_eq!(src.tracker().best_response(p), None);
+            prop_assert_eq!(src.improving_move_for(p), None);
+            continue;
+        }
+        let dp = MinerId(dense);
+        prop_assert_eq!(src.tracker().payoff(p), sub.game.payoff(dp, &sub.config));
+        let expected_br = sub
+            .game
+            .best_response(dp, &sub.config, &masses)
+            .map(|c| sub.coins[c.index()]);
+        prop_assert_eq!(src.tracker().best_response(p), expected_br);
+        prop_assert_eq!(
+            src.improving_move_for(p),
+            expected_br.map(|to| Move {
+                miner: p,
+                from: src.config().coin_of(p),
+                to,
+            })
+        );
+        let expected_brs: Vec<CoinId> = sub
+            .game
+            .better_responses(dp, &sub.config, &masses)
+            .into_iter()
+            .map(|c| sub.coins[c.index()])
+            .collect();
+        prop_assert_eq!(src.tracker().better_responses(p), expected_brs);
+    }
+    Ok(())
+}
+
+/// Drives a random delta sequence, checking the oracle after every
+/// applied delta, then unwinds everything and checks each restored
+/// state. Shared by the unrestricted and restricted properties.
+fn drive(
+    game: &Game,
+    start: &Configuration,
+    ops: &[(usize, usize, usize)],
+) -> Result<(), TestCaseError> {
+    let mut src = MoveSource::new(game, start).expect("valid start");
+    assert_matches_subgame(&mut src)?;
+    let mut snapshots = vec![snapshot(&src)];
+    let mut applied = 0usize;
+    for &(op, a, b) in ops {
+        let Some(delta) = choose_delta(&src, op, a, b) else {
+            continue;
+        };
+        match src.apply_delta(delta) {
+            Ok(_) => {
+                applied += 1;
+                snapshots.push(snapshot(&src));
+                assert_matches_subgame(&mut src)?;
+            }
+            Err(GameError::NoPlacement { .. }) => {
+                // Restricted retirement with a stranded resident — must
+                // be atomic: nothing changed.
+                prop_assert!(matches!(
+                    delta,
+                    Delta::RetireCoin { .. } | Delta::InsertMiner { .. }
+                ));
+                prop_assert_eq!(&snapshot(&src), snapshots.last().expect("initial snapshot"));
+                assert_matches_subgame(&mut src)?;
+            }
+            Err(e) => prop_assert!(false, "unexpected rejection of {}: {}", delta, e),
+        }
+    }
+    prop_assert_eq!(src.tracker().depth(), applied);
+    // Full rewind: every intermediate state is restored exactly, and
+    // every restored state still matches the oracle.
+    while let Some(undone) = src.undo_delta() {
+        snapshots.pop();
+        prop_assert_eq!(&snapshot(&src), snapshots.last().expect("start snapshot"));
+        assert_matches_subgame(&mut src)?;
+        if let AppliedDelta::RetireCoin { coin, relocations } = &undone {
+            for mv in relocations {
+                prop_assert_eq!(mv.from, *coin);
+            }
+        }
+    }
+    prop_assert_eq!(src.config(), start);
+    prop_assert_eq!(src.tracker().depth(), 0);
+    Ok(())
+}
+
+proptest! {
+    /// Interleaved delta sequences on unrestricted games.
+    #[test]
+    fn churn_deltas_match_the_subgame_oracle(
+        (game, start) in game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 1..14),
+    ) {
+        drive(&game, &start, &ops)?;
+    }
+
+    /// The same under random coin restrictions: groups degenerate to
+    /// singletons, retirements may strand residents (and must then fail
+    /// atomically), and equivalence must still be exact.
+    #[test]
+    fn churn_deltas_match_the_subgame_oracle_restricted(
+        (game, start) in restricted_game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 1..10),
+    ) {
+        drive(&game, &start, &ops)?;
+    }
+}

@@ -22,9 +22,71 @@
 
 use std::fmt;
 
-use goc_game::{Configuration, Game, MassTracker, Move, MoveSource};
+use goc_game::{Configuration, Delta, Game, GameError, MassTracker, Move, MoveSource};
 
 use crate::scheduler::{Scheduler, SchedulerError};
+
+/// One scheduled churn delta of a learning run: `delta` arrives once the
+/// dynamics have taken `at_step` better-response steps (churn "time" is
+/// step count — the paper's dynamics are sequential, so interleaving by
+/// step index is the natural clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Number of better-response steps after which the delta fires.
+    pub at_step: usize,
+    /// The population / coin-lifecycle transition.
+    pub delta: Delta,
+}
+
+/// A churn schedule threaded through a learning run: the initial activity
+/// state of the universe plus an interleaved delta stream. The engine
+/// applies every event whose `at_step` has been reached *before* the next
+/// scheduler pick; when the population is stable but events remain, time
+/// fast-forwards to the next arrival (an equilibrium only lasts until the
+/// market changes under it).
+///
+/// `None` activity masks mean "everything active" — the default plan is
+/// a plain fixed-population run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnPlan {
+    /// Initial miner activity (`None` = all active).
+    pub miner_active: Option<Vec<bool>>,
+    /// Initial coin activity (`None` = all live).
+    pub coin_active: Option<Vec<bool>>,
+    /// The delta stream (applied in `at_step` order, ties in list order).
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// Builds a plan from activity masks and `(at_step, delta)` pairs
+    /// (the shape `goc_sim`'s `ChurnUniverse::step_deltas` produces).
+    pub fn with_events(
+        miner_active: Option<Vec<bool>>,
+        coin_active: Option<Vec<bool>>,
+        events: impl IntoIterator<Item = (usize, Delta)>,
+    ) -> Self {
+        ChurnPlan {
+            miner_active,
+            coin_active,
+            events: events
+                .into_iter()
+                .map(|(at_step, delta)| ChurnEvent { at_step, delta })
+                .collect(),
+        }
+    }
+
+    /// Whether the plan changes anything relative to a plain run.
+    pub fn is_trivial(&self) -> bool {
+        self.miner_active.is_none() && self.coin_active.is_none() && self.events.is_empty()
+    }
+
+    /// Event indices in application order (`at_step`, ties by position).
+    fn order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].at_step);
+        order
+    }
+}
 
 /// Options controlling a learning run.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +128,12 @@ pub struct LearningOutcome {
     /// increased the ordinal potential (`Some(false)` is impossible —
     /// a violation aborts the run with an error).
     pub potential_audit: Option<bool>,
+    /// Number of churn deltas applied during the run (0 without a plan).
+    pub churn_applied: usize,
+    /// Final `(miner, coin)` activity masks, when the run had a
+    /// non-trivial [`ChurnPlan`] (`None` for fixed-population runs —
+    /// everything stayed active).
+    pub final_activity: Option<(Vec<bool>, Vec<bool>)>,
 }
 
 /// Errors produced by the engine.
@@ -89,6 +157,15 @@ pub enum LearningError {
     /// The scheduler reported an internal inconsistency instead of a
     /// pick (see [`SchedulerError`]).
     SchedulerFailed(SchedulerError),
+    /// A scheduled churn delta was illegal in the state it arrived in
+    /// (e.g. removing an already-removed miner, retiring a coin whose
+    /// restricted residents have nowhere to go).
+    ChurnRejected {
+        /// Step count at which the delta fired.
+        step: usize,
+        /// The underlying delta validation error.
+        error: GameError,
+    },
 }
 
 impl fmt::Display for LearningError {
@@ -102,6 +179,9 @@ impl fmt::Display for LearningError {
                 "ordinal potential failed to increase at step {step} ({mv})"
             ),
             LearningError::SchedulerFailed(err) => write!(f, "{err}"),
+            LearningError::ChurnRejected { step, error } => {
+                write!(f, "churn delta rejected at step {step}: {error}")
+            }
         }
     }
 }
@@ -152,26 +232,125 @@ pub fn run_with_observer(
     start: &Configuration,
     scheduler: &mut dyn Scheduler,
     options: LearningOptions,
+    observer: impl FnMut(&Configuration, Move),
+) -> Result<LearningOutcome, LearningError> {
+    run_engine(
+        game,
+        start,
+        scheduler,
+        options,
+        &ChurnPlan::default(),
+        observer,
+    )
+}
+
+/// [`run`] over a **churning** population: the plan's activity masks set
+/// the time-zero universe state and its delta stream is interleaved with
+/// the scheduler's better-response steps (see [`ChurnPlan`]). All six
+/// bundled schedulers ride the same incremental [`MoveSource`] — churn
+/// deltas repair the group-decision cache, never rebuild it.
+///
+/// Convergence means: every scheduled delta has been applied *and* the
+/// resulting active population is stable.
+///
+/// # Errors
+///
+/// As [`run`], plus [`LearningError::ChurnRejected`] when a scheduled
+/// delta is illegal in the state it arrives in.
+pub fn run_with_churn(
+    game: &Game,
+    start: &Configuration,
+    scheduler: &mut dyn Scheduler,
+    options: LearningOptions,
+    plan: &ChurnPlan,
+) -> Result<LearningOutcome, LearningError> {
+    run_engine(game, start, scheduler, options, plan, |_, _| {})
+}
+
+/// Builds the tracker for a plan's initial activity state.
+fn churn_tracker<'g>(
+    game: &'g Game,
+    start: &Configuration,
+    plan: &ChurnPlan,
+) -> Result<MassTracker<'g>, LearningError> {
+    if plan.miner_active.is_none() && plan.coin_active.is_none() {
+        return Ok(MassTracker::new(game, start)
+            .expect("start configuration belongs to the game's system"));
+    }
+    let n = game.system().num_miners();
+    let k = game.system().num_coins();
+    let miner_active = plan.miner_active.clone().unwrap_or_else(|| vec![true; n]);
+    let coin_active = plan.coin_active.clone().unwrap_or_else(|| vec![true; k]);
+    MassTracker::with_activity(game, start, &miner_active, &coin_active)
+        .map_err(|error| LearningError::ChurnRejected { step: 0, error })
+}
+
+fn run_engine(
+    game: &Game,
+    start: &Configuration,
+    scheduler: &mut dyn Scheduler,
+    options: LearningOptions,
+    plan: &ChurnPlan,
     mut observer: impl FnMut(&Configuration, Move),
 ) -> Result<LearningOutcome, LearningError> {
-    let mut source =
-        MoveSource::new(game, start).expect("start configuration belongs to the game's system");
+    let mut source = MoveSource::over(churn_tracker(game, start, plan)?);
     // The run never rewinds; don't retain an O(steps) undo history.
     source.set_undo_recording(false);
+    let order = plan.order();
+    let mut next = 0usize;
+    let mut churn_applied = 0usize;
     let mut path = Vec::new();
     let mut steps = 0usize;
 
-    while steps < options.max_steps {
+    let finish = |source: MoveSource<'_>, steps, converged, path, churn_applied| {
+        let final_activity = (!plan.is_trivial()).then(|| {
+            (
+                source.tracker().miner_activity().to_vec(),
+                source.tracker().coin_activity().to_vec(),
+            )
+        });
+        LearningOutcome {
+            final_config: source.into_config(),
+            steps,
+            converged,
+            path,
+            potential_audit: options.audit_potential.then_some(true),
+            churn_applied,
+            final_activity,
+        }
+    };
+
+    loop {
+        if steps >= options.max_steps {
+            return Ok(finish(source, steps, false, path, churn_applied));
+        }
+        // Churn due at this step count arrives before the next pick; the
+        // cache repair is incremental, so the stability sweep after it
+        // only re-probes the dirtied groups.
+        while next < order.len() && plan.events[order[next]].at_step <= steps {
+            let event = &plan.events[order[next]];
+            source
+                .apply_delta(event.delta)
+                .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
+            churn_applied += 1;
+            next += 1;
+        }
         // The stability sweep warms the source's group-decision cache;
         // the scheduler's pick right after reuses it.
         if source.is_stable() {
-            return Ok(LearningOutcome {
-                final_config: source.into_config(),
-                steps,
-                converged: true,
-                path,
-                potential_audit: options.audit_potential.then_some(true),
-            });
+            if next < order.len() {
+                // Stable, but more churn is scheduled: fast-forward to
+                // the next arrival (equilibria only last until the
+                // market changes under them).
+                let event = &plan.events[order[next]];
+                source
+                    .apply_delta(event.delta)
+                    .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
+                churn_applied += 1;
+                next += 1;
+                continue;
+            }
+            return Ok(finish(source, steps, true, path, churn_applied));
         }
         let mv = scheduler.pick_incremental(&mut source)?;
         if !source.is_better_response(mv.miner, mv.to) {
@@ -182,6 +361,8 @@ pub fn run_with_observer(
         if let Some(before) = before {
             // Theorem 1's ordinal potential is the sorted RPU list; the
             // tracker yields it in O(coins log coins) with no rescan.
+            // (Churn re-shapes the list, so the audit is per-move: the
+            // `before` snapshot is taken after any churn this round.)
             if source.rpu_list() <= before {
                 return Err(LearningError::PotentialViolation { mv, step: steps });
             }
@@ -192,14 +373,6 @@ pub fn run_with_observer(
         observer(source.config(), mv);
         steps += 1;
     }
-
-    Ok(LearningOutcome {
-        final_config: source.into_config(),
-        steps,
-        converged: false,
-        path,
-        potential_audit: options.audit_potential.then_some(true),
-    })
 }
 
 /// Better-response learning for **large populations**: a round-robin over
@@ -240,22 +413,75 @@ pub fn run_incremental(
     start: &Configuration,
     options: LearningOptions,
 ) -> Result<LearningOutcome, LearningError> {
-    let mut tracker =
-        MassTracker::new(game, start).expect("start configuration belongs to the game's system");
+    run_incremental_with_churn(game, start, options, &ChurnPlan::default())
+}
+
+/// [`run_incremental`] over a **churning** population: the scheduler-free
+/// group round-robin with the plan's delta stream interleaved exactly as
+/// in [`run_with_churn`]. This is the leanest churn loop — the workload
+/// the `churn` throughput baseline records.
+///
+/// # Errors
+///
+/// As [`run_incremental`], plus [`LearningError::ChurnRejected`] when a
+/// scheduled delta is illegal in the state it arrives in.
+pub fn run_incremental_with_churn(
+    game: &Game,
+    start: &Configuration,
+    options: LearningOptions,
+    plan: &ChurnPlan,
+) -> Result<LearningOutcome, LearningError> {
+    let mut tracker = churn_tracker(game, start, plan)?;
     // The run never rewinds; don't retain an O(steps) undo history.
     tracker.set_undo_recording(false);
+    let order = plan.order();
+    let mut next = 0usize;
+    let mut churn_applied = 0usize;
     let mut path = Vec::new();
     let mut steps = 0usize;
 
-    while steps < options.max_steps {
+    let finish = |tracker: MassTracker<'_>, steps, converged, path, churn_applied| {
+        let final_activity = (!plan.is_trivial()).then(|| {
+            (
+                tracker.miner_activity().to_vec(),
+                tracker.coin_activity().to_vec(),
+            )
+        });
+        LearningOutcome {
+            final_config: tracker.into_config(),
+            steps,
+            converged,
+            path,
+            potential_audit: options.audit_potential.then_some(true),
+            churn_applied,
+            final_activity,
+        }
+    };
+
+    loop {
+        if steps >= options.max_steps {
+            return Ok(finish(tracker, steps, false, path, churn_applied));
+        }
+        while next < order.len() && plan.events[order[next]].at_step <= steps {
+            let event = &plan.events[order[next]];
+            tracker
+                .apply_delta(event.delta)
+                .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
+            churn_applied += 1;
+            next += 1;
+        }
         let Some(mv) = tracker.find_improving_move() else {
-            return Ok(LearningOutcome {
-                final_config: tracker.into_config(),
-                steps,
-                converged: true,
-                path,
-                potential_audit: options.audit_potential.then_some(true),
-            });
+            if next < order.len() {
+                // Stable, but more churn is scheduled: fast-forward.
+                let event = &plan.events[order[next]];
+                tracker
+                    .apply_delta(event.delta)
+                    .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
+                churn_applied += 1;
+                next += 1;
+                continue;
+            }
+            return Ok(finish(tracker, steps, true, path, churn_applied));
         };
         let before = options.audit_potential.then(|| tracker.rpu_list());
         tracker.apply(mv.miner, mv.to);
@@ -269,14 +495,6 @@ pub fn run_incremental(
         }
         steps += 1;
     }
-
-    Ok(LearningOutcome {
-        final_config: tracker.into_config(),
-        steps,
-        converged: false,
-        path,
-        potential_audit: options.audit_potential.then_some(true),
-    })
 }
 
 /// Convenience: run to convergence with defaults and return only the final
@@ -554,6 +772,194 @@ mod tests {
         assert!(outcome.steps >= 1_000, "suspiciously few steps");
         let tracker = goc_game::MassTracker::new(&game, &outcome.final_config).unwrap();
         assert!(tracker.is_stable());
+    }
+
+    #[test]
+    fn all_schedulers_converge_under_churn() {
+        use goc_game::Delta;
+        // 12 miners in 3 power classes over 3 coins; coin 2 starts
+        // dormant, a third of the population starts offline, and the run
+        // interleaves arrivals, departures, one launch, and one
+        // retirement with the better-response steps.
+        let powers: Vec<u64> = (0..12).map(|i| [5u64, 2, 1][i % 3]).collect();
+        let game = Game::build(&powers, &[9, 6, 4]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let miner_active: Vec<bool> = (0..12).map(|i| i % 3 != 2).collect();
+        let plan = ChurnPlan {
+            miner_active: Some(miner_active),
+            coin_active: Some(vec![true, true, false]),
+            events: vec![
+                ChurnEvent {
+                    at_step: 1,
+                    delta: Delta::InsertMiner {
+                        miner: goc_game::MinerId(2),
+                        coin: None,
+                    },
+                },
+                ChurnEvent {
+                    at_step: 2,
+                    delta: Delta::LaunchCoin { coin: CoinId(2) },
+                },
+                ChurnEvent {
+                    at_step: 3,
+                    delta: Delta::RemoveMiner {
+                        miner: goc_game::MinerId(0),
+                    },
+                },
+                ChurnEvent {
+                    at_step: 4,
+                    delta: Delta::RetireCoin { coin: CoinId(1) },
+                },
+                ChurnEvent {
+                    at_step: 5,
+                    delta: Delta::InsertMiner {
+                        miner: goc_game::MinerId(5),
+                        coin: Some(CoinId(0)),
+                    },
+                },
+            ],
+        };
+        for kind in SchedulerKind::ALL {
+            let mut sched = kind.build(7);
+            let outcome = run_with_churn(
+                &game,
+                &start,
+                sched.as_mut(),
+                LearningOptions {
+                    audit_potential: true,
+                    ..LearningOptions::default()
+                },
+                &plan,
+            )
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(outcome.converged, "{kind} did not converge under churn");
+            assert_eq!(outcome.churn_applied, plan.events.len(), "{kind}");
+            // The final state is stable by the naive dense oracle.
+            let (miner_active, coin_active) = outcome.final_activity.as_ref().expect("churn run");
+            let tracker = goc_game::MassTracker::with_activity(
+                &game,
+                &outcome.final_config,
+                miner_active,
+                coin_active,
+            )
+            .unwrap();
+            let sub = tracker.active_subgame().unwrap();
+            assert!(sub.game.is_stable(&sub.config), "{kind} not stable");
+            assert!(!coin_active[1] && coin_active[2], "{kind} coin masks");
+        }
+    }
+
+    #[test]
+    fn incremental_churn_engine_agrees_with_scheduled_one() {
+        use goc_game::Delta;
+        let game = Game::build(&[4, 4, 2, 2, 1, 1], &[8, 4]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let plan = ChurnPlan {
+            miner_active: None,
+            coin_active: None,
+            events: vec![
+                ChurnEvent {
+                    at_step: 2,
+                    delta: Delta::RemoveMiner {
+                        miner: goc_game::MinerId(1),
+                    },
+                },
+                ChurnEvent {
+                    at_step: 4,
+                    delta: Delta::InsertMiner {
+                        miner: goc_game::MinerId(1),
+                        coin: None,
+                    },
+                },
+            ],
+        };
+        let incremental =
+            run_incremental_with_churn(&game, &start, LearningOptions::default(), &plan).unwrap();
+        assert!(incremental.converged);
+        assert_eq!(incremental.churn_applied, 2);
+        let mut rr = RoundRobin::new();
+        let scheduled =
+            run_with_churn(&game, &start, &mut rr, LearningOptions::default(), &plan).unwrap();
+        assert!(scheduled.converged);
+        assert_eq!(scheduled.churn_applied, 2);
+        // Both engines end fully repopulated and stable under the naive
+        // oracle (the interleavings differ, so the equilibria may too).
+        for outcome in [&incremental, &scheduled] {
+            let (miner_active, coin_active) = outcome.final_activity.as_ref().unwrap();
+            assert!(miner_active.iter().all(|&a| a));
+            let tracker = goc_game::MassTracker::with_activity(
+                &game,
+                &outcome.final_config,
+                miner_active,
+                coin_active,
+            )
+            .unwrap();
+            assert!(tracker.is_stable());
+        }
+    }
+
+    #[test]
+    fn illegal_churn_is_a_named_error() {
+        use goc_game::Delta;
+        let game = goc_game::paper::prop1_game();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let plan = ChurnPlan {
+            events: vec![
+                ChurnEvent {
+                    at_step: 0,
+                    delta: Delta::RemoveMiner {
+                        miner: goc_game::MinerId(1),
+                    },
+                },
+                ChurnEvent {
+                    at_step: 0,
+                    delta: Delta::RemoveMiner {
+                        miner: goc_game::MinerId(1),
+                    },
+                },
+            ],
+            ..ChurnPlan::default()
+        };
+        let err = run_with_churn(
+            &game,
+            &start,
+            &mut RoundRobin::new(),
+            LearningOptions::default(),
+            &plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LearningError::ChurnRejected { step: 0, .. }));
+        assert!(err.to_string().contains("churn delta rejected"));
+    }
+
+    #[test]
+    fn churn_fast_forwards_through_stable_states() {
+        use goc_game::Delta;
+        // The game is already stable; the only scheduled event sits far
+        // beyond any step the dynamics will take. It must still fire.
+        let game = goc_game::paper::prop1_game();
+        let eq = goc_game::equilibrium::greedy_equilibrium(&game);
+        let plan = ChurnPlan {
+            events: vec![ChurnEvent {
+                at_step: 1_000,
+                delta: Delta::RemoveMiner {
+                    miner: goc_game::MinerId(1),
+                },
+            }],
+            ..ChurnPlan::default()
+        };
+        let outcome = run_with_churn(
+            &game,
+            &eq,
+            &mut RoundRobin::new(),
+            LearningOptions::default(),
+            &plan,
+        )
+        .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.churn_applied, 1);
+        let (miner_active, _) = outcome.final_activity.unwrap();
+        assert!(!miner_active[1]);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod simultaneous;
 pub mod stats;
 
 pub use dynamics::{
-    converge, run, run_incremental, run_with_observer, LearningError, LearningOptions,
-    LearningOutcome,
+    converge, run, run_incremental, run_incremental_with_churn, run_with_churn, run_with_observer,
+    ChurnEvent, ChurnPlan, LearningError, LearningOptions, LearningOutcome,
 };
 pub use scheduler::{
     LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerError, SchedulerKind,

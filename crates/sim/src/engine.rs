@@ -16,6 +16,7 @@ use goc_market::{Market, WhalePlan};
 use crate::agent::{MinerAgent, OracleKind};
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::SimMetrics;
+use crate::spec::SimChurn;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +75,11 @@ pub struct Simulation {
     /// Block-candidate generation per coin (stale candidates are ignored).
     generation: Vec<u64>,
     whales: Option<WhalePlan>,
+    /// Which coins are currently live (dormant/retired coins pay
+    /// `-inf` profitability and never attract hashrate).
+    coin_live: Vec<bool>,
+    /// The materialized churn timeline (`EventKind::Churn` indexes it).
+    churn: Vec<SimChurn>,
     metrics: SimMetrics,
     finished: bool,
 }
@@ -112,6 +118,8 @@ impl Simulation {
             queue: EventQueue::new(),
             time: 0.0,
             whales: None,
+            coin_live: vec![true; k],
+            churn: Vec::new(),
             finished: false,
             chains,
             market,
@@ -139,6 +147,40 @@ impl Simulation {
         }
         self.whales = Some(plan);
         self
+    }
+
+    /// Attaches a churn timeline (see `ChurnSpec::timeline`): the
+    /// initial coin-liveness mask plus time-ordered rig and coin events,
+    /// each scheduled as an engine event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the liveness mask does not cover the chains, or if any
+    /// hashrate is currently assigned to a dormant coin (the spec layer
+    /// validates both).
+    pub fn with_churn(mut self, initial_live: Vec<bool>, timeline: Vec<(f64, SimChurn)>) -> Self {
+        assert_eq!(
+            initial_live.len(),
+            self.chains.len(),
+            "liveness mask must cover every chain"
+        );
+        for (c, &live) in initial_live.iter().enumerate() {
+            assert!(
+                live || self.coin_hashrate[c] == 0.0,
+                "dormant coin {c} carries hashrate at time zero"
+            );
+        }
+        self.coin_live = initial_live;
+        for (i, (t, _)) in timeline.iter().enumerate() {
+            self.queue.schedule(*t, EventKind::Churn { index: i });
+        }
+        self.churn = timeline.into_iter().map(|(_, e)| e).collect();
+        self
+    }
+
+    /// Whether coin `c` is currently live.
+    pub fn is_coin_live(&self, c: usize) -> bool {
+        self.coin_live[c]
     }
 
     /// The chains under simulation.
@@ -190,6 +232,7 @@ impl Simulation {
                 EventKind::Evaluate { miner } => self.on_evaluate(miner),
                 EventKind::Snapshot => self.on_snapshot(),
                 EventKind::Whale => self.on_whale(),
+                EventKind::Churn { index } => self.on_churn(index),
             }
         }
         // Closing snapshot at the horizon.
@@ -233,10 +276,14 @@ impl Simulation {
         self.reschedule_block(coin);
     }
 
-    /// Current revenue-per-hash estimate for every coin.
+    /// Current revenue-per-hash estimate for every coin (dormant and
+    /// retired coins pay `-inf`, so no decision rule ever picks one).
     fn profitability(&self) -> Vec<f64> {
         (0..self.chains.len())
             .map(|c| {
+                if !self.coin_live[c] {
+                    return f64::NEG_INFINITY;
+                }
                 let chain = &self.chains[c];
                 let price = self.market.price_of(c);
                 let reward = chain.next_block_reward(self.time);
@@ -272,7 +319,7 @@ impl Simulation {
             // the destination: RPU after joining.
             let a = self.agents[miner];
             for (c, p) in profit.iter_mut().enumerate() {
-                if c != a.coin {
+                if c != a.coin && self.coin_live[c] {
                     let chain = &self.chains[c];
                     let h = self.coin_hashrate[c] + a.hashrate;
                     let reward = chain.next_block_reward(self.time);
@@ -326,6 +373,85 @@ impl Simulation {
         }
         if let Some(next) = plan.pending().first() {
             self.queue.schedule(next.at_secs as f64, EventKind::Whale);
+        }
+    }
+
+    fn on_churn(&mut self, index: usize) {
+        self.metrics.total_churn_events += 1;
+        match self.churn[index] {
+            SimChurn::RigJoin { agent, hashrate } => {
+                self.agents[agent].hashrate += hashrate;
+                if self.agents[agent].active {
+                    let coin = self.agents[agent].coin;
+                    self.coin_hashrate[coin] += hashrate;
+                    self.reschedule_block(coin);
+                }
+            }
+            SimChurn::RigLeave { agent, hashrate } => {
+                let a = self.agents[agent];
+                // The timeline is pre-filtered to effective events, but
+                // stay total: never remove more than the cohort has.
+                let removed = hashrate.min(a.hashrate);
+                self.agents[agent].hashrate -= removed;
+                if a.active {
+                    self.coin_hashrate[a.coin] = (self.coin_hashrate[a.coin] - removed).max(0.0);
+                    self.reschedule_block(a.coin);
+                }
+            }
+            SimChurn::Coin { coin, live } => {
+                self.coin_live[coin] = live;
+                if live {
+                    // A launched coin starts empty; the next evaluations
+                    // discover it. Arm its block race.
+                    self.reschedule_block(coin);
+                    return;
+                }
+                // Retirement: forcibly relocate every active resident to
+                // its best live coin (the sim-side mirror of the game's
+                // forced best-response relocation), re-pricing after
+                // each mover so congestion is felt.
+                self.market.advance_to(&mut self.rng, self.time);
+                let movers: Vec<usize> = self
+                    .agents
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.active && a.coin == coin)
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in movers {
+                    let mut profit = self.profitability();
+                    if self.config.oracle == OracleKind::Hashrate {
+                        // Post-join pricing, exactly as on_evaluate and
+                        // the game-side forced_placement: the mover's
+                        // own hashrate joins the destination's
+                        // denominator.
+                        let h_self = self.agents[i].hashrate;
+                        for (c, p) in profit.iter_mut().enumerate() {
+                            if self.coin_live[c] {
+                                let chain = &self.chains[c];
+                                let reward = chain.next_block_reward(self.time);
+                                *p = mining::revenue_per_hash(
+                                    reward,
+                                    self.market.price_of(c),
+                                    (self.coin_hashrate[c] + h_self)
+                                        * chain.params().target_spacing,
+                                );
+                            }
+                        }
+                    }
+                    let to = (0..self.chains.len())
+                        .filter(|&c| self.coin_live[c])
+                        .max_by(|&a, &b| profit[a].total_cmp(&profit[b]).then(b.cmp(&a)))
+                        .expect("spec validation keeps at least one coin live");
+                    let h = self.agents[i].hashrate;
+                    self.agents[i].coin = to;
+                    self.coin_hashrate[coin] = (self.coin_hashrate[coin] - h).max(0.0);
+                    self.coin_hashrate[to] += h;
+                    self.metrics.total_switches += 1;
+                    self.reschedule_block(to);
+                }
+                self.reschedule_block(coin);
+            }
         }
     }
 

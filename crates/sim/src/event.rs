@@ -25,6 +25,12 @@ pub enum EventKind {
     Snapshot,
     /// Execute any due whale-fee injections.
     Whale,
+    /// Execute the `index`-th entry of the simulation's churn timeline
+    /// (a rig arrival/departure or a coin launch/retirement).
+    Churn {
+        /// Index into the timeline attached via `Simulation::with_churn`.
+        index: usize,
+    },
 }
 
 /// A scheduled event; ordered by `(time, seq)` so ties resolve in

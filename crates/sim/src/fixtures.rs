@@ -12,7 +12,10 @@
 use goc_game::Game;
 
 use crate::agent::OracleKind;
-use crate::spec::{Assignment, ChainFlavor, ChainSpec, CohortSpec, MinerSpec, ScenarioSpec};
+use crate::spec::{
+    Assignment, ChainFlavor, ChainSpec, ChurnSpec, CohortChurnSpec, CohortSpec, CoinEventSpec,
+    CoinLifecycle, MinerSpec, ScenarioSpec,
+};
 
 /// One hashrate class of the scale fixture.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,12 +114,66 @@ pub fn scale_cohort_scenario(n: usize, horizon_days: f64, seed: u64) -> Scenario
         assignment: Assignment::Explicit,
         shocks: Vec::new(),
         whale: None,
+        churn: None,
     }
+}
+
+/// The churn workload: the scale cohort scenario plus (1) a third,
+/// initially **dormant** chain (`upstart`) that launches a third of the
+/// way in, (2) the retirement of `minor` two thirds of the way in, and
+/// (3) per-cohort arrival/departure processes sized so the *expected*
+/// total turnover is ≈ `1.5 × turnover_pct%` of the head-count (the
+/// margin keeps realized turnover above the target with high
+/// probability). This is the single source of truth for the `churn`
+/// experiment, the churn benches, and the `BENCH_4.json` recorder.
+pub fn scale_churn_scenario(
+    n: usize,
+    horizon_days: f64,
+    seed: u64,
+    turnover_pct: u32,
+) -> ScenarioSpec {
+    let mut spec = scale_cohort_scenario(n, horizon_days, seed);
+    spec.name = format!("churn_{n}");
+    spec.chains.push(ChainSpec::simple(
+        "upstart",
+        ChainFlavor::BchLike,
+        5_000_000,
+        crate::spec::PriceSpec::Constant { value: 2.0 },
+    ));
+    let per = (n / SCALE_CLASSES.len()).max(1);
+    // Target events over the horizon, split evenly over 8 cohorts × 2
+    // processes (arrivals + departures).
+    let target_events = 1.5 * (turnover_pct as f64 / 100.0) * (per * SCALE_CLASSES.len()) as f64;
+    let rate = target_events / (2.0 * SCALE_CLASSES.len() as f64) / horizon_days;
+    spec.churn = Some(ChurnSpec {
+        cohorts: (0..SCALE_CLASSES.len())
+            .map(|cohort| CohortChurnSpec {
+                cohort,
+                arrivals_per_day: rate,
+                departures_per_day: rate,
+                max_extra: per.div_ceil(2),
+            })
+            .collect(),
+        coins: vec![
+            CoinEventSpec {
+                day: horizon_days / 3.0,
+                coin: 2,
+                event: CoinLifecycle::Launch,
+            },
+            CoinEventSpec {
+                day: horizon_days * 2.0 / 3.0,
+                coin: 1,
+                event: CoinLifecycle::Retire,
+            },
+        ],
+    });
+    spec
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::SimChurn;
 
     #[test]
     fn fixture_populations_validate_and_agree_on_shape() {
@@ -132,5 +189,52 @@ mod tests {
         for c in &SCALE_CLASSES {
             assert_eq!(c.hashrate, c.power as f64 * 100.0, "{} drifted", c.name);
         }
+    }
+
+    #[test]
+    fn churn_fixture_validates_and_hits_its_turnover_target() {
+        let spec = scale_churn_scenario(160, 30.0, 3, 10);
+        spec.validate().expect("churn fixture validates");
+        let churn = spec.churn.as_ref().expect("fixture has churn");
+        // The upstart chain starts dormant; the two live chains stay.
+        assert_eq!(churn.initial_live(3), vec![true, true, false]);
+        let timeline = churn.timeline(&spec);
+        let migrations = timeline
+            .iter()
+            .filter(|(_, e)| matches!(e, SimChurn::RigJoin { .. } | SimChurn::RigLeave { .. }))
+            .count();
+        // Expected ≈ 1.5 × 10% of 160 = 24 rig events; the cap filter
+        // and Poisson noise move it around, but a fixture whose realized
+        // turnover undershoots the 10% target defeats the experiment.
+        assert!(
+            migrations >= 16,
+            "only {migrations} rig events on a 160-rig population"
+        );
+        // Exactly one launch and one retirement, in that order.
+        let coins: Vec<&SimChurn> = timeline
+            .iter()
+            .filter(|(_, e)| matches!(e, SimChurn::Coin { .. }))
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(
+            coins,
+            vec![
+                &SimChurn::Coin {
+                    coin: 2,
+                    live: true
+                },
+                &SimChurn::Coin {
+                    coin: 1,
+                    live: false
+                }
+            ]
+        );
+        // Timeline is deterministic per seed.
+        assert_eq!(timeline, churn.timeline(&spec));
+        // The simulation runs the same stream mechanistically.
+        let mut sim = spec.build().expect("builds");
+        assert!(!sim.is_coin_live(2));
+        let metrics = sim.run().clone();
+        assert_eq!(metrics.total_churn_events, timeline.len() as u64);
     }
 }

@@ -34,11 +34,12 @@ pub mod scenario;
 pub mod spec;
 
 pub use agent::{MinerAgent, OracleKind};
-pub use bridge::{coin_weights, snapshot_game};
+pub use bridge::{churn_universe, coin_weights, snapshot_game, ChurnUniverse};
 pub use engine::{SimConfig, Simulation};
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::SimMetrics;
 pub use spec::{
-    Assignment, ChainFlavor, ChainSpec, CohortSpec, DifficultyInit, MinerPopulation, MinerSpec,
-    PriceSpec, ScenarioSpec, ShockSpec, SpecError, WhaleSpec,
+    Assignment, ChainFlavor, ChainSpec, ChurnSpec, CohortChurnSpec, CohortSpec, CoinEventSpec,
+    CoinLifecycle, DifficultyInit, MinerPopulation, MinerSpec, PriceSpec, ScenarioSpec, ShockSpec,
+    SimChurn, SpecError, WhaleSpec,
 };

@@ -21,9 +21,12 @@ pub struct SimMetrics {
     /// Total better-response switches agents have performed.
     pub total_switches: usize,
     /// Total events processed by the engine (block candidates,
-    /// evaluations, snapshots, whale injections) — the denominator of
-    /// the events-per-second throughput baseline.
+    /// evaluations, snapshots, whale injections, churn) — the
+    /// denominator of the events-per-second throughput baseline.
     pub total_events: u64,
+    /// Churn events executed (rig arrivals/departures, coin
+    /// launches/retirements).
+    pub total_churn_events: u64,
 }
 
 impl SimMetrics {
@@ -38,6 +41,7 @@ impl SimMetrics {
             miners: vec![Vec::new(); num_coins],
             total_switches: 0,
             total_events: 0,
+            total_churn_events: 0,
         }
     }
 

@@ -155,6 +155,7 @@ impl BtcBchParams {
                 },
             ],
             whale: None,
+            churn: None,
         }
     }
 }

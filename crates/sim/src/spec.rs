@@ -404,7 +404,7 @@ pub enum MinerSpec {
 }
 
 impl MinerSpec {
-    fn agents(&self) -> Vec<MinerAgent> {
+    pub(crate) fn agents(&self) -> Vec<MinerAgent> {
         match self {
             MinerSpec::Zipf {
                 count,
@@ -546,6 +546,204 @@ impl WhaleSpec {
     }
 }
 
+/// Per-cohort miner churn: rigs of the cohort's hashrate class arrive
+/// and depart as Poisson processes (exponential interarrivals, sampled
+/// deterministically from the scenario seed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CohortChurnSpec {
+    /// Index into the [`MinerSpec::Cohorts`] population.
+    pub cohort: usize,
+    /// Expected rig arrivals per day.
+    pub arrivals_per_day: f64,
+    /// Expected rig departures per day.
+    pub departures_per_day: f64,
+    /// Size of the cohort's dormant reserve: at most this many rigs
+    /// beyond the initial count can be online simultaneously (arrivals
+    /// beyond it are dropped). Bounds the game universe.
+    pub max_extra: usize,
+}
+
+/// What a scheduled coin-lifecycle event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoinLifecycle {
+    /// The coin goes live. A coin whose **first** scheduled event is a
+    /// launch starts the scenario dormant (pre-launch).
+    Launch,
+    /// The coin is delisted; its miners are forcibly relocated.
+    Retire,
+}
+
+/// One scheduled coin-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoinEventSpec {
+    /// Day the event fires.
+    pub day: f64,
+    /// Target coin.
+    pub coin: usize,
+    /// Launch or retire.
+    pub event: CoinLifecycle,
+}
+
+/// Dynamic-population churn: arrival/departure processes per cohort plus
+/// scheduled coin launches and retirements. The engine executes these as
+/// simulation events ([`crate::Simulation`]); the bridge
+/// ([`crate::bridge::churn_universe`]) lowers the same timeline to
+/// `goc_game` tracker deltas over a pre-declared miner/coin universe.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Per-cohort arrival/departure processes (requires a
+    /// [`MinerSpec::Cohorts`] population when nonempty).
+    pub cohorts: Vec<CohortChurnSpec>,
+    /// Scheduled coin launches and retirements.
+    pub coins: Vec<CoinEventSpec>,
+}
+
+/// One materialized churn event of a simulation run, in engine terms
+/// (cohort rigs resolved to the aggregated agent and its per-rig
+/// hashrate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimChurn {
+    /// One rig of `hashrate` joins aggregated agent `agent`.
+    RigJoin {
+        /// Aggregated-agent index (equals the cohort index).
+        agent: usize,
+        /// Per-rig hashrate.
+        hashrate: f64,
+    },
+    /// One rig of `hashrate` leaves aggregated agent `agent`.
+    RigLeave {
+        /// Aggregated-agent index (equals the cohort index).
+        agent: usize,
+        /// Per-rig hashrate.
+        hashrate: f64,
+    },
+    /// Coin `coin` goes live (`live`) or is delisted (`!live`).
+    Coin {
+        /// Coin index.
+        coin: usize,
+        /// New liveness.
+        live: bool,
+    },
+}
+
+impl ChurnSpec {
+    /// Whether the spec schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cohorts.is_empty() && self.coins.is_empty()
+    }
+
+    /// The initial coin-liveness mask: a coin starts dormant iff its
+    /// first scheduled event is a [`CoinLifecycle::Launch`].
+    pub fn initial_live(&self, num_coins: usize) -> Vec<bool> {
+        let mut live = vec![true; num_coins];
+        let mut seen = vec![false; num_coins];
+        let mut events: Vec<&CoinEventSpec> = self.coins.iter().collect();
+        events.sort_by(|a, b| a.day.total_cmp(&b.day));
+        for e in events {
+            if e.coin < num_coins && !seen[e.coin] {
+                seen[e.coin] = true;
+                if e.event == CoinLifecycle::Launch {
+                    live[e.coin] = false;
+                }
+            }
+        }
+        live
+    }
+
+    /// Materializes the churn timeline: exponential interarrivals per
+    /// cohort process (deterministic in `seed`), truncated at the
+    /// horizon, merged with the scheduled coin events and sorted by
+    /// time. Arrivals beyond a cohort's `max_extra` reserve are dropped
+    /// here, so the engine and the game bridge see the same stream.
+    pub fn timeline(&self, spec: &ScenarioSpec) -> Vec<(f64, SimChurn)> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let horizon_secs = spec.horizon_days * 86_400.0;
+        let cohorts = match &spec.miners {
+            MinerSpec::Cohorts(c) => c.as_slice(),
+            _ => &[],
+        };
+        let mut out: Vec<(f64, SimChurn)> = Vec::new();
+        for (i, churn) in self.cohorts.iter().enumerate() {
+            let Some(cohort) = cohorts.get(churn.cohort) else {
+                continue; // validate() rejects this; stay total anyway
+            };
+            let mut rng = SmallRng::seed_from_u64(
+                spec.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+            );
+            let mut sample = |rate_per_day: f64, join: bool, out: &mut Vec<(f64, SimChurn)>| {
+                if rate_per_day <= 0.0 {
+                    return;
+                }
+                let mut t = 0.0f64;
+                loop {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -u.ln() / rate_per_day * 86_400.0;
+                    if t >= horizon_secs {
+                        break;
+                    }
+                    let kind = if join {
+                        SimChurn::RigJoin {
+                            agent: churn.cohort,
+                            hashrate: cohort.hashrate,
+                        }
+                    } else {
+                        SimChurn::RigLeave {
+                            agent: churn.cohort,
+                            hashrate: cohort.hashrate,
+                        }
+                    };
+                    out.push((t, kind));
+                }
+            };
+            sample(churn.arrivals_per_day, true, &mut out);
+            sample(churn.departures_per_day, false, &mut out);
+        }
+        for e in &self.coins {
+            out.push((
+                e.day * 86_400.0,
+                SimChurn::Coin {
+                    coin: e.coin,
+                    live: e.event == CoinLifecycle::Launch,
+                },
+            ));
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Make the stream *effective* on the merged, time-ordered view:
+        // arrivals beyond `initial + max_extra` concurrent rigs and
+        // departures from an empty cohort are dropped here, so the
+        // engine and the game-side bridge can both apply every surviving
+        // event verbatim and stay in exact agreement.
+        let mut active: Vec<usize> = cohorts.iter().map(|c| c.count).collect();
+        let mut cap = active.clone();
+        for churn in &self.cohorts {
+            if let Some(c) = cap.get_mut(churn.cohort) {
+                *c += churn.max_extra;
+            }
+        }
+        out.retain(|(_, event)| match *event {
+            SimChurn::RigJoin { agent, .. } => {
+                if active[agent] < cap[agent] {
+                    active[agent] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            SimChurn::RigLeave { agent, .. } => {
+                if active[agent] > 0 {
+                    active[agent] -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            SimChurn::Coin { .. } => true,
+        });
+        out
+    }
+}
+
 /// A complete, serializable scenario description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -569,6 +767,9 @@ pub struct ScenarioSpec {
     pub shocks: Vec<ShockSpec>,
     /// Optional whale fee campaign.
     pub whale: Option<WhaleSpec>,
+    /// Optional dynamic-population churn (miner arrivals/departures and
+    /// coin launches/retirements).
+    pub churn: Option<ChurnSpec>,
 }
 
 impl ScenarioSpec {
@@ -675,6 +876,103 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(churn) = &self.churn {
+            let cohorts_len = match &self.miners {
+                MinerSpec::Cohorts(c) => c.len(),
+                _ if churn.cohorts.is_empty() => 0,
+                _ => {
+                    return Err(SpecError::BadValue(
+                        "cohort churn (needs a Cohorts miner population)",
+                    ))
+                }
+            };
+            let mut seen_cohorts = std::collections::BTreeSet::new();
+            for c in &churn.cohorts {
+                if c.cohort >= cohorts_len {
+                    return Err(SpecError::BadValue("churn cohort index (out of range)"));
+                }
+                if !seen_cohorts.insert(c.cohort) {
+                    return Err(SpecError::BadValue(
+                        "churn cohort index (appears more than once)",
+                    ));
+                }
+                for rate in [c.arrivals_per_day, c.departures_per_day] {
+                    if !(rate >= 0.0 && rate.is_finite()) {
+                        return Err(SpecError::BadValue("churn rate (must be finite and ≥ 0)"));
+                    }
+                }
+                // The reserve becomes real universe miners in the game
+                // bridge; cap it like the cohort head-count.
+                if c.max_extra > 1_000_000 {
+                    return Err(SpecError::BadValue(
+                        "churn reserve (more than 1M extra rigs)",
+                    ));
+                }
+                let expected = (c.arrivals_per_day + c.departures_per_day) * self.horizon_days;
+                if expected > 10_000_000.0 {
+                    return Err(SpecError::BadValue(
+                        "churn rates (more than 10M expected events)",
+                    ));
+                }
+            }
+            // Replay the coin lifecycle chronologically: launches only of
+            // dormant coins, retirements only of live ones, and at least
+            // one live coin at every instant.
+            let mut live = churn.initial_live(k);
+            for e in &churn.coins {
+                if e.coin >= k {
+                    return Err(bad_coin(e.coin));
+                }
+                if !(e.day >= 0.0 && e.day.is_finite()) {
+                    return Err(SpecError::BadValue(
+                        "coin event day (must be finite and non-negative)",
+                    ));
+                }
+                // The engine drops events past the horizon while the
+                // game-side bridge would still lower them — reject the
+                // divergence up front.
+                if e.day > self.horizon_days {
+                    return Err(SpecError::BadValue("coin event day (beyond the horizon)"));
+                }
+            }
+            let mut events: Vec<&CoinEventSpec> = churn.coins.iter().collect();
+            events.sort_by(|a, b| a.day.total_cmp(&b.day));
+            if live.iter().all(|&l| !l) {
+                return Err(SpecError::BadValue(
+                    "coin events (no coin is live at day 0)",
+                ));
+            }
+            for e in events {
+                match e.event {
+                    CoinLifecycle::Launch => {
+                        if live[e.coin] {
+                            return Err(SpecError::BadValue("coin launch (coin is already live)"));
+                        }
+                        live[e.coin] = true;
+                    }
+                    CoinLifecycle::Retire => {
+                        if !live[e.coin] {
+                            return Err(SpecError::BadValue("coin retirement (coin is not live)"));
+                        }
+                        if live.iter().filter(|&&l| l).count() == 1 {
+                            return Err(SpecError::BadValue(
+                                "coin retirement (would leave no live coin)",
+                            ));
+                        }
+                        live[e.coin] = false;
+                    }
+                }
+            }
+            // No agent may start the scenario on a pre-launch coin.
+            let initial_live = churn.initial_live(k);
+            let mut agents = self.miners.agents();
+            self.assign(&mut agents);
+            if agents.iter().any(|a| !initial_live[a.coin]) {
+                return Err(SpecError::BadValue(
+                    "initial assignment (an agent starts on a pre-launch coin)",
+                ));
+            }
+        }
         // Agent timing must move the event clock forward: a non-positive
         // evaluation interval would reschedule the same instant forever
         // and hang the simulation.
@@ -721,7 +1019,7 @@ impl ScenarioSpec {
     }
 
     /// Computes the initial per-agent coin assignment.
-    fn assign(&self, agents: &mut [MinerAgent]) {
+    pub(crate) fn assign(&self, agents: &mut [MinerAgent]) {
         let k = self.chains.len();
         match self.assignment {
             Assignment::Explicit => {}
@@ -812,9 +1110,15 @@ impl ScenarioSpec {
                 oracle: self.oracle,
             },
         );
-        Ok(match &self.whale {
+        let sim = match &self.whale {
             Some(whale) => sim.with_whale_plan(whale.plan()),
             None => sim,
+        };
+        Ok(match &self.churn {
+            Some(churn) if !churn.is_empty() => {
+                sim.with_churn(churn.initial_live(k), churn.timeline(self))
+            }
+            _ => sim,
         })
     }
 
@@ -848,6 +1152,15 @@ impl ScenarioSpec {
         ScenarioSpec {
             miners: MinerSpec::Explicit(individuals),
             assignment: Assignment::Explicit,
+            // Cohort churn processes do not survive expansion (the
+            // per-rig population has no cohorts to index); the coin
+            // lifecycle does. The game-side churn view is
+            // `bridge::churn_universe`, which expands *and* lowers the
+            // full timeline.
+            churn: self.churn.as_ref().map(|c| ChurnSpec {
+                cohorts: Vec::new(),
+                coins: c.coins.clone(),
+            }),
             ..self.clone()
         }
     }
@@ -924,6 +1237,7 @@ impl ScenarioSpec {
             assignment: Assignment::Split { boundary: 50 },
             shocks: Vec::new(),
             whale: None,
+            churn: None,
         }
     }
 
@@ -987,6 +1301,7 @@ impl ScenarioSpec {
             assignment: Assignment::ValueShare,
             shocks: Vec::new(),
             whale: None,
+            churn: None,
         }
     }
 
@@ -1188,6 +1503,7 @@ mod tests {
             assignment: Assignment::Explicit,
             shocks: Vec::new(),
             whale: None,
+            churn: None,
         }
     }
 
@@ -1298,6 +1614,73 @@ mod tests {
         let mut spec = base.clone();
         spec.miners = MinerSpec::Cohorts(Vec::new());
         assert_eq!(spec.validate(), Err(SpecError::NoMiners));
+    }
+
+    #[test]
+    fn churn_validation_catches_bad_specs() {
+        let base = crate::fixtures::scale_churn_scenario(80, 30.0, 1, 10);
+        base.validate().expect("fixture validates");
+
+        // Churn cohorts demand a Cohorts population.
+        let mut spec = base.clone();
+        spec.miners = MinerSpec::Uniform {
+            count: 10,
+            hashrate: 100.0,
+            eval_hours: 2.0,
+            eval_stagger_secs: 0.0,
+            inertia: 0.01,
+            inertia_step: 0.0,
+            cost_per_hash: 0.0,
+        };
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        // Out-of-range and duplicate cohort indices.
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().cohorts[0].cohort = 99;
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().cohorts[1].cohort = 0;
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        // Degenerate rates and oversized reserves.
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().cohorts[0].arrivals_per_day = f64::NAN;
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().cohorts[0].max_extra = 10_000_000;
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+
+        // Coin-lifecycle coherence: launching a live coin, retiring a
+        // dormant one, retiring the last live coin.
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().coins.push(CoinEventSpec {
+            day: 5.0,
+            coin: 0,
+            event: CoinLifecycle::Launch,
+        });
+        // Coin 0's first event is now a launch, so it starts dormant —
+        // and the initial assignment places agents on it.
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().coins.push(CoinEventSpec {
+            day: 29.0,
+            coin: 2,
+            event: CoinLifecycle::Retire,
+        });
+        spec.churn.as_mut().unwrap().coins.push(CoinEventSpec {
+            day: 29.5,
+            coin: 0,
+            event: CoinLifecycle::Retire,
+        });
+        assert!(matches!(spec.validate(), Err(SpecError::BadValue(_))));
+        let mut spec = base.clone();
+        spec.churn.as_mut().unwrap().coins[1].coin = 9;
+        assert!(matches!(spec.validate(), Err(SpecError::BadCoin { .. })));
+
+        // A churny spec still round-trips as data.
+        let json = serde_json::to_string(&base).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(base, back);
     }
 
     #[test]

@@ -82,7 +82,7 @@ const USAGE: &str = "goc — Game of Coins (Spiegelman, Keidar, Tennenholtz; ICD
 
 USAGE:
   goc list
-  goc run <EXPERIMENT> [--json] [--quick] [--seed N] [--scheduler NAME]
+  goc run <EXPERIMENT> [--json] [--quick] [--seed N] [--scheduler NAME] [--turnover PCT]
   goc sweep     --spec FILE [--threads N] [--out FILE]
   goc learn     --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc enumerate --powers P1,P2,.. --rewards F1,F2,..
@@ -90,10 +90,14 @@ USAGE:
   goc simulate  [--miners N] [--days D] [--shock-day D] [--seed N]
   goc simulate  --spec FILE    (a declarative ScenarioSpec JSON)
 
-`goc list` names every registered experiment. A sweep spec is JSON:
+`goc list` names every registered experiment. The `churn` experiment
+drives miner arrivals/departures and coin launches/retirements as
+incremental tracker deltas; `--turnover PCT` sets its population
+turnover target in percent (default 10). A sweep spec is JSON:
   {\"runs\": [{\"experiment\": \"fig1\", \"seed\": 1, \"quick\": true}, ...]}
 (an entry may also pin \"scheduler\" to a SchedulerKind variant name,
-e.g. \"MinGain\", for experiments that sweep schedulers).
+e.g. \"MinGain\", for experiments that sweep schedulers, or set
+\"turnover_pct\" for `churn`).
 Reports come back in input order regardless of completion order.
 A scenario spec for `goc simulate --spec` is a serialized
 `gameofcoins::sim::ScenarioSpec` (serialize a preset to start).
@@ -117,6 +121,7 @@ struct Options {
     spec: Option<String>,
     out: Option<String>,
     threads: Option<usize>,
+    turnover: Option<u32>,
 }
 
 impl Options {
@@ -151,6 +156,13 @@ impl Options {
                 "--out" => o.out = Some(value()?.to_string()),
                 "--threads" => {
                     o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+                }
+                "--turnover" => {
+                    let pct: u32 = value()?.parse().map_err(|e| format!("--turnover: {e}"))?;
+                    if pct == 0 || pct > 100 {
+                        return Err("--turnover: percentage must be in 1..=100".into());
+                    }
+                    o.turnover = Some(pct);
                 }
                 other if !other.starts_with('-') => o.positional.push(other.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -200,6 +212,7 @@ fn cmd_list() -> Result<(), String> {
     }
     println!("{}", table.render());
     println!("run one with `goc run <experiment> [--json] [--quick] [--seed N]`");
+    println!("`churn` also takes `--turnover PCT` (population turnover target, default 10%)");
     Ok(())
 }
 
@@ -219,6 +232,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             Some(_) => Some(opts.scheduler_kind()?),
             None => None,
         },
+        turnover_pct: opts.turnover,
         ..RunContext::default()
     };
     let report = experiment.run(&ctx);

@@ -108,18 +108,21 @@ fn sweep_preserves_input_order_and_seeds() {
                 seed: Some(0),
                 quick: Some(true),
                 scheduler: None,
+                turnover_pct: None,
             },
             SweepRun {
                 experiment: "cross".into(),
                 seed: Some(1),
                 quick: Some(true),
                 scheduler: None,
+                turnover_pct: None,
             },
             SweepRun {
                 experiment: "prop1".into(),
                 seed: Some(2),
                 quick: Some(true),
                 scheduler: None,
+                turnover_pct: None,
             },
         ],
     };
@@ -226,6 +229,7 @@ fn cohort_spec_snapshots_like_its_individual_miner_equivalent() {
         assignment: Assignment::Explicit,
         shocks: Vec::new(),
         whale: None,
+        churn: None,
     };
     let by_hand = ScenarioSpec {
         name: "individuals".into(),
