@@ -1,0 +1,589 @@
+//! Streaming aggregators for replica ensembles.
+//!
+//! Every statistic the ensemble reports is folded one replica record at
+//! a time, **in replica order**, through accumulators whose memory is
+//! bounded by their own structure (bucket counts, distinct equilibria)
+//! rather than by the replica count. (The executor itself still holds
+//! one [`crate::ensemble::ReplicaRecord`] per replica until the fold —
+//! a few hundred bytes each — so an ensemble's peak memory is
+//! `O(replicas × coins)`, dominated by the replicas' game states, not
+//! by these accumulators.)
+//!
+//! * [`Welford`] — online mean/variance (Welford's algorithm) with exact
+//!   min/max;
+//! * [`QuantileSketch`] — a geometric-bucket percentile sketch (bounded
+//!   relative error, documented on the type);
+//! * [`FingerprintIndex`] — the equilibrium census: canonical per-coin
+//!   mass vectors keyed exactly (collision-free), each with a stable
+//!   64-bit display fingerprint, hit counts, and the potential/welfare
+//!   extremes behind the empirical price-of-anarchy/stability ratios.
+//!
+//! Because the fold order is fixed (replica index order) and every
+//! accumulator is a pure function of the fed sequence, the aggregate is
+//! **bit-identical regardless of worker-thread count** — the property
+//! `crates/analysis/tests/ensemble_determinism.rs` pins.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Welford online moments
+// ---------------------------------------------------------------------
+
+/// Welford's online mean/variance accumulator with exact min/max.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::ensemble::aggregate::Welford;
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// let s = w.summary();
+/// assert_eq!(s.n, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A serialized snapshot of a [`Welford`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelfordSummary {
+    /// Sample count.
+    pub n: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        if self.n == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Snapshot for reports.
+    pub fn summary(&self) -> WelfordSummary {
+        WelfordSummary {
+            n: self.n,
+            mean: self.mean(),
+            std: self.std(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometric-bucket percentile sketch
+// ---------------------------------------------------------------------
+
+/// Number of geometric buckets of a [`QuantileSketch`].
+const SKETCH_BUCKETS: usize = 1024;
+/// The sketch covers `[1, 1e12]`; values outside clamp to the edge
+/// buckets (exact min/max are tracked separately).
+const SKETCH_LO: f64 = 1.0;
+const SKETCH_HI: f64 = 1e12;
+
+/// A bounded-memory percentile sketch over non-negative values:
+/// 1024 geometric buckets spanning `[1, 1e12]` (about
+/// 2.7% relative bucket width), plus exact min/max. Quantile queries
+/// return the geometric midpoint of the bucket holding the rank,
+/// clamped to the observed `[min, max]` — so the relative error is at
+/// most half a bucket (≈ 1.4%) and exact at the extremes.
+///
+/// Deterministic: the sketch is a pure function of the multiset of fed
+/// values (bucket counts), so feeding the same records in any order
+/// yields the same quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::ensemble::aggregate::QuantileSketch;
+/// let mut q = QuantileSketch::new();
+/// for x in 1..=1000 {
+///     q.push(x as f64);
+/// }
+/// let p50 = q.quantile(0.5);
+/// assert!((p50 - 500.0).abs() / 500.0 < 0.03, "p50 = {p50}");
+/// assert_eq!(q.quantile(0.0), 1.0);
+/// assert_eq!(q.quantile(1.0), 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            counts: vec![0; SKETCH_BUCKETS],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index of a value (clamped to the sketch range).
+    fn bucket_of(x: f64) -> usize {
+        let clamped = x.clamp(SKETCH_LO, SKETCH_HI);
+        let t = (clamped / SKETCH_LO).log10() / (SKETCH_HI / SKETCH_LO).log10();
+        ((t * SKETCH_BUCKETS as f64) as usize).min(SKETCH_BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of bucket `i`.
+    fn bucket_mid(i: usize) -> f64 {
+        let decades = (SKETCH_HI / SKETCH_LO).log10();
+        let lo = SKETCH_LO * 10f64.powf(decades * i as f64 / SKETCH_BUCKETS as f64);
+        let hi = SKETCH_LO * 10f64.powf(decades * (i + 1) as f64 / SKETCH_BUCKETS as f64);
+        (lo * hi).sqrt()
+    }
+
+    /// Feeds one non-negative observation.
+    pub fn push(&mut self, x: f64) {
+        self.counts[Self::bucket_of(x)] += 1;
+        self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile estimate (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // The extremes are tracked exactly.
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the wanted observation, 1-based, nearest-rank method.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equilibrium fingerprint index
+// ---------------------------------------------------------------------
+
+/// The canonical identity of a reached equilibrium: the per-coin mass
+/// vector over the **whole** coin universe plus the coin-liveness mask
+/// (so "coin 1 retired" and "coin 1 live but empty" are distinct
+/// outcomes). Keys are compared exactly — the 64-bit fingerprint is a
+/// stable display handle, not the index key, so hash collisions cannot
+/// merge distinct equilibria.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EquilibriumKey {
+    /// Mass (total power) per coin, coin 0 first.
+    pub masses: Vec<u128>,
+    /// Liveness per coin (all `true` for fixed-population runs).
+    pub live: Vec<bool>,
+}
+
+impl EquilibriumKey {
+    /// The stable 64-bit display fingerprint: FNV-1a over the mass
+    /// vector and liveness mask. Platform- and run-independent.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for (c, &mass) in self.masses.iter().enumerate() {
+            for byte in (c as u32).to_le_bytes() {
+                eat(byte);
+            }
+            for byte in mass.to_le_bytes() {
+                eat(byte);
+            }
+            eat(u8::from(self.live[c]));
+        }
+        h
+    }
+}
+
+/// Per-equilibrium tallies of a [`FingerprintIndex`].
+#[derive(Debug, Clone, PartialEq)]
+struct EquilibriumTally {
+    hits: u64,
+    potential: f64,
+    welfare: f64,
+}
+
+/// One row of the equilibrium census, ready for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquilibriumEntry {
+    /// Display fingerprint (hex of [`EquilibriumKey::fingerprint`]).
+    pub fingerprint: String,
+    /// Replicas that converged to this equilibrium.
+    pub hits: u64,
+    /// `hits / total replicas`.
+    pub share: f64,
+    /// Appendix-B symmetric potential `H(s) = Σ_c 1/M_c` (lower = more
+    /// balanced masses = better).
+    pub potential: f64,
+    /// Welfare `Σ` payoffs (= total reward of occupied live coins).
+    pub welfare: f64,
+    /// The canonical per-coin mass vector (decimal strings: masses are
+    /// `u128` and JSON numbers are not).
+    pub masses: Vec<String>,
+    /// Per-coin liveness at convergence.
+    pub live: Vec<bool>,
+}
+
+/// Distribution-level equilibrium statistics (see field docs for the
+/// empirical price-of-anarchy/stability conventions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquilibriumCensus {
+    /// Number of distinct equilibria reached.
+    pub distinct: usize,
+    /// Total recorded hits (= converged replicas), across **all**
+    /// equilibria — not just the listed rows, which [`FingerprintIndex::census`]
+    /// caps.
+    pub total_hits: u64,
+    /// Lowest symmetric potential observed (the *best* equilibrium:
+    /// `H = Σ_c 1/M_c` is minimized by balanced masses).
+    pub best_potential: f64,
+    /// Highest symmetric potential observed (the *worst* equilibrium).
+    pub worst_potential: f64,
+    /// Empirical price of anarchy: `worst_potential / best_potential`
+    /// (≥ 1) — how much worse the worst equilibrium the dynamics
+    /// actually reached is than the best observed, by the potential.
+    pub poa_ratio: f64,
+    /// Empirical price of stability: `modal_potential / best_potential`
+    /// (≥ 1) — how far the *most frequently reached* equilibrium sits
+    /// from the best observed. 1 when the dynamics' modal outcome is
+    /// also the best seen.
+    pub pos_ratio: f64,
+    /// The census rows, most-hit first (ties broken by the canonical
+    /// key order, so the listing is deterministic).
+    pub entries: Vec<EquilibriumEntry>,
+}
+
+/// The equilibrium fingerprint index: counts distinct equilibria by
+/// exact canonical key.
+///
+/// Memory is bounded by the number of *distinct* equilibria (each entry
+/// stores one mass vector), not by the replica count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FingerprintIndex {
+    entries: BTreeMap<EquilibriumKey, EquilibriumTally>,
+    total: u64,
+}
+
+impl FingerprintIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        FingerprintIndex::default()
+    }
+
+    /// Records one converged replica's equilibrium.
+    pub fn record(&mut self, key: EquilibriumKey, potential: f64, welfare: f64) {
+        self.total += 1;
+        self.entries
+            .entry(key)
+            .and_modify(|t| t.hits += 1)
+            .or_insert(EquilibriumTally {
+                hits: 1,
+                potential,
+                welfare,
+            });
+    }
+
+    /// Number of distinct equilibria recorded.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total records (= converged replicas).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The canonical keys, in key order (for tests pinning the index to
+    /// a naive sort-and-dedup of the full mass vectors).
+    pub fn keys(&self) -> Vec<EquilibriumKey> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Hit count of one key (0 if never recorded).
+    pub fn hits(&self, key: &EquilibriumKey) -> u64 {
+        self.entries.get(key).map_or(0, |t| t.hits)
+    }
+
+    /// Builds the census (see [`EquilibriumCensus`] for conventions).
+    /// `max_entries` caps the listed rows (the aggregate statistics
+    /// still cover every equilibrium).
+    pub fn census(&self, max_entries: usize) -> EquilibriumCensus {
+        if self.entries.is_empty() {
+            return EquilibriumCensus {
+                distinct: 0,
+                total_hits: 0,
+                best_potential: 0.0,
+                worst_potential: 0.0,
+                poa_ratio: 1.0,
+                pos_ratio: 1.0,
+                entries: Vec::new(),
+            };
+        }
+        let best = self
+            .entries
+            .values()
+            .map(|t| t.potential)
+            .fold(f64::INFINITY, f64::min);
+        let worst = self
+            .entries
+            .values()
+            .map(|t| t.potential)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Modal equilibrium: most hits, ties by canonical key order
+        // (BTreeMap iteration order makes this deterministic).
+        let modal = self
+            .entries
+            .values()
+            .fold(None::<&EquilibriumTally>, |acc, t| match acc {
+                Some(best_so_far) if best_so_far.hits >= t.hits => Some(best_so_far),
+                _ => Some(t),
+            })
+            .expect("nonempty index");
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 1.0 };
+        let mut rows: Vec<(&EquilibriumKey, &EquilibriumTally)> = self.entries.iter().collect();
+        rows.sort_by(|(ka, ta), (kb, tb)| tb.hits.cmp(&ta.hits).then_with(|| ka.cmp(kb)));
+        let entries = rows
+            .into_iter()
+            .take(max_entries)
+            .map(|(key, tally)| EquilibriumEntry {
+                fingerprint: format!("{:016x}", key.fingerprint()),
+                hits: tally.hits,
+                share: tally.hits as f64 / self.total.max(1) as f64,
+                potential: tally.potential,
+                welfare: tally.welfare,
+                masses: key.masses.iter().map(u128::to_string).collect(),
+                live: key.live.clone(),
+            })
+            .collect();
+        EquilibriumCensus {
+            distinct: self.entries.len(),
+            total_hits: self.total,
+            best_potential: best,
+            worst_potential: worst,
+            poa_ratio: ratio(worst, best),
+            pos_ratio: ratio(modal.potential, best),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        let s = w.summary();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.summary().mean, 0.0);
+        let mut w = Welford::new();
+        w.push(7.0);
+        let s = w.summary();
+        assert_eq!((s.mean, s.std, s.min, s.max), (7.0, 0.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn sketch_quantiles_are_within_documented_error() {
+        let mut q = QuantileSketch::new();
+        for x in 1..=10_000u32 {
+            q.push(f64::from(x));
+        }
+        for (p, exact) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = q.quantile(p);
+            assert!(
+                (got - exact).abs() / exact < 0.03,
+                "p{p}: got {got}, want ≈{exact}"
+            );
+        }
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(1.0), 10_000.0);
+        assert_eq!(q.count(), 10_000);
+    }
+
+    #[test]
+    fn sketch_is_order_independent_and_handles_edges() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let xs = [0.0, 1.0, 17.0, 1e13, 256.0];
+        for &x in &xs {
+            a.push(x);
+        }
+        for &x in xs.iter().rev() {
+            b.push(x);
+        }
+        assert_eq!(a, b);
+        assert_eq!(QuantileSketch::new().quantile(0.5), 0.0);
+        // Out-of-range values clamp into edge buckets but min/max stay
+        // exact.
+        assert_eq!(a.quantile(0.0), 0.0);
+        assert_eq!(a.quantile(1.0), 1e13);
+    }
+
+    fn key(masses: &[u128], live: &[bool]) -> EquilibriumKey {
+        EquilibriumKey {
+            masses: masses.to_vec(),
+            live: live.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_index_counts_and_orders_census() {
+        let mut index = FingerprintIndex::new();
+        let a = key(&[10, 5], &[true, true]);
+        let b = key(&[9, 6], &[true, true]);
+        index.record(a.clone(), 0.3, 15.0);
+        index.record(b.clone(), 0.28, 15.0);
+        index.record(a.clone(), 0.3, 15.0);
+        assert_eq!(index.distinct(), 2);
+        assert_eq!(index.total(), 3);
+        assert_eq!(index.hits(&a), 2);
+        let census = index.census(10);
+        assert_eq!(census.distinct, 2);
+        assert_eq!(census.entries[0].hits, 2); // modal first
+        assert_eq!(census.entries[0].masses, vec!["10", "5"]);
+        assert!((census.entries[0].share - 2.0 / 3.0).abs() < 1e-12);
+        // best = 0.28 (b), worst = modal = 0.3 (a).
+        assert!((census.poa_ratio - 0.3 / 0.28).abs() < 1e-12);
+        assert!((census.pos_ratio - 0.3 / 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_liveness_and_masses() {
+        let a = key(&[10, 0], &[true, true]);
+        let b = key(&[10, 0], &[true, false]);
+        let c = key(&[0, 10], &[true, true]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a, b);
+        // Stable across calls (and, by construction, across platforms).
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn empty_census_is_well_formed() {
+        let census = FingerprintIndex::new().census(5);
+        assert_eq!(census.distinct, 0);
+        assert_eq!(census.poa_ratio, 1.0);
+        assert!(census.entries.is_empty());
+    }
+
+    #[test]
+    fn census_caps_entries_but_not_statistics() {
+        let mut index = FingerprintIndex::new();
+        for i in 0..10u128 {
+            index.record(key(&[i, 10 - i], &[true, true]), i as f64 + 1.0, 1.0);
+        }
+        let census = index.census(3);
+        assert_eq!(census.entries.len(), 3);
+        assert_eq!(census.distinct, 10);
+        assert_eq!(census.best_potential, 1.0);
+        assert_eq!(census.worst_potential, 10.0);
+    }
+}

@@ -1,0 +1,626 @@
+//! # The parallel ensemble engine
+//!
+//! The paper's central claims are **distributional**: better-response
+//! dynamics converge to *some* pure Nash equilibrium (Theorem 1), and
+//! which one — and how fast — depends on the schedule and the seed.
+//! A single trajectory samples that distribution once; this module is
+//! the instrument that maps it. An [`EnsembleSpec`] names a replica
+//! count, a population, an optional scheduler and churn plan, and a
+//! **root seed**; [`run`] executes the replicas on the work-stealing
+//! [`executor`] (each replica's RNG stream derived from the root seed by
+//! [`executor::replica_seed`]) and folds the outcomes through the
+//! streaming [`aggregate`] layer: Welford moments of convergence steps,
+//! bounded-memory step percentiles, and the equilibrium fingerprint
+//! index behind distinct-equilibria counts, hit frequencies, and the
+//! empirical price-of-anarchy/stability ratios.
+//!
+//! **Determinism:** the same root seed produces a bit-identical
+//! [`EnsembleAggregate`] regardless of the worker-thread count — replica
+//! seeds are a pure function of `(root, index)` and the fold runs in
+//! replica order over input-ordered executor output. Wall-clock numbers
+//! live apart in [`EnsembleTiming`] (field names follow the repo's
+//! `secs`/`per_sec` timing conventions, so the golden comparator strips
+//! them); [`EnsembleReport::deterministic_json`] serializes exactly the
+//! thread-invariant part, which
+//! `crates/analysis/tests/ensemble_determinism.rs` pins across
+//! `threads ∈ {1, 2, 8}`.
+
+pub mod aggregate;
+pub mod executor;
+
+use std::fmt;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use goc_game::{gen::random_config, Configuration, Game};
+use goc_learning::{
+    run_incremental, run_incremental_with_churn, run_with_churn, ChurnPlan, LearningOptions,
+    LearningOutcome, SchedulerKind,
+};
+use goc_sim::fixtures::{scale_churn_base, scale_class_game};
+use goc_sim::{churn_universe, ChurnSpec, ScenarioSpec};
+
+use aggregate::{
+    EquilibriumCensus, EquilibriumKey, FingerprintIndex, QuantileSketch, Welford, WelfordSummary,
+};
+use executor::{replica_seed, run_indexed};
+
+/// Resolution (fraction of a rig's hashrate) used when quantizing churn
+/// scenarios to integer game powers — the same constant the `churn`
+/// experiment and the `BENCH_*.json` recorder pass to
+/// [`goc_sim::churn_universe`].
+const CHURN_RESOLUTION: f64 = 1e-4;
+
+/// Census rows listed in reports (aggregate statistics always cover
+/// every distinct equilibrium; only the listing is capped).
+const CENSUS_ROWS: usize = 12;
+
+/// A declarative Monte-Carlo ensemble: `replicas` independent runs of
+/// the better-response dynamics over the shared scale fixture
+/// population, each replica seeded from `seed` by
+/// [`executor::replica_seed`].
+///
+/// * `scheduler: None` drives the scheduler-free
+///   [`goc_learning::run_incremental`] loop (the fast path for large
+///   populations); `Some(kind)` drives [`goc_learning::run`]'s
+///   incremental protocol with that kind, seeded per replica.
+/// * `churn: Some(spec)` lowers the fixture cohort scenario plus this
+///   churn plan to a per-replica delta stream
+///   ([`goc_sim::churn_universe`]); replicas then run
+///   `run[_incremental]_with_churn`. The plan follows the fixture
+///   shape: coin 2 is the launchable `upstart` chain
+///   (see [`goc_sim::fixtures::scale_churn_base`]).
+/// * Without churn, replicas start from an independent uniformly random
+///   configuration; with churn they start from the universe's cohort
+///   start and the randomness enters through the churn timeline and the
+///   scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleSpec {
+    /// Display name (reports and artifacts).
+    pub name: String,
+    /// Number of Monte-Carlo replicas (≥ 1).
+    pub replicas: usize,
+    /// Population head-count of the scale fixture game.
+    pub miners: usize,
+    /// Scheduler kind, or `None` for the scheduler-free incremental
+    /// loop.
+    pub scheduler: Option<SchedulerKind>,
+    /// Optional churn plan applied to the fixture cohort scenario.
+    pub churn: Option<ChurnSpec>,
+    /// Horizon (days) used when lowering a churn plan.
+    pub horizon_days: f64,
+    /// Root seed; replica `i` uses `replica_seed(seed, i)`.
+    pub seed: u64,
+}
+
+impl EnsembleSpec {
+    /// A churn-free ensemble over `miners` with the incremental loop.
+    pub fn new(miners: usize, replicas: usize, seed: u64) -> Self {
+        EnsembleSpec {
+            name: format!("ensemble_{miners}x{replicas}"),
+            replicas,
+            miners,
+            scheduler: None,
+            churn: None,
+            horizon_days: 30.0,
+            seed,
+        }
+    }
+
+    /// Pins the scheduler kind (replica-seeded).
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = Some(kind);
+        self
+    }
+
+    /// Attaches the shared churn fixture's plan at the given population
+    /// turnover target (percent) — the same arrival/departure processes
+    /// plus one coin launch and one retirement that the `churn`
+    /// experiment and `BENCH_*.json` drive.
+    pub fn with_churn(mut self, turnover_pct: u32) -> Self {
+        self.churn = goc_sim::fixtures::scale_churn_scenario(
+            self.miners,
+            self.horizon_days,
+            0,
+            turnover_pct,
+        )
+        .churn;
+        self
+    }
+
+    /// The scheduler's display name (`incremental` for the
+    /// scheduler-free loop).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.map_or("incremental", SchedulerKind::name)
+    }
+
+    /// Validates the numeric envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`EnsembleError::InvalidSpec`] when the ensemble is degenerate
+    /// (no replicas, no miners, or a non-positive horizon).
+    pub fn validate(&self) -> Result<(), EnsembleError> {
+        if self.replicas == 0 {
+            return Err(EnsembleError::InvalidSpec("replicas must be ≥ 1".into()));
+        }
+        if self.miners == 0 {
+            return Err(EnsembleError::InvalidSpec("miners must be ≥ 1".into()));
+        }
+        if !self.horizon_days.is_finite() || self.horizon_days <= 0.0 {
+            return Err(EnsembleError::InvalidSpec(
+                "horizon_days must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Errors of an ensemble run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnsembleError {
+    /// The spec fails its numeric envelope (see
+    /// [`EnsembleSpec::validate`]).
+    InvalidSpec(String),
+    /// A replica failed (learning error or churn-lowering error); the
+    /// smallest failing replica index is reported.
+    Replica {
+        /// Replica index.
+        replica: usize,
+        /// Stringified underlying error.
+        error: String,
+    },
+    /// A replica panicked inside the executor.
+    Panicked(executor::WorkerPanic),
+}
+
+impl fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnsembleError::InvalidSpec(why) => write!(f, "invalid ensemble spec: {why}"),
+            EnsembleError::Replica { replica, error } => {
+                write!(f, "replica {replica} failed: {error}")
+            }
+            EnsembleError::Panicked(panic) => write!(f, "ensemble {panic}"),
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}
+
+/// One replica's reduced outcome — everything the aggregators consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaRecord {
+    /// Replica index within the ensemble.
+    pub replica: usize,
+    /// The derived replica seed (`replica_seed(spec.seed, replica)`).
+    pub seed: u64,
+    /// Better-response steps taken.
+    pub steps: usize,
+    /// Whether the replica converged within the step cap.
+    pub converged: bool,
+    /// Churn deltas absorbed (0 without a churn plan).
+    pub churn_applied: usize,
+    /// Canonical equilibrium identity of the final state.
+    pub key: EquilibriumKey,
+    /// Symmetric potential `H = Σ_c 1/M_c` of the final state (f64;
+    /// infinite when a live coin is unoccupied, which cannot happen at
+    /// an equilibrium of an unrestricted game).
+    pub potential: f64,
+    /// Welfare (total payoff) of the final active population.
+    pub welfare: f64,
+    /// This replica's wall time (timing only — never aggregated into
+    /// the deterministic part).
+    pub wall_secs: f64,
+}
+
+/// Convergence-step percentiles from the bounded-memory sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepPercentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// The thread-invariant aggregate of an ensemble: same spec + same root
+/// seed ⇒ bit-identical value at any worker-thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleAggregate {
+    /// Replicas executed.
+    pub replicas: usize,
+    /// Replicas that converged within the step cap.
+    pub converged: usize,
+    /// Total churn deltas absorbed across all replicas.
+    pub churn_deltas: u64,
+    /// Welford moments of convergence steps.
+    pub steps: WelfordSummary,
+    /// Step percentiles from the geometric sketch.
+    pub step_percentiles: StepPercentiles,
+    /// The equilibrium census (distinct equilibria, hit frequencies,
+    /// empirical price-of-anarchy/stability ratios).
+    pub equilibria: EquilibriumCensus,
+}
+
+/// Wall-clock statistics of an ensemble run (machine- and load-
+/// dependent; the field names follow the repo's timing conventions so
+/// golden comparisons strip them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time of the ensemble, seconds.
+    pub total_wall_secs: f64,
+    /// `replicas / total_wall_secs`.
+    pub replicas_per_sec: f64,
+    /// Welford moments of per-replica wall times.
+    pub replica_wall_secs: WelfordSummary,
+}
+
+/// The full result of [`run`]: spec echo + deterministic aggregate +
+/// timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleReport {
+    /// The spec that produced this report.
+    pub spec: EnsembleSpec,
+    /// The thread-invariant aggregate.
+    pub aggregate: EnsembleAggregate,
+    /// Wall-clock statistics (thread- and machine-dependent).
+    pub timing: EnsembleTiming,
+}
+
+impl EnsembleReport {
+    /// Serializes exactly the thread-invariant part (spec + aggregate):
+    /// two runs of the same spec agree on this string regardless of
+    /// `threads`.
+    pub fn deterministic_json(&self) -> String {
+        // Hand-assembled (the vendored serde_derive does not support
+        // lifetime-generic helper structs): both halves already derive
+        // `Serialize`.
+        format!(
+            "{{\"spec\":{},\"aggregate\":{}}}",
+            serde_json::to_string(&self.spec).expect("ensemble specs serialize"),
+            serde_json::to_string(&self.aggregate).expect("ensemble aggregates serialize"),
+        )
+    }
+}
+
+/// Reduces a final state to its equilibrium identity, potential, and
+/// welfare. `miner_active`/`coin_active` default to all-active.
+fn reduce_state(
+    game: &Game,
+    config: &Configuration,
+    miner_active: Option<&[bool]>,
+    coin_active: Option<&[bool]>,
+) -> (EquilibriumKey, f64, f64) {
+    let system = game.system();
+    let k = system.num_coins();
+    let live: Vec<bool> = match coin_active {
+        Some(mask) => mask.to_vec(),
+        None => vec![true; k],
+    };
+    let mut masses = vec![0u128; k];
+    match miner_active {
+        None => {
+            let table = config.masses(system);
+            for (c, mass) in masses.iter_mut().enumerate() {
+                *mass = table.mass_of(goc_game::CoinId(c));
+            }
+        }
+        Some(mask) => {
+            for p in system.miner_ids() {
+                if mask[p.index()] {
+                    masses[config.coin_of(p).index()] += u128::from(system.power_of(p));
+                }
+            }
+        }
+    }
+    // Potential H = Σ_{live c} 1/M_c (coin-order summation keeps the
+    // f64 bit-identical across runs); welfare = Σ rewards of occupied
+    // live coins (payoffs on a coin sum to its reward).
+    let mut potential = 0.0f64;
+    let mut welfare = 0.0f64;
+    for c in 0..k {
+        if !live[c] {
+            continue;
+        }
+        if masses[c] == 0 {
+            potential = f64::INFINITY;
+        } else {
+            potential += 1.0 / masses[c] as f64;
+            welfare += game.rewards().of(goc_game::CoinId(c)).to_f64();
+        }
+    }
+    (EquilibriumKey { masses, live }, potential, welfare)
+}
+
+/// The per-replica churn scenario: the shared churn base (cohort
+/// population + dormant `upstart` chain) with the spec's plan attached,
+/// seeded for this replica — the timeline, and therefore the delta
+/// stream, varies per replica.
+fn churn_scenario(spec: &EnsembleSpec, churn: &ChurnSpec, seed: u64) -> ScenarioSpec {
+    let mut scenario = scale_churn_base(spec.miners, spec.horizon_days, seed);
+    scenario.name = format!("{}_r{seed:x}", spec.name);
+    scenario.churn = Some(churn.clone());
+    scenario
+}
+
+/// Runs one replica. `shared_game` short-circuits the fixture game
+/// build for churn-free ensembles (the result is identical either way:
+/// the fixture is deterministic in `miners`).
+fn replica_with(
+    spec: &EnsembleSpec,
+    shared_game: Option<&Game>,
+    index: usize,
+) -> Result<ReplicaRecord, EnsembleError> {
+    let seed = replica_seed(spec.seed, index);
+    let fail = |error: String| EnsembleError::Replica {
+        replica: index,
+        error,
+    };
+    let options = LearningOptions::default();
+    let clock = Instant::now();
+    let (outcome, key, potential, welfare) = match &spec.churn {
+        None => {
+            let built;
+            let game = match shared_game {
+                Some(game) => game,
+                None => {
+                    built = scale_class_game(spec.miners);
+                    &built
+                }
+            };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let start = random_config(&mut rng, game.system());
+            let outcome = match spec.scheduler {
+                None => run_incremental(game, &start, options),
+                Some(kind) => {
+                    let mut sched = kind.build(seed);
+                    goc_learning::run(game, &start, sched.as_mut(), options)
+                }
+            }
+            .map_err(|e| fail(e.to_string()))?;
+            let (key, potential, welfare) = reduce_state(game, &outcome.final_config, None, None);
+            (outcome, key, potential, welfare)
+        }
+        Some(churn) => {
+            let scenario = churn_scenario(spec, churn, seed);
+            let universe =
+                churn_universe(&scenario, CHURN_RESOLUTION).map_err(|e| fail(e.to_string()))?;
+            let plan = ChurnPlan::with_events(
+                Some(universe.miner_active.clone()),
+                Some(universe.coin_active.clone()),
+                universe.step_deltas(spec.miners),
+            );
+            let outcome: LearningOutcome = match spec.scheduler {
+                None => run_incremental_with_churn(&universe.game, &universe.start, options, &plan),
+                Some(kind) => {
+                    let mut sched = kind.build(seed);
+                    run_with_churn(
+                        &universe.game,
+                        &universe.start,
+                        sched.as_mut(),
+                        options,
+                        &plan,
+                    )
+                }
+            }
+            .map_err(|e| fail(e.to_string()))?;
+            let (miner_active, coin_active) = outcome
+                .final_activity
+                .clone()
+                .expect("churn runs report activity");
+            let (key, potential, welfare) = reduce_state(
+                &universe.game,
+                &outcome.final_config,
+                Some(&miner_active),
+                Some(&coin_active),
+            );
+            (outcome, key, potential, welfare)
+        }
+    };
+    Ok(ReplicaRecord {
+        replica: index,
+        seed,
+        steps: outcome.steps,
+        converged: outcome.converged,
+        churn_applied: outcome.churn_applied,
+        key,
+        potential,
+        welfare,
+        wall_secs: clock.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs a single replica standalone — the naive per-trajectory path the
+/// determinism proptest replays against [`run`]'s aggregate.
+///
+/// # Errors
+///
+/// As [`run`], for this replica only.
+pub fn replica(spec: &EnsembleSpec, index: usize) -> Result<ReplicaRecord, EnsembleError> {
+    spec.validate()?;
+    replica_with(spec, None, index)
+}
+
+/// Executes the ensemble on `threads` work-stealing workers and folds
+/// the replica records into an [`EnsembleReport`].
+///
+/// # Errors
+///
+/// * [`EnsembleError::InvalidSpec`] for a degenerate spec;
+/// * [`EnsembleError::Replica`] when a replica's dynamics or churn
+///   lowering fail (smallest failing index);
+/// * [`EnsembleError::Panicked`] when a replica panicked.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::ensemble::{run, EnsembleSpec};
+///
+/// let report = run(&EnsembleSpec::new(16, 8, 7), 2)?;
+/// assert_eq!(report.aggregate.replicas, 8);
+/// assert_eq!(report.aggregate.converged, 8);
+/// assert!(report.aggregate.equilibria.distinct >= 1);
+/// # Ok::<(), goc_analysis::ensemble::EnsembleError>(())
+/// ```
+pub fn run(spec: &EnsembleSpec, threads: usize) -> Result<EnsembleReport, EnsembleError> {
+    spec.validate()?;
+    let clock = Instant::now();
+    let shared_game = spec.churn.is_none().then(|| scale_class_game(spec.miners));
+    let results = run_indexed(spec.replicas, threads, |index| {
+        replica_with(spec, shared_game.as_ref(), index)
+    })
+    .map_err(EnsembleError::Panicked)?;
+    // First failing replica (results are index-ordered) wins.
+    let mut records = Vec::with_capacity(results.len());
+    for result in results {
+        records.push(result?);
+    }
+    let total_wall = clock.elapsed().as_secs_f64();
+
+    // The fold: replica order, streaming accumulators only.
+    let mut steps = Welford::new();
+    let mut steps_sketch = QuantileSketch::new();
+    let mut replica_wall = Welford::new();
+    let mut index = FingerprintIndex::new();
+    let mut converged = 0usize;
+    let mut churn_deltas = 0u64;
+    for record in &records {
+        steps.push(record.steps as f64);
+        steps_sketch.push(record.steps as f64);
+        replica_wall.push(record.wall_secs);
+        churn_deltas += record.churn_applied as u64;
+        if record.converged {
+            converged += 1;
+            index.record(record.key.clone(), record.potential, record.welfare);
+        }
+    }
+    Ok(EnsembleReport {
+        spec: spec.clone(),
+        aggregate: EnsembleAggregate {
+            replicas: spec.replicas,
+            converged,
+            churn_deltas,
+            steps: steps.summary(),
+            step_percentiles: StepPercentiles {
+                p50: steps_sketch.quantile(0.5),
+                p90: steps_sketch.quantile(0.9),
+                p99: steps_sketch.quantile(0.99),
+            },
+            equilibria: index.census(CENSUS_ROWS),
+        },
+        timing: EnsembleTiming {
+            threads: threads.max(1),
+            total_wall_secs: total_wall,
+            replicas_per_sec: spec.replicas as f64 / total_wall.max(1e-9),
+            replica_wall_secs: replica_wall.summary(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation_names_the_problem() {
+        assert!(EnsembleSpec::new(16, 4, 0).validate().is_ok());
+        let err = EnsembleSpec::new(16, 0, 0).validate().unwrap_err();
+        assert!(err.to_string().contains("replicas"));
+        let err = EnsembleSpec::new(0, 4, 0).validate().unwrap_err();
+        assert!(err.to_string().contains("miners"));
+        let mut spec = EnsembleSpec::new(16, 4, 0);
+        spec.horizon_days = 0.0;
+        assert!(spec.validate().is_err());
+        assert!(run(&EnsembleSpec::new(16, 0, 0), 2).is_err());
+    }
+
+    #[test]
+    fn aggregates_are_thread_invariant() {
+        let spec = EnsembleSpec::new(24, 12, 99);
+        let a = run(&spec, 1).unwrap();
+        let b = run(&spec, 4).unwrap();
+        assert_eq!(a.aggregate, b.aggregate);
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert_eq!(a.aggregate.replicas, 12);
+        assert_eq!(a.aggregate.converged, 12);
+        assert_eq!(
+            a.aggregate.equilibria.entries.len(),
+            a.aggregate.equilibria.distinct.min(12)
+        );
+    }
+
+    #[test]
+    fn scheduled_ensembles_converge_and_census_covers_replicas() {
+        let spec = EnsembleSpec::new(16, 10, 3).with_scheduler(SchedulerKind::UniformRandom);
+        let report = run(&spec, 2).unwrap();
+        assert_eq!(report.aggregate.converged, 10);
+        let hits: u64 = report
+            .aggregate
+            .equilibria
+            .entries
+            .iter()
+            .map(|e| e.hits)
+            .sum();
+        assert_eq!(hits, 10, "every converged replica is in the census");
+        assert!(report.aggregate.equilibria.poa_ratio >= 1.0);
+        assert!(report.aggregate.equilibria.pos_ratio >= 1.0);
+        assert_eq!(report.spec.scheduler_name(), "uniform-random");
+    }
+
+    #[test]
+    fn churn_ensembles_absorb_deltas() {
+        let spec = EnsembleSpec::new(64, 4, 5).with_churn(20);
+        assert!(spec.churn.is_some());
+        let report = run(&spec, 2).unwrap();
+        assert_eq!(report.aggregate.converged, 4);
+        assert!(
+            report.aggregate.churn_deltas >= 4,
+            "replicas absorbed {} deltas",
+            report.aggregate.churn_deltas
+        );
+        // The census keys carry the coin-lifecycle outcome: the fixture
+        // retires coin 1 and launches coin 2.
+        for entry in &report.aggregate.equilibria.entries {
+            assert_eq!(entry.live, vec![true, false, true]);
+        }
+        // Thread invariance holds under churn too.
+        let again = run(&spec, 5).unwrap();
+        assert_eq!(report.aggregate, again.aggregate);
+    }
+
+    #[test]
+    fn replica_records_match_the_run_fold() {
+        let spec = EnsembleSpec::new(16, 6, 11).with_scheduler(SchedulerKind::RoundRobin);
+        let report = run(&spec, 3).unwrap();
+        let mut naive = FingerprintIndex::new();
+        for i in 0..spec.replicas {
+            let record = replica(&spec, i).unwrap();
+            assert_eq!(record.seed, replica_seed(spec.seed, i));
+            assert!(record.converged);
+            naive.record(record.key, record.potential, record.welfare);
+        }
+        assert_eq!(
+            naive.census(CENSUS_ROWS),
+            report.aggregate.equilibria,
+            "standalone replicas reproduce the parallel census"
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = EnsembleSpec::new(128, 32, 42)
+            .with_scheduler(SchedulerKind::MinGain)
+            .with_churn(10);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: EnsembleSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

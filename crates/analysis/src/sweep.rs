@@ -1,11 +1,26 @@
-//! A small parallel parameter-sweep runner on `std::thread::scope`.
+//! The parallel parameter-sweep runner.
 //!
 //! Experiments sweep seeds × schedulers × game sizes; this fans the work
 //! across cores while keeping outputs in input order (determinism of the
-//! overall experiment report).
+//! overall experiment report). Since the ensemble engine landed, the
+//! thread pool here is **not** its own: [`parallel_map`] rides the same
+//! work-stealing executor the Monte-Carlo replica ensemble runs on
+//! ([`crate::ensemble::executor::run_indexed`]) — one parallel substrate
+//! for the whole workspace, with panic propagation that names the
+//! failing item's index instead of tearing the process down from a
+//! detached worker.
 
-/// Runs `f` over `items` on up to `threads` worker threads, returning
-/// outputs in input order.
+use crate::ensemble::executor::run_indexed;
+pub use crate::ensemble::executor::WorkerPanic;
+
+/// Runs `f` over `items` on up to `threads` work-stealing worker
+/// threads, returning outputs in input order.
+///
+/// # Panics
+///
+/// If `f` panics on some item, the panic is re-raised on the caller's
+/// thread with the failing item's index and the original message (see
+/// [`try_parallel_map`] for the non-panicking form).
 ///
 /// # Examples
 ///
@@ -20,29 +35,38 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+    match try_parallel_map(items, threads, f) {
+        Ok(out) => out,
+        Err(panic) => panic!("{panic}"),
     }
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock poisoned") = Some(r);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every slot filled by the sweep"))
-        .collect()
+}
+
+/// [`parallel_map`] with panic propagation as a value: a panicking item
+/// yields `Err(WorkerPanic { index, message })` naming the failing
+/// item's index, instead of unwinding.
+///
+/// # Errors
+///
+/// [`WorkerPanic`] for the smallest item index whose `f` panicked.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::sweep::try_parallel_map;
+/// let err = try_parallel_map(&[1u32, 2, 3], 2, |&x| {
+///     assert!(x != 2, "two is right out");
+///     x
+/// })
+/// .unwrap_err();
+/// assert_eq!(err.index, 1);
+/// ```
+pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(items.len(), threads, |i| f(&items[i]))
 }
 
 /// The number of worker threads to use by default: the available
@@ -75,5 +99,26 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn panics_carry_the_failing_index() {
+        let items: Vec<u32> = (0..20).collect();
+        let err = try_parallel_map(&items, 4, |&x| {
+            assert!(x != 13, "unlucky");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 13);
+        assert!(err.message.contains("unlucky"));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked on item 2")]
+    fn parallel_map_reraises_with_index() {
+        parallel_map(&[0u32, 1, 2], 1, |&x| {
+            assert!(x != 2, "boom");
+            x
+        });
     }
 }

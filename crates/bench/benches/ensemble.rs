@@ -1,0 +1,86 @@
+//! Criterion benches for the Monte-Carlo ensemble engine: the
+//! work-stealing executor's dispatch overhead, the streaming
+//! aggregators, and end-to-end replica throughput on a mid-size
+//! population (the 100k-miner recorded number lives in `BENCH_5.json`
+//! via the `baseline` bin).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_analysis::ensemble::aggregate::{
+    EquilibriumKey, FingerprintIndex, QuantileSketch, Welford,
+};
+use goc_analysis::ensemble::executor::{replica_seed, run_indexed};
+use goc_analysis::ensemble::{run, EnsembleSpec};
+
+fn bench_executor_dispatch(c: &mut Criterion) {
+    // Pure dispatch cost: thousands of near-empty tasks.
+    let mut group = c.benchmark_group("ensemble/executor_dispatch");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_indexed(4096, threads, |i| replica_seed(7, i)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    c.bench_function("ensemble/welford_sketch_fold_10k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            let mut q = QuantileSketch::new();
+            for i in 0..10_000u32 {
+                let x = f64::from(i % 977) + 1.0;
+                w.push(x);
+                q.push(x);
+            }
+            (w.summary(), q.quantile(0.9))
+        });
+    });
+    c.bench_function("ensemble/fingerprint_record_1k", |b| {
+        b.iter(|| {
+            let mut index = FingerprintIndex::new();
+            for i in 0..1_000u128 {
+                index.record(
+                    EquilibriumKey {
+                        masses: vec![i % 17, 100 - i % 17, 3],
+                        live: vec![true, true, true],
+                    },
+                    0.1,
+                    100.0,
+                );
+            }
+            index.census(12)
+        });
+    });
+}
+
+fn bench_replica_throughput(c: &mut Criterion) {
+    // End-to-end: 8 replicas over a 10k-miner fixture game (the
+    // recorded BENCH_5 number uses 100k; this keeps the quick CI bench
+    // in the hundreds of milliseconds).
+    let spec = EnsembleSpec::new(10_000, 8, 9);
+    let mut group = c.benchmark_group("ensemble/replicas_10k_miners");
+    group.sample_size(10);
+    for threads in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run(&spec, threads).expect("fixture ensembles run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_dispatch,
+    bench_aggregators,
+    bench_replica_throughput
+);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_4.json`):
+//! (`BENCH_5.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -16,7 +16,12 @@
 //! * **churn (steps+deltas)/sec** — `run_incremental_with_churn`
 //!   absorbing the shared churn fixture (10% population turnover, one
 //!   coin launch, one retirement) on the 100k-miner universe (best of
-//!   two runs).
+//!   two runs);
+//! * **ensemble replicas/sec** — `goc_analysis::ensemble::run` driving
+//!   an 8-replica Monte-Carlo ensemble over the 100k-miner fixture on
+//!   the work-stealing executor at a **fixed 2 worker threads** (so the
+//!   number is comparable between the recording box and CI runners
+//!   regardless of their core counts; best of two runs).
 //!
 //! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
 //! it re-measures the *same* workloads at the miner counts recorded in
@@ -24,17 +29,21 @@
 //! `T × recorded` (default `T = 0.5`, i.e. a >50% regression). The
 //! failure message names **which** metrics regressed, and a recorded
 //! miner count the gate machine cannot allocate (or a degenerate zero)
-//! is a named error up front — never a panic or a silent pass.
+//! is a named error up front — never a panic or a silent pass. A
+//! baseline file that **lacks a layer this binary records** (e.g.
+//! gating a pre-5 file without the `ensemble` section) produces a loud
+//! warning naming the uncovered layer, so a new layer cannot dodge the
+//! gate by pointing it at an old recording.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_4.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_5.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_4.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_5.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_4.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_5.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -42,6 +51,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use goc_analysis::ensemble::{run as run_ensemble, EnsembleSpec};
 use goc_game::{CoinId, Configuration};
 use goc_learning::{
     run, run_incremental, run_incremental_with_churn, ChurnPlan, LearningOptions, SchedulerKind,
@@ -54,6 +64,19 @@ use serde::{Deserialize, Serialize};
 /// populations beyond this bound exceed what a CI-class machine can
 /// allocate — the gate refuses with a named error instead of OOMing.
 const MAX_GATE_MINERS: usize = 2_000_000;
+
+/// Worker threads of the recorded ensemble workload. Fixed (not
+/// "available cores") so the recorded replicas/sec is comparable
+/// between the recording machine and the CI gate runner.
+const ENSEMBLE_THREADS: usize = 2;
+
+/// Replicas of the recorded ensemble workload.
+const ENSEMBLE_REPLICAS: usize = 8;
+
+/// Largest recorded ensemble replica count the gate will re-measure —
+/// the same defense as [`MAX_GATE_MINERS`]: a corrupt or hand-edited
+/// recording must become a named error, not an hours-long re-measure.
+const MAX_GATE_REPLICAS: u64 = 1024;
 
 /// One measured layer of the baseline.
 #[derive(Debug, Serialize, Deserialize)]
@@ -77,9 +100,10 @@ struct SchedulerBaseline {
     layer: LayerBaseline,
 }
 
-/// The `BENCH_4.json` schema (a superset of `BENCH_3.json`: the `churn`
-/// section is new and optional on read, so `--check` also accepts the
-/// older files).
+/// The `BENCH_5.json` schema (a superset of `BENCH_4.json`: the
+/// `ensemble` section is new and optional on read, so `--check` also
+/// accepts the older files — with a loud warning for every layer the
+/// file is missing).
 #[derive(Debug, Serialize, Deserialize)]
 struct Baseline {
     /// Baseline generation.
@@ -98,6 +122,10 @@ struct Baseline {
     /// Churny incremental dynamics: 10% turnover + coin lifecycle
     /// ((steps+deltas)/sec; absent in pre-4 baselines).
     churn: Option<LayerBaseline>,
+    /// Monte-Carlo ensemble throughput (replicas/sec at
+    /// [`ENSEMBLE_THREADS`] workers; `work` = replicas; absent in
+    /// pre-5 baselines).
+    ensemble: Option<LayerBaseline>,
 }
 
 fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
@@ -212,10 +240,33 @@ fn churn_baseline(n: usize, repeats: usize) -> LayerBaseline {
     }
 }
 
+fn ensemble_baseline(n: usize, replicas: usize, repeats: usize) -> LayerBaseline {
+    // The ensemble engine's own workload: `replicas` deterministic
+    // Monte-Carlo replicas of `run_incremental` over the scale fixture,
+    // random start each, on the work-stealing executor at a fixed
+    // thread count (`work` = replicas, so `per_sec` is replicas/sec).
+    let spec = EnsembleSpec::new(n, replicas, 9);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let report = run_ensemble(&spec, ENSEMBLE_THREADS).expect("fixture ensembles run");
+        assert_eq!(
+            report.aggregate.converged, replicas,
+            "ensemble replicas did not all converge"
+        );
+        best = best.min(report.timing.total_wall_secs);
+    }
+    LayerBaseline {
+        miners: n,
+        work: replicas as u64,
+        wall_secs: best,
+        per_sec: replicas as f64 / best.max(1e-9),
+    }
+}
+
 fn record(quick: bool, out: &Path) -> ExitCode {
     let n = if quick { 10_000 } else { 100_000 };
     let baseline = Baseline {
-        baseline: 4,
+        baseline: 5,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -227,6 +278,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
                 .collect(),
         ),
         churn: Some(churn_baseline(n, 2)),
+        ensemble: Some(ensemble_baseline(n, ENSEMBLE_REPLICAS, 2)),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -249,6 +301,13 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         println!(
             "churn:    {} miners, {} steps+deltas in {:.3} s -> {:.0} /sec",
             churn.miners, churn.work, churn.wall_secs, churn.per_sec
+        );
+    }
+    if let Some(ensemble) = &baseline.ensemble {
+        println!(
+            "ensemble: {} miners, {} replicas in {:.3} s -> {:.2} replicas/sec \
+             ({ENSEMBLE_THREADS} threads)",
+            ensemble.miners, ensemble.work, ensemble.wall_secs, ensemble.per_sec
         );
     }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -329,6 +388,26 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         file.display(),
         recorded.baseline
     );
+    // A missing layer means the gate is NOT covering a workload this
+    // binary records — warn loudly instead of silently passing, so a
+    // newly added layer cannot dodge the gate by pointing it at an
+    // older BENCH_*.json.
+    let missing: Vec<&str> = [
+        ("schedulers", recorded.schedulers.is_none()),
+        ("churn", recorded.churn.is_none()),
+        ("ensemble", recorded.ensemble.is_none()),
+    ]
+    .into_iter()
+    .filter_map(|(layer, absent)| absent.then_some(layer))
+    .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "warning: {} lacks the {} layer(s) this binary records — those workloads are \
+             UNGATED; re-record with `cargo run --release -p goc-bench --bin baseline`",
+            file.display(),
+            missing.join(", ")
+        );
+    }
     // Refuse unallocatable or corrupt recordings up front, by name.
     let mut layers: Vec<(&str, &LayerBaseline)> =
         vec![("dynamics", &recorded.dynamics), ("sim", &recorded.sim)];
@@ -337,6 +416,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
     }
     if let Some(churn) = &recorded.churn {
         layers.push(("churn", churn));
+    }
+    if let Some(ensemble) = &recorded.ensemble {
+        layers.push(("ensemble", ensemble));
     }
     for (label, layer) in &layers {
         if let Err(e) = checkable(label, layer) {
@@ -388,6 +470,25 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
             &mut regressed,
         );
     }
+    if let Some(ensemble) = &recorded.ensemble {
+        if ensemble.work == 0 || ensemble.work > MAX_GATE_REPLICAS {
+            eprintln!(
+                "error: baseline metric `ensemble` records {} replicas, outside the gate's \
+                 1..={MAX_GATE_REPLICAS} envelope — the file is corrupt or was recorded for a \
+                 workload this gate will not re-measure",
+                ensemble.work
+            );
+            ok = false;
+        } else {
+            gate(
+                "ensemble",
+                &ensemble_baseline(ensemble.miners, ensemble.work as usize, 2),
+                ensemble,
+                tolerance,
+                &mut regressed,
+            );
+        }
+    }
     if ok && regressed.is_empty() {
         println!("perf gate passed");
         ExitCode::SUCCESS
@@ -405,9 +506,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_4.json")
+        repo_root.join("BENCH_5.json")
     } else {
-        PathBuf::from("BENCH_4.json")
+        PathBuf::from("BENCH_5.json")
     }
 }
 

@@ -1,0 +1,8 @@
+//! Thin wrapper: `cargo run -p goc-experiments --bin ensemble`
+//! (prefer `goc run ensemble [--replicas N --threads N]`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    goc_experiments::run_bin("ensemble")
+}

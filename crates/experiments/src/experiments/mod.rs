@@ -14,6 +14,7 @@ pub mod asym;
 pub mod attack;
 pub mod churn;
 pub mod cross;
+pub mod ensemble;
 pub mod fig1;
 pub mod poa;
 pub mod prop1;

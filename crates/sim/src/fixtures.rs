@@ -118,20 +118,13 @@ pub fn scale_cohort_scenario(n: usize, horizon_days: f64, seed: u64) -> Scenario
     }
 }
 
-/// The churn workload: the scale cohort scenario plus (1) a third,
-/// initially **dormant** chain (`upstart`) that launches a third of the
-/// way in, (2) the retirement of `minor` two thirds of the way in, and
-/// (3) per-cohort arrival/departure processes sized so the *expected*
-/// total turnover is ≈ `1.5 × turnover_pct%` of the head-count (the
-/// margin keeps realized turnover above the target with high
-/// probability). This is the single source of truth for the `churn`
-/// experiment, the churn benches, and the `BENCH_4.json` recorder.
-pub fn scale_churn_scenario(
-    n: usize,
-    horizon_days: f64,
-    seed: u64,
-    turnover_pct: u32,
-) -> ScenarioSpec {
+/// The churny population **base**: the scale cohort scenario plus a
+/// third chain (`upstart`, price 2) that churn plans may launch — its
+/// first scheduled event being a launch is what makes it start dormant.
+/// Callers attach a [`ChurnSpec`] on top ([`scale_churn_scenario`] does,
+/// with the standard turnover processes; the ensemble engine does, with
+/// whatever plan its spec carries).
+pub fn scale_churn_base(n: usize, horizon_days: f64, seed: u64) -> ScenarioSpec {
     let mut spec = scale_cohort_scenario(n, horizon_days, seed);
     spec.name = format!("churn_{n}");
     spec.chains.push(ChainSpec::simple(
@@ -140,6 +133,24 @@ pub fn scale_churn_scenario(
         5_000_000,
         crate::spec::PriceSpec::Constant { value: 2.0 },
     ));
+    spec
+}
+
+/// The churn workload: [`scale_churn_base`] plus (1) a launch of the
+/// dormant `upstart` chain a third of the way in, (2) the retirement of
+/// `minor` two thirds of the way in, and (3) per-cohort
+/// arrival/departure processes sized so the *expected* total turnover
+/// is ≈ `1.5 × turnover_pct%` of the head-count (the margin keeps
+/// realized turnover above the target with high probability). This is
+/// the single source of truth for the `churn` experiment, the churn
+/// benches, and the `BENCH_*.json` recorder.
+pub fn scale_churn_scenario(
+    n: usize,
+    horizon_days: f64,
+    seed: u64,
+    turnover_pct: u32,
+) -> ScenarioSpec {
+    let mut spec = scale_churn_base(n, horizon_days, seed);
     let per = (n / SCALE_CLASSES.len()).max(1);
     // Target events over the horizon, split evenly over 8 cohorts × 2
     // processes (arrivals + departures).

@@ -83,6 +83,7 @@ const USAGE: &str = "goc — Game of Coins (Spiegelman, Keidar, Tennenholtz; ICD
 USAGE:
   goc list
   goc run <EXPERIMENT> [--json] [--quick] [--seed N] [--scheduler NAME] [--turnover PCT]
+               [--replicas N] [--threads N]
   goc sweep     --spec FILE [--threads N] [--out FILE]
   goc learn     --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc enumerate --powers P1,P2,.. --rewards F1,F2,..
@@ -93,11 +94,15 @@ USAGE:
 `goc list` names every registered experiment. The `churn` experiment
 drives miner arrivals/departures and coin launches/retirements as
 incremental tracker deltas; `--turnover PCT` sets its population
-turnover target in percent (default 10). A sweep spec is JSON:
+turnover target in percent (default 10). The `ensemble` experiment runs
+Monte-Carlo replica fleets on the work-stealing executor: `--replicas N`
+sets its flagship replica count (default 64) and `--threads N` its
+worker count (the equilibrium census is bit-identical at any thread
+count; only wall clock changes). A sweep spec is JSON:
   {\"runs\": [{\"experiment\": \"fig1\", \"seed\": 1, \"quick\": true}, ...]}
 (an entry may also pin \"scheduler\" to a SchedulerKind variant name,
 e.g. \"MinGain\", for experiments that sweep schedulers, or set
-\"turnover_pct\" for `churn`).
+\"turnover_pct\" for `churn` / \"replicas\" for `ensemble`).
 Reports come back in input order regardless of completion order.
 A scenario spec for `goc simulate --spec` is a serialized
 `gameofcoins::sim::ScenarioSpec` (serialize a preset to start).
@@ -122,6 +127,7 @@ struct Options {
     out: Option<String>,
     threads: Option<usize>,
     turnover: Option<u32>,
+    replicas: Option<usize>,
 }
 
 impl Options {
@@ -163,6 +169,13 @@ impl Options {
                         return Err("--turnover: percentage must be in 1..=100".into());
                     }
                     o.turnover = Some(pct);
+                }
+                "--replicas" => {
+                    let n: usize = value()?.parse().map_err(|e| format!("--replicas: {e}"))?;
+                    if n == 0 {
+                        return Err("--replicas: replica count must be ≥ 1".into());
+                    }
+                    o.replicas = Some(n);
                 }
                 other if !other.starts_with('-') => o.positional.push(other.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -213,6 +226,10 @@ fn cmd_list() -> Result<(), String> {
     println!("{}", table.render());
     println!("run one with `goc run <experiment> [--json] [--quick] [--seed N]`");
     println!("`churn` also takes `--turnover PCT` (population turnover target, default 10%)");
+    println!(
+        "`ensemble` also takes `--replicas N` (Monte-Carlo replicas, default 64) and \
+         `--threads N` (worker threads; results are thread-invariant)"
+    );
     Ok(())
 }
 
@@ -233,7 +250,10 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             None => None,
         },
         turnover_pct: opts.turnover,
-        ..RunContext::default()
+        replicas: opts.replicas,
+        threads: opts
+            .threads
+            .unwrap_or_else(gameofcoins::analysis::default_threads),
     };
     let report = experiment.run(&ctx);
     if opts.json {

@@ -132,6 +132,50 @@ fn stray_positional_arguments_are_rejected() {
 }
 
 #[test]
+fn run_ensemble_honours_replicas_and_threads() {
+    let out = goc(&[
+        "run",
+        "ensemble",
+        "--json",
+        "--quick",
+        "--seed",
+        "7",
+        "--replicas",
+        "4",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "run ensemble failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let report = gameofcoins::analysis::RunReport::from_json(&stdout)
+        .expect("stdout of `goc run ensemble --json` is a RunReport");
+    assert_eq!(report.experiment, "ensemble");
+    assert!(report.passed());
+    let flagship = report
+        .params
+        .iter()
+        .find(|(k, _)| k == "flagship_replicas")
+        .expect("flagship_replicas param");
+    assert_eq!(flagship.1, "4");
+    let threads = report
+        .params
+        .iter()
+        .find(|(k, _)| k == "threads")
+        .expect("threads param");
+    assert_eq!(threads.1, "2");
+
+    // Degenerate replica counts are rejected at parse time.
+    let out = goc(&["run", "ensemble", "--replicas", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--replicas"), "stderr: {stderr}");
+}
+
+#[test]
 fn sweep_fans_out_and_preserves_input_order() {
     let dir = std::env::temp_dir().join(format!("goc_sweep_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

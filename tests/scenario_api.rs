@@ -109,6 +109,7 @@ fn sweep_preserves_input_order_and_seeds() {
                 quick: Some(true),
                 scheduler: None,
                 turnover_pct: None,
+                replicas: None,
             },
             SweepRun {
                 experiment: "cross".into(),
@@ -116,6 +117,7 @@ fn sweep_preserves_input_order_and_seeds() {
                 quick: Some(true),
                 scheduler: None,
                 turnover_pct: None,
+                replicas: None,
             },
             SweepRun {
                 experiment: "prop1".into(),
@@ -123,6 +125,7 @@ fn sweep_preserves_input_order_and_seeds() {
                 quick: Some(true),
                 scheduler: None,
                 turnover_pct: None,
+                replicas: None,
             },
         ],
     };
@@ -136,6 +139,33 @@ fn sweep_preserves_input_order_and_seeds() {
     let serial = experiments::sweep(&spec, 1).expect("serial sweep runs");
     let to_json = |rs: &[RunReport]| serde_json::to_string(&rs.to_vec()).unwrap();
     assert_eq!(to_json(&reports), to_json(&serial));
+}
+
+#[test]
+fn sweep_specs_can_set_ensemble_replicas() {
+    // A spec file can size the ensemble experiment's flagship fleet;
+    // the field is optional and round-trips through JSON.
+    let text = r#"{"runs": [{"experiment": "ensemble", "quick": true, "seed": 7,
+                             "replicas": 3}]}"#;
+    let spec: SweepSpec = serde_json::from_str(text).expect("spec parses");
+    assert_eq!(spec.runs[0].replicas, Some(3));
+    let back: SweepSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(spec, back);
+    let bare: SweepSpec =
+        serde_json::from_str(r#"{"runs": [{"experiment": "ensemble"}]}"#).expect("spec parses");
+    assert_eq!(bare.runs[0].replicas, None);
+
+    // The pinned count reaches the experiment's flagship run.
+    let reports = experiments::sweep(&spec, 1).expect("sweep runs");
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].passed(), "sized ensemble run must pass");
+    assert!(
+        reports[0]
+            .params
+            .iter()
+            .any(|(k, v)| k == "flagship_replicas" && v == "3"),
+        "flagship fleet is sized by the spec"
+    );
 }
 
 #[test]
