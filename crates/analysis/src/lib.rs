@@ -23,7 +23,7 @@ pub mod welfare;
 pub use chart::{ascii_chart, Series};
 pub use ensemble::{EnsembleReport, EnsembleSpec};
 pub use report::{Artifact, ChartData, Check, ReportItem, RunReport, SeriesData, TableData};
-pub use stats::{gini, Histogram, Summary};
+pub use stats::{gini, Histogram, LatencyStats, LatencySummary, Summary};
 pub use sweep::{default_threads, parallel_map, try_parallel_map};
 pub use table::{fmt_f64, Table};
 pub use welfare::{dominance_of, max_dominance, payoffs_f64, welfare_efficiency};

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::ensemble::aggregate::QuantileSketch;
+
 /// Five-number-plus summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -187,6 +189,88 @@ pub fn gini(values: &[f64]) -> f64 {
     weighted / (n as f64 * total)
 }
 
+/// Streaming request-latency percentiles over the ensemble engine's
+/// bounded-memory [`QuantileSketch`].
+///
+/// The sketch's geometric buckets span `[1, 1e12]`, so seconds-scale
+/// latencies (often well below 1.0) would all clamp into the bottom
+/// bucket; observations are therefore recorded in **microseconds**
+/// internally and converted back to seconds in the summary. The
+/// `serve` experiment's load generator and the server bench feed this
+/// with per-request wall times.
+///
+/// # Examples
+///
+/// ```
+/// use goc_analysis::stats::LatencyStats;
+///
+/// let mut lat = LatencyStats::new();
+/// for us in [200, 250, 300, 90_000] {
+///     lat.record_secs(us as f64 / 1e6);
+/// }
+/// let summary = lat.summary();
+/// assert_eq!(summary.n, 4);
+/// assert!(summary.p50_secs < summary.p99_secs);
+/// assert!((summary.max_secs - 0.09).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyStats {
+    sketch: QuantileSketch,
+}
+
+/// Latency percentiles in seconds (field names follow the repo's
+/// `secs` timing convention, so golden comparisons strip them when
+/// they appear as report params).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub n: u64,
+    /// Median, seconds.
+    pub p50_secs: f64,
+    /// 90th percentile, seconds.
+    pub p90_secs: f64,
+    /// 99th percentile, seconds.
+    pub p99_secs: f64,
+    /// Maximum (tracked exactly), seconds.
+    pub max_secs: f64,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats {
+            sketch: QuantileSketch::new(),
+        }
+    }
+
+    /// Records one request latency in seconds (negative values clamp
+    /// to zero).
+    pub fn record_secs(&mut self, secs: f64) {
+        self.sketch.push(secs.max(0.0) * 1e6);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// The `q`-quantile in seconds (0 when empty).
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.sketch.quantile(q) / 1e6
+    }
+
+    /// The percentile summary (all-zero when empty).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            n: self.sketch.count(),
+            p50_secs: self.quantile_secs(0.5),
+            p90_secs: self.quantile_secs(0.9),
+            p99_secs: self.quantile_secs(0.99),
+            max_secs: self.quantile_secs(1.0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +339,24 @@ mod tests {
         let concentrated = gini(&[0.0, 0.0, 0.0, 100.0]);
         assert!((concentrated - 0.75).abs() < 1e-12);
         assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn latency_stats_report_percentiles_in_seconds() {
+        let mut lat = LatencyStats::new();
+        assert_eq!(lat.summary().n, 0);
+        assert_eq!(lat.quantile_secs(0.99), 0.0);
+        // 1000 requests from 100 µs to 100 ms, log-spread.
+        for i in 0..1000 {
+            lat.record_secs(1e-4 * 10f64.powf(3.0 * i as f64 / 999.0));
+        }
+        let s = lat.summary();
+        assert_eq!(s.n, 1000);
+        assert!(s.p50_secs < s.p90_secs && s.p90_secs < s.p99_secs);
+        assert!((s.max_secs - 0.1).abs() / 0.1 < 0.01, "max {}", s.max_secs);
+        // Sub-microsecond and negative observations clamp, not panic.
+        lat.record_secs(-1.0);
+        lat.record_secs(1e-9);
+        assert_eq!(lat.count(), 1002);
     }
 }

@@ -1,0 +1,102 @@
+//! Criterion benches for the service layer: protocol frame
+//! encode/decode cost and end-to-end request round-trips against a
+//! live loopback server (the recorded requests/sec number lives in
+//! `BENCH_6.json` via the `baseline` bin).
+
+use std::net::SocketAddr;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_analysis::ensemble::EnsembleSpec;
+use goc_proto::{Client, ReportPayload, Request, RequestEnvelope, Response};
+use goc_server::{EnsembleOnlyBackend, Server, ServerConfig};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    // Pure serde cost of the hot frame on the wire: a RunEnsemble
+    // request envelope there, a Status report envelope back.
+    let envelope = RequestEnvelope::new(
+        7,
+        Request::RunEnsemble {
+            spec: EnsembleSpec::new(100_000, 64, 9),
+        },
+    );
+    let json = serde_json::to_string(&envelope).expect("envelopes serialize");
+    c.bench_function("server/encode_run_ensemble_envelope", |b| {
+        b.iter(|| serde_json::to_string(&envelope).expect("envelopes serialize"));
+    });
+    c.bench_function("server/decode_run_ensemble_envelope", |b| {
+        b.iter(|| serde_json::from_str::<RequestEnvelope>(&json).expect("envelopes parse"));
+    });
+}
+
+/// Boots a drain-on-drop server for the round-trip benches.
+fn boot() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let config = ServerConfig {
+        threads: 2,
+        session_budget: u64::MAX,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, Box::new(EnsembleOnlyBackend)).expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || {
+        server.run().expect("server drains cleanly");
+    });
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let mut closer = Client::connect(addr).expect("shutdown client connects");
+    let reply = closer
+        .request(Request::Shutdown)
+        .expect("shutdown round-trips");
+    assert!(matches!(
+        reply.terminal(),
+        Response::Report(ReportPayload::ShutdownAck)
+    ));
+    handle.join().expect("server thread exits");
+}
+
+fn bench_round_trips(c: &mut Criterion) {
+    let (addr, handle) = boot();
+    let mut client = Client::connect(addr).expect("client connects");
+
+    // The floor: a Status round-trip is framing + session dispatch with
+    // no compute behind it.
+    let mut group = c.benchmark_group("server/round_trip");
+    group.sample_size(20);
+    group.bench_function("status", |b| {
+        b.iter(|| {
+            let reply = client.request(Request::Status).expect("status answered");
+            assert!(matches!(
+                reply.terminal(),
+                Response::Report(ReportPayload::Status(_))
+            ));
+        });
+    });
+    // Real work behind the wire: admission + executor dispatch + a
+    // small ensemble, per population.
+    for miners in [100usize, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("run_ensemble", format!("{miners}m")),
+            &miners,
+            |b, &miners| {
+                b.iter(|| {
+                    let reply = client
+                        .request(Request::RunEnsemble {
+                            spec: EnsembleSpec::new(miners, 2, 9),
+                        })
+                        .expect("ensemble answered");
+                    assert!(matches!(
+                        reply.terminal(),
+                        Response::Report(ReportPayload::Ensemble(_))
+                    ));
+                });
+            },
+        );
+    }
+    group.finish();
+    drop(client);
+    shutdown(addr, handle);
+}
+
+criterion_group!(benches, bench_frame_codec, bench_round_trips);
+criterion_main!(benches);

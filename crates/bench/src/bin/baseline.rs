@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_5.json`):
+//! (`BENCH_6.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -21,7 +21,11 @@
 //!   an 8-replica Monte-Carlo ensemble over the 100k-miner fixture on
 //!   the work-stealing executor at a **fixed 2 worker threads** (so the
 //!   number is comparable between the recording box and CI runners
-//!   regardless of their core counts; best of two runs).
+//!   regardless of their core counts; best of two runs);
+//! * **server requests/sec** — a live `goc-server` on an ephemeral
+//!   loopback port answering a stream of `RunEnsemble` requests from
+//!   one blocking client (wire framing + admission control + dispatch
+//!   onto the shared executor, end to end; best of two runs).
 //!
 //! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
 //! it re-measures the *same* workloads at the miner counts recorded in
@@ -36,14 +40,14 @@
 //! gate by pointing it at an old recording.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_5.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_6.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_5.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_6.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_5.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_6.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -56,6 +60,8 @@ use goc_game::{CoinId, Configuration};
 use goc_learning::{
     run, run_incremental, run_incremental_with_churn, ChurnPlan, LearningOptions, SchedulerKind,
 };
+use goc_proto::{Client, ReportPayload, Request, Response};
+use goc_server::{EnsembleOnlyBackend, Server, ServerConfig};
 use goc_sim::fixtures::{scale_churn_scenario, scale_class_game, scale_cohort_scenario};
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +83,22 @@ const ENSEMBLE_REPLICAS: usize = 8;
 /// the same defense as [`MAX_GATE_MINERS`]: a corrupt or hand-edited
 /// recording must become a named error, not an hours-long re-measure.
 const MAX_GATE_REPLICAS: u64 = 1024;
+
+/// Replicas each benchmarked server request asks for — small, so the
+/// recorded number is dominated by the wire/admission/dispatch path,
+/// not by replica compute.
+const SERVER_REPLICAS: usize = 2;
+
+/// Requests of the recorded server workload (full mode).
+const SERVER_REQUESTS: usize = 32;
+
+/// Population of the recorded server workload (full mode). Deliberately
+/// modest: the ensemble layer already gates 100k-miner compute; this
+/// layer gates the service round-trip.
+const SERVER_MINERS: usize = 1000;
+
+/// Largest recorded server request count the gate will re-measure.
+const MAX_GATE_REQUESTS: u64 = 1024;
 
 /// One measured layer of the baseline.
 #[derive(Debug, Serialize, Deserialize)]
@@ -100,8 +122,8 @@ struct SchedulerBaseline {
     layer: LayerBaseline,
 }
 
-/// The `BENCH_5.json` schema (a superset of `BENCH_4.json`: the
-/// `ensemble` section is new and optional on read, so `--check` also
+/// The `BENCH_6.json` schema (a superset of `BENCH_5.json`: the
+/// `server` section is new and optional on read, so `--check` also
 /// accepts the older files — with a loud warning for every layer the
 /// file is missing).
 #[derive(Debug, Serialize, Deserialize)]
@@ -126,6 +148,9 @@ struct Baseline {
     /// [`ENSEMBLE_THREADS`] workers; `work` = replicas; absent in
     /// pre-5 baselines).
     ensemble: Option<LayerBaseline>,
+    /// Service-layer round-trip throughput over loopback TCP
+    /// (requests/sec; `work` = requests; absent in pre-6 baselines).
+    server: Option<LayerBaseline>,
 }
 
 fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
@@ -263,10 +288,71 @@ fn ensemble_baseline(n: usize, replicas: usize, repeats: usize) -> LayerBaseline
     }
 }
 
+fn server_baseline(n: usize, requests: usize, repeats: usize) -> LayerBaseline {
+    // End to end over real loopback TCP: framing, admission control,
+    // and the dispatch of each `RunEnsemble` onto the shared executor.
+    // One blocking client, so the number is a round-trip latency
+    // reciprocal, not a concurrency measure (the `serve` experiment
+    // covers concurrency; this gates the per-request path).
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let config = ServerConfig {
+            threads: ENSEMBLE_THREADS,
+            session_budget: requests as u64 + 1,
+            ..ServerConfig::default()
+        };
+        let server =
+            Server::bind(config, Box::new(EnsembleOnlyBackend)).expect("server binds on loopback");
+        let addr = server.local_addr().expect("bound servers have an address");
+        let handle = std::thread::spawn(move || server.run().expect("server drains cleanly"));
+        let mut client = Client::connect(addr).expect("client connects");
+        let clock = Instant::now();
+        for i in 0..requests {
+            let spec = EnsembleSpec::new(n, SERVER_REPLICAS, 9 + i as u64);
+            let reply = client
+                .request(Request::RunEnsemble { spec })
+                .expect("request round-trips");
+            assert!(
+                matches!(
+                    reply.terminal(),
+                    Response::Report(ReportPayload::Ensemble(_))
+                ),
+                "request was not served: {:?}",
+                reply.terminal()
+            );
+        }
+        best = best.min(clock.elapsed().as_secs_f64());
+        drop(client);
+        let mut closer = Client::connect(addr).expect("shutdown client connects");
+        let reply = closer
+            .request(Request::Shutdown)
+            .expect("shutdown round-trips");
+        assert!(
+            matches!(
+                reply.terminal(),
+                Response::Report(ReportPayload::ShutdownAck)
+            ),
+            "server did not acknowledge shutdown"
+        );
+        handle.join().expect("server thread exits");
+    }
+    LayerBaseline {
+        miners: n,
+        work: requests as u64,
+        wall_secs: best,
+        per_sec: requests as f64 / best.max(1e-9),
+    }
+}
+
 fn record(quick: bool, out: &Path) -> ExitCode {
     let n = if quick { 10_000 } else { 100_000 };
+    let server_requests = if quick {
+        SERVER_REQUESTS / 2
+    } else {
+        SERVER_REQUESTS
+    };
     let baseline = Baseline {
-        baseline: 5,
+        baseline: 6,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -279,6 +365,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         ),
         churn: Some(churn_baseline(n, 2)),
         ensemble: Some(ensemble_baseline(n, ENSEMBLE_REPLICAS, 2)),
+        server: Some(server_baseline(SERVER_MINERS, server_requests, 2)),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -308,6 +395,12 @@ fn record(quick: bool, out: &Path) -> ExitCode {
             "ensemble: {} miners, {} replicas in {:.3} s -> {:.2} replicas/sec \
              ({ENSEMBLE_THREADS} threads)",
             ensemble.miners, ensemble.work, ensemble.wall_secs, ensemble.per_sec
+        );
+    }
+    if let Some(server) = &baseline.server {
+        println!(
+            "server:   {} miners/request, {} requests in {:.3} s -> {:.1} requests/sec",
+            server.miners, server.work, server.wall_secs, server.per_sec
         );
     }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -396,6 +489,7 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         ("schedulers", recorded.schedulers.is_none()),
         ("churn", recorded.churn.is_none()),
         ("ensemble", recorded.ensemble.is_none()),
+        ("server", recorded.server.is_none()),
     ]
     .into_iter()
     .filter_map(|(layer, absent)| absent.then_some(layer))
@@ -419,6 +513,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
     }
     if let Some(ensemble) = &recorded.ensemble {
         layers.push(("ensemble", ensemble));
+    }
+    if let Some(server) = &recorded.server {
+        layers.push(("server", server));
     }
     for (label, layer) in &layers {
         if let Err(e) = checkable(label, layer) {
@@ -489,6 +586,25 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
             );
         }
     }
+    if let Some(server) = &recorded.server {
+        if server.work == 0 || server.work > MAX_GATE_REQUESTS {
+            eprintln!(
+                "error: baseline metric `server` records {} requests, outside the gate's \
+                 1..={MAX_GATE_REQUESTS} envelope — the file is corrupt or was recorded for a \
+                 workload this gate will not re-measure",
+                server.work
+            );
+            ok = false;
+        } else {
+            gate(
+                "server",
+                &server_baseline(server.miners, server.work as usize, 2),
+                server,
+                tolerance,
+                &mut regressed,
+            );
+        }
+    }
     if ok && regressed.is_empty() {
         println!("perf gate passed");
         ExitCode::SUCCESS
@@ -506,9 +622,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_5.json")
+        repo_root.join("BENCH_6.json")
     } else {
-        PathBuf::from("BENCH_5.json")
+        PathBuf::from("BENCH_6.json")
     }
 }
 

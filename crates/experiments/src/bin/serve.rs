@@ -1,0 +1,8 @@
+//! Standalone entry point for the `serve` experiment
+//! (`goc run serve` is the registry path).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    goc_experiments::run_bin("serve")
+}

@@ -21,6 +21,7 @@ pub mod prop1;
 pub mod prop2;
 pub mod scale;
 pub mod schedulers;
+pub mod serve;
 pub mod speed;
 pub mod sync;
 pub mod thm1;

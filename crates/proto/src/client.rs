@@ -1,0 +1,183 @@
+//! [`Client`]: a blocking TCP client for the service protocol.
+//!
+//! One connection runs one request at a time: send a
+//! [`RequestEnvelope`], then read streamed [`ResponseEnvelope`]s until
+//! a terminal frame ([`Response::is_terminal`]) arrives. The collected
+//! frames come back as a [`Reply`] with accessors for the common
+//! questions — was it accepted, what was the report, why was it
+//! rejected. The `goc request` verb and the `serve` experiment's load
+//! generator both drive this type.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::connection::{Connection, ProtoError};
+use crate::messages::{
+    RejectReason, ReportPayload, Request, RequestEnvelope, Response, ResponseEnvelope,
+};
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    conn: Connection<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with the default frame cap.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Io`] when the TCP connect fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            conn: Connection::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and collects its response stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`] from the framing layer; a server that
+    /// streams a malformed or oversized frame surfaces here rather
+    /// than wedging the client.
+    pub fn request(&mut self, request: Request) -> Result<Reply, ProtoError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.conn.send_request(&RequestEnvelope::new(id, request))?;
+        let mut frames = Vec::new();
+        loop {
+            let envelope = self.conn.recv_response()?;
+            let terminal = envelope.response.is_terminal();
+            frames.push(envelope);
+            if terminal {
+                return Ok(Reply { id, frames });
+            }
+        }
+    }
+
+    /// The peer address of the underlying stream, if available.
+    pub fn peer_addr(&self) -> Option<std::net::SocketAddr> {
+        self.conn.stream().peer_addr().ok()
+    }
+}
+
+/// The collected response stream of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The correlation id the request carried.
+    pub id: u64,
+    /// Every frame received, in arrival order; the last is terminal.
+    pub frames: Vec<ResponseEnvelope>,
+}
+
+impl Reply {
+    /// The terminal frame (always present: [`Client::request`] reads
+    /// until one arrives).
+    pub fn terminal(&self) -> &Response {
+        &self
+            .frames
+            .last()
+            .expect("a reply holds at least its terminal frame")
+            .response
+    }
+
+    /// Whether the server sent an `Accepted` frame.
+    pub fn accepted(&self) -> bool {
+        self.frames
+            .iter()
+            .any(|f| matches!(f.response, Response::Accepted))
+    }
+
+    /// The completed report payload, if the request succeeded.
+    pub fn report(&self) -> Option<&ReportPayload> {
+        match self.terminal() {
+            Response::Report(payload) => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// The named rejection, if the request was refused.
+    pub fn rejection(&self) -> Option<(RejectReason, &str)> {
+        match self.terminal() {
+            Response::Rejected { reason, detail } => Some((*reason, detail.as_str())),
+            _ => None,
+        }
+    }
+
+    /// The execution-error detail, if the request failed mid-run.
+    pub fn error(&self) -> Option<&str> {
+        match self.terminal() {
+            Response::Error { detail } => Some(detail.as_str()),
+            _ => None,
+        }
+    }
+
+    /// How many `Progress` frames the stream carried.
+    pub fn progress_frames(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| matches!(f.response, Response::Progress { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ServerStatus;
+
+    fn reply(frames: Vec<Response>) -> Reply {
+        Reply {
+            id: 7,
+            frames: frames
+                .into_iter()
+                .map(|r| ResponseEnvelope::new(7, r))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn reply_accessors_classify_outcomes() {
+        let ok = reply(vec![
+            Response::Accepted,
+            Response::Progress { done: 1, total: 2 },
+            Response::Report(ReportPayload::Status(ServerStatus {
+                version: 1,
+                sessions: 1,
+                inflight: 0,
+                served: 0,
+                rejected: 0,
+                draining: false,
+                max_sessions: 8,
+                max_inflight: 4,
+            })),
+        ]);
+        assert!(ok.accepted());
+        assert_eq!(ok.progress_frames(), 1);
+        assert!(ok.report().is_some());
+        assert!(ok.rejection().is_none());
+        assert!(ok.error().is_none());
+
+        let refused = reply(vec![Response::Rejected {
+            reason: RejectReason::SessionLimit,
+            detail: "at 8 sessions".into(),
+        }]);
+        assert!(!refused.accepted());
+        let (reason, detail) = refused.rejection().unwrap();
+        assert_eq!(reason, RejectReason::SessionLimit);
+        assert_eq!(detail, "at 8 sessions");
+
+        let failed = reply(vec![
+            Response::Accepted,
+            Response::Error {
+                detail: "replica 3 failed".into(),
+            },
+        ]);
+        assert_eq!(failed.error(), Some("replica 3 failed"));
+        assert!(failed.report().is_none());
+    }
+}

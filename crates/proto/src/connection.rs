@@ -1,0 +1,406 @@
+//! [`Connection`]: line-delimited JSON framing with size caps and
+//! malformed-frame recovery.
+//!
+//! One frame is one JSON document terminated by `\n`. The reader
+//! enforces [`Connection::max_frame_bytes`] *while* reading — an
+//! attacker (or a buggy client) sending an unbounded line costs the
+//! server at most one cap's worth of buffer, not its memory: the
+//! partial frame is discarded, the stream is scanned forward to the
+//! terminating newline, and the read returns
+//! [`ProtoError::FrameTooLarge`] with the connection still usable for
+//! the next frame. A syntactically broken frame likewise consumes
+//! exactly one line and returns [`ProtoError::Malformed`]. Neither
+//! path panics.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{DeserializeOwned, Serialize};
+
+use crate::messages::{RequestEnvelope, ResponseEnvelope};
+
+/// Default per-frame size cap (bytes). Reports for large sweeps are a
+/// few hundred KiB of JSON; 8 MiB leaves an order of magnitude of
+/// headroom while still bounding a session's buffer.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Read chunk size (bytes).
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Errors of the framing layer. Every variant is recoverable at the
+/// session level except [`ProtoError::Closed`] and I/O failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The underlying stream failed.
+    Io(String),
+    /// A frame exceeded the size cap; it was discarded and the stream
+    /// is positioned at the next frame.
+    FrameTooLarge {
+        /// The connection's cap, bytes.
+        limit: usize,
+    },
+    /// A frame was not a valid protocol message; it was consumed and
+    /// the stream is positioned at the next frame.
+    Malformed {
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// The peer closed the stream (EOF).
+    Closed,
+    /// A read deadline expired with no complete frame (only surfaces
+    /// when the caller set a stream timeout; buffered partial-frame
+    /// bytes are kept, so the next read resumes where this one
+    /// stopped). The server's session loop uses this to notice a
+    /// drain while parked on an idle connection.
+    TimedOut,
+    /// A version field did not match [`crate::PROTOCOL_VERSION`].
+    Version {
+        /// The version on the wire.
+        got: u32,
+        /// The version this side speaks.
+        want: u32,
+    },
+}
+
+impl ProtoError {
+    /// Whether the connection can keep framing after this error
+    /// (`true` for per-frame faults, `false` for stream-level ones).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::FrameTooLarge { .. }
+                | ProtoError::Malformed { .. }
+                | ProtoError::Version { .. }
+                | ProtoError::TimedOut
+        )
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(detail) => write!(f, "connection I/O error: {detail}"),
+            ProtoError::FrameTooLarge { limit } => {
+                write!(f, "frame exceeds the {limit}-byte cap (discarded)")
+            }
+            ProtoError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            ProtoError::Closed => write!(f, "connection closed by peer"),
+            ProtoError::TimedOut => write!(f, "read timed out before a complete frame"),
+            ProtoError::Version { got, want } => {
+                write!(f, "protocol version mismatch: got v{got}, want v{want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            // Both kinds mean "the read deadline expired" depending on
+            // platform (WouldBlock on Unix, TimedOut on Windows).
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtoError::TimedOut,
+            _ => ProtoError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A framed, capped, line-delimited JSON connection over any
+/// `Read + Write` stream (TCP in production, in-memory doubles in
+/// tests).
+#[derive(Debug)]
+pub struct Connection<S> {
+    stream: S,
+    /// Bytes read from the stream but not yet consumed as frames.
+    buf: Vec<u8>,
+    max_frame_bytes: usize,
+}
+
+impl<S> Connection<S> {
+    /// Wraps a stream with the [`DEFAULT_MAX_FRAME_BYTES`] cap.
+    pub fn new(stream: S) -> Self {
+        Connection::with_max_frame(stream, DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// Wraps a stream with an explicit frame-size cap (≥ 1).
+    pub fn with_max_frame(stream: S, max_frame_bytes: usize) -> Self {
+        Connection {
+            stream,
+            buf: Vec::new(),
+            max_frame_bytes: max_frame_bytes.max(1),
+        }
+    }
+
+    /// The per-frame size cap, bytes.
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// Borrows the underlying stream (e.g. to set TCP options).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Consumes the connection, yielding the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}
+
+impl<S: Read> Connection<S> {
+    /// Reads one raw frame (the bytes before the next `\n`, with a
+    /// trailing `\r` stripped).
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtoError::FrameTooLarge`] — the frame ran past the cap;
+    ///   it was discarded through its newline and the stream is
+    ///   usable.
+    /// * [`ProtoError::Closed`] — EOF (including EOF mid-frame).
+    /// * [`ProtoError::Io`] — the underlying read failed.
+    fn read_frame(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let mut overflowed = false;
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                // Consume through the newline; keep the payload only if
+                // the frame stayed within the cap the whole way.
+                let mut frame: Vec<u8> = self.buf.drain(..=pos).collect();
+                frame.pop();
+                if frame.last() == Some(&b'\r') {
+                    frame.pop();
+                }
+                if overflowed || frame.len() > self.max_frame_bytes {
+                    return Err(ProtoError::FrameTooLarge {
+                        limit: self.max_frame_bytes,
+                    });
+                }
+                return Ok(frame);
+            }
+            if self.buf.len() > self.max_frame_bytes {
+                // Bound the buffer: drop the partial frame now and keep
+                // scanning for its terminating newline.
+                self.buf.clear();
+                overflowed = true;
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ProtoError::Closed);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Reads and parses one frame as `T`.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying frame read ([`ProtoError::Io`], [`ProtoError::Closed`],
+    /// [`ProtoError::TimedOut`], [`ProtoError::FrameTooLarge`]), plus
+    /// [`ProtoError::Malformed`] when
+    /// the line is not valid `T` JSON (the line is consumed; the
+    /// stream is usable).
+    pub fn recv<T: DeserializeOwned>(&mut self) -> Result<T, ProtoError> {
+        let frame = self.read_frame()?;
+        serde_json::from_slice(&frame).map_err(|e| ProtoError::Malformed {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Reads one request frame (server side).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::recv`].
+    pub fn recv_request(&mut self) -> Result<RequestEnvelope, ProtoError> {
+        self.recv()
+    }
+
+    /// Reads one response frame (client side).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::recv`].
+    pub fn recv_response(&mut self) -> Result<ResponseEnvelope, ProtoError> {
+        self.recv()
+    }
+}
+
+impl<S: Write> Connection<S> {
+    /// Writes one value as a single `\n`-terminated JSON frame and
+    /// flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] when the serialized frame exceeds
+    /// the cap (nothing is written), or [`ProtoError::Io`] when the
+    /// underlying write fails.
+    pub fn send<T: Serialize>(&mut self, value: &T) -> Result<(), ProtoError> {
+        let mut bytes = serde_json::to_vec(value).map_err(|e| ProtoError::Malformed {
+            detail: e.to_string(),
+        })?;
+        if bytes.len() > self.max_frame_bytes {
+            return Err(ProtoError::FrameTooLarge {
+                limit: self.max_frame_bytes,
+            });
+        }
+        bytes.push(b'\n');
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Writes one request frame (client side).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::send`].
+    pub fn send_request(&mut self, envelope: &RequestEnvelope) -> Result<(), ProtoError> {
+        self.send(envelope)
+    }
+
+    /// Writes one response frame (server side).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::send`].
+    pub fn send_response(&mut self, envelope: &ResponseEnvelope) -> Result<(), ProtoError> {
+        self.send(envelope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{Request, Response};
+    use std::io::Cursor;
+
+    /// An in-memory `Read + Write` double: reads from a script, writes
+    /// to a log.
+    struct Duplex {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Duplex {
+        fn scripted(input: &[u8]) -> Self {
+            Duplex {
+                input: Cursor::new(input.to_vec()),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let request = RequestEnvelope::new(42, Request::Status);
+        let mut writer = Connection::new(Duplex::scripted(b""));
+        writer.send_request(&request).unwrap();
+        let written = writer.into_inner().output;
+        assert_eq!(written.last(), Some(&b'\n'));
+
+        let mut reader = Connection::new(Duplex::scripted(&written));
+        let back = reader.recv_request().unwrap();
+        assert_eq!(back, request);
+        assert!(matches!(
+            reader.recv_request().unwrap_err(),
+            ProtoError::Closed
+        ));
+    }
+
+    #[test]
+    fn multiple_frames_in_one_read_are_split() {
+        let a = RequestEnvelope::new(1, Request::Status);
+        let b = RequestEnvelope::new(2, Request::Shutdown);
+        let mut bytes = serde_json::to_vec(&a).unwrap();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&serde_json::to_vec(&b).unwrap());
+        bytes.push(b'\n');
+        let mut conn = Connection::new(Duplex::scripted(&bytes));
+        assert_eq!(conn.recv_request().unwrap(), a);
+        assert_eq!(conn.recv_request().unwrap(), b);
+    }
+
+    #[test]
+    fn malformed_frames_are_consumed_and_named() {
+        let good = RequestEnvelope::new(3, Request::Status);
+        let mut bytes = b"{this is not json\n".to_vec();
+        bytes.extend_from_slice(&serde_json::to_vec(&good).unwrap());
+        bytes.push(b'\n');
+        let mut conn = Connection::new(Duplex::scripted(&bytes));
+        let err = conn.recv_request().unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }), "{err}");
+        assert!(err.is_recoverable());
+        // The stream recovered: the next frame parses.
+        assert_eq!(conn.recv_request().unwrap(), good);
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_and_the_stream_recovers() {
+        let good = RequestEnvelope::new(4, Request::Status);
+        let mut bytes = vec![b'x'; 4096];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&serde_json::to_vec(&good).unwrap());
+        bytes.push(b'\n');
+        let mut conn = Connection::with_max_frame(Duplex::scripted(&bytes), 256);
+        let err = conn.recv_request().unwrap_err();
+        assert_eq!(err, ProtoError::FrameTooLarge { limit: 256 });
+        assert!(err.is_recoverable());
+        assert_eq!(conn.recv_request().unwrap(), good);
+    }
+
+    #[test]
+    fn oversized_sends_are_refused_before_writing() {
+        let mut conn = Connection::with_max_frame(Duplex::scripted(b""), 8);
+        let envelope = RequestEnvelope::new(5, Request::Status);
+        let err = conn.send_request(&envelope).unwrap_err();
+        assert!(matches!(err, ProtoError::FrameTooLarge { .. }));
+        assert!(conn.into_inner().output.is_empty(), "nothing was written");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_closed() {
+        let mut conn = Connection::new(Duplex::scripted(b"{\"version\":1"));
+        assert!(matches!(
+            conn.recv_request().unwrap_err(),
+            ProtoError::Closed
+        ));
+    }
+
+    #[test]
+    fn responses_frame_like_requests() {
+        let envelope = ResponseEnvelope::new(9, Response::Accepted);
+        let mut writer = Connection::new(Duplex::scripted(b""));
+        writer.send_response(&envelope).unwrap();
+        let written = writer.into_inner().output;
+        let mut reader = Connection::new(Duplex::scripted(&written));
+        assert_eq!(reader.recv_response().unwrap(), envelope);
+    }
+
+    #[test]
+    fn crlf_frames_parse() {
+        let envelope = RequestEnvelope::new(6, Request::Status);
+        let mut bytes = serde_json::to_vec(&envelope).unwrap();
+        bytes.extend_from_slice(b"\r\n");
+        let mut conn = Connection::new(Duplex::scripted(&bytes));
+        assert_eq!(conn.recv_request().unwrap(), envelope);
+    }
+}

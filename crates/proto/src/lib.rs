@@ -1,0 +1,53 @@
+//! # goc-proto — the Game-of-Coins service wire protocol
+//!
+//! ROADMAP open item 1 ("Game-of-Coins as a service") asks for a
+//! long-lived server multiplexing many concurrent experiment/ensemble
+//! requests onto the workspace's single parallel substrate. This crate
+//! is the wire layer both sides speak: **versioned, line-delimited
+//! serde-JSON messages over TCP**, built on `std::net` only (no async
+//! runtime — one lightweight session thread per client on the server
+//! side).
+//!
+//! * [`messages`] — the request/response vocabulary:
+//!   [`Request`]`::{RunExperiment, RunEnsemble, Sweep, Status,
+//!   Shutdown}` wrapped in a [`RequestEnvelope`] carrying the protocol
+//!   version and a client-chosen correlation id, answered by a stream
+//!   of [`Response`]`::{Accepted, Progress, Report, Rejected, Error}`
+//!   frames in matching [`ResponseEnvelope`]s. Rejections are *named*
+//!   ([`RejectReason`]) so admission-control tests can assert on the
+//!   exact reason rather than on prose.
+//! * [`connection`] — [`Connection`]: the framing type. One frame is
+//!   one JSON document terminated by `\n`; reads enforce a frame-size
+//!   cap *while reading* (an oversized frame is discarded up to its
+//!   newline and reported as [`ProtoError::FrameTooLarge`] with the
+//!   stream left usable), and malformed JSON surfaces as
+//!   [`ProtoError::Malformed`] — never a panic, never a wedged
+//!   connection.
+//! * [`client`] — [`Client`]: a blocking TCP client that sends one
+//!   request and collects the streamed response frames until a
+//!   terminal one arrives. The `goc request` CLI verb and the `serve`
+//!   experiment's load generator are thin wrappers over it.
+//!
+//! ```
+//! use goc_proto::{Request, RequestEnvelope, PROTOCOL_VERSION};
+//!
+//! let envelope = RequestEnvelope::new(7, Request::Status);
+//! assert_eq!(envelope.version, PROTOCOL_VERSION);
+//! let json = serde_json::to_string(&envelope).unwrap();
+//! let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+//! assert_eq!(envelope, back);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod connection;
+pub mod messages;
+
+pub use client::{Client, Reply};
+pub use connection::{Connection, ProtoError, DEFAULT_MAX_FRAME_BYTES};
+pub use messages::{
+    ExperimentRequest, RejectReason, ReportPayload, Request, RequestEnvelope, Response,
+    ResponseEnvelope, ServerStatus, PROTOCOL_VERSION,
+};

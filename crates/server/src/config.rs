@@ -1,0 +1,160 @@
+//! [`ServerConfig`]: the server's limits, validated up front with
+//! named errors (a config that cannot admit any work is refused at
+//! construction, not discovered in production).
+
+use std::fmt;
+
+/// Hard population ceiling for a single request, mirroring the
+/// `MAX_GATE_MINERS` perf-gate constant in `crates/bench`: populations
+/// beyond this are refused with `RejectReason::PopulationCap` before
+/// any allocation happens.
+pub const MAX_GATE_MINERS: usize = 2_000_000;
+
+/// The server's address and admission-control limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Concurrent client sessions (≥ 1); more are refused at accept.
+    pub max_sessions: usize,
+    /// Concurrent compute requests in flight (≥ 1); more are refused
+    /// per-request. `Status`/`Shutdown` bypass this gate.
+    pub max_inflight: usize,
+    /// Compute requests one session may submit over its lifetime
+    /// (≥ 1).
+    pub session_budget: u64,
+    /// Largest replica count a single request may ask for.
+    pub max_replicas: usize,
+    /// Largest population a single request may ask for (defaults to
+    /// [`MAX_GATE_MINERS`]).
+    pub max_miners: usize,
+    /// Most runs one sweep request may carry.
+    pub max_sweep_runs: usize,
+    /// Per-frame byte cap on every session connection.
+    pub max_frame_bytes: usize,
+    /// Worker threads each compute request runs on.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 16,
+            max_inflight: 4,
+            session_budget: 256,
+            max_replicas: 4096,
+            max_miners: MAX_GATE_MINERS,
+            max_sweep_runs: 64,
+            max_frame_bytes: goc_proto::DEFAULT_MAX_FRAME_BYTES,
+            threads: goc_analysis::default_threads(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validates the limits.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first degenerate field — a server
+    /// that could never admit a session, a request, or a worker is a
+    /// misconfiguration, not a quiet no-op.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_sessions == 0 {
+            return Err(ConfigError::Degenerate("max_sessions must be ≥ 1"));
+        }
+        if self.max_inflight == 0 {
+            return Err(ConfigError::Degenerate("max_inflight must be ≥ 1"));
+        }
+        if self.session_budget == 0 {
+            return Err(ConfigError::Degenerate("session_budget must be ≥ 1"));
+        }
+        if self.max_replicas == 0 {
+            return Err(ConfigError::Degenerate("max_replicas must be ≥ 1"));
+        }
+        if self.max_miners == 0 {
+            return Err(ConfigError::Degenerate("max_miners must be ≥ 1"));
+        }
+        if self.max_sweep_runs == 0 {
+            return Err(ConfigError::Degenerate("max_sweep_runs must be ≥ 1"));
+        }
+        if self.max_frame_bytes == 0 {
+            return Err(ConfigError::Degenerate("max_frame_bytes must be ≥ 1"));
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::Degenerate("threads must be ≥ 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Named configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A limit is zero where the server needs at least one.
+    Degenerate(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Degenerate(what) => write!(f, "invalid server config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServerConfig::default().validate().is_ok());
+        assert_eq!(ServerConfig::default().max_miners, MAX_GATE_MINERS);
+    }
+
+    #[test]
+    fn zero_limits_are_named() {
+        for (field, mutate) in [
+            (
+                "max_sessions",
+                Box::new(|c: &mut ServerConfig| c.max_sessions = 0)
+                    as Box<dyn Fn(&mut ServerConfig)>,
+            ),
+            (
+                "max_inflight",
+                Box::new(|c: &mut ServerConfig| c.max_inflight = 0),
+            ),
+            (
+                "session_budget",
+                Box::new(|c: &mut ServerConfig| c.session_budget = 0),
+            ),
+            (
+                "max_replicas",
+                Box::new(|c: &mut ServerConfig| c.max_replicas = 0),
+            ),
+            (
+                "max_miners",
+                Box::new(|c: &mut ServerConfig| c.max_miners = 0),
+            ),
+            (
+                "max_sweep_runs",
+                Box::new(|c: &mut ServerConfig| c.max_sweep_runs = 0),
+            ),
+            (
+                "max_frame_bytes",
+                Box::new(|c: &mut ServerConfig| c.max_frame_bytes = 0),
+            ),
+            ("threads", Box::new(|c: &mut ServerConfig| c.threads = 0)),
+        ] {
+            let mut config = ServerConfig::default();
+            mutate(&mut config);
+            let err = config.validate().unwrap_err();
+            assert!(err.to_string().contains(field), "{err} names {field}");
+        }
+    }
+}

@@ -1,0 +1,758 @@
+//! [`Server`]: the accept loop, one session thread per client, and the
+//! admission-control pipeline every compute request passes through.
+
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use goc_analysis::ensemble;
+use goc_proto::{
+    Connection, ProtoError, RejectReason, ReportPayload, Request, Response, ResponseEnvelope,
+    ServerStatus, PROTOCOL_VERSION,
+};
+
+use crate::backend::Backend;
+use crate::config::{ConfigError, ServerConfig};
+
+/// How often a parked session re-checks the draining flag.
+const SESSION_POLL: Duration = Duration::from_millis(100);
+
+/// Errors of server construction and operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The listener could not bind.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS error.
+        detail: String,
+    },
+    /// A listener-level I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Config(e) => write!(f, "{e}"),
+            ServerError::Bind { addr, detail } => write!(f, "cannot bind {addr}: {detail}"),
+            ServerError::Io(detail) => write!(f, "server I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`]
+/// after a graceful drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Compute requests completed with a `Report`.
+    pub served: u64,
+    /// Requests and sessions refused by name.
+    pub rejected: u64,
+}
+
+/// Shared server state: the limits, the backend, and the counters the
+/// admission pipeline and `Status` requests read.
+struct State {
+    config: ServerConfig,
+    backend: Box<dyn Backend>,
+    local_addr: SocketAddr,
+    draining: AtomicBool,
+    sessions: AtomicUsize,
+    inflight: AtomicUsize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl State {
+    fn status(&self) -> ServerStatus {
+        ServerStatus {
+            version: PROTOCOL_VERSION,
+            sessions: self.sessions.load(Ordering::SeqCst),
+            inflight: self.inflight.load(Ordering::SeqCst),
+            served: self.served.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
+            max_sessions: self.config.max_sessions,
+            max_inflight: self.config.max_inflight,
+        }
+    }
+
+    /// Claims an in-flight slot if one is free (the bounded queue).
+    fn try_acquire_inflight(&self) -> bool {
+        self.inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.config.max_inflight).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Claims a session slot if one is free.
+    fn try_acquire_session(&self) -> bool {
+        self.sessions
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.config.max_sessions).then_some(n + 1)
+            })
+            .is_ok()
+    }
+}
+
+/// Releases an in-flight slot on every exit path.
+struct InflightGuard<'a>(&'a State);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Releases a session slot on every exit path (including panics in a
+/// session thread, so a crashed session can never leak its slot).
+struct SessionGuard(Arc<State>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The Game-of-Coins service: bind, then [`Server::run`] until a
+/// `Shutdown` request drains it.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Validates the config and binds the listener (`addr` port 0
+    /// picks an ephemeral port — read it back with
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] for a degenerate config,
+    /// [`ServerError::Bind`] when the OS refuses the address.
+    pub fn bind(config: ServerConfig, backend: Box<dyn Backend>) -> Result<Server, ServerError> {
+        config.validate()?;
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServerError::Bind {
+            addr: config.addr.clone(),
+            detail: e.to_string(),
+        })?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ServerError::Io(e.to_string()))?;
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                config,
+                backend,
+                local_addr,
+                draining: AtomicBool::new(false),
+                sessions: AtomicUsize::new(0),
+                inflight: AtomicUsize::new(0),
+                served: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (the real port when the config asked for 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] when the OS cannot report it.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServerError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| ServerError::Io(e.to_string()))
+    }
+
+    /// Accepts sessions until a `Shutdown` request flips the server
+    /// into draining, then joins every session thread (in-flight work
+    /// runs to completion) and returns the lifetime counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] only for listener-level failures; per-
+    /// session faults never tear the server down.
+    pub fn run(self) -> Result<ServerSummary, ServerError> {
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            let stream = match incoming {
+                Ok(stream) => stream,
+                // Transient accept faults (e.g. the peer vanished
+                // between SYN and accept) are not fatal.
+                Err(_) => continue,
+            };
+            if self.state.draining.load(Ordering::SeqCst) {
+                // This connection is either the drain wake-up ping or
+                // a late client; refuse it by name and stop accepting.
+                self.state.rejected.fetch_add(1, Ordering::SeqCst);
+                refuse(stream, RejectReason::Draining, "server is draining");
+                break;
+            }
+            if !self.state.try_acquire_session() {
+                self.state.rejected.fetch_add(1, Ordering::SeqCst);
+                refuse(
+                    stream,
+                    RejectReason::SessionLimit,
+                    &format!("at the {}-session cap", self.state.config.max_sessions),
+                );
+                continue;
+            }
+            handles.retain(|h| !h.is_finished());
+            let state = Arc::clone(&self.state);
+            handles.push(std::thread::spawn(move || session(state, stream)));
+        }
+        for handle in handles {
+            // A panicked session already released its slot via the
+            // guards; nothing to propagate.
+            let _ = handle.join();
+        }
+        Ok(ServerSummary {
+            served: self.state.served.load(Ordering::SeqCst),
+            rejected: self.state.rejected.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Best-effort single-frame refusal of a connection that never got a
+/// session (errors ignored: the peer may already be gone).
+fn refuse(stream: TcpStream, reason: RejectReason, detail: &str) {
+    let mut conn = Connection::new(stream);
+    let _ = conn.send_response(&ResponseEnvelope::new(
+        0,
+        Response::Rejected {
+            reason,
+            detail: detail.to_string(),
+        },
+    ));
+}
+
+/// Sends one response frame; `Err(())` means the client is gone and
+/// the session should end.
+fn reply(conn: &mut Connection<TcpStream>, id: u64, response: Response) -> Result<(), ()> {
+    conn.send_response(&ResponseEnvelope::new(id, response))
+        .map_err(|_| ())
+}
+
+/// Counts and sends a named rejection.
+fn reject(
+    state: &State,
+    conn: &mut Connection<TcpStream>,
+    id: u64,
+    reason: RejectReason,
+    detail: String,
+) -> Result<(), ()> {
+    state.rejected.fetch_add(1, Ordering::SeqCst);
+    reply(conn, id, Response::Rejected { reason, detail })
+}
+
+/// One client session: frame requests off the connection until the
+/// peer hangs up (or the server drains), answering each one. Framing
+/// faults are per-frame: a malformed or oversized frame is rejected by
+/// name and the session keeps going.
+fn session(state: Arc<State>, stream: TcpStream) {
+    let _slot = SessionGuard(Arc::clone(&state));
+    // The poll timeout is what lets an idle session notice a drain;
+    // without it the join in `run` would wait on clients that never
+    // speak again.
+    stream.set_read_timeout(Some(SESSION_POLL)).ok();
+    stream.set_nodelay(true).ok();
+    let mut conn = Connection::with_max_frame(stream, state.config.max_frame_bytes);
+    let mut budget_used: u64 = 0;
+    loop {
+        let envelope = match conn.recv_request() {
+            Ok(envelope) => envelope,
+            Err(ProtoError::TimedOut) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e @ ProtoError::FrameTooLarge { .. }) => {
+                if reject(
+                    &state,
+                    &mut conn,
+                    0,
+                    RejectReason::FrameTooLarge,
+                    e.to_string(),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Err(e @ ProtoError::Malformed { .. }) => {
+                if reject(
+                    &state,
+                    &mut conn,
+                    0,
+                    RejectReason::MalformedFrame,
+                    e.to_string(),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            // Closed / I/O fault: the client went away; clean exit.
+            Err(_) => break,
+        };
+        let id = envelope.id;
+        if let Err(e) = envelope.check_version() {
+            if reject(
+                &state,
+                &mut conn,
+                id,
+                RejectReason::VersionMismatch,
+                e.to_string(),
+            )
+            .is_err()
+            {
+                break;
+            }
+            continue;
+        }
+        let done = match envelope.request {
+            // Status is free and always answered, draining included.
+            Request::Status => reply(
+                &mut conn,
+                id,
+                Response::Report(ReportPayload::Status(state.status())),
+            ),
+            Request::Shutdown => {
+                state.draining.store(true, Ordering::SeqCst);
+                let sent = reply(&mut conn, id, Response::Report(ReportPayload::ShutdownAck));
+                // Unblock the accept loop so it can observe the drain.
+                TcpStream::connect(state.local_addr).ok();
+                sent
+            }
+            request => handle_compute(&state, &mut conn, id, request, &mut budget_used),
+        };
+        if done.is_err() {
+            break;
+        }
+    }
+}
+
+/// The admission pipeline for compute requests: drain check, session
+/// budget, request caps, then the bounded in-flight gate; admitted
+/// requests stream `Accepted` (+ `Progress` for sweeps) and end with
+/// `Report` or `Error`.
+fn handle_compute(
+    state: &State,
+    conn: &mut Connection<TcpStream>,
+    id: u64,
+    request: Request,
+    budget_used: &mut u64,
+) -> Result<(), ()> {
+    if state.draining.load(Ordering::SeqCst) {
+        return reject(
+            state,
+            conn,
+            id,
+            RejectReason::Draining,
+            "server is draining; no new work".to_string(),
+        );
+    }
+    if *budget_used >= state.config.session_budget {
+        return reject(
+            state,
+            conn,
+            id,
+            RejectReason::SessionBudgetExhausted,
+            format!(
+                "session budget of {} compute requests spent",
+                state.config.session_budget
+            ),
+        );
+    }
+    if let Some((reason, detail)) = admission_fault(state, &request) {
+        return reject(state, conn, id, reason, detail);
+    }
+    if !state.try_acquire_inflight() {
+        return reject(
+            state,
+            conn,
+            id,
+            RejectReason::InFlightLimit,
+            format!(
+                "bounded in-flight queue is full ({} requests)",
+                state.config.max_inflight
+            ),
+        );
+    }
+    let _slot = InflightGuard(state);
+    *budget_used += 1;
+    reply(conn, id, Response::Accepted)?;
+    match execute(state, conn, id, &request) {
+        Ok(payload) => {
+            state.served.fetch_add(1, Ordering::SeqCst);
+            reply(conn, id, Response::Report(payload))
+        }
+        Err(detail) => reply(conn, id, Response::Error { detail }),
+    }
+}
+
+/// The pre-gate caps: every fault is a named [`RejectReason`] produced
+/// before any work is queued.
+fn admission_fault(state: &State, request: &Request) -> Option<(RejectReason, String)> {
+    let cfg = &state.config;
+    match request {
+        Request::RunExperiment(run) => {
+            if !state.backend.has_experiment(&run.experiment) {
+                return Some((
+                    RejectReason::UnknownExperiment,
+                    format!("unknown experiment `{}`", run.experiment),
+                ));
+            }
+            if let Some(replicas) = run.replicas {
+                if replicas > cfg.max_replicas {
+                    return Some((
+                        RejectReason::ReplicaCap,
+                        format!("{replicas} replicas exceed the cap of {}", cfg.max_replicas),
+                    ));
+                }
+            }
+        }
+        Request::RunEnsemble { spec } => {
+            if let Err(e) = spec.validate() {
+                return Some((RejectReason::InvalidRequest, e.to_string()));
+            }
+            if spec.replicas > cfg.max_replicas {
+                return Some((
+                    RejectReason::ReplicaCap,
+                    format!(
+                        "{} replicas exceed the cap of {}",
+                        spec.replicas, cfg.max_replicas
+                    ),
+                ));
+            }
+            if spec.miners > cfg.max_miners {
+                return Some((
+                    RejectReason::PopulationCap,
+                    format!(
+                        "{} miners exceed the cap of {}",
+                        spec.miners, cfg.max_miners
+                    ),
+                ));
+            }
+        }
+        Request::Sweep { runs } => {
+            if runs.is_empty() {
+                return Some((
+                    RejectReason::InvalidRequest,
+                    "a sweep needs at least one run".to_string(),
+                ));
+            }
+            if runs.len() > cfg.max_sweep_runs {
+                return Some((
+                    RejectReason::SweepCap,
+                    format!(
+                        "{} runs exceed the sweep cap of {}",
+                        runs.len(),
+                        cfg.max_sweep_runs
+                    ),
+                ));
+            }
+            for run in runs {
+                if !state.backend.has_experiment(&run.experiment) {
+                    return Some((
+                        RejectReason::UnknownExperiment,
+                        format!("unknown experiment `{}`", run.experiment),
+                    ));
+                }
+                if let Some(replicas) = run.replicas {
+                    if replicas > cfg.max_replicas {
+                        return Some((
+                            RejectReason::ReplicaCap,
+                            format!("{replicas} replicas exceed the cap of {}", cfg.max_replicas),
+                        ));
+                    }
+                }
+            }
+        }
+        // Handled before the pipeline.
+        Request::Status | Request::Shutdown => {}
+    }
+    None
+}
+
+/// Lowers an admitted request onto the compute substrate: ensembles go
+/// straight to [`goc_analysis::ensemble::run`] (the work-stealing
+/// executor), experiments and sweeps through the injected [`Backend`].
+fn execute(
+    state: &State,
+    conn: &mut Connection<TcpStream>,
+    id: u64,
+    request: &Request,
+) -> Result<ReportPayload, String> {
+    let threads = state.config.threads;
+    match request {
+        Request::RunExperiment(run) => state
+            .backend
+            .run_experiment(run, threads)
+            .map(ReportPayload::Experiment),
+        Request::RunEnsemble { spec } => ensemble::run(spec, threads)
+            .map(ReportPayload::Ensemble)
+            .map_err(|e| e.to_string()),
+        Request::Sweep { runs } => {
+            let mut progress = |done: usize, total: usize| {
+                // A client gone mid-sweep surfaces at the terminal
+                // send; the compute itself always runs to completion
+                // so the executor is never left wedged.
+                let _ = reply(conn, id, Response::Progress { done, total });
+            };
+            state
+                .backend
+                .sweep(runs, threads, &mut progress)
+                .map(ReportPayload::Sweep)
+        }
+        Request::Status | Request::Shutdown => unreachable!("handled by the session loop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EnsembleOnlyBackend;
+    use goc_analysis::ensemble::EnsembleSpec;
+    use goc_proto::{Client, ExperimentRequest};
+
+    fn boot(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<ServerSummary>) {
+        let server = Server::bind(config, Box::new(EnsembleOnlyBackend)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn shutdown(addr: SocketAddr) {
+        // Retried: a just-dropped client's session slot frees as soon
+        // as its session thread observes the hangup.
+        for _ in 0..100 {
+            let mut client = Client::connect(addr).unwrap();
+            let reply = client.request(Request::Shutdown).unwrap();
+            match reply.terminal() {
+                Response::Report(ReportPayload::ShutdownAck) => return,
+                Response::Rejected {
+                    reason: RejectReason::SessionLimit,
+                    ..
+                } => std::thread::sleep(Duration::from_millis(20)),
+                other => panic!("unexpected shutdown outcome: {other:?}"),
+            }
+        }
+        panic!("no session slot freed for the shutdown request");
+    }
+
+    #[test]
+    fn status_round_trips_and_shutdown_drains() {
+        let (addr, handle) = boot(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.request(Request::Status).unwrap();
+        let Some(ReportPayload::Status(status)) = reply.report() else {
+            panic!("expected a status report, got {:?}", reply.terminal());
+        };
+        assert_eq!(status.version, PROTOCOL_VERSION);
+        assert!(!status.draining);
+        assert_eq!(status.sessions, 1);
+        shutdown(addr);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.served, 0, "status responses are not compute");
+    }
+
+    #[test]
+    fn ensembles_run_over_the_wire_and_match_local_runs() {
+        let (addr, handle) = boot(ServerConfig::default());
+        let spec = EnsembleSpec::new(16, 4, 7);
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client
+            .request(Request::RunEnsemble { spec: spec.clone() })
+            .unwrap();
+        assert!(reply.accepted());
+        let Some(ReportPayload::Ensemble(wire)) = reply.report() else {
+            panic!("expected an ensemble report, got {:?}", reply.terminal());
+        };
+        let local = ensemble::run(&spec, 2).unwrap();
+        assert_eq!(
+            wire.deterministic_json(),
+            local.deterministic_json(),
+            "the wire changes nothing: same spec, same deterministic aggregate"
+        );
+        shutdown(addr);
+        assert_eq!(handle.join().unwrap().served, 1);
+    }
+
+    #[test]
+    fn caps_reject_by_name_before_any_work() {
+        let config = ServerConfig {
+            max_replicas: 8,
+            max_miners: 100,
+            max_sweep_runs: 2,
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = boot(config);
+        let mut client = Client::connect(addr).unwrap();
+
+        let over_replicas = client
+            .request(Request::RunEnsemble {
+                spec: EnsembleSpec::new(16, 9, 0),
+            })
+            .unwrap();
+        assert_eq!(
+            over_replicas.rejection().unwrap().0,
+            RejectReason::ReplicaCap
+        );
+
+        let over_miners = client
+            .request(Request::RunEnsemble {
+                spec: EnsembleSpec::new(101, 2, 0),
+            })
+            .unwrap();
+        assert_eq!(
+            over_miners.rejection().unwrap().0,
+            RejectReason::PopulationCap
+        );
+
+        let invalid = client
+            .request(Request::RunEnsemble {
+                spec: EnsembleSpec::new(16, 0, 0),
+            })
+            .unwrap();
+        assert_eq!(invalid.rejection().unwrap().0, RejectReason::InvalidRequest);
+
+        let unknown = client
+            .request(Request::RunExperiment(ExperimentRequest::quick("fig1")))
+            .unwrap();
+        assert_eq!(
+            unknown.rejection().unwrap().0,
+            RejectReason::UnknownExperiment,
+            "the ensemble-only backend has no registry"
+        );
+
+        let too_wide = client
+            .request(Request::Sweep {
+                runs: vec![
+                    ExperimentRequest::quick("a"),
+                    ExperimentRequest::quick("b"),
+                    ExperimentRequest::quick("c"),
+                ],
+            })
+            .unwrap();
+        assert_eq!(too_wide.rejection().unwrap().0, RejectReason::SweepCap);
+
+        let empty = client.request(Request::Sweep { runs: vec![] }).unwrap();
+        assert_eq!(empty.rejection().unwrap().0, RejectReason::InvalidRequest);
+
+        shutdown(addr);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.served, 0);
+        assert!(summary.rejected >= 6);
+    }
+
+    #[test]
+    fn session_budget_is_enforced() {
+        let config = ServerConfig {
+            session_budget: 2,
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = boot(config);
+        let mut client = Client::connect(addr).unwrap();
+        let spec = EnsembleSpec::new(8, 2, 0);
+        for _ in 0..2 {
+            let reply = client
+                .request(Request::RunEnsemble { spec: spec.clone() })
+                .unwrap();
+            assert!(reply.report().is_some());
+        }
+        let broke = client
+            .request(Request::RunEnsemble { spec: spec.clone() })
+            .unwrap();
+        assert_eq!(
+            broke.rejection().unwrap().0,
+            RejectReason::SessionBudgetExhausted
+        );
+        // Status stays free after the budget is spent.
+        assert!(client.request(Request::Status).unwrap().report().is_some());
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn session_cap_refuses_extra_clients_by_name() {
+        let config = ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = boot(config);
+        let mut first = Client::connect(addr).unwrap();
+        assert!(first.request(Request::Status).unwrap().report().is_some());
+        let mut second = Client::connect(addr).unwrap();
+        let refused = second.request(Request::Status).unwrap();
+        assert_eq!(refused.rejection().unwrap().0, RejectReason::SessionLimit);
+        drop(second);
+        drop(first);
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_by_name() {
+        let (addr, handle) = boot(ServerConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut conn = Connection::new(stream);
+        let mut envelope = goc_proto::RequestEnvelope::new(5, Request::Status);
+        envelope.version = 9;
+        conn.send_request(&envelope).unwrap();
+        let response = conn.recv_response().unwrap();
+        assert_eq!(response.id, 5);
+        assert!(matches!(
+            response.response,
+            Response::Rejected {
+                reason: RejectReason::VersionMismatch,
+                ..
+            }
+        ));
+        drop(conn);
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn draining_refuses_new_work_but_answers_status() {
+        let (addr, handle) = boot(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        shutdown(addr);
+        // The pre-drain session still gets Status answers and named
+        // refusals for new compute until it hangs up.
+        let status = client.request(Request::Status).unwrap();
+        let Some(ReportPayload::Status(s)) = status.report() else {
+            panic!("status must be answered while draining");
+        };
+        assert!(s.draining);
+        let refused = client
+            .request(Request::RunEnsemble {
+                spec: EnsembleSpec::new(8, 2, 0),
+            })
+            .unwrap();
+        assert_eq!(refused.rejection().unwrap().0, RejectReason::Draining);
+        drop(client);
+        handle.join().unwrap();
+    }
+}

@@ -9,6 +9,8 @@
 //! goc design   --powers 13,11,7,5,3,2 --rewards 17,10 [--scheduler min-gain] [--seed 0]
 //! goc simulate [--miners 120] [--days 80] [--shock-day 30] [--seed 2017]
 //! goc simulate --spec scenario.json
+//! goc serve    [--addr 127.0.0.1:0] [--max-sessions 16] [--max-inflight 4] [--threads N]
+//! goc request  <ADDR> <REQUEST-JSON>
 //! ```
 //!
 //! `list` shows the experiment registry; `run` executes a registered
@@ -19,16 +21,22 @@
 //! `enumerate` lists all pure equilibria (small games); `design` picks
 //! the two Lemma-2 equilibria and runs Algorithm 2 between them;
 //! `simulate` runs the Figure 1 BTC/BCH market and prints the hashrate
-//! chart.
+//! chart. `serve` boots the registry-backed Game-of-Coins service
+//! (line-delimited JSON over TCP, with admission control) and runs
+//! until a `Shutdown` request drains it; `request` sends one request
+//! to a running server and prints the streamed response frames.
 
 use std::process::ExitCode;
 
 use gameofcoins::analysis::chart::{ascii_chart, Series};
 use gameofcoins::analysis::{fmt_f64, Table};
 use gameofcoins::design::{design, DesignOptions, DesignProblem};
+use gameofcoins::experiments::service::registry_server;
 use gameofcoins::experiments::{self, RunContext, SweepSpec};
 use gameofcoins::game::{equilibrium, CoinId, Configuration, Game};
 use gameofcoins::learning::{run, LearningOptions, SchedulerKind};
+use gameofcoins::proto::{Client, Request, Response};
+use gameofcoins::server::ServerConfig;
 use gameofcoins::sim::scenario::{btc_bch, BtcBchParams, DAY};
 use gameofcoins::sim::ScenarioSpec;
 
@@ -45,10 +53,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Only `run` takes a positional argument (the experiment name);
-    // stray tokens anywhere else are typos, not input.
-    let expected_positionals = usize::from(command == "run");
-    let result = if opts.positional.len() > expected_positionals {
+    // Only `run` (the experiment name) and `request` (address + JSON)
+    // take positional arguments; stray tokens anywhere else are typos,
+    // not input.
+    let expected_positionals = match command.as_str() {
+        "run" => 1,
+        "request" => 2,
+        _ => 0,
+    };
+    let result = if opts.help {
+        // Per-command help for the service verbs; the general usage
+        // covers everything else.
+        match command.as_str() {
+            "serve" => println!("{SERVE_USAGE}"),
+            "request" => println!("{REQUEST_USAGE}"),
+            _ => println!("{USAGE}"),
+        }
+        Ok(())
+    } else if opts.positional.len() > expected_positionals {
         Err(format!(
             "unexpected argument `{}`",
             opts.positional[expected_positionals]
@@ -62,6 +84,8 @@ fn main() -> ExitCode {
             "enumerate" => cmd_enumerate(&opts),
             "design" => cmd_design(&opts),
             "simulate" => cmd_simulate(&opts),
+            "serve" => cmd_serve(&opts),
+            "request" => cmd_request(&opts),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
                 Ok(())
@@ -90,6 +114,8 @@ USAGE:
   goc design    --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc simulate  [--miners N] [--days D] [--shock-day D] [--seed N]
   goc simulate  --spec FILE    (a declarative ScenarioSpec JSON)
+  goc serve     [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--threads N]
+  goc request   <ADDR> <REQUEST-JSON>    (e.g. goc request 127.0.0.1:4317 '\"Status\"')
 
 `goc list` names every registered experiment. The `churn` experiment
 drives miner arrivals/departures and coin launches/retirements as
@@ -107,8 +133,49 @@ Reports come back in input order regardless of completion order.
 A scenario spec for `goc simulate --spec` is a serialized
 `gameofcoins::sim::ScenarioSpec` (serialize a preset to start).
 
+`goc serve` boots the Game-of-Coins service (see `goc serve --help`);
+`goc request` sends one JSON request to a running server (see
+`goc request --help`).
+
 SCHEDULERS: round-robin | uniform-random | max-gain | min-gain |
             largest-miner-first | smallest-miner-first";
+
+const SERVE_USAGE: &str = "goc serve — run the Game-of-Coins service over TCP
+
+USAGE:
+  goc serve [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--threads N]
+
+The server speaks the goc-proto wire protocol: line-delimited JSON
+request/response envelopes (protocol v1). Every registered experiment
+is servable, ensembles run on the shared work-stealing executor, and
+admission control is strict — a bounded in-flight queue, per-session
+request budgets, and replica/population caps, each refusing by name
+instead of queueing unboundedly. A `Shutdown` request drains in-flight
+work and exits 0.
+
+OPTIONS:
+  --addr HOST:PORT   bind address (default 127.0.0.1:0 — an ephemeral
+                     port, printed once bound)
+  --max-sessions N   concurrent client sessions (default 16, must be ≥ 1)
+  --max-inflight N   bounded in-flight compute queue (default 4, must be ≥ 1)
+  --threads N        worker threads per compute request";
+
+const REQUEST_USAGE: &str = "goc request — send one request to a running goc server
+
+USAGE:
+  goc request <ADDR> <REQUEST-JSON>
+
+Prints every streamed response frame as one JSON line and exits 0 on a
+Report, nonzero on a named rejection or execution error.
+
+REQUESTS (the JSON forms of goc-proto's Request enum; optional fields
+may be omitted):
+  '\"Status\"'       load/limit counters (free; answered while draining)
+  '\"Shutdown\"'     drain in-flight work and stop the server
+  '{\"RunEnsemble\":{\"spec\":{\"name\":\"wire\",\"miners\":1000,\"replicas\":16,
+     \"horizon_days\":30.0,\"seed\":7}}}'
+  '{\"RunExperiment\":{\"experiment\":\"prop1\",\"quick\":true}}'
+  '{\"Sweep\":{\"runs\":[{\"experiment\":\"prop1\",\"quick\":true}, ...]}}'";
 
 /// Parsed command-line options (manual parsing; no CLI dependency).
 #[derive(Debug, Default)]
@@ -128,6 +195,10 @@ struct Options {
     threads: Option<usize>,
     turnover: Option<u32>,
     replicas: Option<usize>,
+    addr: Option<String>,
+    max_sessions: Option<usize>,
+    max_inflight: Option<usize>,
+    help: bool,
 }
 
 impl Options {
@@ -177,6 +248,28 @@ impl Options {
                     }
                     o.replicas = Some(n);
                 }
+                "--addr" => o.addr = Some(value()?.to_string()),
+                // Degenerate service limits are parse errors, not
+                // surprises at the first refused request.
+                "--max-sessions" => {
+                    let n: usize = value()?
+                        .parse()
+                        .map_err(|e| format!("--max-sessions: {e}"))?;
+                    if n == 0 {
+                        return Err("--max-sessions: session cap must be ≥ 1".into());
+                    }
+                    o.max_sessions = Some(n);
+                }
+                "--max-inflight" => {
+                    let n: usize = value()?
+                        .parse()
+                        .map_err(|e| format!("--max-inflight: {e}"))?;
+                    if n == 0 {
+                        return Err("--max-inflight: in-flight cap must be ≥ 1".into());
+                    }
+                    o.max_inflight = Some(n);
+                }
+                "--help" | "-h" => o.help = true,
                 other if !other.starts_with('-') => o.positional.push(other.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -229,6 +322,10 @@ fn cmd_list() -> Result<(), String> {
     println!(
         "`ensemble` also takes `--replicas N` (Monte-Carlo replicas, default 64) and \
          `--threads N` (worker threads; results are thread-invariant)"
+    );
+    println!(
+        "`serve` boots throwaway wire servers and hammers them with concurrent clients; \
+         the standing service is `goc serve`, queried with `goc request`"
     );
     Ok(())
 }
@@ -405,6 +502,59 @@ fn cmd_design(opts: &Options) -> Result<(), String> {
         fmt_f64(outcome.total_cost)
     );
     Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let config = ServerConfig {
+        max_sessions: opts.max_sessions.unwrap_or(config.max_sessions),
+        max_inflight: opts.max_inflight.unwrap_or(config.max_inflight),
+        threads: opts.threads.unwrap_or(config.threads),
+        ..config
+    };
+    let server = registry_server(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "goc-server listening on {addr} (protocol v{})",
+        gameofcoins::proto::PROTOCOL_VERSION
+    );
+    println!("stop it with: goc request {addr} '\"Shutdown\"'");
+    let summary = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "drained: {} requests served, {} rejected by name",
+        summary.served, summary.rejected
+    );
+    Ok(())
+}
+
+fn cmd_request(opts: &Options) -> Result<(), String> {
+    let [addr, json] = opts.positional.as_slice() else {
+        return Err("usage: goc request <ADDR> <REQUEST-JSON> (see `goc request --help`)".into());
+    };
+    let request: Request =
+        serde_json::from_str(json).map_err(|e| format!("invalid request JSON: {e}"))?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reply = client.request(request).map_err(|e| e.to_string())?;
+    // Frames print exactly as they travelled: one JSON envelope per line.
+    for frame in &reply.frames {
+        println!(
+            "{}",
+            serde_json::to_string(frame).map_err(|e| format!("cannot render frame: {e}"))?
+        );
+    }
+    match reply.terminal() {
+        Response::Report(_) => Ok(()),
+        Response::Rejected { reason, detail } => Err(format!("rejected ({reason}): {detail}")),
+        Response::Error { detail } => Err(format!("execution failed: {detail}")),
+        other => Err(format!("stream ended without a terminal frame: {other:?}")),
+    }
 }
 
 fn cmd_simulate(opts: &Options) -> Result<(), String> {

@@ -28,6 +28,13 @@
 //! * [`experiments`] — the experiment registry: every figure and claim
 //!   of the paper as a named, runnable [`experiments::Experiment`]
 //!   (drive it with `goc list` / `goc run <name>` / `goc sweep`).
+//! * [`proto`] — the versioned line-delimited JSON wire protocol:
+//!   request/response envelopes, the framing [`proto::Connection`],
+//!   and the blocking [`proto::Client`].
+//! * [`server`] — the TCP service: session loop, admission control
+//!   (bounded in-flight queue, per-session budgets, replica/population
+//!   caps), graceful drain (serve it with `goc serve`, query it with
+//!   `goc request`).
 //!
 //! ## Quickstart
 //!
@@ -65,6 +72,8 @@ pub use goc_experiments as experiments;
 pub use goc_game as game;
 pub use goc_learning as learning;
 pub use goc_market as market;
+pub use goc_proto as proto;
+pub use goc_server as server;
 pub use goc_sim as sim;
 
 /// Convenient single-import prelude for examples and downstream users.
@@ -83,5 +92,7 @@ pub mod prelude {
     pub use goc_market::{
         Gbm, Market, Price, ScheduledShock, WhaleBudget, WhaleInjection, WhalePlan,
     };
+    pub use goc_proto::{Client, Connection, ProtoError, RejectReason, Request, Response};
+    pub use goc_server::{Backend, Server, ServerConfig};
     pub use goc_sim::{MinerAgent, OracleKind, ScenarioSpec, SimConfig, Simulation};
 }

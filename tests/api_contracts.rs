@@ -130,3 +130,52 @@ fn default_constructors_agree_with_new() {
     let a = gameofcoins::game::Ratio::default();
     assert_eq!(a, Ratio::ZERO);
 }
+
+#[test]
+fn service_layer_types_are_send_sync_debug_clone() {
+    // Protocol values cross session threads and live inside the load
+    // generator's per-client plans.
+    assert_send::<Request>();
+    assert_sync::<Request>();
+    assert_debug::<Request>();
+    assert_clone::<Request>();
+    assert_send::<Response>();
+    assert_sync::<Response>();
+    assert_debug::<Response>();
+    assert_clone::<Response>();
+    assert_send::<RejectReason>();
+    assert_sync::<RejectReason>();
+    assert_send::<Connection<std::net::TcpStream>>();
+    assert_send::<Client>();
+    assert_send::<ServerConfig>();
+    assert_sync::<ServerConfig>();
+    assert_debug::<ServerConfig>();
+    assert_clone::<ServerConfig>();
+    // Backends are injected once and called from every session thread.
+    assert_send::<Box<dyn Backend>>();
+    assert_sync::<Box<dyn Backend>>();
+}
+
+#[test]
+fn service_layer_errors_are_real_errors() {
+    assert_error::<ProtoError>();
+    assert_send::<ProtoError>();
+    assert_sync::<ProtoError>();
+    assert_error::<gameofcoins::server::ServerError>();
+    assert_send::<gameofcoins::server::ServerError>();
+    assert_error::<gameofcoins::server::ConfigError>();
+    assert_send::<gameofcoins::server::ConfigError>();
+}
+
+#[test]
+fn reject_reason_display_is_the_stable_snake_case_name() {
+    // `goc request` surfaces rejections as `rejected (<name>)`; tests
+    // and scripts match on these strings.
+    assert_eq!(RejectReason::SessionLimit.to_string(), "session_limit");
+    assert_eq!(RejectReason::InFlightLimit.to_string(), "in_flight_limit");
+    assert_eq!(
+        RejectReason::SessionBudgetExhausted.to_string(),
+        "session_budget_exhausted"
+    );
+    assert_eq!(RejectReason::FrameTooLarge.to_string(), "frame_too_large");
+}

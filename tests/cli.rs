@@ -294,3 +294,153 @@ fn equal_powers_design_is_rejected_cleanly() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("distinct"), "stderr: {stderr}");
 }
+
+#[test]
+fn serve_help_documents_the_service_flags() {
+    let out = goc(&["serve", "--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("--addr"), "stdout: {stdout}");
+    assert!(stdout.contains("--max-sessions"), "stdout: {stdout}");
+    assert!(stdout.contains("--max-inflight"), "stdout: {stdout}");
+    assert!(stdout.contains("admission"), "stdout: {stdout}");
+}
+
+#[test]
+fn request_help_shows_the_wire_forms() {
+    let out = goc(&["request", "--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Status"), "stdout: {stdout}");
+    assert!(stdout.contains("RunEnsemble"), "stdout: {stdout}");
+    assert!(stdout.contains("Shutdown"), "stdout: {stdout}");
+}
+
+#[test]
+fn serve_zero_caps_are_rejected_up_front() {
+    let out = goc(&["serve", "--max-inflight", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("in-flight cap"), "stderr: {stderr}");
+
+    let out = goc(&["serve", "--max-sessions", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("session cap"), "stderr: {stderr}");
+}
+
+#[test]
+fn request_rejects_bad_arguments_before_connecting() {
+    // Invalid request JSON fails at parse time — no server needed.
+    let out = goc(&["request", "127.0.0.1:1", "{not json"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("invalid request JSON"), "stderr: {stderr}");
+
+    // A missing positional is a usage error.
+    let out = goc(&["request", "127.0.0.1:1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("goc request <ADDR>"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_and_request_round_trip_over_tcp() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_goc"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--max-sessions", "4"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("server prints a banner").unwrap();
+    let addr = banner
+        .strip_prefix("goc-server listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    // Status round-trips as JSON frames on stdout.
+    let out = goc(&["request", &addr, "\"Status\""]);
+    assert!(
+        out.status.success(),
+        "request failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"Status\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"sessions\""), "stdout: {stdout}");
+
+    // An ensemble request streams Accepted then a Report frame.
+    let out = goc(&[
+        "request",
+        &addr,
+        r#"{"RunEnsemble":{"spec":{"name":"cli","replicas":2,"miners":32,"horizon_days":30.0,"seed":7}}}"#,
+    ]);
+    assert!(
+        out.status.success(),
+        "ensemble request failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"Accepted\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"Ensemble\""), "stdout: {stdout}");
+
+    // A named rejection exits non-zero and names the reason on stderr.
+    let out = goc(&[
+        "request",
+        &addr,
+        r#"{"RunExperiment":{"experiment":"no_such_experiment"}}"#,
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("rejected (unknown_experiment)"),
+        "stderr: {stderr}"
+    );
+
+    // Raw garbage frames are rejected by name and the session survives.
+    {
+        let stream = std::net::TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{this is not a frame\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("MalformedFrame"), "frame: {line}");
+
+        // One byte past the 8 MiB default cap: discarded, named, and
+        // the very same connection still answers a valid frame.
+        let mut oversized = vec![b'z'; 8 * 1024 * 1024 + 1];
+        oversized.push(b'\n');
+        writer.write_all(&oversized).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("FrameTooLarge"), "frame: {line}");
+
+        writer
+            .write_all(b"{\"version\":1,\"id\":3,\"request\":\"Status\"}\n")
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"Report\""), "frame: {line}");
+    }
+
+    // Shutdown drains the server; the child exits 0 and reports its
+    // served/rejected accounting.
+    let out = goc(&["request", &addr, "\"Shutdown\""]);
+    assert!(
+        out.status.success(),
+        "shutdown failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exited with {status}");
+    let drained = lines
+        .map(|l| l.unwrap())
+        .find(|l| l.starts_with("drained:"))
+        .expect("server prints its drain summary");
+    assert!(drained.contains("rejected by name"), "line: {drained}");
+}

@@ -1,7 +1,7 @@
 //! Golden-file regression tests: the structured JSON reports of
 //! `goc run <exp> --json --quick --seed 7` are snapshotted under
 //! `tests/golden/` for `fig1`, `attack`, `scale`, `schedulers`,
-//! `churn`, and `ensemble`. A future perf
+//! `churn`, `ensemble`, and `serve`. A future perf
 //! refactor that silently changes *results* (tables, charts, check
 //! verdicts, artifacts) fails here; throughput is free to float because
 //! the comparator strips the timing conventions the reports follow:
@@ -26,8 +26,15 @@ use std::path::PathBuf;
 use gameofcoins::experiments::{self, RunContext};
 use serde_json::Value;
 
-const GOLDEN_EXPERIMENTS: [&str; 6] =
-    ["fig1", "attack", "scale", "schedulers", "churn", "ensemble"];
+const GOLDEN_EXPERIMENTS: [&str; 7] = [
+    "fig1",
+    "attack",
+    "scale",
+    "schedulers",
+    "churn",
+    "ensemble",
+    "serve",
+];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")

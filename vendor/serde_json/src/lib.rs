@@ -1,12 +1,15 @@
 //! Vendored, minimal `serde_json` stand-in (offline build): JSON text
 //! rendering and parsing over the vendored `serde` crate's [`Value`]
 //! model. Supports the workspace surface: `to_string`,
-//! `to_string_pretty`, `to_value`, `from_str`, `from_value`, and
+//! `to_string_pretty`, `to_value`, `from_str`, `from_value`, the
+//! streaming helpers `to_writer` / `to_vec` / `from_slice` (the wire
+//! layer in `goc-proto` frames line-delimited messages over these), and
 //! re-exports [`Value`].
 
 #![warn(rust_2018_idioms)]
 
 use std::fmt;
+use std::io;
 
 pub use serde::Value;
 use serde::{DeserializeOwned, Serialize};
@@ -50,6 +53,30 @@ pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
 pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
     let value = parse_value(text)?;
     T::deserialize(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes a value as compact JSON into a byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Writes a value as compact JSON text into an [`io::Write`] sink.
+///
+/// I/O failures surface as [`Error`]s carrying the underlying message
+/// (this stand-in has a single error type, like-for-like with the
+/// workspace's use of real `serde_json`'s `Error::io`).
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error(format!("io: {e}")))
+}
+
+/// Parses a typed value from JSON bytes (must be valid UTF-8).
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8 in JSON: {e}")))?;
+    from_str(text)
 }
 
 /// Parses JSON text into a [`Value`] tree.
@@ -361,6 +388,38 @@ mod tests {
         assert!(parse_value("[1,]").is_err());
         assert!(parse_value("nul").is_err());
         assert!(from_str::<Vec<f64>>("{}").is_err());
+    }
+
+    #[test]
+    fn streaming_helpers_round_trip() {
+        let xs = vec![1u64, 2, 3];
+        let bytes = to_vec(&xs).unwrap();
+        assert_eq!(bytes, b"[1,2,3]");
+        let back: Vec<u64> = from_slice(&bytes).unwrap();
+        assert_eq!(back, xs);
+
+        let mut sink = Vec::new();
+        to_writer(&mut sink, &xs).unwrap();
+        sink.push(b'\n');
+        assert_eq!(sink, b"[1,2,3]\n");
+
+        assert!(from_slice::<Vec<u64>>(b"[1,").is_err());
+        assert!(from_slice::<Vec<u64>>(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn to_writer_surfaces_io_errors() {
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(Broken, &7u64).unwrap_err();
+        assert!(err.to_string().contains("pipe closed"));
     }
 
     #[test]
