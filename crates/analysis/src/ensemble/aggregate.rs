@@ -170,6 +170,7 @@ const SKETCH_HI: f64 = 1e12;
 pub struct QuantileSketch {
     counts: Vec<u64>,
     total: u64,
+    skipped: u64,
     min: f64,
     max: f64,
 }
@@ -186,6 +187,7 @@ impl QuantileSketch {
         QuantileSketch {
             counts: vec![0; SKETCH_BUCKETS],
             total: 0,
+            skipped: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -207,16 +209,32 @@ impl QuantileSketch {
     }
 
     /// Feeds one non-negative observation.
+    ///
+    /// Non-finite observations are **skipped and counted** (see
+    /// [`QuantileSketch::skipped`]) rather than binned: `NaN as usize`
+    /// saturates to 0, so a NaN would land in bucket 0 and silently
+    /// drag every quantile low, while `f64::min`/`f64::max` ignore NaN
+    /// and would leave min/max inconsistent with the counts.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         self.counts[Self::bucket_of(x)] += 1;
         self.total += 1;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
 
-    /// Observation count.
+    /// Observation count (finite observations only).
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Number of non-finite observations skipped by
+    /// [`QuantileSketch::push`].
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// The `q`-quantile estimate (`q` in `[0, 1]`); 0 when empty.
@@ -315,8 +333,32 @@ pub struct EquilibriumEntry {
     pub live: Vec<bool>,
 }
 
+/// Collapses a possibly non-finite statistic to a well-defined finite
+/// value at the report boundary: the vendored serde renders non-finite
+/// floats as JSON `null`, which then fails to deserialize back into
+/// `f64` — so census floats are clamped before they ever reach a
+/// report. `+∞ ↦ f64::MAX` (an unoccupied live coin's potential),
+/// `-∞ ↦ f64::MIN`, `NaN ↦ 0`. Finite values pass through untouched,
+/// so ordinary reports (and their goldens) are unaffected.
+fn finite_or_clamped(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else if x.is_nan() {
+        0.0
+    } else if x > 0.0 {
+        f64::MAX
+    } else {
+        f64::MIN
+    }
+}
+
 /// Distribution-level equilibrium statistics (see field docs for the
 /// empirical price-of-anarchy/stability conventions).
+///
+/// Every float field is finite — non-finite statistics (an infinite
+/// potential from an unoccupied live coin) are clamped by
+/// `finite_or_clamped` when the census is built, so a serialized census
+/// always survives a JSON round trip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EquilibriumCensus {
     /// Number of distinct equilibria reached.
@@ -413,12 +455,12 @@ impl FingerprintIndex {
         let best = self
             .entries
             .values()
-            .map(|t| t.potential)
+            .map(|t| finite_or_clamped(t.potential))
             .fold(f64::INFINITY, f64::min);
         let worst = self
             .entries
             .values()
-            .map(|t| t.potential)
+            .map(|t| finite_or_clamped(t.potential))
             .fold(f64::NEG_INFINITY, f64::max);
         // Modal equilibrium: most hits, ties by canonical key order
         // (BTreeMap iteration order makes this deterministic).
@@ -430,7 +472,12 @@ impl FingerprintIndex {
                 _ => Some(t),
             })
             .expect("nonempty index");
-        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 1.0 };
+        let ratio = |num: f64, den: f64| {
+            let r = if den > 0.0 { num / den } else { 1.0 };
+            // MAX/MAX is 1.0, but MAX/tiny can overflow to +∞ — clamp
+            // the quotient too so the report stays round-trippable.
+            finite_or_clamped(r)
+        };
         let mut rows: Vec<(&EquilibriumKey, &EquilibriumTally)> = self.entries.iter().collect();
         rows.sort_by(|(ka, ta), (kb, tb)| tb.hits.cmp(&ta.hits).then_with(|| ka.cmp(kb)));
         let entries = rows
@@ -440,8 +487,8 @@ impl FingerprintIndex {
                 fingerprint: format!("{:016x}", key.fingerprint()),
                 hits: tally.hits,
                 share: tally.hits as f64 / self.total.max(1) as f64,
-                potential: tally.potential,
-                welfare: tally.welfare,
+                potential: finite_or_clamped(tally.potential),
+                welfare: finite_or_clamped(tally.welfare),
                 masses: key.masses.iter().map(u128::to_string).collect(),
                 live: key.live.clone(),
             })
@@ -452,7 +499,7 @@ impl FingerprintIndex {
             best_potential: best,
             worst_potential: worst,
             poa_ratio: ratio(worst, best),
-            pos_ratio: ratio(modal.potential, best),
+            pos_ratio: ratio(finite_or_clamped(modal.potential), best),
             entries,
         }
     }
@@ -524,6 +571,56 @@ mod tests {
         // exact.
         assert_eq!(a.quantile(0.0), 0.0);
         assert_eq!(a.quantile(1.0), 1e13);
+    }
+
+    #[test]
+    fn sketch_skips_and_counts_non_finite_observations() {
+        // Regression: NaN used to land in bucket 0 (`NaN as usize`
+        // saturates to 0) and drag every quantile low; ±∞ clamped into
+        // the edge buckets while poisoning min/max.
+        let mut polluted = QuantileSketch::new();
+        let mut clean = QuantileSketch::new();
+        for x in [10.0, f64::NAN, 20.0, f64::INFINITY, 30.0, f64::NEG_INFINITY] {
+            polluted.push(x);
+        }
+        for x in [10.0, 20.0, 30.0] {
+            clean.push(x);
+        }
+        assert_eq!(polluted.skipped(), 3);
+        assert_eq!(polluted.count(), 3);
+        assert_eq!(polluted.quantile(0.0), 10.0);
+        assert_eq!(polluted.quantile(1.0), 30.0);
+        for q in [0.25, 0.5, 0.75, 0.9] {
+            assert_eq!(polluted.quantile(q), clean.quantile(q));
+        }
+        // A sketch fed only junk behaves exactly like an empty one.
+        let mut junk = QuantileSketch::new();
+        junk.push(f64::NAN);
+        junk.push(f64::INFINITY);
+        assert_eq!(junk.count(), 0);
+        assert_eq!(junk.skipped(), 2);
+        assert_eq!(junk.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn census_floats_stay_finite_under_infinite_potentials() {
+        // Regression: an unoccupied live coin records `potential = +∞`,
+        // which the vendored serde renders as JSON `null` — a census
+        // must clamp it before it reaches a report.
+        let mut index = FingerprintIndex::new();
+        index.record(key(&[10, 0], &[true, true]), f64::INFINITY, 5.0);
+        index.record(key(&[10, 0], &[true, true]), f64::INFINITY, 5.0);
+        index.record(key(&[5, 5], &[true, true]), 0.4, f64::NAN);
+        let census = index.census(10);
+        assert_eq!(census.best_potential, 0.4);
+        assert_eq!(census.worst_potential, f64::MAX);
+        assert!(census.poa_ratio.is_finite());
+        assert!(census.pos_ratio.is_finite());
+        for entry in &census.entries {
+            assert!(entry.potential.is_finite());
+            assert!(entry.welfare.is_finite());
+            assert!(entry.share.is_finite());
+        }
     }
 
     fn key(masses: &[u128], live: &[bool]) -> EquilibriumKey {

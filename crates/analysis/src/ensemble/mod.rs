@@ -35,13 +35,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use goc_game::{gen::random_config, Configuration, Game};
+use goc_game::{gen::random_config, CoinId, Configuration, Game, MassTracker, Snapshot};
 use goc_learning::{
-    run_incremental, run_incremental_with_churn, run_with_churn, ChurnPlan, LearningOptions,
-    LearningOutcome, SchedulerKind,
+    run_incremental, run_incremental_from, run_incremental_with_churn, run_with_churn, ChurnPlan,
+    LearningOptions, LearningOutcome, SchedulerKind,
 };
 use goc_sim::fixtures::{scale_churn_base, scale_class_game};
-use goc_sim::{churn_universe, ChurnSpec, ScenarioSpec};
+use goc_sim::{churn_timeline, churn_universe, stride_deltas, ChurnSpec, ScenarioSpec};
 
 use aggregate::{
     EquilibriumCensus, EquilibriumKey, FingerprintIndex, QuantileSketch, Welford, WelfordSummary,
@@ -351,12 +351,17 @@ fn churn_scenario(spec: &EnsembleSpec, churn: &ChurnSpec, seed: u64) -> Scenario
     scenario
 }
 
-/// Runs one replica. `shared_game` short-circuits the fixture game
-/// build for churn-free ensembles (the result is identical either way:
-/// the fixture is deterministic in `miners`).
+/// Runs one replica. `shared` short-circuits per-replica setup with the
+/// ensemble's decoded [`Snapshot`] — churn-free replicas fork the
+/// shared universe at their own random start
+/// ([`Snapshot::fork_at`]), churny scheduler-free replicas fork the
+/// time-zero tracker exactly and replay only their own timeline. The
+/// result is identical either way: a fork reproduces precisely the
+/// state a from-scratch rebuild constructs (the determinism proptests
+/// replay `None` against `Some` to pin this).
 fn replica_with(
     spec: &EnsembleSpec,
-    shared_game: Option<&Game>,
+    shared: Option<&Snapshot>,
     index: usize,
 ) -> Result<ReplicaRecord, EnsembleError> {
     let seed = replica_seed(spec.seed, index);
@@ -369,8 +374,8 @@ fn replica_with(
     let (outcome, key, potential, welfare) = match &spec.churn {
         None => {
             let built;
-            let game = match shared_game {
-                Some(game) => game,
+            let game = match shared {
+                Some(snapshot) => snapshot.game(),
                 None => {
                     built = scale_class_game(spec.miners);
                     &built
@@ -378,46 +383,77 @@ fn replica_with(
             };
             let mut rng = SmallRng::seed_from_u64(seed);
             let start = random_config(&mut rng, game.system());
-            let outcome = match spec.scheduler {
-                None => run_incremental(game, &start, options),
-                Some(kind) => {
+            let outcome = match (spec.scheduler, shared) {
+                (None, Some(snapshot)) => snapshot
+                    .fork_at(&start)
+                    .map_err(|e| fail(e.to_string()))
+                    .and_then(|tracker| {
+                        run_incremental_from(tracker, options, &ChurnPlan::default(), None)
+                            .map_err(|e| fail(e.to_string()))
+                    })?,
+                (None, None) => {
+                    run_incremental(game, &start, options).map_err(|e| fail(e.to_string()))?
+                }
+                (Some(kind), _) => {
                     let mut sched = kind.build(seed);
                     goc_learning::run(game, &start, sched.as_mut(), options)
+                        .map_err(|e| fail(e.to_string()))?
                 }
-            }
-            .map_err(|e| fail(e.to_string()))?;
+            };
             let (key, potential, welfare) = reduce_state(game, &outcome.final_config, None, None);
             (outcome, key, potential, welfare)
         }
         Some(churn) => {
             let scenario = churn_scenario(spec, churn, seed);
-            let universe =
-                churn_universe(&scenario, CHURN_RESOLUTION).map_err(|e| fail(e.to_string()))?;
-            let plan = ChurnPlan::with_events(
-                Some(universe.miner_active.clone()),
-                Some(universe.coin_active.clone()),
-                universe.step_deltas(spec.miners),
-            );
-            let outcome: LearningOutcome = match spec.scheduler {
-                None => run_incremental_with_churn(&universe.game, &universe.start, options, &plan),
-                Some(kind) => {
-                    let mut sched = kind.build(seed);
-                    run_with_churn(
-                        &universe.game,
-                        &universe.start,
-                        sched.as_mut(),
-                        options,
-                        &plan,
-                    )
+            let built;
+            let (outcome, game): (LearningOutcome, &Game) = match (spec.scheduler, shared) {
+                (None, Some(snapshot)) => {
+                    // The universe is seed-invariant; only the timeline
+                    // varies per replica. Re-lower it and replay against
+                    // an exact fork of the shared time-zero tracker.
+                    let deltas = churn_timeline(&scenario).map_err(|e| fail(e.to_string()))?;
+                    let plan = ChurnPlan::with_events(
+                        Some(snapshot.miner_activity().to_vec()),
+                        Some(snapshot.coin_activity().to_vec()),
+                        stride_deltas(&deltas, spec.miners),
+                    );
+                    let outcome = run_incremental_from(snapshot.fork(), options, &plan, None)
+                        .map_err(|e| fail(e.to_string()))?;
+                    (outcome, snapshot.game())
                 }
-            }
-            .map_err(|e| fail(e.to_string()))?;
+                (scheduler, _) => {
+                    built = churn_universe(&scenario, CHURN_RESOLUTION)
+                        .map_err(|e| fail(e.to_string()))?;
+                    let plan = ChurnPlan::with_events(
+                        Some(built.miner_active.clone()),
+                        Some(built.coin_active.clone()),
+                        built.step_deltas(spec.miners),
+                    );
+                    let outcome = match scheduler {
+                        None => {
+                            run_incremental_with_churn(&built.game, &built.start, options, &plan)
+                        }
+                        Some(kind) => {
+                            let mut sched = kind.build(seed);
+                            run_with_churn(
+                                &built.game,
+                                &built.start,
+                                sched.as_mut(),
+                                options,
+                                &plan,
+                            )
+                        }
+                    }
+                    .map_err(|e| fail(e.to_string()))?;
+                    (outcome, &built.game)
+                }
+            };
             let (miner_active, coin_active) = outcome
                 .final_activity
                 .clone()
                 .expect("churn runs report activity");
             let (key, potential, welfare) = reduce_state(
-                &universe.game,
+                game,
                 &outcome.final_config,
                 Some(&miner_active),
                 Some(&coin_active),
@@ -449,6 +485,50 @@ pub fn replica(spec: &EnsembleSpec, index: usize) -> Result<ReplicaRecord, Ensem
     replica_with(spec, None, index)
 }
 
+/// Builds the ensemble's shared time-zero image: construct the universe
+/// tracker once, encode it, and decode the bytes back into the
+/// [`Snapshot`] every replica forks. The encode → decode round trip is
+/// deliberate — it exercises the exact wire image a checkpoint file
+/// would carry, so the ensemble continuously proves the codec faithful.
+///
+/// `None` for scheduled churny ensembles, whose replicas need their own
+/// full universe (the scheduler consumes the per-replica scenario).
+fn shared_snapshot(spec: &EnsembleSpec) -> Result<Option<Snapshot>, String> {
+    let roundtrip = |tracker: &MassTracker<'_>| {
+        let bytes = Snapshot::of(tracker).encode();
+        Snapshot::try_from(bytes.as_slice()).map_err(|e| e.to_string())
+    };
+    match &spec.churn {
+        None => {
+            // The snapshot's own configuration is immaterial here:
+            // churn-free replicas fork *at* their private random start
+            // (`Snapshot::fork_at`), scheduled ones only borrow the game.
+            let game = scale_class_game(spec.miners);
+            let start =
+                Configuration::uniform(CoinId(0), game.system()).map_err(|e| e.to_string())?;
+            let tracker = MassTracker::new(&game, &start).map_err(|e| e.to_string())?;
+            roundtrip(&tracker).map(Some)
+        }
+        Some(_) if spec.scheduler.is_some() => Ok(None),
+        Some(churn) => {
+            // The churn universe is seed-invariant (only the timeline
+            // varies per replica — pinned by the bridge tests), so any
+            // seed describes the shared time-zero state.
+            let scenario = churn_scenario(spec, churn, 0);
+            let universe =
+                churn_universe(&scenario, CHURN_RESOLUTION).map_err(|e| e.to_string())?;
+            let tracker = MassTracker::with_activity(
+                &universe.game,
+                &universe.start,
+                &universe.miner_active,
+                &universe.coin_active,
+            )
+            .map_err(|e| e.to_string())?;
+            roundtrip(&tracker).map(Some)
+        }
+    }
+}
+
 /// Executes the ensemble on `threads` work-stealing workers and folds
 /// the replica records into an [`EnsembleReport`].
 ///
@@ -473,9 +553,12 @@ pub fn replica(spec: &EnsembleSpec, index: usize) -> Result<ReplicaRecord, Ensem
 pub fn run(spec: &EnsembleSpec, threads: usize) -> Result<EnsembleReport, EnsembleError> {
     spec.validate()?;
     let clock = Instant::now();
-    let shared_game = spec.churn.is_none().then(|| scale_class_game(spec.miners));
+    // One universe, encoded and decoded once; every replica forks the
+    // decoded image instead of rebuilding its own (see `replica_with`).
+    let shared =
+        shared_snapshot(spec).map_err(|error| EnsembleError::Replica { replica: 0, error })?;
     let results = run_indexed(spec.replicas, threads, |index| {
-        replica_with(spec, shared_game.as_ref(), index)
+        replica_with(spec, shared.as_ref(), index)
     })
     .map_err(EnsembleError::Panicked)?;
     // First failing replica (results are index-ordered) wins.
@@ -612,6 +695,64 @@ mod tests {
             report.aggregate.equilibria,
             "standalone replicas reproduce the parallel census"
         );
+    }
+
+    #[test]
+    fn degenerate_aggregates_round_trip_through_json() {
+        // Regression: empty accumulators and infinite potentials used
+        // to reach the report as non-finite floats, which the vendored
+        // serde renders as `null` — and `null` fails to deserialize
+        // back into `f64`. Both degenerate shapes must round-trip.
+        let empty = EnsembleAggregate {
+            replicas: 0,
+            converged: 0,
+            churn_deltas: 0,
+            steps: Welford::new().summary(),
+            step_percentiles: StepPercentiles {
+                p50: QuantileSketch::new().quantile(0.5),
+                p90: QuantileSketch::new().quantile(0.9),
+                p99: QuantileSketch::new().quantile(0.99),
+            },
+            equilibria: FingerprintIndex::new().census(CENSUS_ROWS),
+        };
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(!json.contains("null"), "empty aggregate leaks null: {json}");
+        let back: EnsembleAggregate = serde_json::from_str(&json).unwrap();
+        assert_eq!(empty, back);
+
+        // A census that recorded an unoccupied live coin (potential ∞)
+        // and a sketch fed junk: still finite, still round-trips.
+        let mut index = FingerprintIndex::new();
+        index.record(
+            aggregate::EquilibriumKey {
+                masses: vec![7, 0],
+                live: vec![true, true],
+            },
+            f64::INFINITY,
+            f64::NAN,
+        );
+        let mut sketch = QuantileSketch::new();
+        sketch.push(f64::NAN);
+        sketch.push(f64::INFINITY);
+        let degenerate = EnsembleAggregate {
+            replicas: 1,
+            converged: 1,
+            churn_deltas: 0,
+            steps: Welford::new().summary(),
+            step_percentiles: StepPercentiles {
+                p50: sketch.quantile(0.5),
+                p90: sketch.quantile(0.9),
+                p99: sketch.quantile(0.99),
+            },
+            equilibria: index.census(CENSUS_ROWS),
+        };
+        let json = serde_json::to_string(&degenerate).unwrap();
+        assert!(
+            !json.contains("null"),
+            "degenerate aggregate leaks null: {json}"
+        );
+        let back: EnsembleAggregate = serde_json::from_str(&json).unwrap();
+        assert_eq!(degenerate, back);
     }
 
     #[test]

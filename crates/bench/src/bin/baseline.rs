@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_6.json`):
+//! (`BENCH_7.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -25,7 +25,12 @@
 //! * **server requests/sec** — a live `goc-server` on an ephemeral
 //!   loopback port answering a stream of `RunEnsemble` requests from
 //!   one blocking client (wire framing + admission control + dispatch
-//!   onto the shared executor, end to end; best of two runs).
+//!   onto the shared executor, end to end; best of two runs);
+//! * **snapshot encode/decode/fork ops/sec** — the binary snapshot
+//!   codec over the 100k-miner tracker: `Snapshot::of` + `encode`,
+//!   `TryFrom<&[u8]>` (full frame + semantic revalidation), and
+//!   `fork_at` (the population fork the ensemble engine performs per
+//!   replica; best of two batches each).
 //!
 //! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
 //! it re-measures the *same* workloads at the miner counts recorded in
@@ -40,14 +45,14 @@
 //! gate by pointing it at an old recording.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_6.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_7.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_6.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_7.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_6.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_7.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -56,7 +61,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use goc_analysis::ensemble::{run as run_ensemble, EnsembleSpec};
-use goc_game::{CoinId, Configuration};
+use goc_game::{CoinId, Configuration, MassTracker, Snapshot};
 use goc_learning::{
     run, run_incremental, run_incremental_with_churn, ChurnPlan, LearningOptions, SchedulerKind,
 };
@@ -122,8 +127,22 @@ struct SchedulerBaseline {
     layer: LayerBaseline,
 }
 
-/// The `BENCH_6.json` schema (a superset of `BENCH_5.json`: the
-/// `server` section is new and optional on read, so `--check` also
+/// Snapshot-codec throughput: one [`LayerBaseline`] per operation
+/// (`work` = codec operations, so `per_sec` is ops/sec).
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotBaseline {
+    /// `Snapshot::of` + `Snapshot::encode` over the full tracker.
+    encode: LayerBaseline,
+    /// `Snapshot::try_from(&[u8])` — frame checks plus the full
+    /// semantic revalidation (masses, groups, cursor).
+    decode: LayerBaseline,
+    /// `Snapshot::fork_at` — the per-replica population fork the
+    /// ensemble engine performs instead of rebuilding from scratch.
+    fork: LayerBaseline,
+}
+
+/// The `BENCH_7.json` schema (a superset of `BENCH_6.json`: the
+/// `snapshot` section is new and optional on read, so `--check` also
 /// accepts the older files — with a loud warning for every layer the
 /// file is missing).
 #[derive(Debug, Serialize, Deserialize)]
@@ -151,6 +170,9 @@ struct Baseline {
     /// Service-layer round-trip throughput over loopback TCP
     /// (requests/sec; `work` = requests; absent in pre-6 baselines).
     server: Option<LayerBaseline>,
+    /// Binary snapshot codec throughput (encode/decode/fork ops/sec;
+    /// absent in pre-7 baselines).
+    snapshot: Option<SnapshotBaseline>,
 }
 
 fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
@@ -288,6 +310,64 @@ fn ensemble_baseline(n: usize, replicas: usize, repeats: usize) -> LayerBaseline
     }
 }
 
+/// Codec operations per timed batch — enough that the timed window is
+/// milliseconds, not timer noise, at 100k miners.
+const SNAPSHOT_OPS: usize = 8;
+
+fn snapshot_baseline(n: usize, repeats: usize) -> SnapshotBaseline {
+    let game = scale_class_game(n);
+    let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
+    let tracker = MassTracker::new(&game, &start).expect("valid tracker");
+    let bytes = Snapshot::of(&tracker).encode();
+
+    let mut encode_best = f64::INFINITY;
+    for _ in 0..repeats {
+        let clock = Instant::now();
+        for _ in 0..SNAPSHOT_OPS {
+            let encoded = Snapshot::of(&tracker).encode();
+            assert_eq!(encoded.len(), bytes.len(), "encoding is deterministic");
+        }
+        encode_best = encode_best.min(clock.elapsed().as_secs_f64());
+    }
+
+    let mut decode_best = f64::INFINITY;
+    let mut decoded: Option<Snapshot> = None;
+    for _ in 0..repeats {
+        let clock = Instant::now();
+        for _ in 0..SNAPSHOT_OPS {
+            decoded = Some(Snapshot::try_from(bytes.as_slice()).expect("own encoding decodes"));
+        }
+        decode_best = decode_best.min(clock.elapsed().as_secs_f64());
+    }
+    let decoded = decoded.expect("at least one decode ran");
+
+    // The population fork at a start *different* from the snapshot's
+    // own (the ensemble forks at each replica's random start, which is
+    // never the recorded one): full bulk group rebuild, no shortcuts.
+    let alt = Configuration::uniform(CoinId(1), game.system()).expect("fixture has ≥ 2 coins");
+    let mut fork_best = f64::INFINITY;
+    for _ in 0..repeats {
+        let clock = Instant::now();
+        for _ in 0..SNAPSHOT_OPS {
+            let fork = decoded.fork_at(&alt).expect("valid start");
+            assert_eq!(fork.active_miner_count(), n, "forks carry the population");
+        }
+        fork_best = fork_best.min(clock.elapsed().as_secs_f64());
+    }
+
+    let layer = |wall_secs: f64| LayerBaseline {
+        miners: n,
+        work: SNAPSHOT_OPS as u64,
+        wall_secs,
+        per_sec: SNAPSHOT_OPS as f64 / wall_secs.max(1e-9),
+    };
+    SnapshotBaseline {
+        encode: layer(encode_best),
+        decode: layer(decode_best),
+        fork: layer(fork_best),
+    }
+}
+
 fn server_baseline(n: usize, requests: usize, repeats: usize) -> LayerBaseline {
     // End to end over real loopback TCP: framing, admission control,
     // and the dispatch of each `RunEnsemble` onto the shared executor.
@@ -352,7 +432,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         SERVER_REQUESTS
     };
     let baseline = Baseline {
-        baseline: 6,
+        baseline: 7,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -366,6 +446,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         churn: Some(churn_baseline(n, 2)),
         ensemble: Some(ensemble_baseline(n, ENSEMBLE_REPLICAS, 2)),
         server: Some(server_baseline(SERVER_MINERS, server_requests, 2)),
+        snapshot: Some(snapshot_baseline(n, 2)),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -402,6 +483,18 @@ fn record(quick: bool, out: &Path) -> ExitCode {
             "server:   {} miners/request, {} requests in {:.3} s -> {:.1} requests/sec",
             server.miners, server.work, server.wall_secs, server.per_sec
         );
+    }
+    if let Some(snapshot) = &baseline.snapshot {
+        for (label, layer) in [
+            ("encode", &snapshot.encode),
+            ("decode", &snapshot.decode),
+            ("fork", &snapshot.fork),
+        ] {
+            println!(
+                "snapshot: {:<6} {} miners, {} ops in {:.3} s -> {:.1} ops/sec",
+                label, layer.miners, layer.work, layer.wall_secs, layer.per_sec
+            );
+        }
     }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     match std::fs::write(out, json + "\n") {
@@ -490,6 +583,7 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         ("churn", recorded.churn.is_none()),
         ("ensemble", recorded.ensemble.is_none()),
         ("server", recorded.server.is_none()),
+        ("snapshot", recorded.snapshot.is_none()),
     ]
     .into_iter()
     .filter_map(|(layer, absent)| absent.then_some(layer))
@@ -516,6 +610,11 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
     }
     if let Some(server) = &recorded.server {
         layers.push(("server", server));
+    }
+    if let Some(snapshot) = &recorded.snapshot {
+        layers.push(("snapshot/encode", &snapshot.encode));
+        layers.push(("snapshot/decode", &snapshot.decode));
+        layers.push(("snapshot/fork", &snapshot.fork));
     }
     for (label, layer) in &layers {
         if let Err(e) = checkable(label, layer) {
@@ -605,6 +704,18 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
             );
         }
     }
+    if let Some(snapshot) = &recorded.snapshot {
+        // All three codec ops are re-measured at the recorded miner
+        // count in one pass (they share the tracker build).
+        let measured = snapshot_baseline(snapshot.encode.miners, 2);
+        for (label, measured, recorded) in [
+            ("snapshot/encode", &measured.encode, &snapshot.encode),
+            ("snapshot/decode", &measured.decode, &snapshot.decode),
+            ("snapshot/fork", &measured.fork, &snapshot.fork),
+        ] {
+            gate(label, measured, recorded, tolerance, &mut regressed);
+        }
+    }
     if ok && regressed.is_empty() {
         println!("perf gate passed");
         ExitCode::SUCCESS
@@ -622,9 +733,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_6.json")
+        repo_root.join("BENCH_7.json")
     } else {
-        PathBuf::from("BENCH_6.json")
+        PathBuf::from("BENCH_7.json")
     }
 }
 

@@ -139,7 +139,7 @@ impl fmt::Display for Move {
 /// assert!(!game.is_stable(&s));
 /// # Ok::<(), goc_game::GameError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Game {
     system: Arc<System>,
     rewards: Rewards,

@@ -62,6 +62,7 @@ pub mod paper;
 pub mod paths;
 pub mod potential;
 pub mod ratio;
+pub mod snapshot;
 pub mod source;
 pub mod system;
 pub mod tracker;
@@ -72,6 +73,7 @@ pub use error::GameError;
 pub use game::{Game, Move, Rewards};
 pub use ids::{CoinId, MinerId};
 pub use ratio::{Extended, Ratio};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use source::{Extremum, MoveSource};
 pub use system::{Power, System, SystemBuilder, MAX_UNIT};
 pub use tracker::{ActiveSubgame, MassTracker};

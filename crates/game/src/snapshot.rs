@@ -1,0 +1,960 @@
+//! Versioned binary snapshots of incremental game state.
+//!
+//! Everything else in the workspace serializes through JSON, which is
+//! fine for reports and wire envelopes but hopeless as a forking
+//! primitive: rebuilding a 100k-miner [`MassTracker`] from a JSON
+//! `Game` + `Configuration` costs a full `O(miners · log miners)`
+//! group-index construction per Monte-Carlo replica. A [`Snapshot`] is
+//! the binary counterpart — a self-contained, versioned, checksummed
+//! encoding of a tracker's observable state:
+//!
+//! * the [`Game`] (system powers and names, exact rational rewards,
+//!   optional restriction matrix),
+//! * the [`Configuration`] and the maintained per-coin [`Masses`],
+//! * the miner/coin activity masks of the churn vocabulary,
+//! * the strategic group index in **historical group-id order** plus
+//!   the round-robin cursor — the two pieces of state a from-scratch
+//!   rebuild cannot recover (group ids record first-encounter history,
+//!   and the cursor steers [`MassTracker::find_improving_move`]), so
+//!   forks replay *bit-identical* trajectories.
+//!
+//! The undo stack is deliberately **not** captured: a fork starts a new
+//! history (`depth() == 0`, undo recording on).
+//!
+//! # Wire format (version 1)
+//!
+//! ```text
+//! magic  "GOCS"                       4 bytes
+//! version u16 LE                      2 bytes
+//! payload length u64 LE               8 bytes
+//! payload                             (see `encode`)  — all LE,
+//!                                     length-prefixed strings
+//! checksum u64 LE                     FNV-1a over every prior byte
+//! ```
+//!
+//! Decoding never panics and never yields partial state: every failure
+//! is a named [`SnapshotError`], corruption is caught by the checksum
+//! (any single bit flip changes the FNV-1a digest), truncation by
+//! bounds-checked reads, and the decoded state is semantically
+//! re-validated (masses recomputed from the configuration and activity
+//! masks, group keys checked against the active population) before a
+//! [`Snapshot`] is handed back.
+//!
+//! # Examples
+//!
+//! ```
+//! use goc_game::{CoinId, Configuration, Game, MassTracker, Snapshot};
+//!
+//! let game = Game::build(&[3, 2, 1], &[5, 5])?;
+//! let start = Configuration::uniform(CoinId(0), game.system())?;
+//! let tracker = MassTracker::new(&game, &start)?;
+//!
+//! let bytes = Snapshot::of(&tracker).encode();
+//! let snap = Snapshot::try_from(bytes.as_slice())?;
+//! let fork = snap.fork();
+//! assert_eq!(fork.config(), tracker.config());
+//! assert_eq!(fork.masses(), tracker.masses());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::config::{Configuration, Masses};
+use crate::error::GameError;
+use crate::game::{Game, Rewards};
+use crate::ids::{CoinId, MinerId};
+use crate::ratio::Ratio;
+use crate::system::SystemBuilder;
+use crate::tracker::{Group, GroupIndex, GroupKey, MassTracker};
+
+/// The 4-byte snapshot magic (`"GOCS"`).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"GOCS";
+
+/// The current (and only) snapshot wire version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Bytes of the fixed header: magic + version + payload length.
+const HEADER_LEN: usize = 4 + 2 + 8;
+
+/// Decoding failures. Every variant names exactly what went wrong;
+/// decoding never panics and never returns partially-filled state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The version field names a format this build cannot read.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// The buffer ends before a read completes.
+    Truncated {
+        /// Bytes the failing read needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Bytes remain after the declared payload and checksum.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The trailing FNV-1a digest does not match the frame.
+    ChecksumMismatch {
+        /// Digest stored in the frame.
+        stored: u64,
+        /// Digest recomputed over the frame.
+        computed: u64,
+    },
+    /// The frame parsed but the decoded state is inconsistent.
+    Corrupted {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A fork was asked to target a [`Game`] that differs from the
+    /// snapshot's own.
+    GameMismatch,
+    /// Rebuilding the model from decoded fields failed validation.
+    Game(GameError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad snapshot magic {found:?} (expected {SNAPSHOT_MAGIC:?})"
+                )
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated snapshot: read needs {needed} bytes, {have} available"
+                )
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after snapshot frame")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            SnapshotError::Corrupted { reason } => write!(f, "corrupted snapshot: {reason}"),
+            SnapshotError::GameMismatch => {
+                write!(f, "fork target game differs from the snapshot's game")
+            }
+            SnapshotError::Game(e) => write!(f, "snapshot state fails validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<GameError> for SnapshotError {
+    fn from(e: GameError) -> Self {
+        SnapshotError::Game(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FNV-1a
+// ---------------------------------------------------------------------
+
+/// 64-bit FNV-1a over a byte slice (the same digest the equilibrium
+/// fingerprints use): cheap, dependency-free, and any single-bit flip
+/// changes it.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer / bounds-checked reader
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i128(out: &mut Vec<u8>, v: i128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over an untrusted buffer. Every read is bounds-checked and
+/// every length/count field is validated against the bytes actually
+/// remaining *before* any allocation, so a corrupt length cannot
+/// trigger a huge `Vec` reservation.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i128(&mut self) -> Result<i128, SnapshotError> {
+        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads a count that prefixes `min_item_size`-byte (or larger)
+    /// items; rejects counts the remaining bytes cannot possibly hold.
+    fn count(&mut self, min_item_size: usize) -> Result<usize, SnapshotError> {
+        let raw = self.u64()?;
+        let limit = (self.remaining() / min_item_size.max(1)) as u64;
+        if raw > limit {
+            return Err(SnapshotError::Truncated {
+                needed: (raw as usize).saturating_mul(min_item_size.max(1)),
+                have: self.remaining(),
+            });
+        }
+        Ok(raw as usize)
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Corrupted {
+            reason: "name is not valid UTF-8".to_string(),
+        })
+    }
+
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupted {
+                reason: format!("flag byte must be 0 or 1, found {b}"),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+/// A self-contained capture of a [`MassTracker`]'s observable state —
+/// game, configuration, masses, activity masks, and the group index's
+/// historical id order plus round-robin cursor. Obtain one with
+/// [`Snapshot::of`], persist it with [`Snapshot::encode`], restore it
+/// with `Snapshot::try_from(&bytes[..])`, and spawn trackers with the
+/// `fork*` family. See the [module docs](self) for the wire format.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    game: Game,
+    config: Configuration,
+    masses: Masses,
+    miner_active: Vec<bool>,
+    coin_active: Vec<bool>,
+    /// Group keys in historical group-id order (including classes
+    /// emptied by later moves — their ids still pace the cursor).
+    keys: Vec<GroupKey>,
+    cursor: usize,
+}
+
+impl Snapshot {
+    /// Captures `tracker`'s current state (the undo stack is not part
+    /// of a snapshot — forks start a fresh history).
+    pub fn of(tracker: &MassTracker<'_>) -> Snapshot {
+        let index = tracker.group_index();
+        let mut keys: Vec<Option<GroupKey>> = vec![None; index.groups.len()];
+        for (&key, &gid) in &index.by_key {
+            keys[gid as usize] = Some(key);
+        }
+        Snapshot {
+            game: tracker.game().clone(),
+            config: tracker.config().clone(),
+            masses: tracker.masses().clone(),
+            miner_active: tracker.miner_activity().to_vec(),
+            coin_active: tracker.coin_activity().to_vec(),
+            keys: keys
+                .into_iter()
+                .map(|k| k.expect("every group id is keyed"))
+                .collect(),
+            cursor: index.cursor,
+        }
+    }
+
+    /// The snapshot's game (forks borrow it).
+    pub fn game(&self) -> &Game {
+        &self.game
+    }
+
+    /// The captured configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The captured per-coin mass table.
+    pub fn masses(&self) -> &Masses {
+        &self.masses
+    }
+
+    /// The captured miner activity mask.
+    pub fn miner_activity(&self) -> &[bool] {
+        &self.miner_active
+    }
+
+    /// The captured coin activity mask.
+    pub fn coin_activity(&self) -> &[bool] {
+        &self.coin_active
+    }
+
+    /// Serializes to the version-1 wire format (see the
+    /// [module docs](self)).
+    pub fn encode(&self) -> Vec<u8> {
+        let system = self.game.system();
+        let n = system.num_miners();
+        let k = system.num_coins();
+        let mut payload = Vec::with_capacity(32 * n + 64 * k + 64);
+        put_u64(&mut payload, n as u64);
+        put_u64(&mut payload, k as u64);
+        for miner in system.miners() {
+            put_str(&mut payload, miner.name());
+            put_u64(&mut payload, system.power_of(miner.id()));
+        }
+        for coin in system.coins() {
+            put_str(&mut payload, coin.name());
+        }
+        for (_, reward) in self.game.rewards().iter() {
+            put_i128(&mut payload, reward.numerator());
+            put_i128(&mut payload, reward.denominator());
+        }
+        payload.push(u8::from(self.game.is_restricted()));
+        if self.game.is_restricted() {
+            for p in system.miner_ids() {
+                for c in system.coin_ids() {
+                    payload.push(u8::from(self.game.allowed(p, c)));
+                }
+            }
+        }
+        for &coin in self.config.as_slice() {
+            put_u64(&mut payload, coin.index() as u64);
+        }
+        for &active in &self.miner_active {
+            payload.push(u8::from(active));
+        }
+        for &active in &self.coin_active {
+            payload.push(u8::from(active));
+        }
+        put_u64(&mut payload, self.keys.len() as u64);
+        for &(coin, power, rkey) in &self.keys {
+            put_u32(&mut payload, coin);
+            put_u64(&mut payload, power);
+            put_u32(&mut payload, rkey);
+        }
+        put_u64(&mut payload, self.cursor as u64);
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u16(&mut out, SNAPSHOT_VERSION);
+        put_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        let digest = fnv1a(&out);
+        put_u64(&mut out, digest);
+        out
+    }
+
+    /// Spawns a tracker in exactly the captured state, borrowing the
+    /// snapshot's own game: same configuration, masses, activity,
+    /// group ids, and cursor — so the fork's
+    /// [`MassTracker::find_improving_move`] trajectory is bit-identical
+    /// to the original's. The fork starts with an empty undo stack and
+    /// recording enabled.
+    pub fn fork(&self) -> MassTracker<'_> {
+        self.fork_into(&self.game)
+            .expect("a snapshot forks onto its own game")
+    }
+
+    /// Like [`Snapshot::fork`], but the tracker borrows `game` (which
+    /// must equal the snapshot's game — callers that hold one shared
+    /// `Game` for many forks use this to avoid tying every fork to the
+    /// snapshot's lifetime).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::GameMismatch`] if `game` differs.
+    pub fn fork_into<'g>(&self, game: &'g Game) -> Result<MassTracker<'g>, SnapshotError> {
+        if *game != self.game {
+            return Err(SnapshotError::GameMismatch);
+        }
+        let groups = self.assemble_groups(game)?;
+        Ok(MassTracker::from_parts(
+            game,
+            self.config.clone(),
+            self.masses.clone(),
+            groups,
+            self.miner_active.clone(),
+            self.coin_active.clone(),
+        ))
+    }
+
+    /// Spawns a tracker over the snapshot's game and activity masks but
+    /// at a **different** starting configuration — the ensemble's
+    /// population fork: one snapshot carries the expensive shared state
+    /// (game, masks), each replica supplies its own random start. The
+    /// group index is built fresh (first-encounter id order, cursor 0),
+    /// exactly as [`MassTracker::with_activity`] would, but via a bulk
+    /// sorted load instead of per-miner tree inserts — same state,
+    /// roughly a third of the cost at 100k miners.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapshotError::Game`] wrapping the shape/activity errors of
+    ///   [`MassTracker::with_activity`].
+    pub fn fork_at(&self, start: &Configuration) -> Result<MassTracker<'_>, SnapshotError> {
+        let game = &self.game;
+        let system = game.system();
+        let config = Configuration::new(start.as_slice().to_vec(), system)?;
+        let mut masses = Masses::zero(system.num_coins());
+        let mut by_key: BTreeMap<GroupKey, u32> = BTreeMap::new();
+        let mut members: Vec<Vec<MinerId>> = Vec::new();
+        let mut of = vec![0u32; system.num_miners()];
+        for p in system.miner_ids() {
+            if !self.miner_active[p.index()] {
+                continue;
+            }
+            let coin = config.coin_of(p);
+            if !self.coin_active[coin.index()] {
+                return Err(SnapshotError::Game(GameError::CoinInactive { coin }));
+            }
+            masses.add(coin, system.power_of(p));
+            let key = (
+                coin.index() as u32,
+                system.power_of(p),
+                GroupIndex::rkey(game, p),
+            );
+            let next = members.len() as u32;
+            let gid = *by_key.entry(key).or_insert(next);
+            if gid == next {
+                members.push(Vec::new());
+            }
+            of[p.index()] = gid;
+            members[gid as usize].push(p);
+        }
+        let groups = GroupIndex {
+            of,
+            groups: members
+                .into_iter()
+                .map(|m| Group {
+                    members: BTreeSet::from_iter(m),
+                })
+                .collect(),
+            by_key,
+            cursor: 0,
+        };
+        Ok(MassTracker::from_parts(
+            game,
+            config,
+            masses,
+            groups,
+            self.miner_active.clone(),
+            self.coin_active.clone(),
+        ))
+    }
+
+    /// Rebuilds the group index in the captured historical id order:
+    /// members are exactly the active miners whose current class key
+    /// maps to each id (the tracker's own invariant), loaded in one
+    /// ascending pass.
+    fn assemble_groups(&self, game: &Game) -> Result<GroupIndex, SnapshotError> {
+        let system = game.system();
+        let by_key: BTreeMap<GroupKey, u32> = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(gid, &key)| (key, gid as u32))
+            .collect();
+        let mut members: Vec<Vec<MinerId>> = vec![Vec::new(); self.keys.len()];
+        let mut of = vec![0u32; system.num_miners()];
+        for p in system.miner_ids() {
+            if !self.miner_active[p.index()] {
+                continue;
+            }
+            let key = (
+                self.config.coin_of(p).index() as u32,
+                system.power_of(p),
+                GroupIndex::rkey(game, p),
+            );
+            let gid = *by_key.get(&key).ok_or_else(|| SnapshotError::Corrupted {
+                reason: format!("active miner {p} has no group key"),
+            })?;
+            of[p.index()] = gid;
+            members[gid as usize].push(p);
+        }
+        Ok(GroupIndex {
+            of,
+            groups: members
+                .into_iter()
+                .map(|m| Group {
+                    members: BTreeSet::from_iter(m),
+                })
+                .collect(),
+            by_key,
+            cursor: self.cursor,
+        })
+    }
+}
+
+impl TryFrom<&[u8]> for Snapshot {
+    type Error = SnapshotError;
+
+    fn try_from(bytes: &[u8]) -> Result<Self, Self::Error> {
+        // --- Frame ---------------------------------------------------
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                found: magic.try_into().unwrap(),
+            });
+        }
+        let version = r.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let payload_len = r.u64()? as usize;
+        let have = r.remaining();
+        let framed = payload_len.checked_add(8).ok_or(SnapshotError::Truncated {
+            needed: usize::MAX,
+            have,
+        })?;
+        if have < framed {
+            return Err(SnapshotError::Truncated {
+                needed: framed,
+                have,
+            });
+        }
+        if have > framed {
+            return Err(SnapshotError::TrailingBytes {
+                extra: have - framed,
+            });
+        }
+        let body_end = HEADER_LEN + payload_len;
+        let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().unwrap());
+        let computed = fnv1a(&bytes[..body_end]);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        // --- Payload -------------------------------------------------
+        let mut r = Reader {
+            buf: &bytes[..body_end],
+            pos: HEADER_LEN,
+        };
+        // Each miner record is at least name-length (8) + power (8).
+        let n = {
+            let raw = r.u64()?;
+            if raw > (r.remaining() / 16) as u64 {
+                return Err(SnapshotError::Truncated {
+                    needed: (raw as usize).saturating_mul(16),
+                    have: r.remaining(),
+                });
+            }
+            raw as usize
+        };
+        let k = {
+            let raw = r.u64()?;
+            if raw > (r.remaining() / 8) as u64 {
+                return Err(SnapshotError::Truncated {
+                    needed: (raw as usize).saturating_mul(8),
+                    have: r.remaining(),
+                });
+            }
+            raw as usize
+        };
+        let mut builder = SystemBuilder::new();
+        for _ in 0..n {
+            let name = r.string()?;
+            let power = r.u64()?;
+            builder.named_miner(name, power);
+        }
+        for _ in 0..k {
+            builder.named_coin(r.string()?);
+        }
+        let system = builder.build()?;
+        let mut rewards = Vec::with_capacity(k);
+        for c in 0..k {
+            let num = r.i128()?;
+            let den = r.i128()?;
+            rewards.push(Ratio::new(num, den).map_err(|_| SnapshotError::Corrupted {
+                reason: format!("reward of coin {c} has a zero denominator"),
+            })?);
+        }
+        let mut game = Game::new(system, Rewards::from_ratios(rewards)?)?;
+        if r.bool()? {
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let row = r.take(k)?;
+                let mut out = Vec::with_capacity(k);
+                for &b in row {
+                    out.push(match b {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(SnapshotError::Corrupted {
+                                reason: format!("restriction byte must be 0 or 1, found {other}"),
+                            })
+                        }
+                    });
+                }
+                rows.push(out);
+            }
+            game = game.with_restrictions(rows)?;
+        }
+        let mut assignment = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = r.u64()?;
+            if raw >= k as u64 {
+                return Err(SnapshotError::Game(GameError::CoinOutOfRange {
+                    coin: CoinId(raw as usize),
+                    coins: k,
+                }));
+            }
+            assignment.push(CoinId(raw as usize));
+        }
+        let config = Configuration::new(assignment, game.system())?;
+        let mut miner_active = Vec::with_capacity(n);
+        for _ in 0..n {
+            miner_active.push(r.bool()?);
+        }
+        let mut coin_active = Vec::with_capacity(k);
+        for _ in 0..k {
+            coin_active.push(r.bool()?);
+        }
+        let groups = r.count(16)?;
+        let mut keys: Vec<GroupKey> = Vec::with_capacity(groups);
+        for _ in 0..groups {
+            let coin = r.u32()?;
+            let power = r.u64()?;
+            let rkey = r.u32()?;
+            keys.push((coin, power, rkey));
+        }
+        let cursor = r.u64()? as usize;
+        if r.pos != body_end {
+            return Err(SnapshotError::TrailingBytes {
+                extra: body_end - r.pos,
+            });
+        }
+
+        // --- Semantic validation ------------------------------------
+        // Masses are recomputed (not trusted from the wire), mirroring
+        // `MassTracker::with_activity`'s checks.
+        let mut masses = Masses::zero(k);
+        for p in game.system().miner_ids() {
+            if miner_active[p.index()] {
+                let coin = config.coin_of(p);
+                if !coin_active[coin.index()] {
+                    return Err(SnapshotError::Game(GameError::CoinInactive { coin }));
+                }
+                masses.add(coin, game.system().power_of(p));
+            }
+        }
+        let mut by_key: BTreeMap<GroupKey, u32> = BTreeMap::new();
+        for (gid, &key) in keys.iter().enumerate() {
+            let (coin, _, rkey) = key;
+            if coin as usize >= k {
+                return Err(SnapshotError::Corrupted {
+                    reason: format!("group {gid} keys coin {coin} outside the universe"),
+                });
+            }
+            if !game.is_restricted() && rkey != 0 {
+                return Err(SnapshotError::Corrupted {
+                    reason: format!(
+                        "group {gid} carries restriction key {rkey} in an unrestricted game"
+                    ),
+                });
+            }
+            if by_key.insert(key, gid as u32).is_some() {
+                return Err(SnapshotError::Corrupted {
+                    reason: format!("duplicate group key {key:?}"),
+                });
+            }
+        }
+        for p in game.system().miner_ids() {
+            if miner_active[p.index()] {
+                let key = (
+                    config.coin_of(p).index() as u32,
+                    game.system().power_of(p),
+                    GroupIndex::rkey(&game, p),
+                );
+                if !by_key.contains_key(&key) {
+                    return Err(SnapshotError::Corrupted {
+                        reason: format!("active miner {p} has no group key"),
+                    });
+                }
+            }
+        }
+        if cursor != 0 && cursor >= keys.len() {
+            return Err(SnapshotError::Corrupted {
+                reason: format!("cursor {cursor} out of range for {} groups", keys.len()),
+            });
+        }
+
+        Ok(Snapshot {
+            game,
+            config,
+            masses,
+            miner_active,
+            coin_active,
+            keys,
+            cursor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+
+    fn tracker_fixture(game: &Game) -> MassTracker<'_> {
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut tracker = MassTracker::new(game, &start).unwrap();
+        while let Some(mv) = tracker.find_improving_move() {
+            tracker.apply(mv.miner, mv.to);
+        }
+        tracker
+    }
+
+    #[test]
+    fn round_trip_preserves_observable_state() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let tracker = tracker_fixture(&game);
+        let bytes = Snapshot::of(&tracker).encode();
+        let snap = Snapshot::try_from(bytes.as_slice()).unwrap();
+        let fork = snap.fork();
+        assert_eq!(fork.config(), tracker.config());
+        assert_eq!(fork.masses(), tracker.masses());
+        assert_eq!(fork.group_count(), tracker.group_count());
+        assert_eq!(fork.miner_activity(), tracker.miner_activity());
+        assert_eq!(fork.coin_activity(), tracker.coin_activity());
+        assert_eq!(*fork.game(), game);
+        assert_eq!(fork.depth(), 0);
+    }
+
+    #[test]
+    fn fork_replays_the_same_trajectory() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(2), game.system()).unwrap();
+        let mut original = MassTracker::new(&game, &start).unwrap();
+        // Capture mid-dynamics so the cursor is nontrivial.
+        for _ in 0..2 {
+            if let Some(mv) = original.find_improving_move() {
+                original.apply(mv.miner, mv.to);
+            }
+        }
+        let bytes = Snapshot::of(&original).encode();
+        let snap = Snapshot::try_from(bytes.as_slice()).unwrap();
+        let mut fork = snap.fork();
+        loop {
+            let a = original.find_improving_move();
+            let b = fork.find_improving_move();
+            assert_eq!(a, b, "fork diverged from the original");
+            match a {
+                Some(mv) => {
+                    original.apply(mv.miner, mv.to);
+                    fork.apply(mv.miner, mv.to);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(fork.config(), original.config());
+    }
+
+    #[test]
+    fn fork_at_matches_with_activity() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let tracker = tracker_fixture(&game);
+        let snap = Snapshot::of(&tracker);
+        let start = Configuration::new(
+            vec![
+                CoinId(1),
+                CoinId(0),
+                CoinId(2),
+                CoinId(1),
+                CoinId(0),
+                CoinId(2),
+            ],
+            game.system(),
+        )
+        .unwrap();
+        let mut forked = snap.fork_at(&start).unwrap();
+        let mut rebuilt = MassTracker::new(&game, &start).unwrap();
+        assert_eq!(forked.config(), rebuilt.config());
+        assert_eq!(forked.masses(), rebuilt.masses());
+        assert_eq!(forked.group_count(), rebuilt.group_count());
+        loop {
+            let a = rebuilt.find_improving_move();
+            let b = forked.find_improving_move();
+            assert_eq!(a, b, "population fork diverged from a fresh rebuild");
+            match a {
+                Some(mv) => {
+                    rebuilt.apply(mv.miner, mv.to);
+                    forked.apply(mv.miner, mv.to);
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn churned_tracker_round_trips_including_dormant_state() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let miner_active = vec![true, true, true, true, false, false];
+        let coin_active = vec![true, true, false];
+        let mut tracker =
+            MassTracker::with_activity(&game, &start, &miner_active, &coin_active).unwrap();
+        tracker
+            .apply_delta(Delta::InsertMiner {
+                miner: MinerId(4),
+                coin: None,
+            })
+            .unwrap();
+        tracker
+            .apply_delta(Delta::RemoveMiner { miner: MinerId(1) })
+            .unwrap();
+        let bytes = Snapshot::of(&tracker).encode();
+        let snap = Snapshot::try_from(bytes.as_slice()).unwrap();
+        let fork = snap.fork();
+        assert_eq!(fork.config(), tracker.config());
+        assert_eq!(fork.masses(), tracker.masses());
+        assert_eq!(fork.miner_activity(), tracker.miner_activity());
+        assert_eq!(fork.coin_activity(), tracker.coin_activity());
+        assert_eq!(fork.active_miner_count(), tracker.active_miner_count());
+        assert_eq!(fork.active_coin_count(), tracker.active_coin_count());
+        assert_eq!(fork.group_count(), tracker.group_count());
+        let a = fork.active_subgame().unwrap();
+        let b = tracker.active_subgame().unwrap();
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.miners, b.miners);
+        assert_eq!(a.coins, b.coins);
+    }
+
+    #[test]
+    fn named_errors_for_bad_frames() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let tracker = tracker_fixture(&game);
+        let bytes = Snapshot::of(&tracker).encode();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::try_from(bad.as_slice()),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF;
+        assert!(matches!(
+            Snapshot::try_from(bad.as_slice()),
+            Err(SnapshotError::UnsupportedVersion { found: 0xFF })
+        ));
+
+        assert!(matches!(
+            Snapshot::try_from(&bytes[..bytes.len() - 3]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            Snapshot::try_from(long.as_slice()),
+            Err(SnapshotError::TrailingBytes { extra: 3 })
+        ));
+
+        let mut flipped = bytes.clone();
+        let mid = HEADER_LEN + 5;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            Snapshot::try_from(flipped.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            Snapshot::try_from(&[] as &[u8]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn fork_into_rejects_a_different_game() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let other = Game::build(&[2, 1], &[2, 1]).unwrap();
+        let tracker = tracker_fixture(&game);
+        let snap = Snapshot::of(&tracker);
+        assert!(matches!(
+            snap.fork_into(&other),
+            Err(SnapshotError::GameMismatch)
+        ));
+        assert!(snap.fork_into(&game).is_ok());
+    }
+}

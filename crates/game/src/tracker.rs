@@ -105,8 +105,11 @@ pub(crate) struct GroupIndex {
     pub(crate) groups: Vec<Group>,
     /// Key → group id, ordered so class-major enumeration is canonical.
     pub(crate) by_key: BTreeMap<GroupKey, u32>,
-    /// Round-robin cursor for [`MassTracker::find_improving_move`].
-    cursor: usize,
+    /// Round-robin cursor for [`MassTracker::find_improving_move`]
+    /// (crate-visible so [`crate::snapshot`] can capture and restore it
+    /// — forks must resume the round-robin exactly where the original
+    /// stood to replay identical trajectories).
+    pub(crate) cursor: usize,
 }
 
 impl GroupIndex {
@@ -273,6 +276,39 @@ impl<'g> MassTracker<'g> {
             undo: Vec::new(),
             record_undo: true,
         })
+    }
+
+    /// Assembles a tracker directly from validated parts — the
+    /// [`crate::snapshot`] fork path, which bulk-builds the group index
+    /// instead of inserting miner by miner. Callers guarantee the parts
+    /// are mutually consistent (masses match the active configuration,
+    /// groups partition the active miners); decoded snapshots re-verify
+    /// this before reaching here.
+    pub(crate) fn from_parts(
+        game: &'g Game,
+        config: Configuration,
+        masses: Masses,
+        groups: GroupIndex,
+        miner_active: Vec<bool>,
+        coin_active: Vec<bool>,
+    ) -> Self {
+        MassTracker {
+            game,
+            config,
+            masses,
+            groups,
+            active_miners: miner_active.iter().filter(|&&a| a).count(),
+            active_coins: coin_active.iter().filter(|&&a| a).count(),
+            miner_active,
+            coin_active,
+            undo: Vec::new(),
+            record_undo: true,
+        }
+    }
+
+    /// The group index, for [`crate::snapshot`] capture.
+    pub(crate) fn group_index(&self) -> &GroupIndex {
+        &self.groups
     }
 
     /// Enables or disables undo recording (on by default). Long-running

@@ -1,0 +1,351 @@
+//! Property suite for the binary snapshot codec: encode → decode must
+//! reproduce the tracker exactly (JSON-path rebuild and dense
+//! `active_subgame` oracles), every corrupted frame — truncation,
+//! bit-flip, wrong version, trailing garbage — must yield a *named*
+//! [`SnapshotError`] (never a panic, never silent partial state), and a
+//! decoded tracker must stay delta-equivalent to the original under
+//! further apply/undo churn.
+
+use proptest::prelude::*;
+
+use goc_game::{CoinId, Configuration, Delta, Game, MassTracker, MinerId, Snapshot, SnapshotError};
+
+/// A random small game plus a random configuration.
+fn game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (3usize..7, 2usize..5).prop_flat_map(|(n, k)| {
+        let powers = proptest::collection::vec(1u64..200, n);
+        let rewards = proptest::collection::vec(1u64..200, k);
+        let assignment = proptest::collection::vec(0usize..k, n);
+        (powers, rewards, assignment).prop_map(|(p, r, a)| {
+            let game = Game::build(&p, &r).expect("valid parameters");
+            let config = Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
+                .expect("valid assignment");
+            (game, config)
+        })
+    })
+}
+
+/// As [`game_and_config`], but with a random coin-restriction matrix
+/// (every miner keeps at least one permitted coin: its own).
+fn restricted_game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (
+        game_and_config(),
+        proptest::collection::vec(0usize..64, 3usize..7),
+    )
+        .prop_map(|((game, config), seeds)| {
+            let n = game.system().num_miners();
+            let k = game.system().num_coins();
+            let restrictions: Vec<Vec<bool>> = (0..n)
+                .map(|p| {
+                    let bits = seeds[p % seeds.len()];
+                    (0..k)
+                        .map(|c| c == config.coin_of(MinerId(p)).index() || (bits >> c) & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let game = game
+                .with_restrictions(restrictions)
+                .expect("every miner keeps its own coin");
+            (game, config)
+        })
+}
+
+/// Chooses the next delta from three raw random draws, keeping the
+/// population non-degenerate (≥ 1 active miner, ≥ 1 live coin).
+fn choose_delta(tracker: &MassTracker<'_>, op: usize, a: usize, b: usize) -> Option<Delta> {
+    let system = tracker.game().system();
+    let active_miners: Vec<MinerId> = system
+        .miner_ids()
+        .filter(|&p| tracker.is_miner_active(p))
+        .collect();
+    let dormant_miners: Vec<MinerId> = system
+        .miner_ids()
+        .filter(|&p| !tracker.is_miner_active(p))
+        .collect();
+    let live_coins: Vec<CoinId> = system
+        .coin_ids()
+        .filter(|&c| tracker.is_coin_active(c))
+        .collect();
+    let dormant_coins: Vec<CoinId> = system
+        .coin_ids()
+        .filter(|&c| !tracker.is_coin_active(c))
+        .collect();
+    match op % 5 {
+        0 if !active_miners.is_empty() => {
+            let miner = active_miners[a % active_miners.len()];
+            let allowed: Vec<CoinId> = live_coins
+                .iter()
+                .copied()
+                .filter(|&c| tracker.game().allowed(miner, c))
+                .collect();
+            (!allowed.is_empty()).then(|| Delta::Move {
+                miner,
+                to: allowed[b % allowed.len()],
+            })
+        }
+        1 if !dormant_miners.is_empty() => Some(Delta::InsertMiner {
+            miner: dormant_miners[a % dormant_miners.len()],
+            coin: if b.is_multiple_of(2) {
+                None
+            } else {
+                Some(live_coins[b % live_coins.len()])
+            },
+        }),
+        2 if active_miners.len() >= 2 => Some(Delta::RemoveMiner {
+            miner: active_miners[a % active_miners.len()],
+        }),
+        3 if !dormant_coins.is_empty() => Some(Delta::LaunchCoin {
+            coin: dormant_coins[a % dormant_coins.len()],
+        }),
+        4 if live_coins.len() >= 2 => Some(Delta::RetireCoin {
+            coin: live_coins[a % live_coins.len()],
+        }),
+        _ => None,
+    }
+}
+
+/// Churns a tracker through a random prefix of deltas and
+/// better-response steps — so snapshots cover dormant miners, retired
+/// coins, live group history, and a non-trivial scan cursor.
+fn churn(tracker: &mut MassTracker<'_>, ops: &[(usize, usize, usize)]) {
+    for &(op, a, b) in ops {
+        if op % 7 == 6 {
+            // A cursor-advancing better-response step.
+            if let Some(mv) = tracker.find_improving_move() {
+                tracker.apply(mv.miner, mv.to);
+            }
+            continue;
+        }
+        if let Some(delta) = choose_delta(tracker, op, a, b) {
+            // Restricted retirements may strand a resident — the delta
+            // suite pins that rejection's atomicity; here it simply
+            // leaves the tracker unchanged.
+            let _ = tracker.apply_delta(delta);
+        }
+    }
+}
+
+/// Asserts two trackers agree on every cursor-free observable.
+fn assert_observably_equal(a: &MassTracker<'_>, b: &MassTracker<'_>) -> Result<(), TestCaseError> {
+    let system = a.game().system();
+    prop_assert_eq!(a.config(), b.config());
+    prop_assert_eq!(a.miner_activity(), b.miner_activity());
+    prop_assert_eq!(a.coin_activity(), b.coin_activity());
+    prop_assert_eq!(a.active_miner_count(), b.active_miner_count());
+    prop_assert_eq!(a.active_coin_count(), b.active_coin_count());
+    for c in system.coin_ids() {
+        prop_assert_eq!(a.mass_of(c), b.mass_of(c), "mass of {} diverged", c);
+    }
+    prop_assert_eq!(a.rpu_list(), b.rpu_list());
+    prop_assert_eq!(a.symmetric_potential(), b.symmetric_potential());
+    prop_assert_eq!(a.improving_moves(), b.improving_moves());
+    for p in system.miner_ids() {
+        prop_assert_eq!(a.payoff(p), b.payoff(p));
+        prop_assert_eq!(a.best_response(p), b.best_response(p));
+    }
+    Ok(())
+}
+
+/// Shared body: snapshot a churned tracker, round-trip the bytes, and
+/// check the decoded tracker against both oracles.
+fn check_round_trip(
+    game: &Game,
+    start: &Configuration,
+    ops: &[(usize, usize, usize)],
+) -> Result<(), TestCaseError> {
+    let mut original = MassTracker::new(game, start).expect("valid start");
+    churn(&mut original, ops);
+
+    let bytes = Snapshot::of(&original).encode();
+    let decoded = Snapshot::try_from(bytes.as_slice()).expect("own encoding decodes");
+    prop_assert_eq!(decoded.game(), game, "decoded game diverged");
+    let mut fork = decoded.fork();
+    prop_assert_eq!(fork.depth(), 0, "forks start with fresh history");
+    assert_observably_equal(&fork, &original)?;
+
+    // JSON-path oracle: the same state rebuilt through the serde
+    // pipeline must agree on every cursor-free observable.
+    let json = serde_json::to_string(game).expect("games serialize");
+    let json_game: Game = serde_json::from_str(&json).expect("games deserialize");
+    let rebuilt = MassTracker::with_activity(
+        &json_game,
+        decoded.config(),
+        decoded.miner_activity(),
+        decoded.coin_activity(),
+    )
+    .expect("decoded state is valid");
+    assert_observably_equal(&fork, &rebuilt)?;
+
+    // Dense-subgame oracle (the population is kept non-degenerate).
+    let sub_fork = fork.active_subgame().expect("non-degenerate");
+    let sub_orig = original.active_subgame().expect("non-degenerate");
+    prop_assert_eq!(sub_fork.game, sub_orig.game);
+    prop_assert_eq!(sub_fork.config, sub_orig.config);
+    prop_assert_eq!(sub_fork.miners, sub_orig.miners);
+    prop_assert_eq!(sub_fork.coins, sub_orig.coins);
+
+    // Cursor equivalence: the decoded tracker resumes the round-robin
+    // scan exactly where the original left off.
+    for _ in 0..6 {
+        let a = original.find_improving_move();
+        let b = fork.find_improving_move();
+        prop_assert_eq!(&a, &b, "fork diverged from the original trajectory");
+        let Some(mv) = a else { break };
+        original.apply(mv.miner, mv.to);
+        fork.apply(mv.miner, mv.to);
+    }
+    assert_observably_equal(&fork, &original)?;
+    Ok(())
+}
+
+proptest! {
+    /// Encode → decode reproduces the tracker exactly: JSON-path
+    /// rebuild, dense subgame, and cursor trajectory all agree.
+    #[test]
+    fn round_trip_matches_json_rebuild_and_subgame_oracle(
+        (game, start) in game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 0..12),
+    ) {
+        check_round_trip(&game, &start, &ops)?;
+    }
+
+    /// The same under random coin restrictions (singleton groups,
+    /// per-miner restriction keys in the group index).
+    #[test]
+    fn round_trip_matches_oracles_restricted(
+        (game, start) in restricted_game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 0..10),
+    ) {
+        check_round_trip(&game, &start, &ops)?;
+    }
+
+    /// Every truncation of a valid frame fails with a named error —
+    /// no panic, no silent partial state.
+    #[test]
+    fn truncations_yield_named_errors(
+        (game, start) in game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 0..8),
+        cuts in proptest::collection::vec(0usize..usize::MAX, 1..16),
+    ) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        churn(&mut tracker, &ops);
+        let bytes = Snapshot::of(&tracker).encode();
+        for &cut in &cuts {
+            let cut = cut % bytes.len(); // strictly shorter than the frame
+            let err = Snapshot::try_from(&bytes[..cut]).expect_err("truncated frame");
+            prop_assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadMagic { .. }
+                        | SnapshotError::Corrupted { .. }
+                ),
+                "cut at {} gave unexpected error {:?}",
+                cut,
+                err
+            );
+        }
+    }
+
+    /// Every single-bit flip of a valid frame fails with a named error:
+    /// header flips hit the magic/version/framing checks, payload and
+    /// trailer flips hit the FNV checksum (injective per byte change).
+    #[test]
+    fn bit_flips_yield_named_errors(
+        (game, start) in game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 0..8),
+        flips in proptest::collection::vec(0usize..usize::MAX, 1..24),
+    ) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        churn(&mut tracker, &ops);
+        let mut bytes = Snapshot::of(&tracker).encode();
+        for &flip in &flips {
+            let bit = flip % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                Snapshot::try_from(bytes.as_slice()).is_err(),
+                "flipping bit {} decoded successfully",
+                bit
+            );
+            bytes[bit / 8] ^= 1 << (bit % 8); // restore
+        }
+        // The restored frame still decodes.
+        prop_assert!(Snapshot::try_from(bytes.as_slice()).is_ok());
+    }
+
+    /// Wrong-version headers name the version they found; trailing
+    /// garbage names the surplus byte count.
+    #[test]
+    fn version_and_framing_errors_are_named(
+        (game, start) in game_and_config(),
+        version in 0u16..u16::MAX,
+        extra in 1usize..64,
+    ) {
+        prop_assume!(version != goc_game::snapshot::SNAPSHOT_VERSION);
+        let tracker = MassTracker::new(&game, &start).expect("valid start");
+        let bytes = Snapshot::of(&tracker).encode();
+
+        let mut reversioned = bytes.clone();
+        reversioned[4..6].copy_from_slice(&version.to_le_bytes());
+        match Snapshot::try_from(reversioned.as_slice()) {
+            Err(SnapshotError::UnsupportedVersion { found }) => prop_assert_eq!(found, version),
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other),
+        }
+
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0xAAu8, extra));
+        match Snapshot::try_from(padded.as_slice()) {
+            Err(SnapshotError::TrailingBytes { extra: found }) => prop_assert_eq!(found, extra),
+            other => prop_assert!(false, "expected TrailingBytes, got {:?}", other),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(raw in proptest::collection::vec(0usize..256, 0..512)) {
+        // Random bytes only ever decode if they spell a full valid
+        // frame — magic, version, framing, checksum, and semantic
+        // revalidation all have to pass; asserting "no panic" is the
+        // property (an Ok here would be a checksum miracle).
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        let _ = Snapshot::try_from(bytes.as_slice());
+    }
+
+    /// A decoded tracker stays delta-equivalent to the original under
+    /// further churn: apply the same deltas to both, compare after each
+    /// step, then unwind both stacks and compare each restored state.
+    #[test]
+    fn decoded_trackers_are_delta_equivalent(
+        (game, start) in restricted_game_and_config(),
+        prefix in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 0..8),
+        suffix in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 1..10),
+    ) {
+        let mut original = MassTracker::new(&game, &start).expect("valid start");
+        churn(&mut original, &prefix);
+        let bytes = Snapshot::of(&original).encode();
+        let decoded = Snapshot::try_from(bytes.as_slice()).expect("own encoding decodes");
+        let mut fork = decoded.fork();
+
+        let mut applied = 0usize;
+        for &(op, a, b) in &suffix {
+            let Some(delta) = choose_delta(&original, op, a, b) else {
+                continue;
+            };
+            let on_original = original.apply_delta(delta);
+            let on_fork = fork.apply_delta(delta);
+            prop_assert_eq!(on_original.is_ok(), on_fork.is_ok());
+            if on_original.is_ok() {
+                applied += 1;
+            }
+            assert_observably_equal(&fork, &original)?;
+        }
+        prop_assert_eq!(fork.depth(), applied, "fork records exactly the new deltas");
+        for _ in 0..applied {
+            let undone_original = original.undo_delta();
+            let undone_fork = fork.undo_delta();
+            prop_assert_eq!(undone_original.is_some(), undone_fork.is_some());
+            assert_observably_equal(&fork, &original)?;
+        }
+        prop_assert_eq!(fork.depth(), 0);
+    }
+}

@@ -22,7 +22,7 @@
 
 use std::fmt;
 
-use goc_game::{Configuration, Delta, Game, GameError, MassTracker, Move, MoveSource};
+use goc_game::{Configuration, Delta, Game, GameError, MassTracker, Move, MoveSource, Snapshot};
 
 use crate::scheduler::{Scheduler, SchedulerError};
 
@@ -431,7 +431,43 @@ pub fn run_incremental_with_churn(
     options: LearningOptions,
     plan: &ChurnPlan,
 ) -> Result<LearningOutcome, LearningError> {
-    let mut tracker = churn_tracker(game, start, plan)?;
+    run_incremental_from(churn_tracker(game, start, plan)?, options, plan, None)
+}
+
+/// A periodic checkpoint sink for long churny runs: every `every`
+/// better-response steps the engine captures the tracker as a
+/// [`Snapshot`] and hands it (with the step count) to `sink`. Encode
+/// the snapshot to persist it; decode + [`Snapshot::fork`] +
+/// [`run_incremental_from`] warm-starts the run from where the
+/// checkpoint left off.
+pub struct CheckpointHook<'a> {
+    /// Steps between checkpoints (values below 1 behave as 1).
+    pub every: usize,
+    /// Receives `(steps_so_far, snapshot)` at each checkpoint.
+    pub sink: &'a mut dyn FnMut(usize, Snapshot),
+}
+
+/// **Warm-start** entry of the incremental engine: continues the group
+/// round-robin from an existing tracker — a [`Snapshot`] fork, a
+/// checkpoint restore, or any tracker mid-dynamics — instead of
+/// building one from a start configuration. The plan's activity masks
+/// are **ignored** (the tracker already carries its activity state);
+/// only the delta stream and the plan's triviality (which decides
+/// whether `final_activity` is reported) are consulted. Undo recording
+/// is switched off for the duration, as in [`run_incremental`].
+///
+/// Passing a hook checkpoints the run periodically (see
+/// [`CheckpointHook`]).
+///
+/// # Errors
+///
+/// As [`run_incremental_with_churn`].
+pub fn run_incremental_from(
+    mut tracker: MassTracker<'_>,
+    options: LearningOptions,
+    plan: &ChurnPlan,
+    mut hook: Option<CheckpointHook<'_>>,
+) -> Result<LearningOutcome, LearningError> {
     // The run never rewinds; don't retain an O(steps) undo history.
     tracker.set_undo_recording(false);
     let order = plan.order();
@@ -494,6 +530,11 @@ pub fn run_incremental_with_churn(
             path.push(mv);
         }
         steps += 1;
+        if let Some(hook) = hook.as_mut() {
+            if steps.is_multiple_of(hook.every.max(1)) {
+                (hook.sink)(steps, Snapshot::of(&tracker));
+            }
+        }
     }
 }
 
@@ -960,6 +1001,96 @@ mod tests {
         assert_eq!(outcome.churn_applied, 1);
         let (miner_active, _) = outcome.final_activity.unwrap();
         assert!(!miner_active[1]);
+    }
+
+    #[test]
+    fn warm_start_from_a_fork_matches_the_cold_run() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let cold = run_incremental(&game, &start, LearningOptions::default()).unwrap();
+        // Fork the *starting* state through a snapshot round-trip and
+        // continue from it: the trajectory (and thus the equilibrium and
+        // step count) must be identical.
+        let tracker = goc_game::MassTracker::new(&game, &start).unwrap();
+        let bytes = Snapshot::of(&tracker).encode();
+        let snap = Snapshot::try_from(bytes.as_slice()).unwrap();
+        let warm = run_incremental_from(
+            snap.fork(),
+            LearningOptions::default(),
+            &ChurnPlan::default(),
+            None,
+        )
+        .unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.steps, cold.steps);
+        assert_eq!(warm.final_config, cold.final_config);
+    }
+
+    #[test]
+    fn checkpoints_fire_and_resume_exactly() {
+        use goc_game::Delta;
+        let game = Game::build(&[4, 4, 2, 2, 1, 1], &[8, 4]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let plan = ChurnPlan::with_events(
+            None,
+            None,
+            [
+                (
+                    2,
+                    Delta::RemoveMiner {
+                        miner: goc_game::MinerId(5),
+                    },
+                ),
+                (
+                    4,
+                    Delta::InsertMiner {
+                        miner: goc_game::MinerId(5),
+                        coin: None,
+                    },
+                ),
+            ],
+        );
+        let mut checkpoints: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut sink = |steps: usize, snap: Snapshot| {
+            checkpoints.push((steps, snap.encode()));
+        };
+        let tracker = goc_game::MassTracker::new(&game, &start).unwrap();
+        let full = run_incremental_from(
+            tracker,
+            LearningOptions::default(),
+            &plan,
+            Some(CheckpointHook {
+                every: 1,
+                sink: &mut sink,
+            }),
+        )
+        .unwrap();
+        assert!(full.converged);
+        assert_eq!(checkpoints.len(), full.steps, "one checkpoint per step");
+        // Resume from the first checkpoint: replay only the not-yet-due
+        // churn (every checkpoint step count keys the remaining stream)
+        // and land on the same equilibrium.
+        let (at, bytes) = checkpoints.first().unwrap();
+        let snap = Snapshot::try_from(bytes.as_slice()).unwrap();
+        let remaining = ChurnPlan {
+            miner_active: None,
+            coin_active: None,
+            events: plan
+                .events
+                .iter()
+                .filter(|e| e.at_step > *at)
+                .map(|e| ChurnEvent {
+                    at_step: e.at_step - at,
+                    delta: e.delta,
+                })
+                .collect(),
+        };
+        let resumed =
+            run_incremental_from(snap.fork(), LearningOptions::default(), &remaining, None)
+                .unwrap();
+        assert!(resumed.converged);
+        assert_eq!(resumed.final_config, full.final_config);
+        assert_eq!(resumed.steps + at, full.steps);
     }
 
     #[test]

@@ -30,8 +30,9 @@ pub mod simultaneous;
 pub mod stats;
 
 pub use dynamics::{
-    converge, run, run_incremental, run_incremental_with_churn, run_with_churn, run_with_observer,
-    ChurnEvent, ChurnPlan, LearningError, LearningOptions, LearningOutcome,
+    converge, run, run_incremental, run_incremental_from, run_incremental_with_churn,
+    run_with_churn, run_with_observer, CheckpointHook, ChurnEvent, ChurnPlan, LearningError,
+    LearningOptions, LearningOutcome,
 };
 pub use scheduler::{
     LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerError, SchedulerKind,

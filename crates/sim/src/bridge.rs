@@ -10,6 +10,7 @@
 //! game-theoretic equilibria.
 
 use std::collections::BTreeSet;
+use std::ops::Range;
 
 use goc_game::{CoinId, Configuration, Delta, Game, GameError, MinerId, Rewards, System};
 
@@ -111,13 +112,126 @@ impl ChurnUniverse {
     /// `BENCH_4.json` recorder all share — change it here, not at a
     /// call site.
     pub fn step_deltas(&self, expected_steps: usize) -> Vec<(usize, Delta)> {
-        let stride = (expected_steps / (self.deltas.len() + 1)).max(1);
-        self.deltas
-            .iter()
-            .enumerate()
-            .map(|(i, (_, delta))| ((i + 1) * stride, *delta))
-            .collect()
+        stride_deltas(&self.deltas, expected_steps)
     }
+}
+
+/// The stride policy of [`ChurnUniverse::step_deltas`], usable on a
+/// timeline lowered separately (see [`churn_timeline`]): delta `i`
+/// fires after `(i + 1) × stride` steps with
+/// `stride = max(1, expected_steps / (deltas + 1))`.
+pub fn stride_deltas(deltas: &[(f64, Delta)], expected_steps: usize) -> Vec<(usize, Delta)> {
+    let stride = (expected_steps / (deltas.len() + 1)).max(1);
+    deltas
+        .iter()
+        .enumerate()
+        .map(|(i, (_, delta))| ((i + 1) * stride, *delta))
+        .collect()
+}
+
+/// Per-cohort universe id ranges: initial rigs first (in cohort order,
+/// matching [`ScenarioSpec::expanded`]), then each churn entry's
+/// dormant reserve appended after **all** initial rigs. Both
+/// [`churn_universe`] and [`churn_timeline`] derive ids from this one
+/// layout, so a timeline lowered standalone addresses exactly the
+/// universe's miners.
+fn universe_ranges(spec: &ScenarioSpec) -> (Vec<Range<usize>>, Vec<Range<usize>>) {
+    let cohorts = match &spec.miners {
+        MinerSpec::Cohorts(c) => c.as_slice(),
+        _ => &[],
+    };
+    let mut initial_range = Vec::with_capacity(cohorts.len());
+    let mut next = 0usize;
+    for c in cohorts {
+        initial_range.push(next..next + c.count);
+        next += c.count;
+    }
+    let churn_cohorts = spec
+        .churn
+        .as_ref()
+        .map(|c| c.cohorts.as_slice())
+        .unwrap_or(&[]);
+    let mut reserve_range = vec![0..0; cohorts.len()];
+    for entry in churn_cohorts {
+        reserve_range[entry.cohort] = next..next + entry.max_extra;
+        next += entry.max_extra;
+    }
+    (initial_range, reserve_range)
+}
+
+/// Lowers **only** the scenario's churn timeline to tracker [`Delta`]s
+/// over the universe id layout of [`churn_universe`] — the seed-varying
+/// slice of a scenario. The universe itself (game, start, masks) does
+/// not depend on the scenario seed, so a replica ensemble can share one
+/// [`ChurnUniverse`] and re-lower just the timeline per seed.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioSpec::validate`] failures.
+pub fn churn_timeline(spec: &ScenarioSpec) -> Result<Vec<(f64, Delta)>, SpecError> {
+    spec.validate()?;
+    let (initial_range, reserve_range) = universe_ranges(spec);
+    Ok(lower_timeline(spec, &initial_range, &reserve_range))
+}
+
+/// The timeline-lowering core shared by [`churn_universe`] and
+/// [`churn_timeline`]: walks the effectiveness-filtered event stream,
+/// mapping arrivals to the smallest dormant id of the cohort (departed
+/// initial rigs are reused before the reserve) and departures to the
+/// youngest active rig.
+fn lower_timeline(
+    spec: &ScenarioSpec,
+    initial_range: &[Range<usize>],
+    reserve_range: &[Range<usize>],
+) -> Vec<(f64, Delta)> {
+    let mut active_ids: Vec<BTreeSet<usize>> =
+        initial_range.iter().map(|r| r.clone().collect()).collect();
+    let mut dormant_ids: Vec<BTreeSet<usize>> =
+        reserve_range.iter().map(|r| r.clone().collect()).collect();
+    let timeline = spec
+        .churn
+        .as_ref()
+        .map(|c| c.timeline(spec))
+        .unwrap_or_default();
+    let mut deltas = Vec::with_capacity(timeline.len());
+    for (t, event) in timeline {
+        match event {
+            SimChurn::RigJoin { agent, .. } => {
+                let Some(&id) = dormant_ids[agent].iter().next() else {
+                    continue; // cannot happen: the timeline is effective
+                };
+                dormant_ids[agent].remove(&id);
+                active_ids[agent].insert(id);
+                deltas.push((
+                    t,
+                    Delta::InsertMiner {
+                        miner: MinerId(id),
+                        coin: None,
+                    },
+                ));
+            }
+            SimChurn::RigLeave { agent, .. } => {
+                let Some(&id) = active_ids[agent].iter().next_back() else {
+                    continue;
+                };
+                active_ids[agent].remove(&id);
+                dormant_ids[agent].insert(id);
+                deltas.push((t, Delta::RemoveMiner { miner: MinerId(id) }));
+            }
+            SimChurn::Coin { coin, live } => {
+                let coin = CoinId(coin);
+                deltas.push((
+                    t,
+                    if live {
+                        Delta::LaunchCoin { coin }
+                    } else {
+                        Delta::RetireCoin { coin }
+                    },
+                ));
+            }
+        }
+    }
+    deltas
 }
 
 /// Lowers a scenario (churn and all) to the game-side universe view.
@@ -140,28 +254,22 @@ pub fn churn_universe(spec: &ScenarioSpec, resolution: f64) -> Result<ChurnUnive
     let initial_miners = rigs.len();
     let k = spec.chains.len();
 
-    // Per-cohort universe id ranges: initial rigs first (in cohort
-    // order, matching `expanded()`), then each churn entry's reserve.
+    // Per-cohort universe id ranges (see `universe_ranges` — the layout
+    // `churn_timeline` also addresses).
     let cohorts = match &spec.miners {
         MinerSpec::Cohorts(c) => c.as_slice(),
         _ => &[],
     };
-    let mut initial_range = Vec::with_capacity(cohorts.len());
-    let mut next = 0usize;
-    for c in cohorts {
-        initial_range.push(next..next + c.count);
-        next += c.count;
-    }
+    let (initial_range, reserve_range) = universe_ranges(spec);
     let churn_cohorts = spec
         .churn
         .as_ref()
         .map(|c| c.cohorts.as_slice())
         .unwrap_or(&[]);
-    let mut reserve_range = vec![0..0; cohorts.len()];
     let mut universe = rigs.clone();
     for entry in churn_cohorts {
         let cohort = &cohorts[entry.cohort];
-        let start = universe.len();
+        debug_assert_eq!(reserve_range[entry.cohort].start, universe.len());
         // Reserve rigs share the cohort's class and point at its coin;
         // they are dormant until an arrival activates them.
         let template = crate::agent::MinerAgent {
@@ -173,7 +281,6 @@ pub fn churn_universe(spec: &ScenarioSpec, resolution: f64) -> Result<ChurnUnive
             active: false,
         };
         universe.extend(std::iter::repeat_n(template, entry.max_extra));
-        reserve_range[entry.cohort] = start..start + entry.max_extra;
     }
 
     // Quantize the whole universe with one scale, as snapshot_game does.
@@ -213,59 +320,9 @@ pub fn churn_universe(spec: &ScenarioSpec, resolution: f64) -> Result<ChurnUnive
         None => vec![true; k],
     };
 
-    // Lower the (effectiveness-filtered) timeline to tracker deltas.
-    let mut active_ids: Vec<BTreeSet<usize>> =
-        initial_range.iter().map(|r| r.clone().collect()).collect();
-    let mut dormant_ids: Vec<BTreeSet<usize>> =
-        reserve_range.iter().map(|r| r.clone().collect()).collect();
-    let timeline = spec
-        .churn
-        .as_ref()
-        .map(|c| c.timeline(spec))
-        .unwrap_or_default();
-    let mut deltas = Vec::with_capacity(timeline.len());
-    for (t, event) in timeline {
-        match event {
-            SimChurn::RigJoin { agent, .. } => {
-                // Arrivals reactivate the smallest dormant id of the
-                // cohort — departed initial rigs (low ids) are reused
-                // before the reserve (appended after all initial rigs,
-                // so highest ids).
-                let Some(&id) = dormant_ids[agent].iter().next() else {
-                    continue; // cannot happen: the timeline is effective
-                };
-                dormant_ids[agent].remove(&id);
-                active_ids[agent].insert(id);
-                deltas.push((
-                    t,
-                    Delta::InsertMiner {
-                        miner: MinerId(id),
-                        coin: None,
-                    },
-                ));
-            }
-            SimChurn::RigLeave { agent, .. } => {
-                // Departures remove the youngest active rig.
-                let Some(&id) = active_ids[agent].iter().next_back() else {
-                    continue;
-                };
-                active_ids[agent].remove(&id);
-                dormant_ids[agent].insert(id);
-                deltas.push((t, Delta::RemoveMiner { miner: MinerId(id) }));
-            }
-            SimChurn::Coin { coin, live } => {
-                let coin = CoinId(coin);
-                deltas.push((
-                    t,
-                    if live {
-                        Delta::LaunchCoin { coin }
-                    } else {
-                        Delta::RetireCoin { coin }
-                    },
-                ));
-            }
-        }
-    }
+    // Lower the (effectiveness-filtered) timeline to tracker deltas —
+    // the only seed-dependent piece of the universe.
+    let deltas = lower_timeline(spec, &initial_range, &reserve_range);
 
     Ok(ChurnUniverse {
         game,
@@ -332,6 +389,28 @@ mod tests {
         while tracker.undo_delta().is_some() {}
         assert_eq!(tracker.config(), &universe.start);
         assert_eq!(tracker.active_miner_count(), universe.initial_miners);
+    }
+
+    #[test]
+    fn standalone_timeline_matches_the_universe_lowering() {
+        let spec = crate::fixtures::scale_churn_scenario(80, 30.0, 11, 20);
+        let universe = churn_universe(&spec, 1e-4).expect("universe builds");
+        let timeline = churn_timeline(&spec).expect("timeline lowers");
+        assert_eq!(timeline, universe.deltas);
+        assert_eq!(
+            stride_deltas(&timeline, 400),
+            universe.step_deltas(400),
+            "stride policy agrees"
+        );
+        // Re-lowering under a different seed changes the timeline but
+        // not the universe (the shared-snapshot contract of the replica
+        // ensemble).
+        let other = crate::fixtures::scale_churn_scenario(80, 30.0, 12, 20);
+        let reuniverse = churn_universe(&other, 1e-4).expect("universe builds");
+        assert_eq!(universe.start, reuniverse.start);
+        assert_eq!(universe.miner_active, reuniverse.miner_active);
+        assert_eq!(universe.coin_active, reuniverse.coin_active);
+        assert_eq!(churn_timeline(&other).expect("lowers"), reuniverse.deltas);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod scenario;
 pub mod spec;
 
 pub use agent::{MinerAgent, OracleKind};
-pub use bridge::{churn_universe, coin_weights, snapshot_game, ChurnUniverse};
+pub use bridge::{
+    churn_timeline, churn_universe, coin_weights, snapshot_game, stride_deltas, ChurnUniverse,
+};
 pub use engine::{SimConfig, Simulation};
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::SimMetrics;
