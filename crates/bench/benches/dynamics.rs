@@ -113,6 +113,26 @@ fn bench_tracker_step(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_apply_undo(c: &mut Criterion) {
+    // Pure group-index round trip: one apply + undo, no query in the
+    // loop. Isolates the arena slab splice (remove from one class's
+    // slab, insert into another, and back) from the O(coins) payoff
+    // scans the other benches include — the number that moves when the
+    // member-storage layout changes.
+    let mut group = c.benchmark_group("dynamics/apply_undo");
+    let (game, start) = class_game(100_000);
+    let mut tracker = MassTracker::new(&game, &start).expect("valid tracker");
+    let p = goc_game::MinerId(0);
+    group.bench_with_input(BenchmarkId::from_parameter("n100000_k3"), &(), |b, ()| {
+        b.iter(|| {
+            let mv = tracker.apply(p, CoinId(1));
+            tracker.undo();
+            mv
+        });
+    });
+    group.finish();
+}
+
 fn bench_scheduler_pick(c: &mut Criterion) {
     // One incremental pick + apply + undo per iteration, on a 100k-miner
     // source whose group-decision cache is warm — the per-step primitive
@@ -236,6 +256,7 @@ criterion_group!(
     bench_convergence,
     bench_incremental_converge,
     bench_tracker_step,
+    bench_apply_undo,
     bench_scheduler_pick,
     bench_churn_converge,
     bench_churn_delta,

@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_7.json`):
+//! (`BENCH_8.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -45,14 +45,14 @@
 //! gate by pointing it at an old recording.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_7.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_8.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_7.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_8.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_7.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_8.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -141,7 +141,8 @@ struct SnapshotBaseline {
     fork: LayerBaseline,
 }
 
-/// The `BENCH_7.json` schema (a superset of `BENCH_6.json`: the
+/// The `BENCH_8.json` schema (same shape as `BENCH_7.json`, re-recorded
+/// after the flat group-index refactor; a superset of `BENCH_6.json`: the
 /// `snapshot` section is new and optional on read, so `--check` also
 /// accepts the older files — with a loud warning for every layer the
 /// file is missing).
@@ -432,7 +433,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         SERVER_REQUESTS
     };
     let baseline = Baseline {
-        baseline: 7,
+        baseline: 8,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -733,9 +734,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_7.json")
+        repo_root.join("BENCH_8.json")
     } else {
-        PathBuf::from("BENCH_7.json")
+        PathBuf::from("BENCH_8.json")
     }
 }
 

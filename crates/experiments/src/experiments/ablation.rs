@@ -13,7 +13,7 @@ use goc_analysis::{fmt_f64, RunReport, Table};
 use goc_design::{design, naive_design, DesignOptions, DesignProblem};
 use goc_game::gen::{GameSpec, PowerDist, RewardDist};
 use goc_game::{equilibrium, Configuration, Rewards};
-use goc_learning::{run, LearningOptions, SchedulerKind};
+use goc_learning::{Dynamics, LearningOptions, SchedulerKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -147,13 +147,11 @@ impl Experiment for Ablation {
         let corner = Configuration::new(vec![target, goc_game::CoinId(1)], game.system())
             .expect("valid configuration");
         let mut sched = SchedulerKind::RoundRobin.build(0);
-        let stalled = run(
-            &paper_game,
-            &corner,
-            sched.as_mut(),
-            LearningOptions::default(),
-        )
-        .expect("legal scheduler");
+        let stalled = Dynamics::new(&paper_game)
+            .start(&corner)
+            .scheduler(sched.as_mut())
+            .run()
+            .expect("legal scheduler");
         report.note(format!(
             "verbatim Eq. 5: learning from {} takes {} steps — stage 1 would loop forever",
             corner, stalled.steps,
@@ -176,13 +174,11 @@ impl Experiment for Ablation {
             let h1 = goc_design::h1(&problem);
             let fixed_game = problem.game().with_rewards(h1).expect("same width");
             let mut sched = SchedulerKind::RoundRobin.build(0);
-            let fixed = run(
-                &fixed_game,
-                &corner,
-                sched.as_mut(),
-                LearningOptions::default(),
-            )
-            .expect("legal scheduler");
+            let fixed = Dynamics::new(&fixed_game)
+                .start(&corner)
+                .scheduler(sched.as_mut())
+                .run()
+                .expect("legal scheduler");
             report.note(format!(
                 "fixed H1 (+1): the same corner resolves in {} step(s) to {}",
                 fixed.steps, fixed.final_config

@@ -10,7 +10,7 @@
 use goc_analysis::{RunReport, Table};
 use goc_game::gen::{GameSpec, PowerDist, RewardDist};
 use goc_game::{potential, Extended};
-use goc_learning::{run_with_observer, LearningOptions, SchedulerKind};
+use goc_learning::{Dynamics, SchedulerKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -70,18 +70,17 @@ impl Experiment for AppendixB {
                     let start = goc_game::gen::random_config(&mut rng, game.system());
                     let mut last = potential::symmetric_potential(&game, &start);
                     let mut sched = kind.build(seed);
-                    let outcome = run_with_observer(
-                        &game,
-                        &start,
-                        sched.as_mut(),
-                        LearningOptions::default(),
-                        |config, _| {
-                            let now = potential::symmetric_potential(&game, config);
-                            monotone &= decreased(last, now);
-                            last = now;
-                        },
-                    )
-                    .expect("bundled schedulers are legal");
+                    let mut observe = |config: &_, _| {
+                        let now = potential::symmetric_potential(&game, config);
+                        monotone &= decreased(last, now);
+                        last = now;
+                    };
+                    let outcome = Dynamics::new(&game)
+                        .start(&start)
+                        .scheduler(sched.as_mut())
+                        .observer(&mut observe)
+                        .run()
+                        .expect("bundled schedulers are legal");
                     all_converged &= outcome.converged;
                     steps += outcome.steps;
                 }

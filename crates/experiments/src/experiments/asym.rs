@@ -8,7 +8,7 @@
 
 use goc_analysis::{fmt_f64, parallel_map, RunReport, Summary, Table};
 use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_learning::{run, LearningOptions, SchedulerKind};
+use goc_learning::{Dynamics, LearningOptions, SchedulerKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,16 +72,15 @@ impl Experiment for Asym {
                     .expect("validated mask");
                 let start = goc_game::gen::random_config_restricted(&mut rng, &game);
                 let mut sched = kind.build(trial as u64);
-                let outcome = run(
-                    &game,
-                    &start,
-                    sched.as_mut(),
-                    LearningOptions {
+                let outcome = Dynamics::new(&game)
+                    .start(&start)
+                    .scheduler(sched.as_mut())
+                    .options(LearningOptions {
                         max_steps: 100_000,
                         ..LearningOptions::default()
-                    },
-                )
-                .expect("bundled schedulers are legal");
+                    })
+                    .run()
+                    .expect("bundled schedulers are legal");
                 if outcome.converged {
                     converged += 1;
                     steps.push(outcome.steps as f64);

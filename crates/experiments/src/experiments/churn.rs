@@ -12,7 +12,7 @@
 //! * [`goc_sim::bridge::churn_universe`] lowers it to a pre-declared
 //!   miner/coin universe and a `goc_game` delta stream
 //!   (`{move, insert_miner, remove_miner, launch_coin, retire_coin}`);
-//! * [`goc_learning::run_with_churn`] interleaves the stream with every
+//! * a churn-plan [`goc_learning::Dynamics`] run interleaves the stream with every
 //!   bundled [`goc_learning::SchedulerKind`]'s better-response steps
 //!   over the incremental `MoveSource` — population changes repair the
 //!   group-decision cache, they never rebuild it.
@@ -27,9 +27,9 @@
 //!   churny trajectory is a legal better response of the freshly
 //!   projected subgame, and the tracker's unstable set matches the
 //!   naive recomputation after every single delta;
-//! * **cross-engine agreement**: the scheduler-free
-//!   [`goc_learning::run_incremental_with_churn`] absorbs the same
-//!   stream and converges;
+//! * **cross-engine agreement**: the scheduler-free incremental
+//!   [`goc_learning::Dynamics`] run absorbs the same stream and
+//!   converges;
 //! * **wall clock**: the slowest kind stays within budget at the
 //!   largest population.
 //!
@@ -43,7 +43,7 @@ use std::time::Instant;
 
 use goc_analysis::{RunReport, Table};
 use goc_game::{CoinId, Delta, MassTracker, MinerId, MoveSource};
-use goc_learning::{run_incremental_with_churn, run_with_churn, ChurnPlan, LearningOptions};
+use goc_learning::{ChurnPlan, Dynamics};
 use goc_sim::fixtures::scale_churn_scenario;
 use goc_sim::{churn_universe, ChurnUniverse};
 
@@ -155,14 +155,12 @@ impl Experiment for Churn {
             for &kind in &kinds {
                 let mut sched = kind.build(ctx.seed);
                 let clock = Instant::now();
-                let outcome = run_with_churn(
-                    &universe.game,
-                    &universe.start,
-                    sched.as_mut(),
-                    LearningOptions::default(),
-                    &plan,
-                )
-                .expect("bundled schedulers absorb legal churn");
+                let outcome = Dynamics::new(&universe.game)
+                    .start(&universe.start)
+                    .scheduler(sched.as_mut())
+                    .churn(&plan)
+                    .run()
+                    .expect("bundled schedulers absorb legal churn");
                 let wall = clock.elapsed().as_secs_f64();
                 if n == top {
                     slowest_top_secs = slowest_top_secs.max(wall);
@@ -332,13 +330,11 @@ impl Experiment for Churn {
         let spec = scale_churn_scenario(n, HORIZON_DAYS, ctx.seed.wrapping_add(9), turnover);
         let universe = churn_universe(&spec, 1e-4).expect("fixture lowers to a universe");
         let plan = step_plan(&universe, n);
-        let outcome = run_incremental_with_churn(
-            &universe.game,
-            &universe.start,
-            LearningOptions::default(),
-            &plan,
-        )
-        .expect("incremental churn dynamics");
+        let outcome = Dynamics::new(&universe.game)
+            .start(&universe.start)
+            .churn(&plan)
+            .run()
+            .expect("incremental churn dynamics");
         let (miner_active, coin_active) = outcome.final_activity.clone().expect("churn run");
         let tracker = MassTracker::with_activity(
             &universe.game,

@@ -3,8 +3,8 @@
 //! Sweeps population size across the two scalability devices this repo
 //! adds on top of the paper's machinery:
 //!
-//! * **incremental best-response dynamics** (`goc_learning::run_incremental`
-//!   over `goc_game::MassTracker`): convergence of 100k+ miner games
+//! * **incremental best-response dynamics** (a scheduler-free
+//!   [`goc_learning::Dynamics`] run over `goc_game::MassTracker`): convergence of 100k+ miner games
 //!   without ever rescanning the miner vector, plus an exact-oracle
 //!   equivalence check on a small instance;
 //! * **miner cohorts** (`goc_sim::CohortSpec`): event-driven simulation
@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use goc_analysis::{RunReport, Table};
 use goc_game::{CoinId, Configuration, Game, MassTracker};
-use goc_learning::{run_incremental, LearningOptions};
+use goc_learning::{Dynamics, LearningOptions};
 use goc_sim::fixtures::{scale_class_game, scale_cohort_scenario, SCALE_CLASSES};
 use goc_sim::spec::{ScenarioSpec, ShockSpec};
 
@@ -89,7 +89,9 @@ impl Experiment for Scale {
             let start =
                 Configuration::uniform(CoinId(0), game.system()).expect("uniform start is valid");
             let clock = Instant::now();
-            let outcome = run_incremental(&game, &start, LearningOptions::default())
+            let outcome = Dynamics::new(&game)
+                .start(&start)
+                .run()
                 .expect("incremental dynamics cannot reject its own moves");
             let wall = clock.elapsed().as_secs_f64();
             if n == 100_000 {
@@ -142,15 +144,14 @@ impl Experiment for Scale {
         let small = class_game(ctx.scale(512, 128));
         let start =
             Configuration::uniform(CoinId(0), small.system()).expect("uniform start is valid");
-        let audited = run_incremental(
-            &small,
-            &start,
-            LearningOptions {
+        let audited = Dynamics::new(&small)
+            .start(&start)
+            .options(LearningOptions {
                 audit_potential: true,
                 ..LearningOptions::default()
-            },
-        )
-        .expect("audited incremental run");
+            })
+            .run()
+            .expect("audited incremental run");
         report.check(
             "incremental_agrees_with_naive_oracle",
             audited.converged

@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use goc_analysis::{RunReport, Table};
 use goc_game::{CoinId, Configuration, MassTracker, MoveSource};
-use goc_learning::{run, run_incremental, LearningOptions, SchedulerKind};
+use goc_learning::{Dynamics, SchedulerKind};
 use goc_sim::fixtures::{scale_class_game, SCALE_CLASSES};
 
 use crate::{Experiment, RunContext};
@@ -91,7 +91,10 @@ impl Experiment for Schedulers {
                     .expect("uniform start is valid");
                 let mut sched = kind.build(ctx.seed);
                 let clock = Instant::now();
-                let outcome = run(&game, &start, sched.as_mut(), LearningOptions::default())
+                let outcome = Dynamics::new(&game)
+                    .start(&start)
+                    .scheduler(sched.as_mut())
+                    .run()
                     .expect("bundled schedulers only return legal moves");
                 let wall = clock.elapsed().as_secs_f64();
                 if n == top {
@@ -200,9 +203,14 @@ impl Experiment for Schedulers {
         let start =
             Configuration::uniform(CoinId(0), game.system()).expect("uniform start is valid");
         let mut rr = SchedulerKind::RoundRobin.build(ctx.seed);
-        let via_scheduler = run(&game, &start, rr.as_mut(), LearningOptions::default())
+        let via_scheduler = Dynamics::new(&game)
+            .start(&start)
+            .scheduler(rr.as_mut())
+            .run()
             .expect("round-robin converges");
-        let via_incremental = run_incremental(&game, &start, LearningOptions::default())
+        let via_incremental = Dynamics::new(&game)
+            .start(&start)
+            .run()
             .expect("incremental dynamics converge");
         let masses_a = via_scheduler.final_config.masses(game.system());
         let masses_b = via_incremental.final_config.masses(game.system());

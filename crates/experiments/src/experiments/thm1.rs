@@ -8,7 +8,7 @@
 
 use goc_analysis::{fmt_f64, parallel_map, RunReport, Summary, Table};
 use goc_game::gen::{GameSpec, PowerDist, RewardDist};
-use goc_learning::{run, LearningOptions, SchedulerKind};
+use goc_learning::{Dynamics, LearningOptions, SchedulerKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -80,16 +80,15 @@ impl Experiment for Thm1 {
                 let game = spec.sample(&mut rng).expect("valid spec");
                 let start = goc_game::gen::random_config(&mut rng, game.system());
                 let mut sched = kind.build(seed);
-                let outcome = run(
-                    &game,
-                    &start,
-                    sched.as_mut(),
-                    LearningOptions {
+                let outcome = Dynamics::new(&game)
+                    .start(&start)
+                    .scheduler(sched.as_mut())
+                    .options(LearningOptions {
                         audit_potential: true,
                         ..LearningOptions::default()
-                    },
-                )
-                .expect("bundled schedulers are legal");
+                    })
+                    .run()
+                    .expect("bundled schedulers are legal");
                 audited &= outcome.potential_audit == Some(true);
                 if outcome.converged {
                     converged += 1;

@@ -1,0 +1,60 @@
+//! Regenerates the checked-in pre-refactor snapshot fixture used by
+//! `tests/snapshot_roundtrip.rs` to pin the v1 wire format across
+//! internal layout changes. Deterministic: no RNG, no clocks.
+//!
+//! ```sh
+//! cargo run -p goc-game --example gen_snapshot_fixture
+//! ```
+
+use goc_game::{CoinId, Configuration, Delta, Game, MassTracker, MinerId, Snapshot};
+
+fn main() {
+    // A lopsided population over three coins: two dormant miners and
+    // one coin that gets retired and relaunched, so the frame carries
+    // dormant entries, dead-then-revived group history, and a
+    // non-trivial scan cursor.
+    let game = Game::build(&[8, 5, 3, 2, 1, 1, 9, 4], &[7, 4, 2]).expect("valid parameters");
+    let assignment: Vec<CoinId> = [0usize, 1, 0, 2, 1, 0, 0, 2]
+        .into_iter()
+        .map(CoinId)
+        .collect();
+    let start = Configuration::new(assignment, game.system()).expect("valid assignment");
+    let miner_active = [true, true, true, true, true, false, false, true];
+    let coin_active = [true, true, true];
+    let mut tracker = MassTracker::with_activity(&game, &start, &miner_active, &coin_active)
+        .expect("valid activity masks");
+
+    let script = [
+        Delta::Move {
+            miner: MinerId(0),
+            to: CoinId(1),
+        },
+        Delta::RetireCoin { coin: CoinId(2) },
+        Delta::InsertMiner {
+            miner: MinerId(5),
+            coin: Some(CoinId(0)),
+        },
+        Delta::RemoveMiner { miner: MinerId(4) },
+        Delta::LaunchCoin { coin: CoinId(2) },
+        Delta::InsertMiner {
+            miner: MinerId(6),
+            coin: Some(CoinId(2)),
+        },
+    ];
+    for delta in script {
+        tracker.apply_delta(delta).expect("scripted delta is legal");
+    }
+    // Advance the round-robin cursor past group zero.
+    for _ in 0..4 {
+        if let Some(mv) = tracker.find_improving_move() {
+            tracker.apply(mv.miner, mv.to);
+        }
+    }
+
+    let bytes = Snapshot::of(&tracker).encode();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::create_dir_all(dir).expect("fixture dir");
+    let path = format!("{dir}/snapshot_v1_prerefactor.bin");
+    std::fs::write(&path, &bytes).expect("write fixture");
+    println!("wrote {} bytes to {path}", bytes.len());
+}

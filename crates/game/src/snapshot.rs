@@ -58,7 +58,6 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::config::{Configuration, Masses};
@@ -67,7 +66,7 @@ use crate::game::{Game, Rewards};
 use crate::ids::{CoinId, MinerId};
 use crate::ratio::Ratio;
 use crate::system::SystemBuilder;
-use crate::tracker::{Group, GroupIndex, GroupKey, MassTracker};
+use crate::tracker::{GroupIndex, GroupKey, MassTracker};
 
 /// The 4-byte snapshot magic (`"GOCS"`).
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"GOCS";
@@ -325,20 +324,13 @@ impl Snapshot {
     /// of a snapshot — forks start a fresh history).
     pub fn of(tracker: &MassTracker<'_>) -> Snapshot {
         let index = tracker.group_index();
-        let mut keys: Vec<Option<GroupKey>> = vec![None; index.groups.len()];
-        for (&key, &gid) in &index.by_key {
-            keys[gid as usize] = Some(key);
-        }
         Snapshot {
             game: tracker.game().clone(),
             config: tracker.config().clone(),
             masses: tracker.masses().clone(),
             miner_active: tracker.miner_activity().to_vec(),
             coin_active: tracker.coin_activity().to_vec(),
-            keys: keys
-                .into_iter()
-                .map(|k| k.expect("every group id is keyed"))
-                .collect(),
+            keys: index.class_keys(),
             cursor: index.cursor,
         }
     }
@@ -476,6 +468,7 @@ impl Snapshot {
         let config = Configuration::new(start.as_slice().to_vec(), system)?;
         let mut masses = Masses::zero(system.num_coins());
         let mut by_key: BTreeMap<GroupKey, u32> = BTreeMap::new();
+        let mut keys: Vec<GroupKey> = Vec::new();
         let mut members: Vec<Vec<MinerId>> = Vec::new();
         let mut of = vec![0u32; system.num_miners()];
         for p in system.miner_ids() {
@@ -495,22 +488,13 @@ impl Snapshot {
             let next = members.len() as u32;
             let gid = *by_key.entry(key).or_insert(next);
             if gid == next {
+                keys.push(key);
                 members.push(Vec::new());
             }
             of[p.index()] = gid;
             members[gid as usize].push(p);
         }
-        let groups = GroupIndex {
-            of,
-            groups: members
-                .into_iter()
-                .map(|m| Group {
-                    members: BTreeSet::from_iter(m),
-                })
-                .collect(),
-            by_key,
-            cursor: 0,
-        };
+        let groups = GroupIndex::from_sorted_parts(of, &keys, members, 0);
         Ok(MassTracker::from_parts(
             game,
             config,
@@ -550,17 +534,12 @@ impl Snapshot {
             of[p.index()] = gid;
             members[gid as usize].push(p);
         }
-        Ok(GroupIndex {
+        Ok(GroupIndex::from_sorted_parts(
             of,
-            groups: members
-                .into_iter()
-                .map(|m| Group {
-                    members: BTreeSet::from_iter(m),
-                })
-                .collect(),
-            by_key,
-            cursor: self.cursor,
-        })
+            &self.keys,
+            members,
+            self.cursor,
+        ))
     }
 }
 

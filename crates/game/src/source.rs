@@ -206,9 +206,7 @@ impl<'g> MoveSource<'g> {
     fn recompute(&mut self, gid: u32) {
         let dec = self
             .tracker
-            .members_of(gid)
-            .first()
-            .copied()
+            .min_member(gid)
             .and_then(|rep| self.tracker.best_response(rep));
         self.set_decision(gid, dec);
     }
@@ -270,7 +268,7 @@ impl<'g> MoveSource<'g> {
             if !matches!(self.cache[gid], Cached::Decision(Some(_))) {
                 continue;
             }
-            if let Some(&p) = self.tracker.members_of(gid as u32).range(start..).next() {
+            if let Some(p) = self.tracker.successor_member(gid as u32, start) {
                 if best.is_none_or(|b| p < b) {
                     best = Some(p);
                 }
@@ -308,10 +306,9 @@ impl<'g> MoveSource<'g> {
             let Cached::Decision(Some(br)) = self.cache[gid as usize] else {
                 continue;
             };
-            let rep = *self
+            let rep = self
                 .tracker
-                .members_of(gid)
-                .first()
+                .min_member(gid)
                 .expect("unstable groups are nonempty");
             let from = self.tracker.coin_of(rep);
             let to = match extremum {
@@ -368,10 +365,9 @@ impl<'g> MoveSource<'g> {
             let Cached::Decision(Some(br)) = self.cache[gid as usize] else {
                 continue;
             };
-            let rep = *self
+            let rep = self
                 .tracker
-                .members_of(gid)
-                .first()
+                .min_member(gid)
                 .expect("unstable groups are nonempty");
             let power = self.tracker.game().system().power_of(rep);
             let wins = match &best {
@@ -415,9 +411,11 @@ impl<'g> MoveSource<'g> {
             if !matches!(self.cache[gid as usize], Cached::Decision(Some(_))) {
                 continue;
             }
-            let members = self.tracker.members_of(gid);
-            let rep = *members.first().expect("unstable groups are nonempty");
-            let count = members.len();
+            let rep = self
+                .tracker
+                .min_member(gid)
+                .expect("unstable groups are nonempty");
+            let count = self.tracker.member_count(gid);
             let targets = self.tracker.better_responses(rep);
             total += count * targets.len();
             scratch.push((rep, CoinId(coin as usize), count * targets.len(), targets));
@@ -619,7 +617,7 @@ impl<'g> MoveSource<'g> {
             let Cached::Decision(dec) = self.cache[gid] else {
                 continue;
             };
-            let Some(&rep) = self.tracker.members_of(gid as u32).first() else {
+            let Some(rep) = self.tracker.min_member(gid as u32) else {
                 continue;
             };
             let game = self.tracker.game();

@@ -26,9 +26,23 @@
 //!   targets and drop out of every potential. The four population deltas
 //!   ([`crate::Delta::InsertMiner`], [`crate::Delta::RemoveMiner`],
 //!   [`crate::Delta::LaunchCoin`], [`crate::Delta::RetireCoin`]) splice
-//!   the group index and patch masses/payoffs in `O(log miners)` — plus
+//!   the group index and patch masses/payoffs in an `O(log groups)` key
+//!   lookup plus an amortized-`O(1)` slab edit — plus
 //!   `O(residents × coins)` for a retirement's forced relocations —
 //!   with **no rebuild**.
+//!
+//! The group index is a **flat arena**, not a tree: each class's members
+//! live in one sorted `Vec<MinerId>` slab behind a head offset (removing
+//! the minimum — the dominant pattern while dynamics converge — is a
+//! pointer bump, and inserting an id above the current maximum is a
+//! push), emptied classes hand their slab to a free list for the next
+//! launch, and class keys sit in a single sorted vec resolved by binary
+//! search. The layout is deliberately *not* part of the API: accessors
+//! expose slices ([`MassTracker::members_of`]), `Option<MinerId>`
+//! ([`MassTracker::min_member`], [`MassTracker::successor_member`]) and
+//! counts ([`MassTracker::member_count`]) — never a collection type — so
+//! the layout can change again without touching a caller, and CI greps
+//! this file to keep std collections out of the hot path.
 //!
 //! Per-miner queries ([`MassTracker::payoff`],
 //! [`MassTracker::better_responses`], [`MassTracker::rpu_list`],
@@ -67,8 +81,6 @@
 //! # Ok::<(), goc_game::GameError>(())
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use crate::config::{Configuration, Masses};
 use crate::delta::{AppliedDelta, Delta};
 use crate::error::GameError;
@@ -77,15 +89,85 @@ use crate::ids::{CoinId, MinerId};
 use crate::ratio::{Extended, Ratio};
 use crate::system::System;
 
-/// A strategic equivalence class: miners sharing a coin, a power, and a
-/// restriction row behave identically in every query. The class key lives
-/// in [`GroupIndex::by_key`]; the group itself only carries its members,
-/// ordered by id so min-member and successor queries (the tie-breaks of
-/// the incremental scheduler protocol, [`crate::source::MoveSource`])
-/// cost `O(log miners)` instead of a member scan.
-#[derive(Debug, Clone)]
-pub(crate) struct Group {
-    pub(crate) members: BTreeSet<MinerId>,
+/// One group's member storage: a sorted `Vec<MinerId>` whose live region
+/// is `buf[head..]`. The head offset makes the dominant mutation of the
+/// round-robin dynamics — removing the minimum member — an `O(1)` bump
+/// (with amortized compaction) instead of a front memmove, while keeping
+/// min-member (`live[0]`) and successor (`partition_point`) queries over
+/// a flat cache line instead of a pointer-chased tree.
+#[derive(Debug, Clone, Default)]
+struct MemberSlab {
+    buf: Vec<MinerId>,
+    head: usize,
+}
+
+impl MemberSlab {
+    /// The live members, ascending by id.
+    fn live(&self) -> &[MinerId] {
+        &self.buf[self.head..]
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    fn first(&self) -> Option<MinerId> {
+        self.buf.get(self.head).copied()
+    }
+
+    /// Inserts `p` (not already present), keeping the live region sorted.
+    /// `O(1)` for a back push or into front slack — the two patterns the
+    /// dynamics produce — and a binary search plus memmove otherwise.
+    fn insert(&mut self, p: MinerId) {
+        if self.is_empty() {
+            self.buf.clear();
+            self.head = 0;
+            self.buf.push(p);
+            return;
+        }
+        let first = self.buf[self.head];
+        let last = *self.buf.last().expect("non-empty slab");
+        debug_assert!(p != first && p != last, "{p} already a member");
+        if p > last {
+            self.buf.push(p);
+        } else if p < first && self.head > 0 {
+            self.head -= 1;
+            self.buf[self.head] = p;
+        } else {
+            let at = self.head + self.live().partition_point(|&q| q < p);
+            debug_assert!(self.buf.get(at) != Some(&p), "{p} already a member");
+            self.buf.insert(at, p);
+        }
+    }
+
+    /// Removes member `p`. `O(1)` for the minimum (head bump, amortized
+    /// compaction), binary search plus memmove otherwise.
+    fn remove(&mut self, p: MinerId) {
+        debug_assert!(!self.is_empty(), "removing {p} from an empty slab");
+        if self.buf[self.head] == p {
+            self.head += 1;
+            // Reclaim the dead prefix once it dominates, so long
+            // insert/remove-min cycles stay bounded in memory.
+            if self.head >= 32 && self.head * 2 >= self.buf.len() {
+                self.buf.drain(..self.head);
+                self.head = 0;
+            }
+        } else {
+            let at = self.head + self.live().partition_point(|&q| q < p);
+            debug_assert_eq!(self.buf.get(at), Some(&p), "{p} is not a member");
+            self.buf.remove(at);
+        }
+    }
+
+    /// The smallest live member `≥ start`.
+    fn successor(&self, start: MinerId) -> Option<MinerId> {
+        let live = self.live();
+        live.get(live.partition_point(|&q| q < start)).copied()
+    }
 }
 
 /// `(coin, power, restriction discriminator)` — the discriminator is `0`
@@ -96,19 +178,34 @@ pub(crate) struct Group {
 /// flat move list.
 pub(crate) type GroupKey = (u32, u64, u32);
 
-/// Partition of the **active** miners into [`Group`]s, maintained under
-/// deltas (dormant miners belong to no group).
+/// Sentinel slot for groups that currently have no members (their slab
+/// is parked on the free list — group ids are historical and never die,
+/// but emptied classes should not pin member storage).
+const NO_SLOT: u32 = u32::MAX;
+
+/// Partition of the **active** miners into strategic equivalence classes,
+/// maintained under deltas (dormant miners belong to no group). The
+/// layout is arena-style and fully flat: member slabs ([`MemberSlab`])
+/// indexed through a gid → slot table with a free list, and a sorted
+/// key map probed by binary search — no tree nodes anywhere on the
+/// apply/undo hot path.
 #[derive(Debug, Clone)]
 pub(crate) struct GroupIndex {
     /// Group id of each miner (stale while a miner is dormant).
-    pub(crate) of: Vec<u32>,
-    pub(crate) groups: Vec<Group>,
-    /// Key → group id, ordered so class-major enumeration is canonical.
-    pub(crate) by_key: BTreeMap<GroupKey, u32>,
+    of: Vec<u32>,
+    /// gid → slab slot, or [`NO_SLOT`] while the group is empty.
+    slot_of: Vec<u32>,
+    /// Member storage arena; slots are recycled through `free`.
+    slabs: Vec<MemberSlab>,
+    /// Slots of released (empty) slabs, ready for reuse.
+    free: Vec<u32>,
+    /// Key → group id, sorted by key so class-major enumeration and
+    /// per-coin range scans stay canonical (coin-major).
+    by_key: Vec<(GroupKey, u32)>,
     /// Round-robin cursor for [`MassTracker::find_improving_move`]
-    /// (crate-visible so [`crate::snapshot`] can capture and restore it
-    /// — forks must resume the round-robin exactly where the original
-    /// stood to replay identical trajectories).
+    /// (captured and restored by [`crate::snapshot`] — forks must resume
+    /// the round-robin exactly where the original stood to replay
+    /// identical trajectories).
     pub(crate) cursor: usize,
 }
 
@@ -117,8 +214,10 @@ impl GroupIndex {
         let n = game.system().num_miners();
         let mut index = GroupIndex {
             of: vec![0; n],
-            groups: Vec::new(),
-            by_key: BTreeMap::new(),
+            slot_of: Vec::new(),
+            slabs: Vec::new(),
+            free: Vec::new(),
+            by_key: Vec::new(),
             cursor: 0,
         };
         for p in game.system().miner_ids() {
@@ -129,6 +228,43 @@ impl GroupIndex {
         index
     }
 
+    /// Assembles an index from pre-validated parts: `keys[gid]` in
+    /// historical group-id order and `members[gid]` ascending by miner
+    /// id — the [`crate::snapshot`] bulk-load path, which fills slabs
+    /// directly instead of inserting miner by miner.
+    pub(crate) fn from_sorted_parts(
+        of: Vec<u32>,
+        keys: &[GroupKey],
+        members: Vec<Vec<MinerId>>,
+        cursor: usize,
+    ) -> Self {
+        debug_assert_eq!(keys.len(), members.len());
+        let mut slot_of = vec![NO_SLOT; keys.len()];
+        let mut slabs = Vec::new();
+        for (gid, m) in members.into_iter().enumerate() {
+            if m.is_empty() {
+                continue;
+            }
+            debug_assert!(m.is_sorted(), "bulk-loaded members must be ascending");
+            slot_of[gid] = slabs.len() as u32;
+            slabs.push(MemberSlab { buf: m, head: 0 });
+        }
+        let mut by_key: Vec<(GroupKey, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(gid, &key)| (key, gid as u32))
+            .collect();
+        by_key.sort_unstable();
+        GroupIndex {
+            of,
+            slot_of,
+            slabs,
+            free: Vec::new(),
+            by_key,
+            cursor,
+        }
+    }
+
     pub(crate) fn rkey(game: &Game, p: MinerId) -> u32 {
         if game.is_restricted() {
             p.index() as u32 + 1
@@ -137,22 +273,104 @@ impl GroupIndex {
         }
     }
 
+    /// Number of classes ever minted (group ids are historical: emptied
+    /// classes keep their id so the cursor and snapshots stay stable).
+    pub(crate) fn group_count(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// The class keys in historical group-id order — the
+    /// [`crate::snapshot`] capture order.
+    pub(crate) fn class_keys(&self) -> Vec<GroupKey> {
+        let mut keys = vec![(0, 0, 0); self.slot_of.len()];
+        for &(key, gid) in &self.by_key {
+            keys[gid as usize] = key;
+        }
+        keys
+    }
+
+    /// `(key, gid)` pairs in canonical class order (coin, power, rkey).
+    pub(crate) fn classes(&self) -> impl Iterator<Item = (GroupKey, u32)> + '_ {
+        self.by_key.iter().copied()
+    }
+
+    /// The live members of group `gid`, ascending by id (empty for
+    /// emptied classes).
+    fn members(&self, gid: u32) -> &[MinerId] {
+        match self.slot_of[gid as usize] {
+            NO_SLOT => &[],
+            slot => self.slabs[slot as usize].live(),
+        }
+    }
+
+    /// The smallest member of group `gid`, `O(1)`.
+    fn min(&self, gid: u32) -> Option<MinerId> {
+        match self.slot_of[gid as usize] {
+            NO_SLOT => None,
+            slot => self.slabs[slot as usize].first(),
+        }
+    }
+
+    /// The smallest member of group `gid` that is `≥ start`,
+    /// `O(log members)`.
+    fn successor(&self, gid: u32, start: MinerId) -> Option<MinerId> {
+        match self.slot_of[gid as usize] {
+            NO_SLOT => None,
+            slot => self.slabs[slot as usize].successor(start),
+        }
+    }
+
+    /// Number of live members of group `gid`, `O(1)`.
+    fn member_count(&self, gid: u32) -> usize {
+        match self.slot_of[gid as usize] {
+            NO_SLOT => 0,
+            slot => self.slabs[slot as usize].len(),
+        }
+    }
+
     fn insert(&mut self, game: &Game, p: MinerId, coin: CoinId) {
         let power = game.system().power_of(p);
         let key = (coin.index() as u32, power, Self::rkey(game, p));
-        let gid = *self.by_key.entry(key).or_insert_with(|| {
-            self.groups.push(Group {
-                members: BTreeSet::new(),
-            });
-            (self.groups.len() - 1) as u32
-        });
+        let gid = match self.by_key.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(at) => self.by_key[at].1,
+            Err(at) => {
+                // A fresh class: minting is rare (bounded by distinct
+                // keys ever seen), so the sorted-vec insert stays cold.
+                let gid = self.slot_of.len() as u32;
+                self.slot_of.push(NO_SLOT);
+                self.by_key.insert(at, (key, gid));
+                gid
+            }
+        };
         self.of[p.index()] = gid;
-        self.groups[gid as usize].members.insert(p);
+        let slot = match self.slot_of[gid as usize] {
+            NO_SLOT => {
+                let slot = self.free.pop().unwrap_or_else(|| {
+                    self.slabs.push(MemberSlab::default());
+                    (self.slabs.len() - 1) as u32
+                });
+                self.slot_of[gid as usize] = slot;
+                slot
+            }
+            slot => slot,
+        };
+        self.slabs[slot as usize].insert(p);
     }
 
     fn remove(&mut self, p: MinerId) {
         let gid = self.of[p.index()] as usize;
-        self.groups[gid].members.remove(&p);
+        let slot = self.slot_of[gid];
+        debug_assert_ne!(slot, NO_SLOT, "removing {p} from an empty group");
+        let slab = &mut self.slabs[slot as usize];
+        slab.remove(p);
+        if slab.is_empty() {
+            // Release the slab (keeping its capacity) so emptied classes
+            // do not pin member storage; a later refill reuses it.
+            slab.buf.clear();
+            slab.head = 0;
+            self.slot_of[gid] = NO_SLOT;
+            self.free.push(slot);
+        }
     }
 
     fn move_miner(&mut self, game: &Game, p: MinerId, to: CoinId) {
@@ -161,12 +379,12 @@ impl GroupIndex {
     }
 
     /// Group ids of every class currently keyed to coin `c` (some may be
-    /// empty). `O(log groups + output)` via a key-range scan.
+    /// empty). `O(log groups + output)` via a partition-point range scan.
     pub(crate) fn groups_on(&self, c: CoinId) -> impl Iterator<Item = u32> + '_ {
         let c = c.index() as u32;
-        self.by_key
-            .range((c, 0, 0)..=(c, u64::MAX, u32::MAX))
-            .map(|(_, &gid)| gid)
+        let lo = self.by_key.partition_point(|&((coin, _, _), _)| coin < c);
+        let hi = self.by_key.partition_point(|&((coin, _, _), _)| coin <= c);
+        self.by_key[lo..hi].iter().map(|&(_, gid)| gid)
     }
 }
 
@@ -321,8 +539,9 @@ impl<'g> MassTracker<'g> {
         self.record_undo = record;
     }
 
-    /// The game this tracker evaluates.
-    pub fn game(&self) -> &Game {
+    /// The game this tracker evaluates (borrowed for the tracker's full
+    /// lifetime, so callers may outlive the tracker itself).
+    pub fn game(&self) -> &'g Game {
         self.game
     }
 
@@ -385,7 +604,7 @@ impl<'g> MassTracker<'g> {
     /// Number of strategic equivalence classes currently present
     /// (including classes emptied by moves or departures).
     pub fn group_count(&self) -> usize {
-        self.groups.groups.len()
+        self.groups.group_count()
     }
 
     /// Depth of the undo stack (number of un-undone applied deltas).
@@ -507,11 +726,9 @@ impl<'g> MassTracker<'g> {
 
     /// Whether the configuration is stable, `O(groups × coins)`.
     pub fn is_stable(&self) -> bool {
-        self.groups
-            .groups
-            .iter()
-            .filter_map(|g| g.members.first())
-            .all(|&rep| self.best_response(rep).is_none())
+        (0..self.groups.group_count() as u32)
+            .filter_map(|gid| self.groups.min(gid))
+            .all(|rep| self.best_response(rep).is_none())
     }
 
     /// The unstable miners, in id order. Costs `O(groups × coins)` plus
@@ -521,9 +738,7 @@ impl<'g> MassTracker<'g> {
         self.game
             .system()
             .miner_ids()
-            .filter(|p| {
-                self.miner_active[p.index()] && unstable[self.groups.of[p.index()] as usize]
-            })
+            .filter(|p| self.miner_active[p.index()] && unstable[self.gid_of(*p) as usize])
             .collect()
     }
 
@@ -532,10 +747,10 @@ impl<'g> MassTracker<'g> {
     /// subgame, but better responses are computed once per group
     /// (`O(groups × coins)` plus output).
     pub fn improving_moves(&self) -> Vec<Move> {
-        let mut per_group: Vec<Option<Vec<CoinId>>> = vec![None; self.groups.groups.len()];
-        for (gid, g) in self.groups.groups.iter().enumerate() {
-            if let Some(&rep) = g.members.first() {
-                per_group[gid] = Some(self.better_responses(rep));
+        let mut per_group: Vec<Option<Vec<CoinId>>> = vec![None; self.groups.group_count()];
+        for (gid, slot) in per_group.iter_mut().enumerate() {
+            if let Some(rep) = self.groups.min(gid as u32) {
+                *slot = Some(self.better_responses(rep));
             }
         }
         let mut out = Vec::new();
@@ -543,7 +758,7 @@ impl<'g> MassTracker<'g> {
             if !self.miner_active[p.index()] {
                 continue;
             }
-            let gid = self.groups.of[p.index()] as usize;
+            let gid = self.gid_of(p) as usize;
             let from = self.config.coin_of(p);
             if let Some(targets) = &per_group[gid] {
                 out.extend(targets.iter().map(|&to| Move { miner: p, from, to }));
@@ -553,13 +768,11 @@ impl<'g> MassTracker<'g> {
     }
 
     fn unstable_group_mask(&self) -> Vec<bool> {
-        self.groups
-            .groups
-            .iter()
-            .map(|g| {
-                g.members
-                    .first()
-                    .is_some_and(|&rep| self.best_response(rep).is_some())
+        (0..self.groups.group_count() as u32)
+            .map(|gid| {
+                self.groups
+                    .min(gid)
+                    .is_some_and(|rep| self.best_response(rep).is_some())
             })
             .collect()
     }
@@ -574,10 +787,10 @@ impl<'g> MassTracker<'g> {
     /// over the groups — a population-free round-robin best-response
     /// dynamics.
     pub fn find_improving_move(&mut self) -> Option<Move> {
-        let count = self.groups.groups.len();
+        let count = self.groups.group_count();
         for offset in 0..count {
             let gid = (self.groups.cursor + offset) % count;
-            let Some(&rep) = self.groups.groups[gid].members.first() else {
+            let Some(rep) = self.groups.min(gid as u32) else {
                 continue;
             };
             if let Some(to) = self.best_response(rep) {
@@ -654,22 +867,48 @@ impl<'g> MassTracker<'g> {
     }
 
     // ------------------------------------------------------------------
-    // Group-index access for the MoveSource scheduler protocol
+    // Group-index queries (the scheduler-protocol surface)
     // ------------------------------------------------------------------
+    //
+    // These are the *only* windows into the group partition: they expose
+    // queries (slices, options, counts), never the storage, so the index
+    // layout can keep evolving without touching a caller. No method here
+    // names a collection type.
 
-    /// The group id of miner `p` (stale for dormant miners).
-    pub(crate) fn gid_of(&self, p: MinerId) -> u32 {
+    /// The group id of miner `p` — the strategic equivalence class `p`
+    /// currently belongs to (stale for dormant miners). Group ids are
+    /// historical: a class keeps its id even while emptied.
+    pub fn gid_of(&self, p: MinerId) -> u32 {
         self.groups.of[p.index()]
     }
 
-    /// The id-ordered members of group `gid` (possibly empty).
-    pub(crate) fn members_of(&self, gid: u32) -> &BTreeSet<MinerId> {
-        &self.groups.groups[gid as usize].members
+    /// The id-ordered live members of group `gid` (empty for emptied
+    /// classes), `O(1)`.
+    pub fn members_of(&self, gid: u32) -> &[MinerId] {
+        self.groups.members(gid)
+    }
+
+    /// The smallest member of group `gid` — its canonical representative
+    /// under the scheduler tie-break — or `None` while the class is
+    /// empty. `O(1)`.
+    pub fn min_member(&self, gid: u32) -> Option<MinerId> {
+        self.groups.min(gid)
+    }
+
+    /// The smallest member of group `gid` with id `≥ start`, or `None`.
+    /// `O(log members)` — the round-robin successor query.
+    pub fn successor_member(&self, gid: u32, start: MinerId) -> Option<MinerId> {
+        self.groups.successor(gid, start)
+    }
+
+    /// Number of live members of group `gid`, `O(1)`.
+    pub fn member_count(&self, gid: u32) -> usize {
+        self.groups.member_count(gid)
     }
 
     /// `(key, gid)` pairs in canonical class order (coin, power, rkey).
     pub(crate) fn classes(&self) -> impl Iterator<Item = (GroupKey, u32)> + '_ {
-        self.groups.by_key.iter().map(|(&k, &g)| (k, g))
+        self.groups.classes()
     }
 
     /// Group ids keyed to coin `c` (see [`GroupIndex::groups_on`]).
@@ -681,7 +920,8 @@ impl<'g> MassTracker<'g> {
     // Mutation
     // ------------------------------------------------------------------
 
-    /// Moves `p` to `to`, updating masses and the group index in `O(log)`
+    /// Moves `p` to `to`, updating masses and the group index in an
+    /// `O(log groups)` key lookup plus amortized-`O(1)` slab edits
     /// (amortized), and pushes the move onto the undo stack. Returns the
     /// applied move (with its `from` coin). Shorthand for a
     /// [`Delta::Move`] through [`MassTracker::apply_delta`].
@@ -710,9 +950,9 @@ impl<'g> MassTracker<'g> {
 
     /// Applies one churn [`Delta`], validating it against the current
     /// activity state, and pushes the resolved [`AppliedDelta`] onto the
-    /// undo stack. `O(log miners)` for moves, insertions, removals, and
-    /// launches; `O(residents × coins)` for a retirement (the forced
-    /// relocations).
+    /// undo stack. An `O(log groups)` key lookup plus amortized-`O(1)`
+    /// slab edits for moves, insertions, removals, and launches;
+    /// `O(residents × coins)` for a retirement (the forced relocations).
     ///
     /// # Errors
     ///
@@ -821,7 +1061,7 @@ impl<'g> MassTracker<'g> {
                 let mut residents: Vec<MinerId> = Vec::new();
                 let gids: Vec<u32> = self.groups.groups_on(coin).collect();
                 for gid in gids {
-                    residents.extend(self.groups.groups[gid as usize].members.iter().copied());
+                    residents.extend_from_slice(self.groups.members(gid));
                 }
                 residents.sort_unstable();
                 // Atomicity precheck: every resident must have somewhere

@@ -1,0 +1,196 @@
+//! Property suite for the arena group index behind the sealed accessor
+//! surface (`gid_of` / `members_of` / `min_member` / `successor_member`
+//! / `member_count`): under random delta churn — including emptied
+//! classes whose member slab is released and later reused by a
+//! retire/relaunch cycle — every query must agree with a scratch
+//! `BTreeSet` oracle rebuilt from the tracker's observable state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use goc_game::{CoinId, Configuration, Delta, Game, MassTracker, MinerId};
+
+/// A random small game plus a random configuration.
+fn game_and_config() -> impl Strategy<Value = (Game, Configuration)> {
+    (3usize..8, 2usize..5).prop_flat_map(|(n, k)| {
+        let powers = proptest::collection::vec(1u64..10, n);
+        let rewards = proptest::collection::vec(1u64..200, k);
+        let assignment = proptest::collection::vec(0usize..k, n);
+        (powers, rewards, assignment).prop_map(|(p, r, a)| {
+            let game = Game::build(&p, &r).expect("valid parameters");
+            let config = Configuration::new(a.into_iter().map(CoinId).collect(), game.system())
+                .expect("valid assignment");
+            (game, config)
+        })
+    })
+}
+
+/// Chooses the next delta from three raw random draws, keeping the
+/// population non-degenerate (≥ 1 active miner, ≥ 1 live coin). The
+/// launch/retire arms drive the slab free-list: retiring a coin empties
+/// its groups (releasing their slabs), relaunching refills them.
+fn choose_delta(tracker: &MassTracker<'_>, op: usize, a: usize, b: usize) -> Option<Delta> {
+    let system = tracker.game().system();
+    let active_miners: Vec<MinerId> = system
+        .miner_ids()
+        .filter(|&p| tracker.is_miner_active(p))
+        .collect();
+    let dormant_miners: Vec<MinerId> = system
+        .miner_ids()
+        .filter(|&p| !tracker.is_miner_active(p))
+        .collect();
+    let live_coins: Vec<CoinId> = system
+        .coin_ids()
+        .filter(|&c| tracker.is_coin_active(c))
+        .collect();
+    let dormant_coins: Vec<CoinId> = system
+        .coin_ids()
+        .filter(|&c| !tracker.is_coin_active(c))
+        .collect();
+    match op % 5 {
+        0 if !active_miners.is_empty() => Some(Delta::Move {
+            miner: active_miners[a % active_miners.len()],
+            to: live_coins[b % live_coins.len()],
+        }),
+        1 if !dormant_miners.is_empty() => Some(Delta::InsertMiner {
+            miner: dormant_miners[a % dormant_miners.len()],
+            coin: if b.is_multiple_of(2) {
+                None
+            } else {
+                Some(live_coins[b % live_coins.len()])
+            },
+        }),
+        2 if active_miners.len() >= 2 => Some(Delta::RemoveMiner {
+            miner: active_miners[a % active_miners.len()],
+        }),
+        3 if !dormant_coins.is_empty() => Some(Delta::LaunchCoin {
+            coin: dormant_coins[a % dormant_coins.len()],
+        }),
+        4 if live_coins.len() >= 2 => Some(Delta::RetireCoin {
+            coin: live_coins[a % live_coins.len()],
+        }),
+        _ => None,
+    }
+}
+
+/// Rebuilds the group partition from scratch as ordered sets keyed by
+/// the tracker's own group ids, then checks every sealed accessor
+/// against it.
+fn assert_matches_oracle(tracker: &MassTracker<'_>) -> Result<(), TestCaseError> {
+    let system = tracker.game().system();
+    let mut oracle: BTreeMap<u32, BTreeSet<MinerId>> = BTreeMap::new();
+    for p in system.miner_ids() {
+        if tracker.is_miner_active(p) {
+            oracle.entry(tracker.gid_of(p)).or_default().insert(p);
+        }
+    }
+
+    for gid in 0..tracker.group_count() as u32 {
+        let members = tracker.members_of(gid);
+        prop_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "group {} iterates out of order: {:?}",
+            gid,
+            members
+        );
+        let expected = oracle.get(&gid).cloned().unwrap_or_default();
+        prop_assert_eq!(
+            members.iter().copied().collect::<BTreeSet<_>>(),
+            expected.clone(),
+            "group {} members diverged",
+            gid
+        );
+        prop_assert_eq!(tracker.member_count(gid), expected.len());
+        prop_assert_eq!(tracker.min_member(gid), expected.first().copied());
+
+        // Successor queries from every interesting start point.
+        let n = system.num_miners();
+        for start in 0..=n {
+            let start = MinerId(start);
+            prop_assert_eq!(
+                tracker.successor_member(gid, start),
+                expected.range(start..).next().copied(),
+                "group {} successor from {} diverged",
+                gid,
+                start
+            );
+        }
+    }
+
+    // Members of one group share a strategic class: same coin, same
+    // power (and in unrestricted games, nothing else splits a class).
+    for (gid, members) in &oracle {
+        let rep = *members.first().expect("oracle groups are nonempty");
+        for &p in members {
+            prop_assert_eq!(tracker.coin_of(p), tracker.coin_of(rep));
+            prop_assert_eq!(system.power_of(p), system.power_of(rep));
+            prop_assert_eq!(tracker.gid_of(p), *gid);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arena accessors agree with the scratch oracle after every delta
+    /// of a random churn sequence, and after the full rewind.
+    #[test]
+    fn arena_index_matches_btree_oracle(
+        (game, start) in game_and_config(),
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 1..40),
+    ) {
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        assert_matches_oracle(&tracker)?;
+        let mut applied = 0usize;
+        for &(op, a, b) in &ops {
+            let Some(delta) = choose_delta(&tracker, op, a, b) else {
+                continue;
+            };
+            if tracker.apply_delta(delta).is_ok() {
+                applied += 1;
+            }
+            assert_matches_oracle(&tracker)?;
+        }
+        for _ in 0..applied {
+            prop_assert!(tracker.undo_delta().is_some());
+            assert_matches_oracle(&tracker)?;
+        }
+    }
+
+    /// Slab reuse keeps emptied-then-refilled classes exact: drain a
+    /// coin's groups via retirement (their slabs go to the free list),
+    /// relaunch, and move miners back onto the coin (the slabs are
+    /// reacquired) — the accessors must stay oracle-exact throughout.
+    #[test]
+    fn retire_relaunch_reuses_slabs_exactly(
+        (game, start) in game_and_config(),
+        coin in 0usize..4,
+        movers in proptest::collection::vec(0usize..64, 1..8),
+    ) {
+        let k = game.system().num_coins();
+        let target = CoinId(coin % k);
+        let mut tracker = MassTracker::new(&game, &start).expect("valid start");
+        if k < 2 {
+            return Ok(());
+        }
+        tracker
+            .apply_delta(Delta::RetireCoin { coin: target })
+            .expect("unrestricted retirement relocates");
+        assert_matches_oracle(&tracker)?;
+        tracker
+            .apply_delta(Delta::LaunchCoin { coin: target })
+            .expect("relaunch of a retired coin");
+        assert_matches_oracle(&tracker)?;
+        let n = game.system().num_miners();
+        for &m in &movers {
+            tracker
+                .apply_delta(Delta::Move { miner: MinerId(m % n), to: target })
+                .expect("move onto the relaunched coin");
+            assert_matches_oracle(&tracker)?;
+        }
+        while tracker.undo_delta().is_some() {}
+        assert_matches_oracle(&tracker)?;
+    }
+}

@@ -349,3 +349,49 @@ proptest! {
         prop_assert_eq!(fork.depth(), 0);
     }
 }
+
+/// The checked-in pre-refactor fixture (written by
+/// `examples/gen_snapshot_fixture.rs` against the tree-based group
+/// index this crate used to ship): frames encoded by *older* internal
+/// layouts must decode into the current one bit-compatibly, and
+/// re-encoding must reproduce the original bytes — the wire format is
+/// layout-proof.
+#[test]
+fn pre_refactor_fixture_decodes_bit_compatibly() {
+    let bytes: &[u8] = include_bytes!("fixtures/snapshot_v1_prerefactor.bin");
+    let decoded = Snapshot::try_from(bytes).expect("historical frame decodes");
+    assert_eq!(
+        decoded.encode().as_slice(),
+        bytes,
+        "re-encoding a historical frame must be byte-identical"
+    );
+
+    // The fixture was captured mid-churn: two dormant miners, a
+    // retired-then-relaunched coin, and a round-robin cursor past zero.
+    let mut fork = decoded.fork();
+    assert_eq!(fork.active_miner_count(), 7);
+    assert_eq!(fork.active_coin_count(), 3);
+    assert!(!fork.is_miner_active(MinerId(4)));
+
+    // The decoded state must agree with a from-scratch rebuild on every
+    // cursor-free observable.
+    let rebuilt = MassTracker::with_activity(
+        decoded.game(),
+        decoded.config(),
+        decoded.miner_activity(),
+        decoded.coin_activity(),
+    )
+    .expect("decoded state is valid");
+    assert_eq!(fork.masses(), rebuilt.masses());
+    assert_eq!(fork.improving_moves(), rebuilt.improving_moves());
+
+    // And it must still drive the dynamics: converge from here.
+    let mut steps = 0;
+    while let Some(mv) = fork.find_improving_move() {
+        assert!(fork.is_better_response(mv.miner, mv.to));
+        fork.apply(mv.miner, mv.to);
+        steps += 1;
+        assert!(steps < 10_000, "did not converge");
+    }
+    assert!(fork.is_stable());
+}

@@ -166,6 +166,14 @@ pub enum LearningError {
         /// The underlying delta validation error.
         error: GameError,
     },
+    /// [`Dynamics::from_snapshot`] was given a snapshot whose game does
+    /// not equal the builder's game — the fork would evaluate the wrong
+    /// payoffs.
+    SnapshotMismatch,
+    /// [`Dynamics::run`] was called without a starting state: none of
+    /// [`Dynamics::start`], [`Dynamics::from_snapshot`], or
+    /// [`Dynamics::from_tracker`] was provided.
+    MissingStart,
 }
 
 impl fmt::Display for LearningError {
@@ -181,6 +189,18 @@ impl fmt::Display for LearningError {
             LearningError::SchedulerFailed(err) => write!(f, "{err}"),
             LearningError::ChurnRejected { step, error } => {
                 write!(f, "churn delta rejected at step {step}: {error}")
+            }
+            LearningError::SnapshotMismatch => {
+                write!(
+                    f,
+                    "snapshot captures a different game than the dynamics run"
+                )
+            }
+            LearningError::MissingStart => {
+                write!(
+                    f,
+                    "dynamics need a starting state (start, from_snapshot, or from_tracker)"
+                )
             }
         }
     }
@@ -221,7 +241,11 @@ pub fn run(
     scheduler: &mut dyn Scheduler,
     options: LearningOptions,
 ) -> Result<LearningOutcome, LearningError> {
-    run_with_observer(game, start, scheduler, options, |_, _| {})
+    Dynamics::new(game)
+        .start(start)
+        .scheduler(scheduler)
+        .options(options)
+        .run()
 }
 
 /// [`run`] with a per-step observer called *after* each applied move with
@@ -232,16 +256,14 @@ pub fn run_with_observer(
     start: &Configuration,
     scheduler: &mut dyn Scheduler,
     options: LearningOptions,
-    observer: impl FnMut(&Configuration, Move),
+    mut observer: impl FnMut(&Configuration, Move),
 ) -> Result<LearningOutcome, LearningError> {
-    run_engine(
-        game,
-        start,
-        scheduler,
-        options,
-        &ChurnPlan::default(),
-        observer,
-    )
+    Dynamics::new(game)
+        .start(start)
+        .scheduler(scheduler)
+        .options(options)
+        .observer(&mut observer)
+        .run()
 }
 
 /// [`run`] over a **churning** population: the plan's activity masks set
@@ -264,7 +286,12 @@ pub fn run_with_churn(
     options: LearningOptions,
     plan: &ChurnPlan,
 ) -> Result<LearningOutcome, LearningError> {
-    run_engine(game, start, scheduler, options, plan, |_, _| {})
+    Dynamics::new(game)
+        .start(start)
+        .scheduler(scheduler)
+        .options(options)
+        .churn(plan)
+        .run()
 }
 
 /// Builds the tracker for a plan's initial activity state.
@@ -285,15 +312,18 @@ fn churn_tracker<'g>(
         .map_err(|error| LearningError::ChurnRejected { step: 0, error })
 }
 
-fn run_engine(
-    game: &Game,
-    start: &Configuration,
+/// The scheduled engine: churn interleaving and scheduler picks over a
+/// [`MoveSource`] built on `tracker`. The plan's activity masks are not
+/// consulted — the tracker already carries its activity state.
+fn scheduled_engine(
+    tracker: MassTracker<'_>,
     scheduler: &mut dyn Scheduler,
     options: LearningOptions,
     plan: &ChurnPlan,
-    mut observer: impl FnMut(&Configuration, Move),
+    observer: &mut dyn FnMut(&Configuration, Move),
+    mut hook: Option<CheckpointHook<'_>>,
 ) -> Result<LearningOutcome, LearningError> {
-    let mut source = MoveSource::over(churn_tracker(game, start, plan)?);
+    let mut source = MoveSource::over(tracker);
     // The run never rewinds; don't retain an O(steps) undo history.
     source.set_undo_recording(false);
     let order = plan.order();
@@ -372,6 +402,11 @@ fn run_engine(
         }
         observer(source.config(), mv);
         steps += 1;
+        if let Some(hook) = hook.as_mut() {
+            if steps.is_multiple_of(hook.every.max(1)) {
+                (hook.sink)(steps, Snapshot::of(source.tracker()));
+            }
+        }
     }
 }
 
@@ -413,7 +448,7 @@ pub fn run_incremental(
     start: &Configuration,
     options: LearningOptions,
 ) -> Result<LearningOutcome, LearningError> {
-    run_incremental_with_churn(game, start, options, &ChurnPlan::default())
+    Dynamics::new(game).start(start).options(options).run()
 }
 
 /// [`run_incremental`] over a **churning** population: the scheduler-free
@@ -431,7 +466,11 @@ pub fn run_incremental_with_churn(
     options: LearningOptions,
     plan: &ChurnPlan,
 ) -> Result<LearningOutcome, LearningError> {
-    run_incremental_from(churn_tracker(game, start, plan)?, options, plan, None)
+    Dynamics::new(game)
+        .start(start)
+        .options(options)
+        .churn(plan)
+        .run()
 }
 
 /// A periodic checkpoint sink for long churny runs: every `every`
@@ -462,10 +501,30 @@ pub struct CheckpointHook<'a> {
 /// # Errors
 ///
 /// As [`run_incremental_with_churn`].
-pub fn run_incremental_from(
+pub fn run_incremental_from<'g, 'a>(
+    tracker: MassTracker<'g>,
+    options: LearningOptions,
+    plan: &'a ChurnPlan,
+    hook: Option<CheckpointHook<'a>>,
+) -> Result<LearningOutcome, LearningError> {
+    let mut builder = Dynamics::new(tracker.game())
+        .from_tracker(tracker)
+        .options(options)
+        .churn(plan);
+    if let Some(hook) = hook {
+        builder = builder.checkpoint(hook);
+    }
+    builder.run()
+}
+
+/// The scheduler-free engine: churn interleaving and the tracker's own
+/// group round-robin ([`MassTracker::find_improving_move`]) — the
+/// leanest loop, and the recorded `BENCH_*.json` dynamics workload.
+fn incremental_engine(
     mut tracker: MassTracker<'_>,
     options: LearningOptions,
     plan: &ChurnPlan,
+    observer: &mut dyn FnMut(&Configuration, Move),
     mut hook: Option<CheckpointHook<'_>>,
 ) -> Result<LearningOutcome, LearningError> {
     // The run never rewinds; don't retain an O(steps) undo history.
@@ -529,11 +588,196 @@ pub fn run_incremental_from(
         if options.record_path {
             path.push(mv);
         }
+        observer(tracker.config(), mv);
         steps += 1;
         if let Some(hook) = hook.as_mut() {
             if steps.is_multiple_of(hook.every.max(1)) {
                 (hook.sink)(steps, Snapshot::of(&tracker));
             }
+        }
+    }
+}
+
+/// A borrowed step observer: called with the configuration *after* each
+/// executed move, and the move itself.
+type Observer<'a> = &'a mut dyn FnMut(&Configuration, Move);
+
+/// The **single entry point** of the learning engine: a builder that
+/// assembles a better-response run from its independent ingredients —
+/// where to start (a configuration, a [`Snapshot`], or a live
+/// [`MassTracker`]), who picks the moves (a [`Scheduler`], or the
+/// tracker's own group round-robin when none is given), what churns
+/// (a [`ChurnPlan`]), and what watches (a per-step observer and/or a
+/// periodic [`CheckpointHook`]).
+///
+/// The classic `run*` functions are thin wrappers over this builder and
+/// remain for callers that want the narrow signatures; new call sites
+/// should come through here.
+///
+/// Starting-state precedence when several are set:
+/// [`Dynamics::from_tracker`] > [`Dynamics::from_snapshot`] >
+/// [`Dynamics::start`]. With a tracker or snapshot start, the churn
+/// plan's activity *masks* are ignored (the forked state already
+/// carries its activity); only the delta stream is consulted.
+///
+/// # Examples
+///
+/// The scheduler-free incremental engine (the `BENCH_*.json` dynamics
+/// workload):
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, Game};
+/// use goc_learning::Dynamics;
+///
+/// let game = Game::build(&[3, 3, 1, 1], &[6, 2])?;
+/// let start = Configuration::uniform(CoinId(0), game.system())?;
+/// let outcome = Dynamics::new(&game).start(&start).run()?;
+/// assert!(outcome.converged);
+/// assert!(game.is_stable(&outcome.final_config));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// A scheduled run with an observer:
+///
+/// ```
+/// use goc_game::{CoinId, Configuration, Game};
+/// use goc_learning::{Dynamics, RoundRobin};
+///
+/// let game = Game::build(&[2, 1], &[1, 1])?;
+/// let start = Configuration::uniform(CoinId(0), game.system())?;
+/// let mut trace = Vec::new();
+/// let outcome = Dynamics::new(&game)
+///     .start(&start)
+///     .scheduler(&mut RoundRobin::new())
+///     .observer(&mut |_, mv| trace.push(mv))
+///     .run()?;
+/// assert_eq!(trace.len(), outcome.steps);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Dynamics<'g, 'a> {
+    game: &'g Game,
+    start: Option<Configuration>,
+    snapshot: Option<&'a Snapshot>,
+    tracker: Option<MassTracker<'g>>,
+    scheduler: Option<&'a mut dyn Scheduler>,
+    options: LearningOptions,
+    plan: Option<&'a ChurnPlan>,
+    observer: Option<Observer<'a>>,
+    hook: Option<CheckpointHook<'a>>,
+}
+
+impl<'g, 'a> Dynamics<'g, 'a> {
+    /// Starts assembling a run over `game` with default options, no
+    /// churn, and the scheduler-free incremental engine.
+    pub fn new(game: &'g Game) -> Self {
+        Dynamics {
+            game,
+            start: None,
+            snapshot: None,
+            tracker: None,
+            scheduler: None,
+            options: LearningOptions::default(),
+            plan: None,
+            observer: None,
+            hook: None,
+        }
+    }
+
+    /// Starts from `start` (validated against the game's system when the
+    /// run launches; the churn plan's activity masks, if any, set the
+    /// time-zero universe state).
+    pub fn start(mut self, start: &Configuration) -> Self {
+        self.start = Some(start.clone());
+        self
+    }
+
+    /// Warm-starts from a [`Snapshot`]: the run forks the captured
+    /// state onto the builder's game ([`LearningError::SnapshotMismatch`]
+    /// if they differ), resuming the round-robin exactly where the
+    /// original stood.
+    pub fn from_snapshot(mut self, snapshot: &'a Snapshot) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Warm-starts from a live tracker — a [`Snapshot::fork`], a
+    /// checkpoint restore, or any tracker mid-dynamics.
+    pub fn from_tracker(mut self, tracker: MassTracker<'g>) -> Self {
+        self.tracker = Some(tracker);
+        self
+    }
+
+    /// Lets `scheduler` pick the moves (through the incremental
+    /// [`MoveSource`] protocol). Without a scheduler the run uses the
+    /// tracker's own group round-robin — the leanest loop.
+    pub fn scheduler(mut self, scheduler: &'a mut dyn Scheduler) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Sets the run options (step cap, path recording, potential audit).
+    pub fn options(mut self, options: LearningOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Interleaves `plan`'s delta stream with the dynamics (see
+    /// [`ChurnPlan`]).
+    pub fn churn(mut self, plan: &'a ChurnPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Calls `observer` after every applied move with the new
+    /// configuration.
+    pub fn observer(mut self, observer: &'a mut dyn FnMut(&Configuration, Move)) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Captures a [`Snapshot`] every `hook.every` steps (see
+    /// [`CheckpointHook`]).
+    pub fn checkpoint(mut self, hook: CheckpointHook<'a>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Launches the run.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearningError::MissingStart`] without a starting state.
+    /// * [`LearningError::SnapshotMismatch`] if a snapshot start
+    ///   captures a different game.
+    /// * The engine errors of the classic entry points:
+    ///   [`LearningError::NotABetterResponse`],
+    ///   [`LearningError::PotentialViolation`],
+    ///   [`LearningError::SchedulerFailed`],
+    ///   [`LearningError::ChurnRejected`].
+    pub fn run(self) -> Result<LearningOutcome, LearningError> {
+        let default_plan = ChurnPlan::default();
+        let plan = self.plan.unwrap_or(&default_plan);
+        let tracker = if let Some(tracker) = self.tracker {
+            tracker
+        } else if let Some(snapshot) = self.snapshot {
+            snapshot
+                .fork_into(self.game)
+                .map_err(|_| LearningError::SnapshotMismatch)?
+        } else if let Some(start) = &self.start {
+            churn_tracker(self.game, start, plan)?
+        } else {
+            return Err(LearningError::MissingStart);
+        };
+        let mut noop = |_: &Configuration, _: Move| {};
+        let observer: &mut dyn FnMut(&Configuration, Move) = match self.observer {
+            Some(observer) => observer,
+            None => &mut noop,
+        };
+        match self.scheduler {
+            Some(scheduler) => {
+                scheduled_engine(tracker, scheduler, self.options, plan, observer, self.hook)
+            }
+            None => incremental_engine(tracker, self.options, plan, observer, self.hook),
         }
     }
 }
@@ -1091,6 +1335,83 @@ mod tests {
         assert!(resumed.converged);
         assert_eq!(resumed.final_config, full.final_config);
         assert_eq!(resumed.steps + at, full.steps);
+    }
+
+    #[test]
+    fn builder_without_a_start_is_rejected() {
+        let game = goc_game::paper::btc_bch_toy();
+        assert_eq!(
+            Dynamics::new(&game).run().err(),
+            Some(LearningError::MissingStart)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_a_foreign_snapshot() {
+        let game = Game::build(&[2, 1], &[1, 1]).unwrap();
+        let other = Game::build(&[3, 1], &[1, 1]).unwrap();
+        let start = Configuration::uniform(CoinId(0), other.system()).unwrap();
+        let tracker = goc_game::MassTracker::new(&other, &start).unwrap();
+        let snap = Snapshot::of(&tracker);
+        assert_eq!(
+            Dynamics::new(&game).from_snapshot(&snap).run().err(),
+            Some(LearningError::SnapshotMismatch)
+        );
+    }
+
+    #[test]
+    fn builder_snapshot_start_matches_the_cold_run() {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let cold = Dynamics::new(&game).start(&start).run().unwrap();
+        let tracker = goc_game::MassTracker::new(&game, &start).unwrap();
+        let snap = Snapshot::of(&tracker);
+        let warm = Dynamics::new(&game).from_snapshot(&snap).run().unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.steps, cold.steps);
+        assert_eq!(warm.final_config, cold.final_config);
+    }
+
+    #[test]
+    fn builder_observes_the_incremental_engine() {
+        // The observer hook now also covers the scheduler-free loop; it
+        // must see every applied move in order.
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[9, 6, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        let mut trace = Vec::new();
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .options(LearningOptions {
+                record_path: true,
+                ..LearningOptions::default()
+            })
+            .observer(&mut |_, mv| trace.push(mv))
+            .run()
+            .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(trace, outcome.path);
+    }
+
+    #[test]
+    fn builder_and_wrappers_agree_on_every_scheduler() {
+        let game = Game::build(&[5, 3, 3, 2, 1], &[9, 4, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        for kind in SchedulerKind::ALL {
+            let via_wrapper = run(
+                &game,
+                &start,
+                kind.build(7).as_mut(),
+                LearningOptions::default(),
+            )
+            .unwrap();
+            let via_builder = Dynamics::new(&game)
+                .start(&start)
+                .scheduler(kind.build(7).as_mut())
+                .run()
+                .unwrap();
+            assert_eq!(via_wrapper.steps, via_builder.steps, "{kind} diverged");
+            assert_eq!(via_wrapper.final_config, via_builder.final_config);
+        }
     }
 
     #[test]

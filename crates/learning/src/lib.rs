@@ -7,15 +7,21 @@
 //! round-robin best response to adversarially slow min-gain) and audit the
 //! ordinal-potential monotonicity along the way.
 //!
+//! Every run is assembled by the [`Dynamics`] builder — the single entry
+//! point; the classic `run*` functions are thin wrappers over it.
+//!
 //! ```
 //! use goc_game::{CoinId, Configuration, Game};
-//! use goc_learning::{run, LearningOptions, SchedulerKind};
+//! use goc_learning::{Dynamics, SchedulerKind};
 //!
 //! let game = Game::build(&[5, 3, 2], &[9, 4])?;
 //! let start = Configuration::uniform(CoinId(0), game.system())?;
 //! for kind in SchedulerKind::ALL {
 //!     let mut sched = kind.build(42);
-//!     let outcome = run(&game, &start, sched.as_mut(), LearningOptions::default())?;
+//!     let outcome = Dynamics::new(&game)
+//!         .start(&start)
+//!         .scheduler(sched.as_mut())
+//!         .run()?;
 //!     assert!(outcome.converged); // Theorem 1, for every scheduler
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -31,8 +37,8 @@ pub mod stats;
 
 pub use dynamics::{
     converge, run, run_incremental, run_incremental_from, run_incremental_with_churn,
-    run_with_churn, run_with_observer, CheckpointHook, ChurnEvent, ChurnPlan, LearningError,
-    LearningOptions, LearningOutcome,
+    run_with_churn, run_with_observer, CheckpointHook, ChurnEvent, ChurnPlan, Dynamics,
+    LearningError, LearningOptions, LearningOutcome,
 };
 pub use scheduler::{
     LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerError, SchedulerKind,
