@@ -26,6 +26,42 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use goc_telemetry::{Counter, Registry};
+
+/// Telemetry handles for the executor's scheduling decisions — lock-free
+/// counters ticked from inside the worker loop (one relaxed increment
+/// per event; detached and free when the registry is disabled).
+///
+/// A task is **stolen** when the worker that claimed it is not the
+/// worker that would own its index under a static round-robin partition
+/// (`index % threads`): zero when the workers advance in lockstep,
+/// growing exactly when dynamic claiming absorbs load imbalance — the
+/// property the work-stealing counter exists to provide.
+#[derive(Debug, Clone)]
+pub struct ExecutorMetrics {
+    /// Tasks claimed by a worker (`goc_ensemble_replicas_started_total`).
+    pub started: Counter,
+    /// Tasks that ran to completion without panicking
+    /// (`goc_ensemble_replicas_finished_total`).
+    pub finished: Counter,
+    /// Tasks claimed off another worker's static share
+    /// (`goc_ensemble_steals_total`).
+    pub stolen: Counter,
+}
+
+impl ExecutorMetrics {
+    /// Registers the ensemble executor's counter family on `registry`.
+    /// (The fields are public, so a different subsystem riding
+    /// [`run_indexed_recorded`] can assemble its own names instead.)
+    pub fn register(registry: &Registry) -> Self {
+        ExecutorMetrics {
+            started: registry.counter("goc_ensemble_replicas_started_total"),
+            finished: registry.counter("goc_ensemble_replicas_finished_total"),
+            stolen: registry.counter("goc_ensemble_steals_total"),
+        }
+    }
+}
+
 /// A task panicked inside the executor: the failing item's index plus
 /// the stringified panic payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,13 +125,43 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_indexed_recorded(count, threads, task, None)
+}
+
+/// [`run_indexed`] with scheduling telemetry: every claim, completion,
+/// and steal ticks the corresponding [`ExecutorMetrics`] counter. With
+/// `None` (what [`run_indexed`] passes) the loop is byte-for-byte the
+/// uninstrumented one.
+///
+/// # Errors
+///
+/// As [`run_indexed`].
+pub fn run_indexed_recorded<R, F>(
+    count: usize,
+    threads: usize,
+    task: F,
+    metrics: Option<&ExecutorMetrics>,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let threads = threads.max(1).min(count.max(1));
     if threads <= 1 || count <= 1 {
-        // Sequential fast path with the same panic contract.
+        // Sequential fast path with the same panic contract (one worker
+        // owns every index, so nothing is ever stolen).
         let mut out = Vec::with_capacity(count);
         for index in 0..count {
+            if let Some(metrics) = metrics {
+                metrics.started.inc();
+            }
             match catch_unwind(AssertUnwindSafe(|| task(index))) {
-                Ok(r) => out.push(r),
+                Ok(r) => {
+                    if let Some(metrics) = metrics {
+                        metrics.finished.inc();
+                    }
+                    out.push(r);
+                }
                 Err(payload) => {
                     return Err(WorkerPanic {
                         index,
@@ -113,8 +179,10 @@ where
     // it claimed from the counter, so the locks are uncontended.
     let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        for worker in 0..threads {
+            let (next, failed, first_panic) = (&next, &failed, &first_panic);
+            let (slots, task) = (&slots, &task);
+            scope.spawn(move || loop {
                 if failed.load(Ordering::Relaxed) {
                     break;
                 }
@@ -122,11 +190,22 @@ where
                 if index >= count {
                     break;
                 }
+                if let Some(metrics) = metrics {
+                    metrics.started.inc();
+                    if index % threads != worker {
+                        metrics.stolen.inc();
+                    }
+                }
                 // `AssertUnwindSafe`: the closure only writes through the
                 // per-index slot below on success, so a panic leaves no
                 // broken shared state behind.
                 match catch_unwind(AssertUnwindSafe(|| task(index))) {
-                    Ok(r) => *slots[index].lock().expect("slot lock is panic-free") = Some(r),
+                    Ok(r) => {
+                        *slots[index].lock().expect("slot lock is panic-free") = Some(r);
+                        if let Some(metrics) = metrics {
+                            metrics.finished.inc();
+                        }
+                    }
                     Err(payload) => {
                         let mut slot = first_panic.lock().expect("panic slot is panic-free");
                         if slot.as_ref().is_none_or(|p| index < p.index) {
@@ -222,6 +301,53 @@ mod tests {
         let err =
             run_indexed(1, 1, |_| -> usize { panic!("{}", String::from("owned")) }).unwrap_err();
         assert_eq!(err.message, "owned");
+    }
+
+    #[test]
+    fn metrics_count_claims_completions_and_steals() {
+        for threads in [1, 4] {
+            let registry = Registry::new();
+            let metrics = ExecutorMetrics::register(&registry);
+            let out = run_indexed_recorded(40, threads, |i| i, Some(&metrics)).unwrap();
+            assert_eq!(out.len(), 40);
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter("goc_ensemble_replicas_started_total"),
+                Some(40)
+            );
+            assert_eq!(
+                snap.counter("goc_ensemble_replicas_finished_total"),
+                Some(40)
+            );
+            let steals = snap.counter("goc_ensemble_steals_total").unwrap();
+            assert!(steals <= 40, "steals bounded by claims");
+            if threads == 1 {
+                assert_eq!(steals, 0, "one worker owns every index");
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_tasks_start_but_never_finish() {
+        let registry = Registry::new();
+        let metrics = ExecutorMetrics::register(&registry);
+        let err = run_indexed_recorded(
+            8,
+            1,
+            |i| {
+                assert!(i != 3, "boom");
+                i
+            },
+            Some(&metrics),
+        )
+        .unwrap_err();
+        assert_eq!(err.index, 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("goc_ensemble_replicas_started_total"), Some(4));
+        assert_eq!(
+            snap.counter("goc_ensemble_replicas_finished_total"),
+            Some(3)
+        );
     }
 
     #[test]

@@ -43,10 +43,12 @@ use goc_learning::{
 use goc_sim::fixtures::{scale_churn_base, scale_class_game};
 use goc_sim::{churn_timeline, churn_universe, stride_deltas, ChurnSpec, ScenarioSpec};
 
+use goc_telemetry::Registry;
+
 use aggregate::{
     EquilibriumCensus, EquilibriumKey, FingerprintIndex, QuantileSketch, Welford, WelfordSummary,
 };
-use executor::{replica_seed, run_indexed};
+use executor::{replica_seed, run_indexed_recorded, ExecutorMetrics};
 
 /// Resolution (fraction of a rig's hashrate) used when quantizing churn
 /// scenarios to integer game powers — the same constant the `churn`
@@ -551,15 +553,39 @@ fn shared_snapshot(spec: &EnsembleSpec) -> Result<Option<Snapshot>, String> {
 /// # Ok::<(), goc_analysis::ensemble::EnsembleError>(())
 /// ```
 pub fn run(spec: &EnsembleSpec, threads: usize) -> Result<EnsembleReport, EnsembleError> {
+    run_recorded(spec, threads, &Registry::disabled())
+}
+
+/// [`run`] with telemetry: executor scheduling counters
+/// ([`executor::ExecutorMetrics`] — replicas started / finished /
+/// stolen) and the `goc_ensemble_replica_wall_secs` histogram land on
+/// `registry`. The registry only ever sees wall-clock and scheduling
+/// facts — the [`EnsembleAggregate`] fold is untouched, so
+/// [`EnsembleReport::deterministic_json`] is bit-identical with any
+/// registry (the determinism suite pins this).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_recorded(
+    spec: &EnsembleSpec,
+    threads: usize,
+    registry: &Registry,
+) -> Result<EnsembleReport, EnsembleError> {
     spec.validate()?;
+    let metrics = ExecutorMetrics::register(registry);
+    let wall_hist = registry.histogram("goc_ensemble_replica_wall_secs");
     let clock = Instant::now();
     // One universe, encoded and decoded once; every replica forks the
     // decoded image instead of rebuilding its own (see `replica_with`).
     let shared =
         shared_snapshot(spec).map_err(|error| EnsembleError::Replica { replica: 0, error })?;
-    let results = run_indexed(spec.replicas, threads, |index| {
-        replica_with(spec, shared.as_ref(), index)
-    })
+    let results = run_indexed_recorded(
+        spec.replicas,
+        threads,
+        |index| replica_with(spec, shared.as_ref(), index),
+        Some(&metrics),
+    )
     .map_err(EnsembleError::Panicked)?;
     // First failing replica (results are index-ordered) wins.
     let mut records = Vec::with_capacity(results.len());
@@ -579,6 +605,7 @@ pub fn run(spec: &EnsembleSpec, threads: usize) -> Result<EnsembleReport, Ensemb
         steps.push(record.steps as f64);
         steps_sketch.push(record.steps as f64);
         replica_wall.push(record.wall_secs);
+        wall_hist.observe(record.wall_secs);
         churn_deltas += record.churn_applied as u64;
         if record.converged {
             converged += 1;
@@ -677,6 +704,38 @@ mod tests {
         // Thread invariance holds under churn too.
         let again = run(&spec, 5).unwrap();
         assert_eq!(report.aggregate, again.aggregate);
+    }
+
+    #[test]
+    fn telemetry_never_reaches_the_deterministic_report() {
+        // The determinism guard: an enabled registry observes the run
+        // (scheduling counters + wall histogram) without perturbing the
+        // aggregate or leaking into `deterministic_json`.
+        let spec = EnsembleSpec::new(24, 10, 7);
+        let bare = run(&spec, 2).unwrap();
+        let registry = Registry::new();
+        let recorded = run_recorded(&spec, 3, &registry).unwrap();
+        assert_eq!(bare.aggregate, recorded.aggregate);
+        assert_eq!(bare.deterministic_json(), recorded.deterministic_json());
+        assert!(
+            !recorded.deterministic_json().contains("goc_ensemble"),
+            "metric names must not appear in the deterministic report"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("goc_ensemble_replicas_started_total"),
+            Some(10)
+        );
+        assert_eq!(
+            snap.counter("goc_ensemble_replicas_finished_total"),
+            Some(10)
+        );
+        assert_eq!(
+            snap.histogram("goc_ensemble_replica_wall_secs")
+                .unwrap()
+                .count,
+            10
+        );
     }
 
     #[test]

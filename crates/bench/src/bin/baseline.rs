@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_8.json`):
+//! (`BENCH_9.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -30,7 +30,11 @@
 //!   codec over the 100k-miner tracker: `Snapshot::of` + `encode`,
 //!   `TryFrom<&[u8]>` (full frame + semantic revalidation), and
 //!   `fork_at` (the population fork the ensemble engine performs per
-//!   replica; best of two batches each).
+//!   replica; best of two batches each);
+//! * **telemetry steps/sec** — the dynamics workload again, but run
+//!   through the `Dynamics` builder with a live `DynamicsTelemetry` on
+//!   an enabled registry, gating the cost of per-step/per-delta
+//!   relaxed-atomic instrumentation.
 //!
 //! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
 //! it re-measures the *same* workloads at the miner counts recorded in
@@ -45,14 +49,14 @@
 //! gate by pointing it at an old recording.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_8.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_9.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_8.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_9.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_8.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_9.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -63,11 +67,13 @@ use std::time::Instant;
 use goc_analysis::ensemble::{run as run_ensemble, EnsembleSpec};
 use goc_game::{CoinId, Configuration, MassTracker, Snapshot};
 use goc_learning::{
-    run, run_incremental, run_incremental_with_churn, ChurnPlan, LearningOptions, SchedulerKind,
+    run, run_incremental, run_incremental_with_churn, ChurnPlan, Dynamics, DynamicsTelemetry,
+    LearningOptions, SchedulerKind,
 };
 use goc_proto::{Client, ReportPayload, Request, Response};
 use goc_server::{EnsembleOnlyBackend, Server, ServerConfig};
 use goc_sim::fixtures::{scale_churn_scenario, scale_class_game, scale_cohort_scenario};
+use goc_telemetry::Registry;
 use serde::{Deserialize, Serialize};
 
 /// Largest recorded miner count the gate will re-measure. Each miner
@@ -141,9 +147,8 @@ struct SnapshotBaseline {
     fork: LayerBaseline,
 }
 
-/// The `BENCH_8.json` schema (same shape as `BENCH_7.json`, re-recorded
-/// after the flat group-index refactor; a superset of `BENCH_6.json`: the
-/// `snapshot` section is new and optional on read, so `--check` also
+/// The `BENCH_9.json` schema (a superset of `BENCH_8.json`: the
+/// `telemetry` section is new and optional on read, so `--check` also
 /// accepts the older files — with a loud warning for every layer the
 /// file is missing).
 #[derive(Debug, Serialize, Deserialize)]
@@ -174,6 +179,12 @@ struct Baseline {
     /// Binary snapshot codec throughput (encode/decode/fork ops/sec;
     /// absent in pre-7 baselines).
     snapshot: Option<SnapshotBaseline>,
+    /// Instrumented dynamics: the `dynamics` workload run with a live
+    /// `DynamicsTelemetry` on an enabled registry, so every step and
+    /// churn delta ticks relaxed atomics (steps/sec; absent in pre-9
+    /// baselines). Gating it alongside `dynamics` keeps telemetry
+    /// overhead inside the same regression envelope as the bare engine.
+    telemetry: Option<LayerBaseline>,
 }
 
 fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
@@ -369,6 +380,48 @@ fn snapshot_baseline(n: usize, repeats: usize) -> SnapshotBaseline {
     }
 }
 
+fn telemetry_baseline(n: usize, repeats: usize) -> LayerBaseline {
+    // The telemetry hot-path contract, measured: the exact `dynamics`
+    // workload, but driven through the `Dynamics` builder with a live
+    // `DynamicsTelemetry` attached to an *enabled* registry — every
+    // step and delta is a relaxed-atomic increment. The recorded
+    // steps/sec is gated like any other layer, so instrumentation
+    // cannot silently grow a lock or an allocation per event.
+    let game = scale_class_game(n);
+    let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
+    let registry = Registry::new();
+    let mut best = f64::INFINITY;
+    let mut steps = 0usize;
+    for _ in 0..repeats {
+        let mut telemetry = DynamicsTelemetry::register(&registry);
+        let clock = Instant::now();
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut telemetry)
+            .run()
+            .expect("instrumented dynamics converge");
+        let wall = clock.elapsed().as_secs_f64();
+        assert!(outcome.converged, "instrumented dynamics did not converge");
+        telemetry.observe_run(&outcome, wall);
+        best = best.min(wall);
+        steps = outcome.steps;
+    }
+    // Deterministic dynamics: every repeat walks the same steps, and
+    // the registry (shared across repeats by metric name) must have
+    // counted all of them.
+    assert_eq!(
+        registry.snapshot().counter("goc_dynamics_steps_total"),
+        Some((steps * repeats) as u64),
+        "telemetry missed steps"
+    );
+    LayerBaseline {
+        miners: n,
+        work: steps as u64,
+        wall_secs: best,
+        per_sec: steps as f64 / best.max(1e-9),
+    }
+}
+
 fn server_baseline(n: usize, requests: usize, repeats: usize) -> LayerBaseline {
     // End to end over real loopback TCP: framing, admission control,
     // and the dispatch of each `RunEnsemble` onto the shared executor.
@@ -433,7 +486,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         SERVER_REQUESTS
     };
     let baseline = Baseline {
-        baseline: 8,
+        baseline: 9,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -448,6 +501,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         ensemble: Some(ensemble_baseline(n, ENSEMBLE_REPLICAS, 2)),
         server: Some(server_baseline(SERVER_MINERS, server_requests, 2)),
         snapshot: Some(snapshot_baseline(n, 2)),
+        telemetry: Some(telemetry_baseline(n, 2)),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -496,6 +550,17 @@ fn record(quick: bool, out: &Path) -> ExitCode {
                 label, layer.miners, layer.work, layer.wall_secs, layer.per_sec
             );
         }
+    }
+    if let Some(telemetry) = &baseline.telemetry {
+        println!(
+            "telemetry: {} miners, {} steps in {:.3} s -> {:.0} steps/sec instrumented \
+             ({:.0}% of bare dynamics)",
+            telemetry.miners,
+            telemetry.work,
+            telemetry.wall_secs,
+            telemetry.per_sec,
+            100.0 * telemetry.per_sec / baseline.dynamics.per_sec.max(1e-9)
+        );
     }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     match std::fs::write(out, json + "\n") {
@@ -585,6 +650,7 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         ("ensemble", recorded.ensemble.is_none()),
         ("server", recorded.server.is_none()),
         ("snapshot", recorded.snapshot.is_none()),
+        ("telemetry", recorded.telemetry.is_none()),
     ]
     .into_iter()
     .filter_map(|(layer, absent)| absent.then_some(layer))
@@ -616,6 +682,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         layers.push(("snapshot/encode", &snapshot.encode));
         layers.push(("snapshot/decode", &snapshot.decode));
         layers.push(("snapshot/fork", &snapshot.fork));
+    }
+    if let Some(telemetry) = &recorded.telemetry {
+        layers.push(("telemetry", telemetry));
     }
     for (label, layer) in &layers {
         if let Err(e) = checkable(label, layer) {
@@ -717,6 +786,15 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
             gate(label, measured, recorded, tolerance, &mut regressed);
         }
     }
+    if let Some(telemetry) = &recorded.telemetry {
+        gate(
+            "telemetry",
+            &telemetry_baseline(telemetry.miners, 2),
+            telemetry,
+            tolerance,
+            &mut regressed,
+        );
+    }
     if ok && regressed.is_empty() {
         println!("perf gate passed");
         ExitCode::SUCCESS
@@ -734,9 +812,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_8.json")
+        repo_root.join("BENCH_9.json")
     } else {
-        PathBuf::from("BENCH_8.json")
+        PathBuf::from("BENCH_9.json")
     }
 }
 

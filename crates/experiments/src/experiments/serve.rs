@@ -27,7 +27,10 @@
 //!   by name and the session keeps working;
 //! * **graceful drain**: `Shutdown` stops the accept loop, in-flight
 //!   work completes, and the server's served/rejected counters match
-//!   the plan exactly;
+//!   the plan exactly — and the telemetry registry's ledger (served,
+//!   per-reason rejections, sessions, in-flight gauge) agrees with the
+//!   drain summary, with the wake-up ping counted as neither a session
+//!   nor a rejection;
 //! * **latency**: request p99 stays inside the wall budget (the only
 //!   timing-dependent check, named `wall` so goldens keep the verdict
 //!   and drop the numbers).
@@ -52,6 +55,7 @@ use goc_proto::{
     Response,
 };
 use goc_server::{Backend, EnsembleOnlyBackend, Server, ServerConfig, ServerSummary};
+use goc_telemetry::Registry;
 
 use crate::service::RegistryBackend;
 use crate::{Experiment, RunContext};
@@ -232,15 +236,21 @@ fn run_load_client(
     out
 }
 
+/// What [`boot`] hands back: the bound address, the server's live
+/// telemetry registry, and the join handle of the serving thread.
+type BootedServer = (
+    SocketAddr,
+    Registry,
+    JoinHandle<Result<ServerSummary, String>>,
+);
+
 /// Boots a server on an ephemeral port, running it on its own thread.
-fn boot(
-    config: ServerConfig,
-    backend: Box<dyn Backend>,
-) -> Result<(SocketAddr, JoinHandle<Result<ServerSummary, String>>), String> {
+fn boot(config: ServerConfig, backend: Box<dyn Backend>) -> Result<BootedServer, String> {
     let server = Server::bind(config, backend).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let registry = server.registry();
     let handle = std::thread::spawn(move || server.run().map_err(|e| e.to_string()));
-    Ok((addr, handle))
+    Ok((addr, registry, handle))
 }
 
 /// Asks the server to drain, retrying while a just-dropped client's
@@ -401,7 +411,7 @@ impl Serve {
             threads: LOAD_THREADS,
             ..ServerConfig::default()
         };
-        let (addr, handle) = match boot(config, Box::new(RegistryBackend)) {
+        let (addr, registry, handle) = match boot(config, Box::new(RegistryBackend)) {
             Ok(booted) => booted,
             Err(e) => {
                 report.check("load_server_boots", false, e);
@@ -437,10 +447,10 @@ impl Serve {
             .flatten()
             .filter(|(_, e)| *e == Expected::Report)
             .count();
-        // The wire-vs-local ensemble below is one more served request,
-        // and the drain wake-up ping is refused by name.
+        // The wire-vs-local ensemble below is one more served request.
+        // The drain wake-up ping costs nothing: the accept loop knows
+        // its own plumbing and refuses only real late clients.
         expected_served += 1;
-        expected_rejected += 1;
 
         let mut outcomes_table = Table::new(vec!["request kind", "expected", "count"]);
         let mut csv = String::from("request_kind,expected,count\n");
@@ -606,8 +616,32 @@ impl Serve {
                     summary.served == expected_served && summary.rejected == expected_rejected,
                     format!(
                         "served {} (expected {expected_served}), rejected {} (expected \
-                         {expected_rejected}, incl. the drain wake-up ping)",
+                         {expected_rejected}; the drain wake-up ping counts as neither)",
                         summary.served, summary.rejected
+                    ),
+                );
+                // The two ledgers — the drain summary's atomics and
+                // the telemetry registry — must tell the same story.
+                let snap = registry.snapshot();
+                let telemetry_served = snap.counter("goc_server_served_total");
+                let telemetry_rejected = snap.counter_family_total("goc_server_rejected_total");
+                // Every accepted session: the load clients, the
+                // wire-vs-local client, and the drain requester. The
+                // wake-up ping self-connect must not appear here.
+                let expected_sessions = clients as u64 + 2;
+                let telemetry_sessions = snap.counter("goc_server_sessions_total");
+                report.check(
+                    "telemetry_ledger_matches_the_drain_summary",
+                    telemetry_served == Some(summary.served)
+                        && telemetry_rejected == summary.rejected
+                        && telemetry_sessions == Some(expected_sessions)
+                        && snap.gauge("goc_server_inflight") == Some(0),
+                    format!(
+                        "registry says served {telemetry_served:?} / rejected \
+                         {telemetry_rejected} / sessions {telemetry_sessions:?} (expected \
+                         {expected_sessions}; the wake-up ping is not a session) / in-flight \
+                         {:?}",
+                        snap.gauge("goc_server_inflight")
                     ),
                 );
             }
@@ -628,7 +662,7 @@ impl Serve {
             threads: 1,
             ..ServerConfig::default()
         };
-        let (addr, handle) = match boot(config, Box::new(EnsembleOnlyBackend)) {
+        let (addr, _registry, handle) = match boot(config, Box::new(EnsembleOnlyBackend)) {
             Ok(booted) => booted,
             Err(e) => {
                 report.check(CHECK, false, e);
@@ -694,7 +728,7 @@ impl Serve {
             threads: 1,
             ..ServerConfig::default()
         };
-        let (addr, handle) = match boot(config, Box::new(EnsembleOnlyBackend)) {
+        let (addr, _registry, handle) = match boot(config, Box::new(EnsembleOnlyBackend)) {
             Ok(booted) => booted,
             Err(e) => {
                 report.check(CHECK, false, e);
@@ -739,7 +773,7 @@ impl Serve {
             threads: 1,
             ..ServerConfig::default()
         };
-        let (addr, handle) = match boot(config, Box::new(EnsembleOnlyBackend)) {
+        let (addr, _registry, handle) = match boot(config, Box::new(EnsembleOnlyBackend)) {
             Ok(booted) => booted,
             Err(e) => {
                 report.check(CHECK, false, e);
@@ -801,7 +835,8 @@ impl Serve {
             threads: 1,
             ..ServerConfig::default()
         };
-        let (addr, handle) = match boot(config, Box::new(GateBackend(Arc::clone(&gate)))) {
+        let (addr, _registry, handle) = match boot(config, Box::new(GateBackend(Arc::clone(&gate))))
+        {
             Ok(booted) => booted,
             Err(e) => {
                 report.check(CHECK, false, e);

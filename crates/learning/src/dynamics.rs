@@ -24,6 +24,7 @@ use std::fmt;
 
 use goc_game::{Configuration, Delta, Game, GameError, MassTracker, Move, MoveSource, Snapshot};
 
+use crate::instrument::{Fanout, Instrument, NoInstrument};
 use crate::scheduler::{Scheduler, SchedulerError};
 
 /// One scheduled churn delta of a learning run: `delta` arrives once the
@@ -130,6 +131,12 @@ pub struct LearningOutcome {
     pub potential_audit: Option<bool>,
     /// Number of churn deltas applied during the run (0 without a plan).
     pub churn_applied: usize,
+    /// Lifetime count of `O(coins)` group-decision cache re-probes the
+    /// run's [`MoveSource`] performed (0 for the scheduler-free
+    /// incremental engine, which rides the tracker directly). The
+    /// telemetry layer surfaces this as
+    /// `goc_dynamics_cache_reprobes_total`.
+    pub cache_reprobes: u64,
     /// Final `(miner, coin)` activity masks, when the run had a
     /// non-trivial [`ChurnPlan`] (`None` for fixed-population runs —
     /// everything stayed active).
@@ -251,6 +258,10 @@ pub fn run(
 /// [`run`] with a per-step observer called *after* each applied move with
 /// the new configuration. Used by experiments that trace potential values
 /// or hashrate series.
+///
+/// Legacy shim: new call sites should thread an [`Instrument`] through
+/// [`Dynamics::instrument`] instead (a closure of this shape *is* an
+/// instrument via the blanket impl).
 pub fn run_with_observer(
     game: &Game,
     start: &Configuration,
@@ -320,13 +331,13 @@ fn scheduled_engine(
     scheduler: &mut dyn Scheduler,
     options: LearningOptions,
     plan: &ChurnPlan,
-    observer: &mut dyn FnMut(&Configuration, Move),
-    mut hook: Option<CheckpointHook<'_>>,
+    instrument: &mut dyn Instrument,
 ) -> Result<LearningOutcome, LearningError> {
     let mut source = MoveSource::over(tracker);
     // The run never rewinds; don't retain an O(steps) undo history.
     source.set_undo_recording(false);
     let order = plan.order();
+    let every = instrument.checkpoint_every();
     let mut next = 0usize;
     let mut churn_applied = 0usize;
     let mut path = Vec::new();
@@ -339,6 +350,7 @@ fn scheduled_engine(
                 source.tracker().coin_activity().to_vec(),
             )
         });
+        let cache_reprobes = source.reprobe_count();
         LearningOutcome {
             final_config: source.into_config(),
             steps,
@@ -346,6 +358,7 @@ fn scheduled_engine(
             path,
             potential_audit: options.audit_potential.then_some(true),
             churn_applied,
+            cache_reprobes,
             final_activity,
         }
     };
@@ -364,6 +377,7 @@ fn scheduled_engine(
                 .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
             churn_applied += 1;
             next += 1;
+            instrument.on_delta(steps, event.delta);
         }
         // The stability sweep warms the source's group-decision cache;
         // the scheduler's pick right after reuses it.
@@ -378,6 +392,7 @@ fn scheduled_engine(
                     .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
                 churn_applied += 1;
                 next += 1;
+                instrument.on_delta(steps, event.delta);
                 continue;
             }
             return Ok(finish(source, steps, true, path, churn_applied));
@@ -400,12 +415,10 @@ fn scheduled_engine(
         if options.record_path {
             path.push(mv);
         }
-        observer(source.config(), mv);
+        instrument.on_step(source.config(), mv);
         steps += 1;
-        if let Some(hook) = hook.as_mut() {
-            if steps.is_multiple_of(hook.every.max(1)) {
-                (hook.sink)(steps, Snapshot::of(source.tracker()));
-            }
+        if every > 0 && steps.is_multiple_of(every) {
+            instrument.on_checkpoint(steps, &Snapshot::of(source.tracker()));
         }
     }
 }
@@ -486,6 +499,19 @@ pub struct CheckpointHook<'a> {
     pub sink: &'a mut dyn FnMut(usize, Snapshot),
 }
 
+/// A checkpoint hook is an [`Instrument`] that only listens for
+/// checkpoints — the engine's single watching seam subsumes the old
+/// dedicated hook parameter.
+impl Instrument for CheckpointHook<'_> {
+    fn checkpoint_every(&self) -> usize {
+        self.every.max(1)
+    }
+
+    fn on_checkpoint(&mut self, step: usize, snapshot: &Snapshot) {
+        (self.sink)(step, snapshot.clone());
+    }
+}
+
 /// **Warm-start** entry of the incremental engine: continues the group
 /// round-robin from an existing tracker — a [`Snapshot`] fork, a
 /// checkpoint restore, or any tracker mid-dynamics — instead of
@@ -524,12 +550,12 @@ fn incremental_engine(
     mut tracker: MassTracker<'_>,
     options: LearningOptions,
     plan: &ChurnPlan,
-    observer: &mut dyn FnMut(&Configuration, Move),
-    mut hook: Option<CheckpointHook<'_>>,
+    instrument: &mut dyn Instrument,
 ) -> Result<LearningOutcome, LearningError> {
     // The run never rewinds; don't retain an O(steps) undo history.
     tracker.set_undo_recording(false);
     let order = plan.order();
+    let every = instrument.checkpoint_every();
     let mut next = 0usize;
     let mut churn_applied = 0usize;
     let mut path = Vec::new();
@@ -549,6 +575,9 @@ fn incremental_engine(
             path,
             potential_audit: options.audit_potential.then_some(true),
             churn_applied,
+            // The incremental engine rides the tracker directly; there
+            // is no MoveSource decision cache to re-probe.
+            cache_reprobes: 0,
             final_activity,
         }
     };
@@ -564,6 +593,7 @@ fn incremental_engine(
                 .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
             churn_applied += 1;
             next += 1;
+            instrument.on_delta(steps, event.delta);
         }
         let Some(mv) = tracker.find_improving_move() else {
             if next < order.len() {
@@ -574,6 +604,7 @@ fn incremental_engine(
                     .map_err(|error| LearningError::ChurnRejected { step: steps, error })?;
                 churn_applied += 1;
                 next += 1;
+                instrument.on_delta(steps, event.delta);
                 continue;
             }
             return Ok(finish(tracker, steps, true, path, churn_applied));
@@ -588,12 +619,10 @@ fn incremental_engine(
         if options.record_path {
             path.push(mv);
         }
-        observer(tracker.config(), mv);
+        instrument.on_step(tracker.config(), mv);
         steps += 1;
-        if let Some(hook) = hook.as_mut() {
-            if steps.is_multiple_of(hook.every.max(1)) {
-                (hook.sink)(steps, Snapshot::of(&tracker));
-            }
+        if every > 0 && steps.is_multiple_of(every) {
+            instrument.on_checkpoint(steps, &Snapshot::of(&tracker));
         }
     }
 }
@@ -607,8 +636,10 @@ type Observer<'a> = &'a mut dyn FnMut(&Configuration, Move);
 /// where to start (a configuration, a [`Snapshot`], or a live
 /// [`MassTracker`]), who picks the moves (a [`Scheduler`], or the
 /// tracker's own group round-robin when none is given), what churns
-/// (a [`ChurnPlan`]), and what watches (a per-step observer and/or a
-/// periodic [`CheckpointHook`]).
+/// (a [`ChurnPlan`]), and what watches (an [`Instrument`] — per-step,
+/// per-delta, and periodic-checkpoint callbacks in one trait; the
+/// legacy [`Dynamics::observer`] / [`Dynamics::checkpoint`] seams
+/// remain and compose with it).
 ///
 /// The classic `run*` functions are thin wrappers over this builder and
 /// remain for callers that want the narrow signatures; new call sites
@@ -662,6 +693,7 @@ pub struct Dynamics<'g, 'a> {
     scheduler: Option<&'a mut dyn Scheduler>,
     options: LearningOptions,
     plan: Option<&'a ChurnPlan>,
+    instrument: Option<&'a mut dyn Instrument>,
     observer: Option<Observer<'a>>,
     hook: Option<CheckpointHook<'a>>,
 }
@@ -678,6 +710,7 @@ impl<'g, 'a> Dynamics<'g, 'a> {
             scheduler: None,
             options: LearningOptions::default(),
             plan: None,
+            instrument: None,
             observer: None,
             hook: None,
         }
@@ -728,8 +761,29 @@ impl<'g, 'a> Dynamics<'g, 'a> {
         self
     }
 
+    /// Threads `instrument` through the run — the unified watching
+    /// seam: per-step, per-delta, and periodic-checkpoint callbacks in
+    /// one trait (see [`Instrument`]). Closures of the classic observer
+    /// shape `FnMut(&Configuration, Move)` are instruments via the
+    /// blanket impl, as is [`CheckpointHook`]; telemetry attaches the
+    /// same way ([`DynamicsTelemetry`]).
+    ///
+    /// Composes with the legacy [`Dynamics::observer`] /
+    /// [`Dynamics::checkpoint`] seams: when more than one watcher is
+    /// set, all of them see the run.
+    ///
+    /// [`DynamicsTelemetry`]: crate::instrument::DynamicsTelemetry
+    pub fn instrument(mut self, instrument: &'a mut dyn Instrument) -> Self {
+        self.instrument = Some(instrument);
+        self
+    }
+
     /// Calls `observer` after every applied move with the new
     /// configuration.
+    ///
+    /// Legacy seam: [`Dynamics::instrument`] subsumes this (a closure
+    /// of this shape *is* an [`Instrument`]); kept so existing observer
+    /// call sites compile unchanged.
     pub fn observer(mut self, observer: &'a mut dyn FnMut(&Configuration, Move)) -> Self {
         self.observer = Some(observer);
         self
@@ -737,6 +791,10 @@ impl<'g, 'a> Dynamics<'g, 'a> {
 
     /// Captures a [`Snapshot`] every `hook.every` steps (see
     /// [`CheckpointHook`]).
+    ///
+    /// Legacy seam: [`Dynamics::instrument`] subsumes this
+    /// ([`CheckpointHook`] implements [`Instrument`]); kept so existing
+    /// checkpoint call sites compile unchanged.
     pub fn checkpoint(mut self, hook: CheckpointHook<'a>) -> Self {
         self.hook = Some(hook);
         self
@@ -768,16 +826,35 @@ impl<'g, 'a> Dynamics<'g, 'a> {
         } else {
             return Err(LearningError::MissingStart);
         };
-        let mut noop = |_: &Configuration, _: Move| {};
-        let observer: &mut dyn FnMut(&Configuration, Move) = match self.observer {
-            Some(observer) => observer,
-            None => &mut noop,
+        // Fold the legacy observer/checkpoint seams and the instrument
+        // into the engine's single watcher. A `&mut dyn FnMut` observer
+        // is itself `FnMut`, so the blanket impl covers it; a lone
+        // watcher is passed straight through with no fan-out layer.
+        let mut observer = self.observer;
+        let mut hook = self.hook;
+        let mut parts: Vec<&mut dyn Instrument> = Vec::new();
+        if let Some(instrument) = self.instrument {
+            parts.push(instrument);
+        }
+        if let Some(observer) = observer.as_mut() {
+            parts.push(observer);
+        }
+        if let Some(hook) = hook.as_mut() {
+            parts.push(hook);
+        }
+        let mut noop = NoInstrument;
+        let mut fan;
+        let instrument: &mut dyn Instrument = if parts.is_empty() {
+            &mut noop
+        } else if parts.len() == 1 {
+            parts.pop().expect("exactly one watcher")
+        } else {
+            fan = Fanout::new(parts);
+            &mut fan
         };
         match self.scheduler {
-            Some(scheduler) => {
-                scheduled_engine(tracker, scheduler, self.options, plan, observer, self.hook)
-            }
-            None => incremental_engine(tracker, self.options, plan, observer, self.hook),
+            Some(scheduler) => scheduled_engine(tracker, scheduler, self.options, plan, instrument),
+            None => incremental_engine(tracker, self.options, plan, instrument),
         }
     }
 }

@@ -1,0 +1,309 @@
+//! [`Instrument`]: the unified observation API of the learning engine.
+//!
+//! Before this trait, watching a run meant juggling two bespoke hooks —
+//! a raw `&mut dyn FnMut(&Configuration, Move)` observer *and* a
+//! separate [`CheckpointHook`] — and telemetry would have been a third.
+//! `Instrument` collapses them into one surface with default no-ops:
+//!
+//! * [`Instrument::on_step`] — after every applied better-response
+//!   move, with the new configuration (the old observer callback);
+//! * [`Instrument::on_delta`] — after every applied churn delta;
+//! * [`Instrument::on_checkpoint`] — every
+//!   [`Instrument::checkpoint_every`] steps, with a [`Snapshot`] of the
+//!   tracker (the old [`CheckpointHook`] contract).
+//!
+//! A blanket impl makes every `FnMut(&Configuration, Move)` closure an
+//! `Instrument`, so call sites written against the observer API compile
+//! unchanged through [`Dynamics::instrument`]; [`CheckpointHook`]
+//! implements the trait too. [`DynamicsTelemetry`] is the
+//! `goc-telemetry` binding — counters and a convergence-wall histogram
+//! registered on a shared [`Registry`] — and is *just another
+//! instrument*: the engine has exactly one watching seam.
+//!
+//! [`CheckpointHook`]: crate::dynamics::CheckpointHook
+//! [`Dynamics::instrument`]: crate::dynamics::Dynamics::instrument
+
+use goc_game::{Configuration, Delta, Move, Snapshot};
+use goc_telemetry::{Counter, LatencyHistogram, Registry};
+
+use crate::dynamics::LearningOutcome;
+
+/// A watcher threaded through a learning run. All methods default to
+/// no-ops, so an instrument implements only what it cares about; the
+/// engine pays one virtual call per event either way (the same cost the
+/// old `&mut dyn FnMut` observer already paid).
+pub trait Instrument {
+    /// Called after every applied better-response move, with the
+    /// configuration *after* the move.
+    fn on_step(&mut self, config: &Configuration, mv: Move) {
+        let _ = (config, mv);
+    }
+
+    /// Called after every churn delta the engine applies, with the step
+    /// count at which it fired.
+    fn on_delta(&mut self, step: usize, delta: Delta) {
+        let _ = (step, delta);
+    }
+
+    /// Checkpoint cadence in steps; `0` (the default) disables
+    /// checkpointing, so the engine never pays for a [`Snapshot`] it
+    /// would not deliver.
+    fn checkpoint_every(&self) -> usize {
+        0
+    }
+
+    /// Called every [`Instrument::checkpoint_every`] steps with a
+    /// snapshot of the tracker.
+    fn on_checkpoint(&mut self, step: usize, snapshot: &Snapshot) {
+        let _ = (step, snapshot);
+    }
+}
+
+/// Every step-observer closure is an instrument — the bridge that keeps
+/// the classic observer call sites compiling unchanged.
+impl<F: FnMut(&Configuration, Move)> Instrument for F {
+    fn on_step(&mut self, config: &Configuration, mv: Move) {
+        self(config, mv)
+    }
+}
+
+/// The do-nothing instrument (what an unobserved run uses).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoInstrument;
+
+impl Instrument for NoInstrument {}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Fans one engine seam out to several instruments (the builder's
+/// legacy observer + checkpoint hook + a caller instrument can coexist).
+/// The engine snapshots at the gcd of the nonzero cadences; each part
+/// only hears the checkpoints on its own multiples.
+pub(crate) struct Fanout<'p> {
+    parts: Vec<&'p mut dyn Instrument>,
+}
+
+impl<'p> Fanout<'p> {
+    pub(crate) fn new(parts: Vec<&'p mut dyn Instrument>) -> Self {
+        Fanout { parts }
+    }
+}
+
+impl Instrument for Fanout<'_> {
+    fn on_step(&mut self, config: &Configuration, mv: Move) {
+        for part in &mut self.parts {
+            part.on_step(config, mv);
+        }
+    }
+
+    fn on_delta(&mut self, step: usize, delta: Delta) {
+        for part in &mut self.parts {
+            part.on_delta(step, delta);
+        }
+    }
+
+    fn checkpoint_every(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|part| part.checkpoint_every())
+            .filter(|&every| every > 0)
+            .fold(0, gcd)
+    }
+
+    fn on_checkpoint(&mut self, step: usize, snapshot: &Snapshot) {
+        for part in &mut self.parts {
+            let every = part.checkpoint_every();
+            if every > 0 && step.is_multiple_of(every) {
+                part.on_checkpoint(step, snapshot);
+            }
+        }
+    }
+}
+
+/// The `goc-telemetry` binding of the engine: an [`Instrument`] whose
+/// events land in lock-free counters on a shared
+/// [`Registry`], plus run-level observations
+/// ([`DynamicsTelemetry::observe_run`]) for the numbers only the caller
+/// knows — wall time, convergence, and the [`MoveSource`] decision
+/// cache's re-probe count carried on the outcome.
+///
+/// Registration is idempotent per registry (same names share the same
+/// atomics), so every replica or request can hold its own handle set
+/// and the totals still accumulate process-wide. On a
+/// [`Registry::disabled`] registry the handles are detached: the hot
+/// path still runs one relaxed atomic increment per event and nothing
+/// is retained or reported.
+///
+/// [`MoveSource`]: goc_game::MoveSource
+#[derive(Debug, Clone)]
+pub struct DynamicsTelemetry {
+    steps: Counter,
+    deltas: Counter,
+    runs: Counter,
+    converged: Counter,
+    reprobes: Counter,
+    wall: LatencyHistogram,
+}
+
+impl DynamicsTelemetry {
+    /// Registers the dynamics metric family on `registry`:
+    /// `goc_dynamics_steps_total`, `goc_dynamics_churn_deltas_total`,
+    /// `goc_dynamics_runs_total`, `goc_dynamics_converged_total`,
+    /// `goc_dynamics_cache_reprobes_total`, and the
+    /// `goc_dynamics_convergence_secs` histogram.
+    pub fn register(registry: &Registry) -> Self {
+        DynamicsTelemetry {
+            steps: registry.counter("goc_dynamics_steps_total"),
+            deltas: registry.counter("goc_dynamics_churn_deltas_total"),
+            runs: registry.counter("goc_dynamics_runs_total"),
+            converged: registry.counter("goc_dynamics_converged_total"),
+            reprobes: registry.counter("goc_dynamics_cache_reprobes_total"),
+            wall: registry.histogram("goc_dynamics_convergence_secs"),
+        }
+    }
+
+    /// Records the run-level numbers of a completed run: the run count,
+    /// whether it converged, the decision-cache re-probes its outcome
+    /// carries, and its wall time into the convergence histogram.
+    pub fn observe_run(&self, outcome: &LearningOutcome, wall_secs: f64) {
+        self.runs.inc();
+        if outcome.converged {
+            self.converged.inc();
+        }
+        self.reprobes.add(outcome.cache_reprobes);
+        self.wall.observe(wall_secs);
+    }
+}
+
+impl Instrument for DynamicsTelemetry {
+    fn on_step(&mut self, _config: &Configuration, _mv: Move) {
+        self.steps.inc();
+    }
+
+    fn on_delta(&mut self, _step: usize, _delta: Delta) {
+        self.deltas.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{CheckpointHook, Dynamics};
+    use goc_game::{CoinId, Game};
+
+    fn toy() -> (Game, Configuration) {
+        let game = Game::build(&[8, 5, 3, 2, 1, 1], &[7, 4, 2]).unwrap();
+        let start = Configuration::uniform(CoinId(0), game.system()).unwrap();
+        (game, start)
+    }
+
+    #[test]
+    fn closures_are_instruments_via_the_blanket_impl() {
+        let (game, start) = toy();
+        let mut seen = 0usize;
+        let mut closure = |_: &Configuration, _: Move| seen += 1;
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut closure)
+            .run()
+            .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(seen, outcome.steps);
+    }
+
+    #[test]
+    fn fanout_routes_checkpoints_by_cadence() {
+        let (game, start) = toy();
+        let mut steps_a = Vec::new();
+        let mut steps_b = Vec::new();
+        let mut sink_a = |step: usize, _snap: Snapshot| steps_a.push(step);
+        let mut sink_b = |step: usize, _snap: Snapshot| steps_b.push(step);
+        let mut hook_a = CheckpointHook {
+            every: 2,
+            sink: &mut sink_a,
+        };
+        let mut hook_b = CheckpointHook {
+            every: 3,
+            sink: &mut sink_b,
+        };
+        let mut observed = 0usize;
+        let mut observer = |_: &Configuration, _: Move| observed += 1;
+        let outcome = {
+            let mut fan = Fanout::new(vec![
+                &mut observer as &mut dyn Instrument,
+                &mut hook_a,
+                &mut hook_b,
+            ]);
+            assert_eq!(fan.checkpoint_every(), 1, "gcd(2, 3)");
+            Dynamics::new(&game)
+                .start(&start)
+                .instrument(&mut fan)
+                .run()
+                .unwrap()
+        };
+        assert!(outcome.converged);
+        assert_eq!(observed, outcome.steps);
+        assert!(steps_a.iter().all(|s| s % 2 == 0));
+        assert!(steps_b.iter().all(|s| s % 3 == 0));
+        assert_eq!(steps_a.len(), outcome.steps / 2);
+        assert_eq!(steps_b.len(), outcome.steps / 3);
+    }
+
+    #[test]
+    fn telemetry_counts_steps_and_run_outcomes() {
+        let (game, start) = toy();
+        let registry = Registry::new();
+        let mut telemetry = DynamicsTelemetry::register(&registry);
+        let clock = std::time::Instant::now();
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut telemetry)
+            .run()
+            .unwrap();
+        telemetry.observe_run(&outcome, clock.elapsed().as_secs_f64());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("goc_dynamics_steps_total"),
+            Some(outcome.steps as u64)
+        );
+        assert_eq!(snap.counter("goc_dynamics_runs_total"), Some(1));
+        assert_eq!(snap.counter("goc_dynamics_converged_total"), Some(1));
+        assert_eq!(
+            snap.histogram("goc_dynamics_convergence_secs")
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn disabled_registry_telemetry_still_runs_the_engine_unchanged() {
+        let (game, start) = toy();
+        let bare = Dynamics::new(&game).start(&start).run().unwrap();
+        let registry = Registry::disabled();
+        let mut telemetry = DynamicsTelemetry::register(&registry);
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut telemetry)
+            .run()
+            .unwrap();
+        telemetry.observe_run(&outcome, 0.001);
+        assert_eq!(outcome.steps, bare.steps);
+        assert_eq!(outcome.final_config, bare.final_config);
+        assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn gcd_of_cadences() {
+        assert_eq!(gcd(2, 3), 1);
+        assert_eq!(gcd(4, 6), 2);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dynamics;
+pub mod instrument;
 pub mod scheduler;
 pub mod simultaneous;
 pub mod stats;
@@ -40,6 +41,7 @@ pub use dynamics::{
     run_with_churn, run_with_observer, CheckpointHook, ChurnEvent, ChurnPlan, Dynamics,
     LearningError, LearningOptions, LearningOutcome,
 };
+pub use instrument::{DynamicsTelemetry, Instrument, NoInstrument};
 pub use scheduler::{
     LargestMinerFirst, MaxGain, MinGain, RoundRobin, Scheduler, SchedulerError, SchedulerKind,
     SmallestMinerFirst, UniformRandom,

@@ -154,6 +154,7 @@ mod tests {
                 draining: false,
                 max_sessions: 8,
                 max_inflight: 4,
+                metrics: None,
             })),
         ]);
         assert!(ok.accepted());

@@ -9,13 +9,17 @@
 //! side).
 //!
 //! * [`messages`] — the request/response vocabulary:
-//!   [`Request`]`::{RunExperiment, RunEnsemble, Sweep, Status,
+//!   [`Request`]`::{RunExperiment, RunEnsemble, Sweep, Status, Metrics,
 //!   Shutdown}` wrapped in a [`RequestEnvelope`] carrying the protocol
 //!   version and a client-chosen correlation id, answered by a stream
 //!   of [`Response`]`::{Accepted, Progress, Report, Rejected, Error}`
 //!   frames in matching [`ResponseEnvelope`]s. Rejections are *named*
 //!   ([`RejectReason`]) so admission-control tests can assert on the
-//!   exact reason rather than on prose.
+//!   exact reason rather than on prose. Frames are stamped with the
+//!   oldest version that understands them ([`Request::min_version`]),
+//!   and servers accept the whole
+//!   [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] window, so v1
+//!   and v2 peers interoperate without malformed-frame failures.
 //! * [`connection`] — [`Connection`]: the framing type. One frame is
 //!   one JSON document terminated by `\n`; reads enforce a frame-size
 //!   cap *while reading* (an oversized frame is discarded up to its
@@ -29,10 +33,11 @@
 //!   experiment's load generator are thin wrappers over it.
 //!
 //! ```
-//! use goc_proto::{Request, RequestEnvelope, PROTOCOL_VERSION};
+//! use goc_proto::{Request, RequestEnvelope, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 //!
 //! let envelope = RequestEnvelope::new(7, Request::Status);
-//! assert_eq!(envelope.version, PROTOCOL_VERSION);
+//! assert_eq!(envelope.version, MIN_PROTOCOL_VERSION); // v1 servers accept it
+//! assert_eq!(RequestEnvelope::new(8, Request::Metrics).version, PROTOCOL_VERSION);
 //! let json = serde_json::to_string(&envelope).unwrap();
 //! let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
 //! assert_eq!(envelope, back);
@@ -49,5 +54,5 @@ pub use client::{Client, Reply};
 pub use connection::{Connection, ProtoError, DEFAULT_MAX_FRAME_BYTES};
 pub use messages::{
     ExperimentRequest, RejectReason, ReportPayload, Request, RequestEnvelope, Response,
-    ResponseEnvelope, ServerStatus, PROTOCOL_VERSION,
+    ResponseEnvelope, ServerStatus, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };

@@ -12,12 +12,21 @@ use std::fmt;
 
 use goc_analysis::ensemble::{EnsembleReport, EnsembleSpec};
 use goc_analysis::RunReport;
+use goc_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::connection::ProtoError;
 
-/// The protocol version both sides must agree on.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// The newest protocol version this build speaks. v2 added the
+/// telemetry surface: [`Request::Metrics`], the metrics report payload,
+/// and the optional [`ServerStatus::metrics`] snapshot.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The oldest protocol version still accepted. Version gating is
+/// per-request: a v1 frame is served the v1 shape of its reply (a
+/// `Status` answer omits the metrics snapshot), never a malformed-frame
+/// rejection.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// One experiment run request — the wire twin of the sweep-spec entry
 /// (`goc-experiments::SweepRun`): a registry name plus the context
@@ -75,6 +84,9 @@ pub enum Request {
     /// Ask for the server's load/limit counters (never queued — always
     /// answered, even while draining).
     Status,
+    /// Ask for the server's telemetry registry as Prometheus-style text
+    /// exposition (v2; free and always answered, like `Status`).
+    Metrics,
     /// Ask the server to drain in-flight work, refuse new sessions,
     /// and exit its accept loop.
     Shutdown,
@@ -88,7 +100,19 @@ impl Request {
             Request::RunEnsemble { .. } => "run_ensemble",
             Request::Sweep { .. } => "sweep",
             Request::Status => "status",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The oldest protocol version that understands this request — what
+    /// [`RequestEnvelope::new`] stamps on the frame, so a v2 client
+    /// speaks plain v1 to a v1 server for everything but the requests
+    /// that did not exist then.
+    pub fn min_version(&self) -> u32 {
+        match self {
+            Request::Metrics => 2,
+            _ => MIN_PROTOCOL_VERSION,
         }
     }
 }
@@ -105,22 +129,26 @@ pub struct RequestEnvelope {
 }
 
 impl RequestEnvelope {
-    /// Wraps a request at the current protocol version.
+    /// Wraps a request at the oldest protocol version that understands
+    /// it ([`Request::min_version`]) — v1 for the classic requests, so
+    /// the frame stays acceptable to v1 servers; v2 only for requests
+    /// v1 never had.
     pub fn new(id: u64, request: Request) -> Self {
         RequestEnvelope {
-            version: PROTOCOL_VERSION,
+            version: request.min_version(),
             id,
             request,
         }
     }
 
-    /// Checks the frame's version against [`PROTOCOL_VERSION`].
+    /// Checks the frame's version against the accepted window
+    /// ([`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]).
     ///
     /// # Errors
     ///
     /// [`ProtoError::Version`] naming both versions on mismatch.
     pub fn check_version(&self) -> Result<(), ProtoError> {
-        if self.version == PROTOCOL_VERSION {
+        if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&self.version) {
             Ok(())
         } else {
             Err(ProtoError::Version {
@@ -208,6 +236,12 @@ pub struct ServerStatus {
     pub max_sessions: usize,
     /// Bounded in-flight queue depth.
     pub max_inflight: usize,
+    /// Telemetry snapshot (v2; populated only when the requesting frame
+    /// spoke ≥ v2). The vendored serde maps a missing key to `None`, so
+    /// a v1 `Status` answer without this field still deserializes here,
+    /// and a v1 client ignores the extra key — both directions stay
+    /// well-formed.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// The result payload of a completed request.
@@ -222,6 +256,15 @@ pub enum ReportPayload {
     Sweep(Vec<RunReport>),
     /// A [`Request::Status`] result.
     Status(ServerStatus),
+    /// A [`Request::Metrics`] result (v2): the registry rendered as
+    /// Prometheus-style text exposition, plus the structured snapshot
+    /// for JSON consumers.
+    Metrics {
+        /// Prometheus-style text exposition of the server's registry.
+        text: String,
+        /// The same registry state in structured form.
+        snapshot: MetricsSnapshot,
+    },
     /// A [`Request::Shutdown`] acknowledgement; the server drains and
     /// exits after sending it.
     ShutdownAck,
@@ -235,6 +278,7 @@ impl ReportPayload {
             ReportPayload::Ensemble(_) => "ensemble",
             ReportPayload::Sweep(_) => "sweep",
             ReportPayload::Status(_) => "status",
+            ReportPayload::Metrics { .. } => "metrics",
             ReportPayload::ShutdownAck => "shutdown_ack",
         }
     }
@@ -344,7 +388,61 @@ mod tests {
         envelope.version = 99;
         let err = envelope.check_version().unwrap_err();
         assert!(err.to_string().contains("99"));
-        assert!(err.to_string().contains('1'));
+        assert!(err.to_string().contains('2'));
+        envelope.version = 0;
+        assert!(envelope.check_version().is_err());
+    }
+
+    #[test]
+    fn both_protocol_versions_are_accepted_and_stamped_by_need() {
+        // Classic requests go out as v1 — acceptable to v1 servers.
+        let classic = RequestEnvelope::new(1, Request::Status);
+        assert_eq!(classic.version, 1);
+        assert!(classic.check_version().is_ok());
+        // The telemetry request only exists in v2.
+        let metrics = RequestEnvelope::new(2, Request::Metrics);
+        assert_eq!(metrics.version, 2);
+        assert!(metrics.check_version().is_ok());
+        assert_eq!(Request::Metrics.kind(), "metrics");
+    }
+
+    #[test]
+    fn v1_status_payloads_still_deserialize() {
+        // A v1 server's Status answer has no `metrics` key; the field
+        // must come back `None`, not a parse failure.
+        let v1_json = "{\"version\":1,\"sessions\":1,\"inflight\":0,\"served\":3,\
+                       \"rejected\":0,\"draining\":false,\"max_sessions\":8,\
+                       \"max_inflight\":4}";
+        let status: ServerStatus = serde_json::from_str(v1_json).unwrap();
+        assert_eq!(status.metrics, None);
+        assert_eq!(status.served, 3);
+        // And the v2 form round-trips, metrics included.
+        let full = ServerStatus {
+            version: PROTOCOL_VERSION,
+            sessions: 1,
+            inflight: 0,
+            served: 3,
+            rejected: 1,
+            draining: false,
+            max_sessions: 8,
+            max_inflight: 4,
+            metrics: Some(MetricsSnapshot::empty()),
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        let back: ServerStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(full, back);
+    }
+
+    #[test]
+    fn metrics_payloads_round_trip() {
+        let payload = ReportPayload::Metrics {
+            text: "# TYPE goc_server_served_total counter\n".to_string(),
+            snapshot: MetricsSnapshot::empty(),
+        };
+        assert_eq!(payload.kind(), "metrics");
+        let json = serde_json::to_string(&payload).unwrap();
+        let back: ReportPayload = serde_json::from_str(&json).unwrap();
+        assert_eq!(payload, back);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use goc_proto::{
     Connection, ExperimentRequest, ProtoError, RejectReason, ReportPayload, Request,
     RequestEnvelope, Response, ResponseEnvelope, ServerStatus, PROTOCOL_VERSION,
 };
+use goc_telemetry::{with_label, MetricsSnapshot, Registry};
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
 
@@ -133,9 +134,39 @@ fn arb_spec() -> impl Strategy<Value = EnsembleSpec> {
         })
 }
 
+/// Arbitrary registry states, built through the real instruments so the
+/// snapshots carry genuine histogram bucket shapes (and labeled counter
+/// names, the server's rejection spelling).
+fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        0u64..10_000,
+        -64i64..64,
+        arb_reason(),
+        proptest::collection::vec(1u32..1_000_000, 0..8),
+    )
+        .prop_map(|(served, inflight, reason, observations)| {
+            let registry = Registry::new();
+            registry.counter("goc_server_served_total").add(served);
+            registry
+                .counter(&with_label(
+                    "goc_server_rejected_total",
+                    "reason",
+                    reason.name(),
+                ))
+                .inc();
+            registry.gauge("goc_server_inflight").set(inflight);
+            let hist = registry.histogram(&with_label("goc_server_request_secs", "kind", "status"));
+            for micros in observations {
+                hist.observe(f64::from(micros) * 1e-6);
+            }
+            registry.snapshot()
+        })
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Status),
+        Just(Request::Metrics),
         Just(Request::Shutdown),
         arb_experiment_request()
             .prop_map(Request::RunExperiment)
@@ -156,10 +187,17 @@ fn arb_status() -> impl Strategy<Value = ServerStatus> {
         0u64..10_000,
         0u64..10_000,
         prop_oneof![Just(false), Just(true)],
-        (1usize..64, 1usize..64),
+        ((1usize..64, 1usize..64), opt(arb_metrics())),
     )
         .prop_map(
-            |(sessions, inflight, served, rejected, draining, (max_sessions, max_inflight))| {
+            |(
+                sessions,
+                inflight,
+                served,
+                rejected,
+                draining,
+                ((max_sessions, max_inflight), metrics),
+            )| {
                 ServerStatus {
                     version: PROTOCOL_VERSION,
                     sessions,
@@ -169,6 +207,7 @@ fn arb_status() -> impl Strategy<Value = ServerStatus> {
                     draining,
                     max_sessions,
                     max_inflight,
+                    metrics,
                 }
             },
         )
@@ -197,6 +236,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
             .boxed(),
         arb_status()
             .prop_map(|s| Response::Report(ReportPayload::Status(s)))
+            .boxed(),
+        arb_metrics()
+            .prop_map(|snapshot| {
+                Response::Report(ReportPayload::Metrics {
+                    text: snapshot.render_text(),
+                    snapshot,
+                })
+            })
             .boxed(),
         Just(Response::Report(ReportPayload::ShutdownAck)),
         (arb_reason(), arb_detail())

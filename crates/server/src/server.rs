@@ -6,13 +6,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use goc_analysis::ensemble;
 use goc_proto::{
     Connection, ProtoError, RejectReason, ReportPayload, Request, Response, ResponseEnvelope,
     ServerStatus, PROTOCOL_VERSION,
 };
+use goc_telemetry::{with_label, Registry};
 
 use crate::backend::Backend;
 use crate::config::{ConfigError, ServerConfig};
@@ -72,14 +73,22 @@ struct State {
     backend: Box<dyn Backend>,
     local_addr: SocketAddr,
     draining: AtomicBool,
+    /// Set just before the drain wake-up ping self-connects so the
+    /// accept loop can tell it apart from a late client: the ping is
+    /// service plumbing, not a rejected session.
+    wake_ping_pending: AtomicBool,
     sessions: AtomicUsize,
     inflight: AtomicUsize,
     served: AtomicU64,
     rejected: AtomicU64,
+    registry: Registry,
 }
 
 impl State {
-    fn status(&self) -> ServerStatus {
+    /// The status payload; `wants_metrics` (the request envelope spoke
+    /// protocol v2 or later) decides whether the registry snapshot
+    /// rides along, so v1 clients get exactly the payload they expect.
+    fn status(&self, wants_metrics: bool) -> ServerStatus {
         ServerStatus {
             version: PROTOCOL_VERSION,
             sessions: self.sessions.load(Ordering::SeqCst),
@@ -89,7 +98,24 @@ impl State {
             draining: self.draining.load(Ordering::SeqCst),
             max_sessions: self.config.max_sessions,
             max_inflight: self.config.max_inflight,
+            metrics: wants_metrics.then(|| self.registry.snapshot()),
         }
+    }
+
+    /// Counts a refusal in both ledgers: the lifetime counter the
+    /// summary and `Status` read, and the per-reason labeled telemetry
+    /// counter. Keeping them behind one seam is what lets the drain
+    /// accounting assertion (`served + rejected == registry totals`)
+    /// hold by construction.
+    fn count_rejection(&self, reason: RejectReason) {
+        self.rejected.fetch_add(1, Ordering::SeqCst);
+        self.registry
+            .counter(&with_label(
+                "goc_server_rejected_total",
+                "reason",
+                reason.name(),
+            ))
+            .inc();
     }
 
     /// Claims an in-flight slot if one is free (the bounded queue).
@@ -117,6 +143,7 @@ struct InflightGuard<'a>(&'a State);
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.0.registry.gauge("goc_server_inflight").dec();
     }
 }
 
@@ -155,6 +182,13 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|e| ServerError::Io(e.to_string()))?;
+        // Instruments register on first touch; touching the headline
+        // ones here makes every exposition show them from zero rather
+        // than having them pop into existence with the first event.
+        let registry = Registry::new();
+        registry.counter("goc_server_sessions_total");
+        registry.counter("goc_server_served_total");
+        registry.gauge("goc_server_inflight");
         Ok(Server {
             listener,
             state: Arc::new(State {
@@ -162,10 +196,12 @@ impl Server {
                 backend,
                 local_addr,
                 draining: AtomicBool::new(false),
+                wake_ping_pending: AtomicBool::new(false),
                 sessions: AtomicUsize::new(0),
                 inflight: AtomicUsize::new(0),
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                registry,
             }),
         })
     }
@@ -179,6 +215,15 @@ impl Server {
         self.listener
             .local_addr()
             .map_err(|e| ServerError::Io(e.to_string()))
+    }
+
+    /// A handle onto the server's metrics registry. The handle shares
+    /// the server's instruments (the registry is a cheap `Arc` clone),
+    /// so it keeps reporting the final counters after [`Server::run`]
+    /// returns — the `serve` experiment and `goc serve --metrics` read
+    /// their post-drain expositions through it.
+    pub fn registry(&self) -> Registry {
+        self.state.registry.clone()
     }
 
     /// Accepts sessions until a `Shutdown` request flips the server
@@ -199,14 +244,18 @@ impl Server {
                 Err(_) => continue,
             };
             if self.state.draining.load(Ordering::SeqCst) {
-                // This connection is either the drain wake-up ping or
-                // a late client; refuse it by name and stop accepting.
-                self.state.rejected.fetch_add(1, Ordering::SeqCst);
-                refuse(stream, RejectReason::Draining, "server is draining");
+                // The drain wake-up ping is our own plumbing: consume
+                // its pending flag and stop accepting without counting
+                // a rejection. Anything else here is a late client and
+                // is refused by name.
+                if !self.state.wake_ping_pending.swap(false, Ordering::SeqCst) {
+                    self.state.count_rejection(RejectReason::Draining);
+                    refuse(stream, RejectReason::Draining, "server is draining");
+                }
                 break;
             }
             if !self.state.try_acquire_session() {
-                self.state.rejected.fetch_add(1, Ordering::SeqCst);
+                self.state.count_rejection(RejectReason::SessionLimit);
                 refuse(
                     stream,
                     RejectReason::SessionLimit,
@@ -214,6 +263,10 @@ impl Server {
                 );
                 continue;
             }
+            self.state
+                .registry
+                .counter("goc_server_sessions_total")
+                .inc();
             handles.retain(|h| !h.is_finished());
             let state = Arc::clone(&self.state);
             handles.push(std::thread::spawn(move || session(state, stream)));
@@ -258,7 +311,7 @@ fn reject(
     reason: RejectReason,
     detail: String,
 ) -> Result<(), ()> {
-    state.rejected.fetch_add(1, Ordering::SeqCst);
+    state.count_rejection(reason);
     reply(conn, id, Response::Rejected { reason, detail })
 }
 
@@ -330,22 +383,47 @@ fn session(state: Arc<State>, stream: TcpStream) {
             }
             continue;
         }
+        // The metrics snapshot joined the status payload at protocol
+        // v2; older envelopes get the exact v1 payload shape.
+        let wants_metrics = envelope.version >= 2;
+        let kind = envelope.request.kind();
+        let start = Instant::now();
         let done = match envelope.request {
             // Status is free and always answered, draining included.
             Request::Status => reply(
                 &mut conn,
                 id,
-                Response::Report(ReportPayload::Status(state.status())),
+                Response::Report(ReportPayload::Status(state.status(wants_metrics))),
             ),
+            // Metrics is free like Status: the text exposition plus
+            // the structured snapshot it was rendered from.
+            Request::Metrics => {
+                let snapshot = state.registry.snapshot();
+                reply(
+                    &mut conn,
+                    id,
+                    Response::Report(ReportPayload::Metrics {
+                        text: snapshot.render_text(),
+                        snapshot,
+                    }),
+                )
+            }
             Request::Shutdown => {
                 state.draining.store(true, Ordering::SeqCst);
                 let sent = reply(&mut conn, id, Response::Report(ReportPayload::ShutdownAck));
                 // Unblock the accept loop so it can observe the drain.
+                // The pending flag tells it this connection is the
+                // wake-up ping, not a late client to count.
+                state.wake_ping_pending.store(true, Ordering::SeqCst);
                 TcpStream::connect(state.local_addr).ok();
                 sent
             }
             request => handle_compute(&state, &mut conn, id, request, &mut budget_used),
         };
+        state
+            .registry
+            .histogram(&with_label("goc_server_request_secs", "kind", kind))
+            .observe_duration(start.elapsed());
         if done.is_err() {
             break;
         }
@@ -399,12 +477,14 @@ fn handle_compute(
             ),
         );
     }
+    state.registry.gauge("goc_server_inflight").inc();
     let _slot = InflightGuard(state);
     *budget_used += 1;
     reply(conn, id, Response::Accepted)?;
     match execute(state, conn, id, &request) {
         Ok(payload) => {
             state.served.fetch_add(1, Ordering::SeqCst);
+            state.registry.counter("goc_server_served_total").inc();
             reply(conn, id, Response::Report(payload))
         }
         Err(detail) => reply(conn, id, Response::Error { detail }),
@@ -490,7 +570,7 @@ fn admission_fault(state: &State, request: &Request) -> Option<(RejectReason, St
             }
         }
         // Handled before the pipeline.
-        Request::Status | Request::Shutdown => {}
+        Request::Status | Request::Metrics | Request::Shutdown => {}
     }
     None
 }
@@ -525,7 +605,9 @@ fn execute(
                 .sweep(runs, threads, &mut progress)
                 .map(ReportPayload::Sweep)
         }
-        Request::Status | Request::Shutdown => unreachable!("handled by the session loop"),
+        Request::Status | Request::Metrics | Request::Shutdown => {
+            unreachable!("handled by the session loop")
+        }
     }
 }
 
@@ -732,6 +814,94 @@ mod tests {
         drop(conn);
         shutdown(addr);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_round_trip_with_live_counters() {
+        let (addr, handle) = boot(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.request(Request::Metrics).unwrap();
+        let Some(ReportPayload::Metrics { text, snapshot }) = reply.report() else {
+            panic!("expected a metrics report, got {:?}", reply.terminal());
+        };
+        assert!(snapshot.enabled);
+        assert_eq!(
+            snapshot.counter("goc_server_sessions_total"),
+            Some(1),
+            "this very session is the first counted one"
+        );
+        assert!(
+            text.contains("goc_server_sessions_total 1"),
+            "the text exposition carries the live counter: {text}"
+        );
+        assert_eq!(snapshot.gauge("goc_server_inflight"), Some(0));
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn status_metrics_ride_only_on_v2_envelopes() {
+        let (addr, handle) = boot(ServerConfig::default());
+        // The stock client stamps Status with its v1 minimum, so the
+        // payload keeps the exact v1 shape: no metrics.
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.request(Request::Status).unwrap();
+        let Some(ReportPayload::Status(v1_status)) = reply.report() else {
+            panic!("expected a status report");
+        };
+        assert!(v1_status.metrics.is_none());
+        // A hand-stamped v2 envelope opts in to the snapshot.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut conn = Connection::new(stream);
+        let mut envelope = goc_proto::RequestEnvelope::new(3, Request::Status);
+        envelope.version = PROTOCOL_VERSION;
+        conn.send_request(&envelope).unwrap();
+        let response = conn.recv_response().unwrap();
+        let Response::Report(ReportPayload::Status(v2_status)) = &response.response else {
+            panic!("expected a status report, got {:?}", response.response);
+        };
+        let snapshot = v2_status
+            .metrics
+            .as_ref()
+            .expect("v2 status carries metrics");
+        assert_eq!(snapshot.counter("goc_server_sessions_total"), Some(2));
+        drop(conn);
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn drain_wake_ping_is_not_counted_and_ledgers_agree() {
+        let server = Server::bind(ServerConfig::default(), Box::new(EnsembleOnlyBackend)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let registry = server.registry();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(addr).unwrap();
+        let served = client
+            .request(Request::RunEnsemble {
+                spec: EnsembleSpec::new(8, 2, 0),
+            })
+            .unwrap();
+        assert!(served.report().is_some());
+        drop(client);
+        shutdown(addr);
+        let summary = handle.join().unwrap();
+        assert_eq!(
+            summary.rejected, 0,
+            "the drain wake-up ping is plumbing, not a refused session"
+        );
+        assert_eq!(summary.served, 1);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("goc_server_served_total"),
+            Some(summary.served)
+        );
+        assert_eq!(
+            snap.counter_family_total("goc_server_rejected_total"),
+            summary.rejected,
+            "both rejection ledgers move through one seam"
+        );
+        assert_eq!(snap.gauge("goc_server_inflight"), Some(0));
     }
 
     #[test]

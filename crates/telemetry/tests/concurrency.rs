@@ -1,0 +1,105 @@
+//! Concurrency properties of the lock-free instruments: N threads ×
+//! M increments must never lose an event, and a histogram snapshot
+//! taken *after* the writers join must be internally consistent
+//! (bucket counts sum to the observation count, min/max bracket the
+//! sum). Snapshots raced against live writers must still uphold the
+//! bucket-sum invariant — the registry promises consistent reads, not
+//! quiescent ones.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use goc_telemetry::{Counter, LatencyHistogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn counters_never_lose_increments(threads in 1usize..8, per_thread in 1u64..2000) {
+        let counter = Counter::detached();
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer threads do not panic");
+        }
+        prop_assert_eq!(counter.get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn histograms_count_every_observation_across_threads(
+        threads in 1usize..8,
+        per_thread in 1u64..1000,
+        scale_exp in -5i32..2,
+    ) {
+        let hist = LatencyHistogram::detached();
+        let scale = 10f64.powi(scale_exp);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = hist.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Deterministic spread across several buckets.
+                        let spread = (1 + (t as u64 * per_thread + i) % 97) as f64;
+                        h.observe(scale * spread / 97.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer threads do not panic");
+        }
+        let snap = hist.snapshot("race_secs");
+        prop_assert_eq!(snap.count, threads as u64 * per_thread);
+        prop_assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), snap.count);
+        prop_assert!(snap.skipped == 0);
+        prop_assert!(snap.min_secs <= snap.max_secs);
+        // The mean lies between min and max (sum consistency).
+        let mean = snap.sum_secs / snap.count as f64;
+        prop_assert!(mean >= snap.min_secs * 0.999 && mean <= snap.max_secs * 1.001);
+    }
+
+    #[test]
+    fn snapshots_raced_against_writers_stay_consistent(observations in 100u64..5000) {
+        // One writer hammers a registry-held histogram and counter
+        // while the main thread snapshots mid-flight: every snapshot
+        // must satisfy sum(buckets) == count, and the final one must
+        // see every event.
+        let registry = Registry::new();
+        let hist = registry.histogram("live_secs");
+        let counter = registry.counter("live_total");
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                for i in 0..observations {
+                    hist.observe(1e-4 * (1 + i % 13) as f64);
+                    counter.inc();
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        while !done.load(Ordering::Acquire) {
+            let snap = registry.snapshot();
+            if let Some(h) = snap.histogram("live_secs") {
+                prop_assert_eq!(
+                    h.buckets.iter().map(|b| b.count).sum::<u64>(),
+                    h.count,
+                    "mid-flight snapshot must be internally consistent"
+                );
+            }
+        }
+        writer.join().expect("writer thread does not panic");
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter("live_total"), Some(observations));
+        prop_assert_eq!(snap.histogram("live_secs").unwrap().count, observations);
+    }
+}

@@ -10,6 +10,7 @@
 //! goc simulate [--miners 120] [--days 80] [--shock-day 30] [--seed 2017]
 //! goc simulate --spec scenario.json
 //! goc serve    [--addr 127.0.0.1:0] [--max-sessions 16] [--max-inflight 4] [--threads N]
+//!              [--metrics]
 //! goc request  <ADDR> <REQUEST-JSON>
 //! ```
 //!
@@ -35,7 +36,7 @@ use gameofcoins::experiments::service::registry_server;
 use gameofcoins::experiments::{self, RunContext, SweepSpec};
 use gameofcoins::game::{equilibrium, CoinId, Configuration, Game};
 use gameofcoins::learning::{run, LearningOptions, SchedulerKind};
-use gameofcoins::proto::{Client, Request, Response};
+use gameofcoins::proto::{Client, ReportPayload, Request, Response};
 use gameofcoins::server::ServerConfig;
 use gameofcoins::sim::scenario::{btc_bch, BtcBchParams, DAY};
 use gameofcoins::sim::ScenarioSpec;
@@ -115,7 +116,9 @@ USAGE:
   goc simulate  [--miners N] [--days D] [--shock-day D] [--seed N]
   goc simulate  --spec FILE    (a declarative ScenarioSpec JSON)
   goc serve     [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--threads N]
-  goc request   <ADDR> <REQUEST-JSON>    (e.g. goc request 127.0.0.1:4317 '\"Status\"')
+                [--metrics]
+  goc request   <ADDR> <REQUEST-JSON>    (e.g. goc request 127.0.0.1:4317 '\"Status\"',
+                or the shorthand '{\"request\":\"metrics\"}')
 
 `goc list` names every registered experiment. The `churn` experiment
 drives miner arrivals/departures and coin launches/retirements as
@@ -144,21 +147,27 @@ const SERVE_USAGE: &str = "goc serve — run the Game-of-Coins service over TCP
 
 USAGE:
   goc serve [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--threads N]
+            [--metrics]
 
 The server speaks the goc-proto wire protocol: line-delimited JSON
-request/response envelopes (protocol v1). Every registered experiment
-is servable, ensembles run on the shared work-stealing executor, and
-admission control is strict — a bounded in-flight queue, per-session
-request budgets, and replica/population caps, each refusing by name
-instead of queueing unboundedly. A `Shutdown` request drains in-flight
-work and exits 0.
+request/response envelopes (protocol v2; v1 envelopes remain accepted).
+Every registered experiment is servable, ensembles run on the shared
+work-stealing executor, and admission control is strict — a bounded
+in-flight queue, per-session request budgets, and replica/population
+caps, each refusing by name instead of queueing unboundedly. A
+`Shutdown` request drains in-flight work and exits 0. The live
+telemetry registry (sessions, served, per-reason rejections, in-flight
+gauge, per-kind request latency) is queryable at any time with
+`goc request <ADDR> '{\"request\":\"metrics\"}'`.
 
 OPTIONS:
   --addr HOST:PORT   bind address (default 127.0.0.1:0 — an ephemeral
                      port, printed once bound)
   --max-sessions N   concurrent client sessions (default 16, must be ≥ 1)
   --max-inflight N   bounded in-flight compute queue (default 4, must be ≥ 1)
-  --threads N        worker threads per compute request";
+  --threads N        worker threads per compute request
+  --metrics          print the final metrics exposition (Prometheus-style
+                     text) after the drain summary";
 
 const REQUEST_USAGE: &str = "goc request — send one request to a running goc server
 
@@ -171,11 +180,17 @@ Report, nonzero on a named rejection or execution error.
 REQUESTS (the JSON forms of goc-proto's Request enum; optional fields
 may be omitted):
   '\"Status\"'       load/limit counters (free; answered while draining)
+  '\"Metrics\"'      the live telemetry registry, printed as Prometheus-
+                   style text exposition (free; protocol v2)
   '\"Shutdown\"'     drain in-flight work and stop the server
   '{\"RunEnsemble\":{\"spec\":{\"name\":\"wire\",\"miners\":1000,\"replicas\":16,
      \"horizon_days\":30.0,\"seed\":7}}}'
   '{\"RunExperiment\":{\"experiment\":\"prop1\",\"quick\":true}}'
-  '{\"Sweep\":{\"runs\":[{\"experiment\":\"prop1\",\"quick\":true}, ...]}}'";
+  '{\"Sweep\":{\"runs\":[{\"experiment\":\"prop1\",\"quick\":true}, ...]}}'
+
+The free verbs also take a lowercase shorthand that needs no shell
+escaping: '{\"request\":\"status\"}', '{\"request\":\"metrics\"}',
+'{\"request\":\"shutdown\"}'.";
 
 /// Parsed command-line options (manual parsing; no CLI dependency).
 #[derive(Debug, Default)]
@@ -198,6 +213,7 @@ struct Options {
     addr: Option<String>,
     max_sessions: Option<usize>,
     max_inflight: Option<usize>,
+    metrics: bool,
     help: bool,
 }
 
@@ -269,6 +285,7 @@ impl Options {
                     }
                     o.max_inflight = Some(n);
                 }
+                "--metrics" => o.metrics = true,
                 "--help" | "-h" => o.help = true,
                 other if !other.starts_with('-') => o.positional.push(other.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -325,7 +342,9 @@ fn cmd_list() -> Result<(), String> {
     );
     println!(
         "`serve` boots throwaway wire servers and hammers them with concurrent clients; \
-         the standing service is `goc serve`, queried with `goc request`"
+         the standing service is `goc serve` (add `--metrics` for a final telemetry \
+         exposition), queried with `goc request` — including the live registry via \
+         `goc request <ADDR> '{{\"request\":\"metrics\"}}'`"
     );
     Ok(())
 }
@@ -520,6 +539,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     };
     let server = registry_server(config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The registry handle outlives the server: with --metrics the
+    // final exposition prints after the drain summary.
+    let registry = opts.metrics.then(|| server.registry());
     println!(
         "goc-server listening on {addr} (protocol v{})",
         gameofcoins::proto::PROTOCOL_VERSION
@@ -530,6 +552,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         "drained: {} requests served, {} rejected by name",
         summary.served, summary.rejected
     );
+    if let Some(registry) = registry {
+        print!("{}", registry.render_text());
+    }
     Ok(())
 }
 
@@ -537,13 +562,18 @@ fn cmd_request(opts: &Options) -> Result<(), String> {
     let [addr, json] = opts.positional.as_slice() else {
         return Err("usage: goc request <ADDR> <REQUEST-JSON> (see `goc request --help`)".into());
     };
-    let request: Request =
-        serde_json::from_str(json).map_err(|e| format!("invalid request JSON: {e}"))?;
+    let request = parse_request(json)?;
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let reply = client.request(request).map_err(|e| e.to_string())?;
-    // Frames print exactly as they travelled: one JSON envelope per line.
+    // Frames print exactly as they travelled: one JSON envelope per
+    // line — except a metrics report, whose payload IS a text format;
+    // it prints verbatim so the output pastes straight into tooling.
     for frame in &reply.frames {
+        if let Response::Report(ReportPayload::Metrics { text, .. }) = &frame.response {
+            print!("{text}");
+            continue;
+        }
         println!(
             "{}",
             serde_json::to_string(frame).map_err(|e| format!("cannot render frame: {e}"))?
@@ -555,6 +585,38 @@ fn cmd_request(opts: &Options) -> Result<(), String> {
         Response::Error { detail } => Err(format!("execution failed: {detail}")),
         other => Err(format!("stream ended without a terminal frame: {other:?}")),
     }
+}
+
+/// Parses the request argument: the canonical `Request` JSON forms,
+/// plus a `{\"request\":\"status|metrics|shutdown\"}` shorthand for the
+/// free verbs (lowercase, so it is typeable without shell escapes for
+/// the enum's exact capitalization).
+fn parse_request(json: &str) -> Result<Request, String> {
+    let canonical: Result<Request, _> = serde_json::from_str(json);
+    if let Ok(request) = canonical {
+        return Ok(request);
+    }
+    let value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid request JSON: {e}"))?;
+    if let serde_json::Value::Object(pairs) = &value {
+        let shorthand = pairs.iter().find_map(|(key, v)| match v {
+            serde_json::Value::String(name) if key == "request" => Some(name.as_str()),
+            _ => None,
+        });
+        if let Some(name) = shorthand {
+            return match name {
+                "status" => Ok(Request::Status),
+                "metrics" => Ok(Request::Metrics),
+                "shutdown" => Ok(Request::Shutdown),
+                other => Err(format!(
+                    "unknown request shorthand `{other}` (status | metrics | shutdown)"
+                )),
+            };
+        }
+    }
+    Err(format!(
+        "invalid request JSON `{json}` (see `goc request --help`)"
+    ))
 }
 
 fn cmd_simulate(opts: &Options) -> Result<(), String> {
