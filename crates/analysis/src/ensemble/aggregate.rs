@@ -193,19 +193,15 @@ impl QuantileSketch {
         }
     }
 
-    /// Bucket index of a value (clamped to the sketch range).
+    /// Bucket index of a value (clamped to the sketch range) — the
+    /// shared `goc_telemetry::quantile` scheme over the sketch range.
     fn bucket_of(x: f64) -> usize {
-        let clamped = x.clamp(SKETCH_LO, SKETCH_HI);
-        let t = (clamped / SKETCH_LO).log10() / (SKETCH_HI / SKETCH_LO).log10();
-        ((t * SKETCH_BUCKETS as f64) as usize).min(SKETCH_BUCKETS - 1)
+        goc_telemetry::quantile::bucket_of(x, SKETCH_LO, SKETCH_HI, SKETCH_BUCKETS)
     }
 
     /// Geometric midpoint of bucket `i`.
     fn bucket_mid(i: usize) -> f64 {
-        let decades = (SKETCH_HI / SKETCH_LO).log10();
-        let lo = SKETCH_LO * 10f64.powf(decades * i as f64 / SKETCH_BUCKETS as f64);
-        let hi = SKETCH_LO * 10f64.powf(decades * (i + 1) as f64 / SKETCH_BUCKETS as f64);
-        (lo * hi).sqrt()
+        goc_telemetry::quantile::bucket_mid(i, SKETCH_LO, SKETCH_HI, SKETCH_BUCKETS)
     }
 
     /// Feeds one non-negative observation.
@@ -250,7 +246,7 @@ impl QuantileSketch {
             return self.max;
         }
         // Rank of the wanted observation, 1-based, nearest-rank method.
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let rank = goc_telemetry::quantile::nearest_rank(q, self.total);
         let mut seen = 0u64;
         for (i, &count) in self.counts.iter().enumerate() {
             seen += count;

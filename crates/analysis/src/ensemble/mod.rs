@@ -43,6 +43,7 @@ use goc_learning::{
 use goc_sim::fixtures::{scale_churn_base, scale_class_game};
 use goc_sim::{churn_timeline, churn_universe, stride_deltas, ChurnSpec, ScenarioSpec};
 
+use goc_telemetry::trace::{self, TraceEventKind, TraceLane, TraceRecorder};
 use goc_telemetry::Registry;
 
 use aggregate::{
@@ -365,6 +366,7 @@ fn replica_with(
     spec: &EnsembleSpec,
     shared: Option<&Snapshot>,
     index: usize,
+    lane: Option<&TraceLane>,
 ) -> Result<ReplicaRecord, EnsembleError> {
     let seed = replica_seed(spec.seed, index);
     let fail = |error: String| EnsembleError::Replica {
@@ -386,13 +388,15 @@ fn replica_with(
             let mut rng = SmallRng::seed_from_u64(seed);
             let start = random_config(&mut rng, game.system());
             let outcome = match (spec.scheduler, shared) {
-                (None, Some(snapshot)) => snapshot
-                    .fork_at(&start)
-                    .map_err(|e| fail(e.to_string()))
-                    .and_then(|tracker| {
-                        run_incremental_from(tracker, options, &ChurnPlan::default(), None)
-                            .map_err(|e| fail(e.to_string()))
-                    })?,
+                (None, Some(snapshot)) => {
+                    let tracker = {
+                        let _fork =
+                            lane.map(|l| l.span(TraceEventKind::SnapshotFork, index as u64));
+                        snapshot.fork_at(&start).map_err(|e| fail(e.to_string()))?
+                    };
+                    run_incremental_from(tracker, options, &ChurnPlan::default(), None)
+                        .map_err(|e| fail(e.to_string()))?
+                }
                 (None, None) => {
                     run_incremental(game, &start, options).map_err(|e| fail(e.to_string()))?
                 }
@@ -419,7 +423,12 @@ fn replica_with(
                         Some(snapshot.coin_activity().to_vec()),
                         stride_deltas(&deltas, spec.miners),
                     );
-                    let outcome = run_incremental_from(snapshot.fork(), options, &plan, None)
+                    let forked = {
+                        let _fork =
+                            lane.map(|l| l.span(TraceEventKind::SnapshotFork, index as u64));
+                        snapshot.fork()
+                    };
+                    let outcome = run_incremental_from(forked, options, &plan, None)
                         .map_err(|e| fail(e.to_string()))?;
                     (outcome, snapshot.game())
                 }
@@ -484,7 +493,7 @@ fn replica_with(
 /// As [`run`], for this replica only.
 pub fn replica(spec: &EnsembleSpec, index: usize) -> Result<ReplicaRecord, EnsembleError> {
     spec.validate()?;
-    replica_with(spec, None, index)
+    replica_with(spec, None, index, None)
 }
 
 /// Builds the ensemble's shared time-zero image: construct the universe
@@ -495,9 +504,13 @@ pub fn replica(spec: &EnsembleSpec, index: usize) -> Result<ReplicaRecord, Ensem
 ///
 /// `None` for scheduled churny ensembles, whose replicas need their own
 /// full universe (the scheduler consumes the per-replica scenario).
-fn shared_snapshot(spec: &EnsembleSpec) -> Result<Option<Snapshot>, String> {
+fn shared_snapshot(spec: &EnsembleSpec, lane: &TraceLane) -> Result<Option<Snapshot>, String> {
     let roundtrip = |tracker: &MassTracker<'_>| {
-        let bytes = Snapshot::of(tracker).encode();
+        let bytes = {
+            let _encode = lane.span(TraceEventKind::SnapshotEncode, spec.miners as u64);
+            Snapshot::of(tracker).encode()
+        };
+        let _decode = lane.span(TraceEventKind::SnapshotDecode, bytes.len() as u64);
         Snapshot::try_from(bytes.as_slice()).map_err(|e| e.to_string())
     };
     match &spec.churn {
@@ -572,18 +585,49 @@ pub fn run_recorded(
     threads: usize,
     registry: &Registry,
 ) -> Result<EnsembleReport, EnsembleError> {
+    run_traced(spec, threads, registry, trace::global())
+}
+
+/// [`run_recorded`] with flight-recorder tracing on `tracer`: a
+/// coordinator lane spans the shared-snapshot encode/decode, and each
+/// replica gets `replica_start`/`replica_finish` instants plus a
+/// `snapshot_fork` span (correlation = replica index) on a per-worker
+/// lane. Like the registry, the tracer only ever sees wall-clock facts
+/// — the deterministic aggregate is untouched, and on a disabled or
+/// standby recorder every event is a one-relaxed-load no-op.
+/// ([`run_recorded`] passes [`trace::global`], so `goc run --trace`
+/// lights this path up without any plumbing through [`EnsembleSpec`].)
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_traced(
+    spec: &EnsembleSpec,
+    threads: usize,
+    registry: &Registry,
+    tracer: &TraceRecorder,
+) -> Result<EnsembleReport, EnsembleError> {
     spec.validate()?;
     let metrics = ExecutorMetrics::register(registry);
     let wall_hist = registry.histogram("goc_ensemble_replica_wall_secs");
     let clock = Instant::now();
+    let coordinator = tracer.lane();
     // One universe, encoded and decoded once; every replica forks the
     // decoded image instead of rebuilding its own (see `replica_with`).
-    let shared =
-        shared_snapshot(spec).map_err(|error| EnsembleError::Replica { replica: 0, error })?;
+    let shared = shared_snapshot(spec, &coordinator)
+        .map_err(|error| EnsembleError::Replica { replica: 0, error })?;
     let results = run_indexed_recorded(
         spec.replicas,
         threads,
-        |index| replica_with(spec, shared.as_ref(), index),
+        |index| {
+            // One lane per replica invocation; the recorder's free list
+            // recycles them, so live lanes stay bounded by concurrency.
+            let lane = tracer.lane();
+            lane.instant(TraceEventKind::ReplicaStart, index as u64);
+            let result = replica_with(spec, shared.as_ref(), index, Some(&lane));
+            lane.instant(TraceEventKind::ReplicaFinish, index as u64);
+            result
+        },
         Some(&metrics),
     )
     .map_err(EnsembleError::Panicked)?;
@@ -736,6 +780,42 @@ mod tests {
                 .count,
             10
         );
+    }
+
+    #[test]
+    fn tracing_spans_the_snapshot_and_every_replica() {
+        let spec = EnsembleSpec::new(24, 6, 13);
+        let bare = run(&spec, 2).unwrap();
+        let tracer = TraceRecorder::new(4096);
+        let traced = run_traced(&spec, 3, &Registry::disabled(), &tracer).unwrap();
+        assert_eq!(bare.aggregate, traced.aggregate, "tracing never perturbs");
+        let snap = tracer.snapshot();
+        assert_eq!(snap.dropped, 0);
+        let count = |kind| snap.events.iter().filter(|e| e.kind == kind).count();
+        // One encode and one decode span (begin + end each)...
+        assert_eq!(count(TraceEventKind::SnapshotEncode), 2);
+        assert_eq!(count(TraceEventKind::SnapshotDecode), 2);
+        // ...and per replica: start/finish instants plus a fork span.
+        assert_eq!(count(TraceEventKind::ReplicaStart), spec.replicas);
+        assert_eq!(count(TraceEventKind::ReplicaFinish), spec.replicas);
+        assert_eq!(count(TraceEventKind::SnapshotFork), 2 * spec.replicas);
+        // Every replica index appears as a complete start → fork →
+        // finish timeline on one lane.
+        for index in 0..spec.replicas as u64 {
+            let timeline = snap.timeline(index);
+            let kinds: Vec<TraceEventKind> = timeline.iter().map(|e| e.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    TraceEventKind::ReplicaStart,
+                    TraceEventKind::SnapshotFork,
+                    TraceEventKind::SnapshotFork,
+                    TraceEventKind::ReplicaFinish,
+                ],
+                "replica {index}"
+            );
+            assert!(timeline.windows(2).all(|w| w[0].lane == w[1].lane));
+        }
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Cross-validation of the two geometric-bucket quantile estimators
+//! now built on the shared `goc_telemetry::quantile` helper: the
+//! latency histogram (64 buckets over `[1e-6, 1e3]` seconds, reports
+//! the bucket upper edge) and the ensemble's `QuantileSketch` (1024
+//! buckets over `[1, 1e12]`, reports the bucket geometric midpoint).
+//! Fed the same samples — in their respective units — their estimates
+//! must agree within the product of their documented per-bucket
+//! relative-error bounds, and exactly at the tracked extremes.
+
+use goc_analysis::ensemble::aggregate::QuantileSketch;
+use goc_telemetry::{quantile, LatencyHistogram, HIST_BUCKETS, HIST_HI, HIST_LO};
+use proptest::prelude::*;
+
+/// Seconds → sketch units. The sketch covers `[1, 1e12]`, so scaling
+/// seconds by 1e6 (to microseconds) keeps the whole sampled range
+/// `[1e-5, 100]` s well inside both estimators' bucketed ranges.
+const SCALE: f64 = 1e6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn histogram_and_sketch_quantiles_agree_within_documented_error(
+        samples in prop::collection::vec(1e-5f64..100.0, 10..400),
+        qs in prop::collection::vec(0.01f64..0.99, 1..6),
+    ) {
+        let hist = LatencyHistogram::detached();
+        let mut sketch = QuantileSketch::new();
+        for &s in &samples {
+            hist.observe(s);
+            sketch.push(s * SCALE);
+        }
+        let snap = hist.snapshot("fusion_secs");
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(sketch.count(), samples.len() as u64);
+
+        // Same multiset + same nearest-rank convention ⇒ both pick the
+        // same underlying sample; the histogram reports its bucket's
+        // upper edge (≤ one bucket ratio high) and the sketch its
+        // bucket's geometric midpoint (≤ half its ratio either way).
+        let hist_ratio = quantile::bucket_ratio(HIST_LO, HIST_HI, HIST_BUCKETS);
+        let sketch_ratio = quantile::bucket_ratio(1.0, 1e12, 1024);
+        let bound = hist_ratio * sketch_ratio;
+        for &q in &qs {
+            let h = snap.quantile(q);
+            let s = sketch.quantile(q) / SCALE;
+            prop_assert!(h > 0.0 && s > 0.0);
+            let ratio = if h > s { h / s } else { s / h };
+            prop_assert!(
+                ratio <= bound,
+                "q={q}: hist={h} sketch={s} disagree by {ratio} > {bound}"
+            );
+        }
+
+        // The extremes are tracked exactly by both (the histogram's
+        // min/max round through integer nanoseconds — allow that).
+        prop_assert!((snap.quantile(0.0) - sketch.quantile(0.0) / SCALE).abs() <= 2e-9);
+        prop_assert!((snap.quantile(1.0) - sketch.quantile(1.0) / SCALE).abs() <= 2e-9);
+    }
+}

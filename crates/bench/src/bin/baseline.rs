@@ -2,7 +2,7 @@
 //!
 //! **Record mode** (default) measures the headline throughput numbers of
 //! the large-population engine and writes them as machine-readable JSON
-//! (`BENCH_9.json`):
+//! (`BENCH_10.json`):
 //!
 //! * **dynamics steps/sec** — `goc_learning::run_incremental` converging
 //!   a 100k-miner, 8-hashrate-class, 3-coin game from the all-on-c0
@@ -34,7 +34,13 @@
 //! * **telemetry steps/sec** — the dynamics workload again, but run
 //!   through the `Dynamics` builder with a live `DynamicsTelemetry` on
 //!   an enabled registry, gating the cost of per-step/per-delta
-//!   relaxed-atomic instrumentation.
+//!   relaxed-atomic instrumentation;
+//! * **tracing steps/sec** — the dynamics workload once more, driven
+//!   through `DynamicsTracing` on an *enabled* flight recorder: every
+//!   step writes a timestamped record into the per-thread ring
+//!   (including the overwrite path once the ring wraps), gating the
+//!   recorder's cheap-when-on contract the same way `telemetry` gates
+//!   the metrics layer.
 //!
 //! **Check mode** (`--check FILE [--tolerance T]`) is the CI perf gate:
 //! it re-measures the *same* workloads at the miner counts recorded in
@@ -49,14 +55,14 @@
 //! gate by pointing it at an old recording.
 //!
 //! ```text
-//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_9.json
+//! cargo run --release -p goc-bench --bin baseline            # full, writes BENCH_10.json
 //! cargo run --release -p goc-bench --bin baseline -- --quick # CI smoke (10k miners)
 //! cargo run --release -p goc-bench --bin baseline -- --out custom.json
-//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_9.json --tolerance 0.5
+//! cargo run --release -p goc-bench --bin baseline -- --check BENCH_10.json --tolerance 0.5
 //! ```
 //!
 //! Re-record after a perf-relevant change by re-running the full mode on
-//! quiet hardware and committing the refreshed `BENCH_9.json`. Keep the
+//! quiet hardware and committing the refreshed `BENCH_10.json`. Keep the
 //! tolerance loose: the gate is meant to catch order-of-magnitude
 //! regressions (an accidentally quadratic path), not CI-runner noise.
 
@@ -68,11 +74,12 @@ use goc_analysis::ensemble::{run as run_ensemble, EnsembleSpec};
 use goc_game::{CoinId, Configuration, MassTracker, Snapshot};
 use goc_learning::{
     run, run_incremental, run_incremental_with_churn, ChurnPlan, Dynamics, DynamicsTelemetry,
-    LearningOptions, SchedulerKind,
+    DynamicsTracing, LearningOptions, SchedulerKind,
 };
 use goc_proto::{Client, ReportPayload, Request, Response};
 use goc_server::{EnsembleOnlyBackend, Server, ServerConfig};
 use goc_sim::fixtures::{scale_churn_scenario, scale_class_game, scale_cohort_scenario};
+use goc_telemetry::trace::{TraceRecorder, DEFAULT_LANE_CAPACITY};
 use goc_telemetry::Registry;
 use serde::{Deserialize, Serialize};
 
@@ -147,8 +154,8 @@ struct SnapshotBaseline {
     fork: LayerBaseline,
 }
 
-/// The `BENCH_9.json` schema (a superset of `BENCH_8.json`: the
-/// `telemetry` section is new and optional on read, so `--check` also
+/// The `BENCH_10.json` schema (a superset of `BENCH_9.json`: the
+/// `tracing` section is new and optional on read, so `--check` also
 /// accepts the older files — with a loud warning for every layer the
 /// file is missing).
 #[derive(Debug, Serialize, Deserialize)]
@@ -185,6 +192,11 @@ struct Baseline {
     /// baselines). Gating it alongside `dynamics` keeps telemetry
     /// overhead inside the same regression envelope as the bare engine.
     telemetry: Option<LayerBaseline>,
+    /// Flight-recorded dynamics: the `dynamics` workload run with a
+    /// live `DynamicsTracing` on an *enabled* recorder, so every step
+    /// writes a timestamped ring record — including the overwrite path
+    /// once the ring wraps (steps/sec; absent in pre-10 baselines).
+    tracing: Option<LayerBaseline>,
 }
 
 fn dynamics_baseline(n: usize, repeats: usize) -> LayerBaseline {
@@ -422,6 +434,50 @@ fn telemetry_baseline(n: usize, repeats: usize) -> LayerBaseline {
     }
 }
 
+fn tracing_baseline(n: usize, repeats: usize) -> LayerBaseline {
+    // The flight recorder's cheap-when-on contract, measured: the exact
+    // `dynamics` workload driven through `DynamicsTracing` on an
+    // *enabled* recorder at the default lane capacity — every step
+    // writes a timestamped record into the per-thread ring, and once
+    // the ring wraps every further write also bumps the dropped
+    // counter, so the recorded steps/sec covers the overwrite path the
+    // steady state lives in.
+    let game = scale_class_game(n);
+    let start = Configuration::uniform(CoinId(0), game.system()).expect("valid start");
+    let recorder = TraceRecorder::new(DEFAULT_LANE_CAPACITY);
+    let mut best = f64::INFINITY;
+    let mut steps = 0usize;
+    for _ in 0..repeats {
+        let mut tracing = DynamicsTracing::new(&recorder);
+        let clock = Instant::now();
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut tracing)
+            .run()
+            .expect("traced dynamics converge");
+        let wall = clock.elapsed().as_secs_f64();
+        assert!(outcome.converged, "traced dynamics did not converge");
+        tracing.observe_run(&outcome);
+        best = best.min(wall);
+        steps = outcome.steps;
+    }
+    // Ring accounting is exact even under overwrite: every step record
+    // plus the one per-run reprobe instant was either retained or
+    // counted as dropped.
+    let snapshot = recorder.snapshot();
+    assert_eq!(
+        snapshot.events.len() as u64 + snapshot.dropped,
+        ((steps + 1) * repeats) as u64,
+        "the recorder lost records"
+    );
+    LayerBaseline {
+        miners: n,
+        work: steps as u64,
+        wall_secs: best,
+        per_sec: steps as f64 / best.max(1e-9),
+    }
+}
+
 fn server_baseline(n: usize, requests: usize, repeats: usize) -> LayerBaseline {
     // End to end over real loopback TCP: framing, admission control,
     // and the dispatch of each `RunEnsemble` onto the shared executor.
@@ -486,7 +542,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         SERVER_REQUESTS
     };
     let baseline = Baseline {
-        baseline: 9,
+        baseline: 10,
         quick,
         recorded_by: "cargo run --release -p goc-bench --bin baseline".into(),
         dynamics: dynamics_baseline(n, 3),
@@ -502,6 +558,7 @@ fn record(quick: bool, out: &Path) -> ExitCode {
         server: Some(server_baseline(SERVER_MINERS, server_requests, 2)),
         snapshot: Some(snapshot_baseline(n, 2)),
         telemetry: Some(telemetry_baseline(n, 2)),
+        tracing: Some(tracing_baseline(n, 2)),
     };
     println!(
         "dynamics: {} miners, {} steps in {:.3} s -> {:.0} steps/sec",
@@ -560,6 +617,17 @@ fn record(quick: bool, out: &Path) -> ExitCode {
             telemetry.wall_secs,
             telemetry.per_sec,
             100.0 * telemetry.per_sec / baseline.dynamics.per_sec.max(1e-9)
+        );
+    }
+    if let Some(tracing) = &baseline.tracing {
+        println!(
+            "tracing:  {} miners, {} steps in {:.3} s -> {:.0} steps/sec flight-recorded \
+             ({:.0}% of bare dynamics)",
+            tracing.miners,
+            tracing.work,
+            tracing.wall_secs,
+            tracing.per_sec,
+            100.0 * tracing.per_sec / baseline.dynamics.per_sec.max(1e-9)
         );
     }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -651,6 +719,7 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
         ("server", recorded.server.is_none()),
         ("snapshot", recorded.snapshot.is_none()),
         ("telemetry", recorded.telemetry.is_none()),
+        ("tracing", recorded.tracing.is_none()),
     ]
     .into_iter()
     .filter_map(|(layer, absent)| absent.then_some(layer))
@@ -685,6 +754,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
     }
     if let Some(telemetry) = &recorded.telemetry {
         layers.push(("telemetry", telemetry));
+    }
+    if let Some(tracing) = &recorded.tracing {
+        layers.push(("tracing", tracing));
     }
     for (label, layer) in &layers {
         if let Err(e) = checkable(label, layer) {
@@ -795,6 +867,15 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
             &mut regressed,
         );
     }
+    if let Some(tracing) = &recorded.tracing {
+        gate(
+            "tracing",
+            &tracing_baseline(tracing.miners, 2),
+            tracing,
+            tolerance,
+            &mut regressed,
+        );
+    }
     if ok && regressed.is_empty() {
         println!("perf gate passed");
         ExitCode::SUCCESS
@@ -812,9 +893,9 @@ fn check(file: &Path, tolerance: f64) -> ExitCode {
 fn default_out() -> PathBuf {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     if repo_root.is_dir() {
-        repo_root.join("BENCH_9.json")
+        repo_root.join("BENCH_10.json")
     } else {
-        PathBuf::from("BENCH_9.json")
+        PathBuf::from("BENCH_10.json")
     }
 }
 

@@ -33,7 +33,11 @@
 //!   nor a rejection;
 //! * **latency**: request p99 stays inside the wall budget (the only
 //!   timing-dependent check, named `wall` so goldens keep the verdict
-//!   and drop the numbers).
+//!   and drop the numbers);
+//! * **request timelines**: a traced server's drained flight recorder
+//!   reconstructs the full admit → serve-span → reply sequence for a
+//!   hand-stamped wire correlation id, with the backend's replica
+//!   spans nested inside the serve span.
 //!
 //! Timing convention: wall clock only appears in `secs`/`per_sec`
 //! params, tables titled `timing`, and checks named `wall` — the
@@ -55,6 +59,7 @@ use goc_proto::{
     Response,
 };
 use goc_server::{Backend, EnsembleOnlyBackend, Server, ServerConfig, ServerSummary};
+use goc_telemetry::trace::{TraceEventKind, TracePhase, TraceRecorder};
 use goc_telemetry::Registry;
 
 use crate::service::RegistryBackend;
@@ -386,6 +391,7 @@ impl Experiment for Serve {
         self.session_limit_scenario(&mut report);
         self.session_budget_scenario(&mut report);
         self.inflight_gate_scenario(&mut report);
+        self.trace_timeline_scenario(&mut report);
         report
     }
 }
@@ -887,5 +893,99 @@ impl Serve {
         if shutdown(addr).is_ok() {
             let _ = handle.join();
         }
+    }
+
+    /// A traced server's drained flight recorder reconstructs the full
+    /// per-request timeline — admission instant, serve span around the
+    /// backend compute, reply — keyed by the wire correlation id the
+    /// client chose.
+    fn trace_timeline_scenario(&self, report: &mut RunReport) {
+        const CHECK: &str = "trace_reconstructs_request_timeline_by_correlation_id";
+        /// The hand-stamped wire id the timeline is keyed by.
+        const CORRELATION: u64 = 3084;
+        /// Replicas of the traced ensemble (each leaves a start/finish
+        /// pair on the recorder).
+        const REPLICAS: usize = 4;
+        let tracer = TraceRecorder::new(4096);
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            ..ServerConfig::default()
+        };
+        let server = match crate::service::registry_server_traced(config, tracer.clone()) {
+            Ok(server) => server,
+            Err(e) => {
+                report.check(CHECK, false, e.to_string());
+                return;
+            }
+        };
+        let verdict = (|| -> Result<(), String> {
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            let handle = std::thread::spawn(move || server.run().map_err(|e| e.to_string()));
+            let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+            let mut conn = Connection::new(stream);
+            conn.send_request(&RequestEnvelope::new(
+                CORRELATION,
+                Request::RunEnsemble {
+                    spec: EnsembleSpec::new(24, REPLICAS, 0),
+                },
+            ))
+            .map_err(|e| e.to_string())?;
+            loop {
+                let response = conn.recv_response().map_err(|e| e.to_string())?;
+                match response.response {
+                    Response::Accepted | Response::Progress { .. } => continue,
+                    Response::Report(ReportPayload::Ensemble(_)) => break,
+                    other => return Err(format!("traced request answered {other:?}")),
+                }
+            }
+            drop(conn);
+            shutdown(addr)?;
+            handle
+                .join()
+                .map_err(|_| "server thread panicked".to_string())??;
+
+            let snap = tracer.snapshot();
+            let timeline = snap.timeline(CORRELATION);
+            let shape: Vec<(TraceEventKind, TracePhase)> =
+                timeline.iter().map(|e| (e.kind, e.phase)).collect();
+            let expected = vec![
+                (TraceEventKind::RequestAdmit, TracePhase::Instant),
+                (TraceEventKind::RequestServe, TracePhase::Begin),
+                (TraceEventKind::RequestServe, TracePhase::End),
+            ];
+            if shape != expected {
+                return Err(format!("timeline of {CORRELATION} came back as {shape:?}"));
+            }
+            if !timeline.iter().all(|e| e.lane == timeline[0].lane) {
+                return Err("one session's timeline spread across lanes".to_string());
+            }
+            // The backend's compute nests inside the serve span.
+            let (begin, end) = (timeline[1].nanos, timeline[2].nanos);
+            let starts = snap
+                .events
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::ReplicaStart)
+                .collect::<Vec<_>>();
+            if starts.len() != REPLICAS
+                || !starts.iter().all(|e| begin <= e.nanos && e.nanos <= end)
+            {
+                return Err(format!(
+                    "{} replica starts, expected {REPLICAS} inside the serve span",
+                    starts.len()
+                ));
+            }
+            Ok(())
+        })();
+        report.check(
+            CHECK,
+            verdict.is_ok(),
+            verdict.err().unwrap_or_else(|| {
+                format!(
+                    "admit → serve span → reply for wire id {CORRELATION}, with {REPLICAS} \
+                     replica spans nested inside the serve span"
+                )
+            }),
+        );
     }
 }

@@ -93,6 +93,21 @@ pub fn registry_server(config: ServerConfig) -> Result<Server, ServerError> {
     Server::bind(config, Box::new(RegistryBackend))
 }
 
+/// [`registry_server`] with a caller-owned flight recorder: session
+/// spans and backend compute land on `tracer`, so `goc serve --trace`
+/// (and the `serve` experiment's timeline check) can drain the recorder
+/// after the server stops.
+///
+/// # Errors
+///
+/// As [`Server::bind`]: a degenerate config or an unbindable address.
+pub fn registry_server_traced(
+    config: ServerConfig,
+    tracer: goc_telemetry::trace::TraceRecorder,
+) -> Result<Server, ServerError> {
+    Server::bind_traced(config, Box::new(RegistryBackend), tracer)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,7 @@
 //! [`Dynamics::instrument`]: crate::dynamics::Dynamics::instrument
 
 use goc_game::{Configuration, Delta, Move, Snapshot};
+use goc_telemetry::trace::{TraceEventKind, TraceLane, TraceRecorder};
 use goc_telemetry::{Counter, LatencyHistogram, Registry};
 
 use crate::dynamics::LearningOutcome;
@@ -191,6 +192,51 @@ impl Instrument for DynamicsTelemetry {
     }
 }
 
+/// The flight-recorder binding of the engine: an [`Instrument`] that
+/// writes one [`TraceEventKind::StepPick`] instant per applied move
+/// (correlation = the deviating miner) and one
+/// [`TraceEventKind::DeltaApply`] per churn delta (correlation = the
+/// step it fired at) onto its own single-writer lane, plus a run-level
+/// [`TraceEventKind::CacheReprobe`] instant carrying the decision
+/// cache's re-probe count ([`DynamicsTracing::observe_run`]).
+///
+/// Like [`DynamicsTelemetry`] on a disabled registry, tracing on a
+/// disabled (or standby) recorder costs one relaxed load per event —
+/// cheap enough to leave compiled into the engine.
+#[derive(Debug)]
+pub struct DynamicsTracing {
+    lane: TraceLane,
+}
+
+impl DynamicsTracing {
+    /// Opens a lane on `recorder` for this instrument (one writer, one
+    /// lane — create one `DynamicsTracing` per thread).
+    pub fn new(recorder: &TraceRecorder) -> Self {
+        DynamicsTracing {
+            lane: recorder.lane(),
+        }
+    }
+
+    /// Records the run-level trace of a completed run: a
+    /// [`TraceEventKind::CacheReprobe`] instant whose correlation is
+    /// the outcome's re-probe count.
+    pub fn observe_run(&self, outcome: &LearningOutcome) {
+        self.lane
+            .instant(TraceEventKind::CacheReprobe, outcome.cache_reprobes);
+    }
+}
+
+impl Instrument for DynamicsTracing {
+    fn on_step(&mut self, _config: &Configuration, mv: Move) {
+        self.lane
+            .instant(TraceEventKind::StepPick, mv.miner.0 as u64);
+    }
+
+    fn on_delta(&mut self, step: usize, _delta: Delta) {
+        self.lane.instant(TraceEventKind::DeltaApply, step as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +343,52 @@ mod tests {
         assert_eq!(outcome.steps, bare.steps);
         assert_eq!(outcome.final_config, bare.final_config);
         assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn tracing_records_a_step_per_move_and_the_run_reprobes() {
+        use goc_telemetry::trace::{TraceEventKind, TracePhase, TraceRecorder};
+        let (game, start) = toy();
+        let recorder = TraceRecorder::new(4096);
+        let mut tracing = DynamicsTracing::new(&recorder);
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut tracing)
+            .run()
+            .unwrap();
+        tracing.observe_run(&outcome);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.dropped, 0);
+        let steps = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::StepPick)
+            .count();
+        assert_eq!(steps, outcome.steps);
+        let reprobe = snap
+            .events
+            .iter()
+            .find(|e| e.kind == TraceEventKind::CacheReprobe)
+            .expect("observe_run records the re-probe count");
+        assert_eq!(reprobe.phase, TracePhase::Instant);
+        assert_eq!(reprobe.correlation, outcome.cache_reprobes);
+    }
+
+    #[test]
+    fn tracing_on_a_standby_recorder_leaves_the_run_unchanged() {
+        let (game, start) = toy();
+        let bare = Dynamics::new(&game).start(&start).run().unwrap();
+        let recorder = goc_telemetry::trace::TraceRecorder::standby(64);
+        let mut tracing = DynamicsTracing::new(&recorder);
+        let outcome = Dynamics::new(&game)
+            .start(&start)
+            .instrument(&mut tracing)
+            .run()
+            .unwrap();
+        tracing.observe_run(&outcome);
+        assert_eq!(outcome.steps, bare.steps);
+        assert_eq!(outcome.final_config, bare.final_config);
+        assert!(recorder.snapshot().events.is_empty());
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //!   draining: new sessions and new compute requests are refused with
 //!   [`RejectReason::Draining`], in-flight work runs to completion,
 //!   and [`Server::run`] returns a [`ServerSummary`].
+//! * **Observability** — every session lane of the flight recorder
+//!   carries the wire correlation id ([`Server::bind_traced`]), so a
+//!   drained trace reconstructs per-request timelines admit → compute
+//!   → reply; [`HttpExporter`] scrapes `/metrics`, `/healthz`, and
+//!   `/trace` over plain HTTP GET.
 //!
 //! ```no_run
 //! use goc_server::{Server, ServerConfig};
@@ -48,10 +53,12 @@
 
 mod backend;
 mod config;
+mod http;
 mod server;
 
 pub use backend::{Backend, EnsembleOnlyBackend};
 pub use config::{ConfigError, ServerConfig, MAX_GATE_MINERS};
+pub use http::HttpExporter;
 pub use server::{Server, ServerError, ServerSummary};
 
 // Re-exported so server users and tests name rejection reasons without

@@ -13,6 +13,7 @@ use goc_proto::{
     Connection, ProtoError, RejectReason, ReportPayload, Request, Response, ResponseEnvelope,
     ServerStatus, PROTOCOL_VERSION,
 };
+use goc_telemetry::trace::{TraceEventKind, TraceLane, TraceRecorder};
 use goc_telemetry::{with_label, Registry};
 
 use crate::backend::Backend;
@@ -82,6 +83,7 @@ struct State {
     served: AtomicU64,
     rejected: AtomicU64,
     registry: Registry,
+    tracer: TraceRecorder,
 }
 
 impl State {
@@ -174,6 +176,29 @@ impl Server {
     /// [`ServerError::Config`] for a degenerate config,
     /// [`ServerError::Bind`] when the OS refuses the address.
     pub fn bind(config: ServerConfig, backend: Box<dyn Backend>) -> Result<Server, ServerError> {
+        Server::bind_traced(config, backend, TraceRecorder::disabled())
+    }
+
+    /// [`Server::bind`] with a flight recorder: every session thread
+    /// writes request-correlated spans onto its own lane of `tracer` —
+    /// a `request_admit` instant when a compute request clears the
+    /// admission pipeline, a `request_serve` span around backend
+    /// compute + terminal reply, and a `request_reject` instant for
+    /// every named refusal, each carrying the wire envelope's
+    /// correlation id — so a drained recorder reconstructs per-request
+    /// timelines exactly. Backend ensembles trace onto the same
+    /// recorder (replica + snapshot spans). Pass
+    /// [`TraceRecorder::disabled`] (what [`Server::bind`] does) to keep
+    /// the whole layer a one-relaxed-load no-op.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::bind`].
+    pub fn bind_traced(
+        config: ServerConfig,
+        backend: Box<dyn Backend>,
+        tracer: TraceRecorder,
+    ) -> Result<Server, ServerError> {
         config.validate()?;
         let listener = TcpListener::bind(&config.addr).map_err(|e| ServerError::Bind {
             addr: config.addr.clone(),
@@ -202,6 +227,7 @@ impl Server {
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 registry,
+                tracer,
             }),
         })
     }
@@ -224,6 +250,13 @@ impl Server {
     /// their post-drain expositions through it.
     pub fn registry(&self) -> Registry {
         self.state.registry.clone()
+    }
+
+    /// A handle onto the server's flight recorder (a cheap `Arc`
+    /// clone, like [`Server::registry`]) — drain it with
+    /// [`TraceRecorder::snapshot`] during or after [`Server::run`].
+    pub fn tracer(&self) -> TraceRecorder {
+        self.state.tracer.clone()
     }
 
     /// Accepts sessions until a `Shutdown` request flips the server
@@ -303,15 +336,17 @@ fn reply(conn: &mut Connection<TcpStream>, id: u64, response: Response) -> Resul
         .map_err(|_| ())
 }
 
-/// Counts and sends a named rejection.
+/// Counts, traces, and sends a named rejection.
 fn reject(
     state: &State,
     conn: &mut Connection<TcpStream>,
+    lane: &TraceLane,
     id: u64,
     reason: RejectReason,
     detail: String,
 ) -> Result<(), ()> {
     state.count_rejection(reason);
+    lane.instant(TraceEventKind::RequestReject, id);
     reply(conn, id, Response::Rejected { reason, detail })
 }
 
@@ -327,6 +362,9 @@ fn session(state: Arc<State>, stream: TcpStream) {
     stream.set_read_timeout(Some(SESSION_POLL)).ok();
     stream.set_nodelay(true).ok();
     let mut conn = Connection::with_max_frame(stream, state.config.max_frame_bytes);
+    // One trace lane per session thread (the recorder's single-writer
+    // unit); every record on it carries a wire correlation id.
+    let lane = state.tracer.lane();
     let mut budget_used: u64 = 0;
     loop {
         let envelope = match conn.recv_request() {
@@ -341,6 +379,7 @@ fn session(state: Arc<State>, stream: TcpStream) {
                 if reject(
                     &state,
                     &mut conn,
+                    &lane,
                     0,
                     RejectReason::FrameTooLarge,
                     e.to_string(),
@@ -355,6 +394,7 @@ fn session(state: Arc<State>, stream: TcpStream) {
                 if reject(
                     &state,
                     &mut conn,
+                    &lane,
                     0,
                     RejectReason::MalformedFrame,
                     e.to_string(),
@@ -373,6 +413,7 @@ fn session(state: Arc<State>, stream: TcpStream) {
             if reject(
                 &state,
                 &mut conn,
+                &lane,
                 id,
                 RejectReason::VersionMismatch,
                 e.to_string(),
@@ -418,7 +459,7 @@ fn session(state: Arc<State>, stream: TcpStream) {
                 TcpStream::connect(state.local_addr).ok();
                 sent
             }
-            request => handle_compute(&state, &mut conn, id, request, &mut budget_used),
+            request => handle_compute(&state, &mut conn, &lane, id, request, &mut budget_used),
         };
         state
             .registry
@@ -437,6 +478,7 @@ fn session(state: Arc<State>, stream: TcpStream) {
 fn handle_compute(
     state: &State,
     conn: &mut Connection<TcpStream>,
+    lane: &TraceLane,
     id: u64,
     request: Request,
     budget_used: &mut u64,
@@ -445,6 +487,7 @@ fn handle_compute(
         return reject(
             state,
             conn,
+            lane,
             id,
             RejectReason::Draining,
             "server is draining; no new work".to_string(),
@@ -454,6 +497,7 @@ fn handle_compute(
         return reject(
             state,
             conn,
+            lane,
             id,
             RejectReason::SessionBudgetExhausted,
             format!(
@@ -463,12 +507,13 @@ fn handle_compute(
         );
     }
     if let Some((reason, detail)) = admission_fault(state, &request) {
-        return reject(state, conn, id, reason, detail);
+        return reject(state, conn, lane, id, reason, detail);
     }
     if !state.try_acquire_inflight() {
         return reject(
             state,
             conn,
+            lane,
             id,
             RejectReason::InFlightLimit,
             format!(
@@ -477,10 +522,16 @@ fn handle_compute(
             ),
         );
     }
+    // Admitted: past every gate, in-flight slot held.
+    lane.instant(TraceEventKind::RequestAdmit, id);
     state.registry.gauge("goc_server_inflight").inc();
     let _slot = InflightGuard(state);
     *budget_used += 1;
     reply(conn, id, Response::Accepted)?;
+    // The serve span covers backend compute plus the terminal reply
+    // write, so the drained timeline shows where the request's time
+    // went after admission.
+    let _serve = lane.span(TraceEventKind::RequestServe, id);
     match execute(state, conn, id, &request) {
         Ok(payload) => {
             state.served.fetch_add(1, Ordering::SeqCst);
@@ -590,9 +641,13 @@ fn execute(
             .backend
             .run_experiment(run, threads)
             .map(ReportPayload::Experiment),
-        Request::RunEnsemble { spec } => ensemble::run(spec, threads)
-            .map(ReportPayload::Ensemble)
-            .map_err(|e| e.to_string()),
+        Request::RunEnsemble { spec } => {
+            // Replica/snapshot spans land on the server's own recorder
+            // (registry stays out of it, exactly like `ensemble::run`).
+            ensemble::run_traced(spec, threads, &Registry::disabled(), &state.tracer)
+                .map(ReportPayload::Ensemble)
+                .map_err(|e| e.to_string())
+        }
         Request::Sweep { runs } => {
             let mut progress = |done: usize, total: usize| {
                 // A client gone mid-sweep surfaces at the terminal
@@ -924,5 +979,99 @@ mod tests {
         assert_eq!(refused.rejection().unwrap().0, RejectReason::Draining);
         drop(client);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn traced_requests_reconstruct_complete_timelines_by_correlation_id() {
+        let tracer = TraceRecorder::new(4096);
+        let server = Server::bind_traced(
+            ServerConfig::default(),
+            Box::new(EnsembleOnlyBackend),
+            tracer.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // Hand-stamped envelopes so the *wire* correlation ids are
+        // known: 777 is served, 778 is refused by validation.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut conn = Connection::new(stream);
+        let spec = EnsembleSpec::new(16, 4, 7);
+        conn.send_request(&goc_proto::RequestEnvelope::new(
+            777,
+            Request::RunEnsemble { spec },
+        ))
+        .unwrap();
+        loop {
+            let response = conn.recv_response().unwrap();
+            assert_eq!(response.id, 777);
+            match response.response {
+                Response::Accepted | Response::Progress { .. } => continue,
+                Response::Report(ReportPayload::Ensemble(_)) => break,
+                other => panic!("expected an ensemble report, got {other:?}"),
+            }
+        }
+        conn.send_request(&goc_proto::RequestEnvelope::new(
+            778,
+            Request::RunEnsemble {
+                spec: EnsembleSpec::new(16, 0, 0),
+            },
+        ))
+        .unwrap();
+        let refused = conn.recv_response().unwrap();
+        assert_eq!(refused.id, 778);
+        assert!(matches!(refused.response, Response::Rejected { .. }));
+        drop(conn);
+        shutdown(addr);
+        handle.join().unwrap();
+
+        let snap = tracer.snapshot();
+        assert_eq!(snap.dropped, 0, "nothing overwritten at this capacity");
+
+        // The served request's timeline is complete — admitted, then
+        // the serve span opens, computes, and closes after the reply —
+        // and lives on one session lane.
+        let timeline = snap.timeline(777);
+        use goc_telemetry::trace::TracePhase;
+        let shape: Vec<(TraceEventKind, TracePhase)> =
+            timeline.iter().map(|e| (e.kind, e.phase)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (TraceEventKind::RequestAdmit, TracePhase::Instant),
+                (TraceEventKind::RequestServe, TracePhase::Begin),
+                (TraceEventKind::RequestServe, TracePhase::End),
+            ]
+        );
+        assert!(
+            timeline.iter().all(|e| e.lane == timeline[0].lane),
+            "one session, one lane"
+        );
+
+        // The refused request leaves exactly its rejection instant.
+        let refusal = snap.timeline(778);
+        assert_eq!(refusal.len(), 1);
+        assert_eq!(refusal[0].kind, TraceEventKind::RequestReject);
+
+        // Backend compute flows onto the same recorder: the ensemble's
+        // replica events land between the serve span's endpoints.
+        let replicas = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::ReplicaStart)
+            .count();
+        assert_eq!(replicas, 4, "one start per requested replica");
+        let (begin, end) = (timeline[1].nanos, timeline[2].nanos);
+        assert!(snap
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::ReplicaStart)
+            .all(|e| begin <= e.nanos && e.nanos <= end));
+
+        // And the Chrome dump carries the request timeline out intact.
+        let json = snap.to_chrome_json();
+        assert!(json.contains("\"request_admit\""));
+        assert!(json.contains("\"correlation\":777"));
     }
 }

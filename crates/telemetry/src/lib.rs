@@ -42,6 +42,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod quantile;
+pub mod trace;
+
+pub use trace::{TraceEvent, TraceEventKind, TraceLane, TracePhase, TraceRecorder, TraceSnapshot};
+
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -61,17 +66,16 @@ pub const HIST_LO: f64 = 1e-6;
 /// sane request or convergence wall time; larger values clamp here).
 pub const HIST_HI: f64 = 1e3;
 
-/// The geometric bucket index of `x` seconds — the same log-ratio
-/// scheme as `QuantileSketch::bucket_of`, over the latency range.
+/// The geometric bucket index of `x` seconds — the shared
+/// [`quantile`] scheme over the latency range (the same math
+/// `QuantileSketch` uses over its count range).
 fn bucket_of(x: f64) -> usize {
-    let clamped = x.clamp(HIST_LO, HIST_HI);
-    let t = (clamped / HIST_LO).log10() / (HIST_HI / HIST_LO).log10();
-    ((t * HIST_BUCKETS as f64) as usize).min(HIST_BUCKETS - 1)
+    quantile::bucket_of(x, HIST_LO, HIST_HI, HIST_BUCKETS)
 }
 
 /// The upper edge of bucket `i`, in seconds.
 fn bucket_upper(i: usize) -> f64 {
-    HIST_LO * (HIST_HI / HIST_LO).powf((i + 1) as f64 / HIST_BUCKETS as f64)
+    quantile::bucket_upper(i, HIST_LO, HIST_HI, HIST_BUCKETS)
 }
 
 // ---------------------------------------------------------------------
@@ -323,7 +327,7 @@ impl HistogramSnapshot {
         if q >= 1.0 {
             return self.max_secs;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = quantile::nearest_rank(q, self.count);
         let mut seen = 0u64;
         for bucket in &self.buckets {
             seen += bucket.count;
@@ -350,11 +354,30 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+/// Escapes a label value per the Prometheus exposition-format spec:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Any other byte passes through untouched.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Splices a `label="value"` pair into a metric name, inside the
 /// existing `{...}` group when the name already carries one — how
 /// callers spell labeled registrations, e.g.
 /// `registry.counter(&with_label("goc_server_rejected_total", "reason", "draining"))`.
+/// The value is escaped ([`escape_label_value`]) so a quote, backslash,
+/// or newline can never break the exposition.
 pub fn with_label(name: &str, label: &str, value: &str) -> String {
+    let value = escape_label_value(value);
     match name.strip_suffix('}') {
         Some(open) => format!("{open},{label}=\"{value}\"}}"),
         None => format!("{name}{{{label}=\"{value}\"}}"),
@@ -778,6 +801,24 @@ mod tests {
         );
         assert_eq!(base_name("m{kind=\"status\"}"), "m");
         assert_eq!(base_name("m"), "m");
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_spec() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+        // with_label applies the escaping, so a hostile value cannot
+        // terminate the quoted string or the sample line.
+        let name = with_label("m", "path", "C:\\tmp\n\"x\"");
+        assert_eq!(name, "m{path=\"C:\\\\tmp\\n\\\"x\\\"\"}");
+        assert!(!name.contains('\n'));
+        let registry = Registry::new();
+        registry.counter(&name).inc();
+        let text = registry.render_text();
+        assert_eq!(text.lines().count(), 2, "one TYPE line + one sample");
+        assert!(text.contains("m{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1\n"));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Shared geometric-bucket quantile estimation.
+//!
+//! Two subsystems estimate quantiles from fixed geometric buckets: the
+//! [`LatencyHistogram`](crate::LatencyHistogram) (64 buckets over
+//! `[1e-6, 1e3]` seconds) and `goc_analysis`'s `QuantileSketch` (1024
+//! buckets over `[1, 1e12]`). They grew the same bucket math
+//! independently; this module is the one copy both now call, so the
+//! bucketing scheme can only ever drift in one place.
+//!
+//! The scheme: `n` log-uniform buckets over `[lo, hi]`. Bucket `i`
+//! covers `[lo·r^(i/n), lo·r^((i+1)/n))` with `r = hi/lo`, so every
+//! bucket spans the same ratio `r^(1/n)` — the *relative* error of any
+//! in-bucket estimate is bounded by that ratio regardless of scale.
+//! Quantiles are nearest-rank ([`nearest_rank`]): rank `⌈q·total⌉`
+//! clamped to `[1, total]`, the same convention both callers always
+//! used.
+
+/// The geometric bucket index of `x` over `[lo, hi]` with `n` buckets.
+/// Values outside the range clamp to the edge buckets; `n` must be ≥ 1
+/// and `0 < lo < hi` (both callers use compile-time constants).
+#[inline]
+pub fn bucket_of(x: f64, lo: f64, hi: f64, n: usize) -> usize {
+    let clamped = x.clamp(lo, hi);
+    let t = (clamped / lo).log10() / (hi / lo).log10();
+    ((t * n as f64) as usize).min(n - 1)
+}
+
+/// The lower edge of bucket `i`.
+#[inline]
+pub fn bucket_lower(i: usize, lo: f64, hi: f64, n: usize) -> f64 {
+    lo * (hi / lo).powf(i as f64 / n as f64)
+}
+
+/// The upper edge of bucket `i`.
+#[inline]
+pub fn bucket_upper(i: usize, lo: f64, hi: f64, n: usize) -> f64 {
+    lo * (hi / lo).powf((i + 1) as f64 / n as f64)
+}
+
+/// The geometric midpoint of bucket `i` — the canonical in-bucket
+/// estimate (relative error ≤ half the bucket ratio either way).
+#[inline]
+pub fn bucket_mid(i: usize, lo: f64, hi: f64, n: usize) -> f64 {
+    (bucket_lower(i, lo, hi, n) * bucket_upper(i, lo, hi, n)).sqrt()
+}
+
+/// The ratio spanned by one bucket, `(hi/lo)^(1/n)` — the documented
+/// relative-error bound of any estimate built on this scheme.
+#[inline]
+pub fn bucket_ratio(lo: f64, hi: f64, n: usize) -> f64 {
+    (hi / lo).powf(1.0 / n as f64)
+}
+
+/// The 1-based nearest rank of quantile `q` over `total` samples:
+/// `⌈q·total⌉` clamped to `[1, total]`. Callers handle `total == 0`
+/// and the exact-min/max extremes (`q ≤ 0`, `q ≥ 1`) before ranking.
+#[inline]
+pub fn nearest_rank(q: f64, total: u64) -> u64 {
+    ((q * total as f64).ceil() as u64).clamp(1, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LO: f64 = 1e-6;
+    const HI: f64 = 1e3;
+    const N: usize = 64;
+
+    #[test]
+    fn bucket_of_is_monotone_and_clamps() {
+        let mut last = 0usize;
+        for v in [0.0, 1e-9, LO, 1e-4, 1e-2, 1.0, 100.0, HI, 1e7] {
+            let b = bucket_of(v, LO, HI, N);
+            assert!(b >= last, "bucket_of must be monotone at {v}");
+            assert!(b < N);
+            last = b;
+        }
+        assert_eq!(bucket_of(0.0, LO, HI, N), 0);
+        assert_eq!(bucket_of(HI * 10.0, LO, HI, N), N - 1);
+    }
+
+    #[test]
+    fn edges_tile_the_range_and_contain_their_values() {
+        assert!((bucket_lower(0, LO, HI, N) - LO).abs() < 1e-12);
+        assert!((bucket_upper(N - 1, LO, HI, N) - HI).abs() / HI < 1e-12);
+        for i in 0..N - 1 {
+            assert!(
+                (bucket_upper(i, LO, HI, N) - bucket_lower(i + 1, LO, HI, N)).abs()
+                    / bucket_upper(i, LO, HI, N)
+                    < 1e-12,
+                "buckets must tile"
+            );
+        }
+        // A value maps into a bucket whose edges bracket it.
+        for v in [2e-6, 3.4e-4, 0.5, 999.0] {
+            let i = bucket_of(v, LO, HI, N);
+            assert!(bucket_lower(i, LO, HI, N) <= v * (1.0 + 1e-12));
+            assert!(v <= bucket_upper(i, LO, HI, N) * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn mid_is_between_edges_and_ratio_bounds_error() {
+        let ratio = bucket_ratio(LO, HI, N);
+        assert!(ratio > 1.0);
+        for i in [0, 7, 31, N - 1] {
+            let (lo, mid, hi) = (
+                bucket_lower(i, LO, HI, N),
+                bucket_mid(i, LO, HI, N),
+                bucket_upper(i, LO, HI, N),
+            );
+            assert!(lo < mid && mid < hi);
+            assert!((hi / lo - ratio).abs() / ratio < 1e-12);
+            // Geometric mid: worst-case relative error is √ratio.
+            assert!(hi / mid <= ratio.sqrt() * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_shared_convention() {
+        assert_eq!(nearest_rank(0.5, 100), 50);
+        assert_eq!(nearest_rank(0.999, 10), 10);
+        assert_eq!(nearest_rank(1e-9, 10), 1);
+        assert_eq!(nearest_rank(0.5, 1), 1);
+    }
+}

@@ -10,7 +10,7 @@
 //! goc simulate [--miners 120] [--days 80] [--shock-day 30] [--seed 2017]
 //! goc simulate --spec scenario.json
 //! goc serve    [--addr 127.0.0.1:0] [--max-sessions 16] [--max-inflight 4] [--threads N]
-//!              [--metrics]
+//!              [--metrics] [--trace FILE] [--http HOST:PORT]
 //! goc request  <ADDR> <REQUEST-JSON>
 //! ```
 //!
@@ -26,18 +26,25 @@
 //! (line-delimited JSON over TCP, with admission control) and runs
 //! until a `Shutdown` request drains it; `request` sends one request
 //! to a running server and prints the streamed response frames.
+//!
+//! Flight recording: `goc run <exp> --trace FILE` and `goc serve
+//! --trace FILE` arm the process-global flight recorder and dump its
+//! retained window as Chrome Trace Event Format JSON (load it at
+//! `chrome://tracing` or `ui.perfetto.dev`); `goc serve --http ADDR`
+//! additionally serves `GET /metrics`, `/healthz`, and `/trace` for
+//! scrapers.
 
 use std::process::ExitCode;
 
 use gameofcoins::analysis::chart::{ascii_chart, Series};
 use gameofcoins::analysis::{fmt_f64, Table};
 use gameofcoins::design::{design, DesignOptions, DesignProblem};
-use gameofcoins::experiments::service::registry_server;
+use gameofcoins::experiments::service::{registry_server, registry_server_traced};
 use gameofcoins::experiments::{self, RunContext, SweepSpec};
 use gameofcoins::game::{equilibrium, CoinId, Configuration, Game};
 use gameofcoins::learning::{run, LearningOptions, SchedulerKind};
 use gameofcoins::proto::{Client, ReportPayload, Request, Response};
-use gameofcoins::server::ServerConfig;
+use gameofcoins::server::{HttpExporter, ServerConfig};
 use gameofcoins::sim::scenario::{btc_bch, BtcBchParams, DAY};
 use gameofcoins::sim::ScenarioSpec;
 
@@ -108,7 +115,7 @@ const USAGE: &str = "goc — Game of Coins (Spiegelman, Keidar, Tennenholtz; ICD
 USAGE:
   goc list
   goc run <EXPERIMENT> [--json] [--quick] [--seed N] [--scheduler NAME] [--turnover PCT]
-               [--replicas N] [--threads N]
+               [--replicas N] [--threads N] [--trace FILE]
   goc sweep     --spec FILE [--threads N] [--out FILE]
   goc learn     --powers P1,P2,.. --rewards F1,F2,.. [--scheduler NAME] [--seed N]
   goc enumerate --powers P1,P2,.. --rewards F1,F2,..
@@ -116,7 +123,7 @@ USAGE:
   goc simulate  [--miners N] [--days D] [--shock-day D] [--seed N]
   goc simulate  --spec FILE    (a declarative ScenarioSpec JSON)
   goc serve     [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--threads N]
-                [--metrics]
+                [--metrics] [--trace FILE] [--http HOST:PORT]
   goc request   <ADDR> <REQUEST-JSON>    (e.g. goc request 127.0.0.1:4317 '\"Status\"',
                 or the shorthand '{\"request\":\"metrics\"}')
 
@@ -135,6 +142,8 @@ e.g. \"MinGain\", for experiments that sweep schedulers, or set
 Reports come back in input order regardless of completion order.
 A scenario spec for `goc simulate --spec` is a serialized
 `gameofcoins::sim::ScenarioSpec` (serialize a preset to start).
+`goc run <exp> --trace FILE` arms the flight recorder and dumps the
+run's spans as Chrome Trace Event Format JSON (chrome://tracing).
 
 `goc serve` boots the Game-of-Coins service (see `goc serve --help`);
 `goc request` sends one JSON request to a running server (see
@@ -147,7 +156,7 @@ const SERVE_USAGE: &str = "goc serve — run the Game-of-Coins service over TCP
 
 USAGE:
   goc serve [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--threads N]
-            [--metrics]
+            [--metrics] [--trace FILE] [--http HOST:PORT]
 
 The server speaks the goc-proto wire protocol: line-delimited JSON
 request/response envelopes (protocol v2; v1 envelopes remain accepted).
@@ -167,7 +176,15 @@ OPTIONS:
   --max-inflight N   bounded in-flight compute queue (default 4, must be ≥ 1)
   --threads N        worker threads per compute request
   --metrics          print the final metrics exposition (Prometheus-style
-                     text) after the drain summary";
+                     text) after the drain summary
+  --trace FILE       arm the flight recorder; on drain, dump every
+                     retained span — request admission, serve spans,
+                     replica/snapshot work, all keyed by the wire
+                     correlation id — as Chrome Trace Event Format JSON
+  --http HOST:PORT   also serve GET /metrics (Prometheus text),
+                     /healthz, and /trace (recorder JSON) over plain
+                     HTTP — the scrape endpoint, printed as
+                     `goc-http listening on ADDR` once bound";
 
 const REQUEST_USAGE: &str = "goc request — send one request to a running goc server
 
@@ -214,6 +231,8 @@ struct Options {
     max_sessions: Option<usize>,
     max_inflight: Option<usize>,
     metrics: bool,
+    trace: Option<String>,
+    http: Option<String>,
     help: bool,
 }
 
@@ -286,6 +305,8 @@ impl Options {
                     o.max_inflight = Some(n);
                 }
                 "--metrics" => o.metrics = true,
+                "--trace" => o.trace = Some(value()?.to_string()),
+                "--http" => o.http = Some(value()?.to_string()),
                 "--help" | "-h" => o.help = true,
                 other if !other.starts_with('-') => o.positional.push(other.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -371,6 +392,13 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             .threads
             .unwrap_or_else(gameofcoins::analysis::default_threads),
     };
+    // The flight recorder: experiments can't carry a tracer through
+    // the Copy/Serialize `RunContext`, so `--trace` arms the process-
+    // global recorder the engine's traced seams already write to.
+    let tracer = gameofcoins::telemetry::trace::global();
+    if opts.trace.is_some() {
+        tracer.enable();
+    }
     let report = experiment.run(&ctx);
     if opts.json {
         println!("{}", report.to_json());
@@ -379,6 +407,9 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         for artifact in &report.artifacts {
             experiments::write_results(&artifact.name, &artifact.contents);
         }
+    }
+    if let Some(path) = &opts.trace {
+        dump_trace(path, tracer)?;
     }
     if report.passed() {
         Ok(())
@@ -537,15 +568,33 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         threads: opts.threads.unwrap_or(config.threads),
         ..config
     };
-    let server = registry_server(config).map_err(|e| e.to_string())?;
+    // `--trace` and `--http`'s `/trace` both need a live recorder;
+    // without either the server keeps the free disabled one.
+    let tracing = opts.trace.is_some() || opts.http.is_some();
+    let server = if tracing {
+        let tracer = gameofcoins::telemetry::trace::global().clone();
+        tracer.enable();
+        registry_server_traced(config, tracer)
+    } else {
+        registry_server(config)
+    }
+    .map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // The registry handle outlives the server: with --metrics the
     // final exposition prints after the drain summary.
     let registry = opts.metrics.then(|| server.registry());
+    let tracer = server.tracer();
     println!(
         "goc-server listening on {addr} (protocol v{})",
         gameofcoins::proto::PROTOCOL_VERSION
     );
+    if let Some(http_addr) = &opts.http {
+        let exporter = HttpExporter::bind(http_addr, server.registry(), server.tracer())
+            .map_err(|e| format!("cannot bind the HTTP exporter on {http_addr}: {e}"))?;
+        let bound = exporter.local_addr().map_err(|e| e.to_string())?;
+        exporter.spawn();
+        println!("goc-http listening on {bound} (GET /metrics /healthz /trace)");
+    }
     println!("stop it with: goc request {addr} '\"Shutdown\"'");
     let summary = server.run().map_err(|e| e.to_string())?;
     println!(
@@ -555,6 +604,27 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     if let Some(registry) = registry {
         print!("{}", registry.render_text());
     }
+    if let Some(path) = &opts.trace {
+        dump_trace(path, &tracer)?;
+    }
+    Ok(())
+}
+
+/// Writes the recorder's retained window as Chrome Trace Event Format
+/// JSON (load it at chrome://tracing or ui.perfetto.dev) and says what
+/// landed — including how many records the ring overwrote.
+fn dump_trace(
+    path: &str,
+    tracer: &gameofcoins::telemetry::trace::TraceRecorder,
+) -> Result<(), String> {
+    let snapshot = tracer.snapshot();
+    std::fs::write(path, snapshot.to_chrome_json())
+        .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    eprintln!(
+        "[trace: {} events written to {path}, {} overwritten in the ring]",
+        snapshot.events.len(),
+        snapshot.dropped
+    );
     Ok(())
 }
 

@@ -75,6 +75,7 @@ pub use goc_market as market;
 pub use goc_proto as proto;
 pub use goc_server as server;
 pub use goc_sim as sim;
+pub use goc_telemetry as telemetry;
 
 /// Convenient single-import prelude for examples and downstream users.
 pub mod prelude {
